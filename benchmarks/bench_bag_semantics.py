@@ -1,0 +1,52 @@
+"""E9 — Bag semantics: the multiplicity bracket of Theorem 4.8.
+
+Verifies and times the bracket #(ā, Q+(D)) ≤ □Q(D, ā) ≤ #(ā, Q?(D)) on
+a workload of queries and tuples, against the exact minimum multiplicity
+computed by valuation enumeration.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import builder as rb
+from repro.approx import approximate_multiplicity_bounds, exact_multiplicity_bounds
+from repro.bench import ResultTable
+from repro.datamodel import Database, Null, Relation
+
+NULL_A, NULL_B = Null("e9a"), Null("e9b")
+DB = Database(
+    {
+        "R": Relation(("A",), [(1,), (1,), (2,), (NULL_A,)]),
+        "S": Relation(("A",), [(1,), (NULL_B,)]),
+    }
+)
+
+CASES = [
+    ("R ∪ S", rb.union(rb.relation("R"), rb.relation("S")), (1,)),
+    ("R − S", rb.difference(rb.relation("R"), rb.relation("S")), (1,)),
+    ("R ∩ S", rb.intersection(rb.relation("R"), rb.relation("S")), (1,)),
+    ("σ_{A≠2}(R)", rb.select(rb.relation("R"), rb.neq("A", 2)), (1,)),
+]
+
+
+def test_bag_multiplicity_bounds(benchmark):
+    def run():
+        rows = []
+        for name, query, tuple_ in CASES:
+            exact = exact_multiplicity_bounds(query, DB, tuple_)
+            approx = approximate_multiplicity_bounds(query, DB, tuple_)
+            rows.append((name, tuple_, approx.lower, exact.lower, exact.upper, approx.upper))
+        return rows
+
+    rows = benchmark(run)
+
+    table = ResultTable(
+        "E9: bag-semantics certainty bounds (Theorem 4.8): #Q+ ≤ □Q ≤ #Q?",
+        ["query", "tuple", "#Q+(D)", "□Q (exact)", "◇Q (exact)", "#Q?(D)"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+    for _name, _tuple, lower, exact_min, exact_max, upper in rows:
+        assert lower <= exact_min <= upper
+        assert exact_min <= exact_max

@@ -1,0 +1,89 @@
+"""E7 — The four c-table strategies of [36]: answers and runtimes.
+
+The paper states strict containments between the answer sets of the four
+algorithms (eager ⊆ semi-eager/lazy ⊆ aware), the identity
+``Q+ = Eval_e,t`` / ``Q? = Eval_e,p`` (Theorem 4.9), and that the
+conditional machinery is the price paid for the extra precision.  The
+benchmark reports answer counts and timings per strategy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import builder as rb, evaluate
+from repro.approx import translate_guagliardo16
+from repro.bench import ResultTable, time_call
+from repro.ctables import STRATEGIES, run_strategy
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import certain_answers_with_nulls
+from repro.workloads import GeneratorConfig, RelationSpec, generate_database
+
+
+def _nested_difference_db():
+    null = Null("e7")
+    return Database(
+        {
+            "R": Relation(("A",), [(1,), (2,), (3,)]),
+            "S": Relation(("A",), [(null,), (2,)]),
+            "T": Relation(("A",), [(1,), (null,)]),
+        }
+    )
+
+
+QUERY = rb.difference(rb.relation("R"), rb.difference(rb.relation("S"), rb.relation("T")))
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_runtime(benchmark, strategy):
+    # Kept small: the aware strategy grounds conditions that mention every
+    # tuple of the subtracted relations, which is exponential in the number
+    # of nulls occurring in those conditions.
+    config = GeneratorConfig(
+        relations=[RelationSpec("R", ["a"], 10), RelationSpec("S", ["a"], 6), RelationSpec("T", ["a"], 5)],
+        domain_size=8,
+        null_rate=0.08,
+        seed=5,
+    )
+    db = generate_database(config)
+    benchmark.pedantic(lambda: run_strategy(strategy, QUERY, db), rounds=2, iterations=1)
+
+
+def test_strategy_answer_comparison(benchmark):
+    db = _nested_difference_db()
+
+    def run():
+        results = {s: run_strategy(s, QUERY, db) for s in STRATEGIES}
+        truth = certain_answers_with_nulls(QUERY, db)
+        pair = translate_guagliardo16(QUERY, db.schema())
+        plus = evaluate(pair.certain, db)
+        maybe = evaluate(pair.possible, db)
+        return results, truth, plus, maybe
+
+    results, truth, plus, maybe = benchmark(run)
+
+    table = ResultTable(
+        "E7: c-table strategies vs Figure 2b on R − (S − T)",
+        ["procedure", "certain answers", "possible answers", "sound"],
+    )
+    for strategy in STRATEGIES:
+        result = results[strategy]
+        table.add_row(
+            f"Eval_{strategy}",
+            len(result.certain),
+            len(result.possible),
+            result.certain.rows_set() <= truth.rows_set(),
+        )
+    table.add_row("Q+/Q? (Figure 2b)", len(plus), len(maybe), plus.rows_set() <= truth.rows_set())
+    table.add_row("exact cert⊥", len(truth), "-", True)
+    table.print()
+
+    # Theorem 4.9 identity and the containment chain.
+    assert results["eager"].certain.rows_set() == plus.rows_set()
+    assert results["eager"].possible.rows_set() == maybe.rows_set()
+    assert (
+        results["eager"].certain.rows_set()
+        <= results["lazy"].certain.rows_set()
+        <= results["aware"].certain.rows_set()
+        <= truth.rows_set()
+    )

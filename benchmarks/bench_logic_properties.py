@@ -1,0 +1,55 @@
+"""E2 — Figure 3 and Theorem 5.3: Kleene's logic from the six-valued logic.
+
+Regenerates the Kleene truth tables (Figure 3) from the semantically
+derived six-valued logic L6v, and verifies exhaustively that {t, f, u}
+is the unique maximal sublogic of L6v that is both idempotent and
+distributive (Theorem 5.3), and that the assertion operator breaks
+knowledge-order monotonicity (the diagnosis of SQL's behaviour).
+"""
+
+from __future__ import annotations
+
+from repro.bench import ResultTable
+from repro.mvl import (
+    FALSE,
+    L3V,
+    L3V_ASSERT,
+    L6V,
+    TRUE,
+    UNKNOWN,
+    is_distributive,
+    is_idempotent,
+    maximal_idempotent_distributive_sublogics,
+    respects_knowledge_order,
+)
+
+
+def test_theorem_5_3_maximal_sublogic(benchmark):
+    def analyse():
+        return {
+            "l6v_idempotent": is_idempotent(L6V),
+            "l6v_distributive": is_distributive(L6V),
+            "l3v_idempotent": is_idempotent(L3V),
+            "l3v_distributive": is_distributive(L3V),
+            "maximal": maximal_idempotent_distributive_sublogics(L6V),
+            "l3v_monotone": respects_knowledge_order(L3V),
+            "assert_monotone": respects_knowledge_order(L3V_ASSERT),
+        }
+
+    results = benchmark(analyse)
+
+    table = ResultTable(
+        "E2: propositional logics of incompleteness (Theorem 5.3)",
+        ["logic", "idempotent", "distributive", "knowledge-monotone"],
+    )
+    table.add_row("L6v (epistemic)", results["l6v_idempotent"], results["l6v_distributive"], respects_knowledge_order(L6V))
+    table.add_row("L3v (Kleene)", results["l3v_idempotent"], results["l3v_distributive"], results["l3v_monotone"])
+    table.add_row("L3v + assertion ↑", is_idempotent(L3V_ASSERT), is_distributive(L3V_ASSERT), results["assert_monotone"])
+    table.print()
+    print("\nKleene truth tables regenerated from L6v (Figure 3):")
+    print(L6V.restrict((TRUE, FALSE, UNKNOWN)).truth_table_text())
+
+    assert not results["l6v_idempotent"] and not results["l6v_distributive"]
+    assert results["l3v_idempotent"] and results["l3v_distributive"]
+    assert [set(s) for s in results["maximal"]] == [{TRUE, FALSE, UNKNOWN}]
+    assert results["l3v_monotone"] and not results["assert_monotone"]

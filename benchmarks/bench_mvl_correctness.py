@@ -1,0 +1,84 @@
+"""E10 — Many-valued evaluation: correctness guarantees and SQL's culprit.
+
+Two parts, following Section 5:
+
+* the unification semantics FO(L3v, unif) has correctness guarantees —
+  every tuple it reports true is a certain answer (Corollary 5.2), while
+  the SQL semantics (FOSQL) does not overshoot certainty either on these
+  queries but the *assertion-extended* FO↑SQL does;
+* the R − (S − T) example: real SQL (FO↑SQL and the SQL engine alike)
+  returns the almost-certainly-false answer 1.
+"""
+
+from __future__ import annotations
+
+from repro.algebra import builder as rb
+from repro.bench import ResultTable
+from repro.calculus import ast as fo
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import certain_answers_with_nulls
+from repro.mvl import Assertion, fo_sql, fo_sql_assert, fo_unif
+from repro.probabilistic import mu_limit
+from repro.sql import run_sql
+
+NULL = Null("e10")
+DB = Database(
+    {
+        "R": Relation(("A",), [(1,)]),
+        "S": Relation(("A",), [(1,)]),
+        "T": Relation(("A",), [(NULL,)]),
+    }
+)
+
+R_MINUS_S_MINUS_T_SQL = (
+    "SELECT R.A FROM R WHERE R.A NOT IN "
+    "( SELECT S.A FROM S WHERE S.A NOT IN ( SELECT T.A FROM T ) )"
+)
+
+
+def _formulas():
+    x = fo.Var("x")
+    in_t = fo.Exists(["y"], fo.And(fo.RelAtom("T", ["y"]), fo.EqAtom(x, "y")))
+    plain = fo.And(fo.RelAtom("R", [x]), fo.Not(fo.And(fo.RelAtom("S", [x]), fo.Not(in_t))))
+    asserted = fo.And(
+        fo.RelAtom("R", [x]),
+        Assertion(fo.Not(fo.And(fo.RelAtom("S", [x]), Assertion(fo.Not(in_t))))),
+    )
+    return x, plain, asserted
+
+
+def test_many_valued_semantics_comparison(benchmark):
+    x, plain, asserted = _formulas()
+    algebra_query = rb.difference(
+        rb.relation("R"), rb.difference(rb.relation("S"), rb.relation("T"))
+    )
+
+    def run():
+        return {
+            "unif": fo_unif().answers(plain, DB, [x]).rows_set(),
+            "fosql": fo_sql().answers(plain, DB, [x]).rows_set(),
+            "fosql_assert": fo_sql_assert().answers(asserted, DB, [x]).rows_set(),
+            "sql_engine": run_sql(DB, R_MINUS_S_MINUS_T_SQL).rows_set(),
+            "certain": certain_answers_with_nulls(algebra_query, DB).rows_set(),
+            "mu_of_1": mu_limit(algebra_query, DB, (1,)),
+        }
+
+    results = benchmark(run)
+
+    table = ResultTable(
+        "E10: R − (S − T) with R=S={1}, T={⊥} — who returns the almost-certainly-false 1?",
+        ["procedure", "answers", "sound wrt cert⊥"],
+    )
+    for name in ("unif", "fosql", "fosql_assert", "sql_engine"):
+        answers = results[name]
+        table.add_row(name, sorted(answers), answers <= results["certain"])
+    table.add_row("exact cert⊥", sorted(results["certain"]), True)
+    table.print()
+    print(f"\nµ(Q, D, (1,)) = {results['mu_of_1']} — 1 is almost certainly NOT an answer.")
+
+    assert results["certain"] == set()
+    assert results["unif"] == set()
+    assert results["fosql"] == set()
+    assert results["fosql_assert"] == {(1,)}
+    assert results["sql_engine"] == {(1,)}
+    assert results["mu_of_1"] == 0

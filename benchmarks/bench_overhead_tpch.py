@@ -1,0 +1,71 @@
+"""E4 — Overhead of the (Q+, Q?) rewriting on the TPC-H-lite workload.
+
+The PODS'16 feasibility study [37] reports that the rewritten queries
+cost only a few percent more than the original SQL queries on TPC-H,
+with larger overheads when disjunctions confuse the optimizer.  Here the
+same *shape* is measured on our evaluator: the Q+ rewriting of each
+TPC-H-lite query against the plain (naïve) evaluation of the original.
+Absolute numbers differ (pure-Python engine), but Q+ should stay within
+a small factor of the original for join/selection queries and be most
+expensive for the difference-heavy ones (extra unification anti-joins).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.approx import translate_guagliardo16
+from repro.bench import ResultTable, relative_overhead, time_call
+from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
+
+DB = generate_tpch_lite(
+    TpchLiteConfig(
+        customers=8, orders=16, lineitems=24, suppliers=4, parts=8, null_rate=0.03
+    )
+)
+SCHEMA = DB.schema()
+QUERIES = tpch_lite_queries()
+
+
+@pytest.mark.parametrize("name", sorted(QUERIES))
+def test_rewriting_overhead_per_query(benchmark, name):
+    query = QUERIES[name]
+    pair = translate_guagliardo16(query, SCHEMA)
+    benchmark(lambda: evaluate(pair.certain, DB))
+
+
+def test_overhead_summary_table(benchmark):
+    def measure():
+        rows = []
+        for name, query in sorted(QUERIES.items()):
+            pair = translate_guagliardo16(query, SCHEMA)
+            base_time, base = time_call(lambda q=query: evaluate(q, DB))
+            plus_time, plus = time_call(lambda p=pair: evaluate(p.certain, DB))
+            rows.append(
+                (
+                    name,
+                    base_time * 1000,
+                    plus_time * 1000,
+                    relative_overhead(base_time, plus_time),
+                    len(base),
+                    len(plus),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "E4: Q+ rewriting overhead on TPC-H-lite (paper: 1-4% typical on TPC-H)",
+        ["query", "original (ms)", "Q+ (ms)", "overhead %", "|Q(D)|", "|Q+(D)|"],
+    )
+    for row in rows:
+        table.add_row(*row)
+    table.print()
+
+    # Shape assertions: the rewriting never returns more tuples than the
+    # original, and at least half of the workload stays within 3x.
+    assert all(plus_count <= base_count for *_, base_count, plus_count in rows)
+    cheap = sum(1 for _, base_ms, plus_ms, *_ in rows if plus_ms <= 3 * base_ms + 1.0)
+    assert cheap >= len(rows) // 2

@@ -1,0 +1,68 @@
+"""E8 — Probabilistic certainty: µ_k convergence, the 0–1 law, conditioning.
+
+Reproduces the Section 4.3 story: µ_k of a naïve answer converges to 1
+(and of a non-naïve answer to 0) as the constant pool grows; under the
+inclusion constraint S ⊆ T the probability of the answer {1} to T − S
+is exactly 1/2; with functional dependencies the limit collapses to 0/1
+via the chase.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.algebra import builder as rb
+from repro.bench import ResultTable
+from repro.constraints import FunctionalDependency, InclusionDependency
+from repro.datamodel import Database, Null, Relation
+from repro.probabilistic import (
+    conditional_mu,
+    mu_k_profile,
+    mu_limit,
+)
+
+NULL = Null("e8")
+DB = Database.from_dict({"T": (("A",), [(1,), (2,)]), "S": (("A",), [(NULL,)])})
+QUERY = rb.difference(rb.relation("T"), rb.relation("S"))
+
+
+def test_mu_k_convergence_and_conditioning(benchmark):
+    def run():
+        profile = mu_k_profile(QUERY, DB, (1,), [3, 4, 6, 10])
+        limit = mu_limit(QUERY, DB, (1,))
+        conditional = conditional_mu(
+            QUERY, [InclusionDependency("S", ["A"], "T", ["A"])], DB, (1,)
+        )
+        fd_db = Database({"R": Relation(("A", "B"), [(1, NULL), (1, 5)])})
+        fd_limit = conditional_mu(
+            rb.project(rb.relation("R"), ["B"]),
+            [FunctionalDependency("R", ["A"], ["B"])],
+            fd_db,
+            (5,),
+        )
+        return profile, limit, conditional, fd_limit
+
+    profile, limit, conditional, fd_limit = benchmark(run)
+
+    table = ResultTable(
+        "E8: µ_k(T − S, D, (1,)) as the constant pool grows (limit = 1 by the 0–1 law)",
+        ["k", "µ_k", "as float"],
+    )
+    for k, value in profile:
+        table.add_row(k, str(value), float(value))
+    table.print()
+
+    table2 = ResultTable(
+        "E8: limits and conditional probabilities (Theorems 4.10 / 4.11)",
+        ["quantity", "value"],
+    )
+    table2.add_row("µ(T−S, D, (1,))  [0–1 law]", str(limit))
+    table2.add_row("µ(T−S | S ⊆ T, D, (1,))", str(conditional))
+    table2.add_row("µ(π_B R | A→B, D, (5,))  [chase]", str(fd_limit))
+    table2.print()
+
+    values = [value for _, value in profile]
+    assert values == sorted(values) and values[-1] >= Fraction(9, 10)
+    assert limit == 1
+    assert conditional == Fraction(1, 2)
+    assert fd_limit == 1

@@ -1,0 +1,14 @@
+"""Pytest configuration: make ``src/`` importable without installation.
+
+The project is normally installed with ``pip install -e .``; in fully
+offline environments (no ``wheel`` available for PEP 660 editable
+installs) this conftest keeps ``import repro`` working for the test and
+benchmark suites by putting ``src/`` on ``sys.path``.
+"""
+
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))

@@ -1,0 +1,59 @@
+"""Almost-certain answers and conditioning on constraints (Section 4.3).
+
+Shows the 0–1 law in action (µ_k converging to 1 for naïve answers and
+to 0 for everything else), and how integrity constraints change the
+picture: under the inclusion constraint S ⊆ T the probability of an
+answer can be a non-trivial rational such as 1/2, and functional
+dependencies collapse it back to 0 or 1 through the chase.
+
+Run with:  python examples/probabilistic_answers.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.algebra import builder as rb
+from repro.bench import ResultTable
+from repro.constraints import FunctionalDependency, InclusionDependency
+from repro.datamodel import Database, Null
+from repro.incomplete import certain_answers_with_nulls
+from repro.probabilistic import conditional_mu, mu_k_profile, mu_limit
+
+
+def main() -> None:
+    unknown = Null("paid_order")
+    db = Database.from_dict(
+        {"T": (("A",), [(1,), (2,)]), "S": (("A",), [(unknown,)])}
+    )
+    query = rb.difference(rb.relation("T"), rb.relation("S"))
+    print("Database: T = {1, 2}, S = {⊥};  query: T − S, candidate answer (1,).")
+
+    table = ResultTable("µ_k for the candidate answer (1,)", ["k", "µ_k"])
+    for k, value in mu_k_profile(query, db, (1,), [3, 4, 6, 10, 20]):
+        table.add_row(k, f"{value} ≈ {float(value):.3f}")
+    table.print()
+    print(f"\nLimit by the 0–1 law: µ = {mu_limit(query, db, (1,))}")
+    print(f"Exact certain answers: {sorted(certain_answers_with_nulls(query, db).rows_set())}")
+    print("So (1,) is almost certainly true, yet not certain.")
+
+    ind = InclusionDependency("S", ["A"], "T", ["A"])
+    print(
+        f"\nConditioning on S ⊆ T (the null must be 1 or 2): "
+        f"µ(Q | Σ, D, (1,)) = {conditional_mu(query, [ind], db, (1,))}"
+    )
+
+    fd_db = Database.from_dict({"R": (("A", "B"), [(1, Null("b")), (1, 5)])})
+    fd = FunctionalDependency("R", ["A"], ["B"])
+    projection = rb.project(rb.relation("R"), ["B"])
+    print(
+        "With only functional dependencies the limit is 0 or 1 via the chase: "
+        f"µ(π_B R | A→B, D, (5,)) = {conditional_mu(projection, [fd], fd_db, (5,))}"
+    )
+
+
+if __name__ == "__main__":
+    main()

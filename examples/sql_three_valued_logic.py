@@ -1,0 +1,95 @@
+"""Does SQL need three-valued logic?  (Section 5 of the paper.)
+
+Walks through the many-valued-logic story: the derived six-valued logic
+and its collapse to Kleene's logic, the unification semantics with
+correctness guarantees, the assertion operator that makes SQL return
+almost-certainly-false answers, and the capture of the three-valued
+semantics in ordinary Boolean first-order logic.
+
+Run with:  python examples/sql_three_valued_logic.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.calculus import ast as fo
+from repro.calculus.evaluation import FoQuery
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import certain_answers_with_nulls
+from repro.mvl import (
+    FALSE,
+    L3V,
+    L6V,
+    TRUE,
+    UNKNOWN,
+    Assertion,
+    capture,
+    fo_sql,
+    fo_sql_assert,
+    fo_unif,
+    is_distributive,
+    is_idempotent,
+    maximal_idempotent_distributive_sublogics,
+)
+from repro.sql import run_sql
+
+
+def main() -> None:
+    print("1. The six-valued epistemic logic L6v, derived from possible worlds:")
+    print(L6V.truth_table_text())
+    maximal = maximal_idempotent_distributive_sublogics(L6V)
+    print(
+        "\n   L6v idempotent:", is_idempotent(L6V), " distributive:", is_distributive(L6V)
+    )
+    print(
+        "   Maximal idempotent+distributive sublogic:",
+        [[str(v) for v in s] for s in maximal],
+        "→ exactly Kleene's L3v (Theorem 5.3).",
+    )
+
+    # 2. The R − (S − T) example.
+    unknown = Null("t")
+    db = Database(
+        {
+            "R": Relation(("A",), [(1,)]),
+            "S": Relation(("A",), [(1,)]),
+            "T": Relation(("A",), [(unknown,)]),
+        }
+    )
+    x = fo.Var("x")
+    in_t = fo.Exists(["y"], fo.And(fo.RelAtom("T", ["y"]), fo.EqAtom(x, "y")))
+    plain = fo.And(fo.RelAtom("R", [x]), fo.Not(fo.And(fo.RelAtom("S", [x]), fo.Not(in_t))))
+    asserted = fo.And(
+        fo.RelAtom("R", [x]),
+        Assertion(fo.Not(fo.And(fo.RelAtom("S", [x]), Assertion(fo.Not(in_t))))),
+    )
+    sql_text = (
+        "SELECT R.A FROM R WHERE R.A NOT IN "
+        "( SELECT S.A FROM S WHERE S.A NOT IN ( SELECT T.A FROM T ) )"
+    )
+    print("\n2. R − (S − T) with R = S = {1}, T = {⊥}:")
+    print("   certain answers:        ", sorted(certain_answers_with_nulls(
+        FoQuery(plain, free=[x]), db).rows_set()))
+    print("   FO(L3v, unif) answers:  ", sorted(fo_unif().answers(plain, db, [x]).rows_set()))
+    print("   FOSQL answers:          ", sorted(fo_sql().answers(plain, db, [x]).rows_set()))
+    print("   FO↑SQL answers:         ", sorted(fo_sql_assert().answers(asserted, db, [x]).rows_set()))
+    print("   real SQL engine:        ", sorted(run_sql(db, sql_text).rows_set()))
+    print(
+        "   → the assertion operator ↑ (SQL's WHERE keeping only 'true') is what"
+        " lets SQL return the almost-certainly-false answer 1."
+    )
+
+    # 3. Capture in Boolean FO (Theorems 5.4 / 5.5).
+    pair = capture(plain)
+    captured = FoQuery(pair.when_true, free=[x]).answers(db).rows_set()
+    print("\n3. Boolean FO capture of the three-valued semantics:")
+    print("   ψ_t answers:", sorted(captured), "— identical to the FOSQL t-answers,")
+    print("   so SQL's three-valued logic adds no expressive power over Boolean FO.")
+
+
+if __name__ == "__main__":
+    main()

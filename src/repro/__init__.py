@@ -1,0 +1,56 @@
+"""repro: certain-answer query evaluation over incomplete relational databases.
+
+A reproduction of the systems surveyed in *Coping with Incomplete Data:
+Recent Advances* (Console, Guagliardo, Libkin, Toussaint — PODS 2020).
+
+The package is organised in layers:
+
+* :mod:`repro.datamodel` — relations, marked nulls, valuations,
+  homomorphisms, unification (Section 2);
+* :mod:`repro.algebra` and :mod:`repro.calculus` — relational algebra and
+  relational calculus (FO) with set and bag semantics;
+* :mod:`repro.incomplete` — possible worlds, naïve evaluation and exact
+  certain answers (Sections 3 and 4.1);
+* :mod:`repro.approx` — approximation schemes with correctness
+  guarantees (Section 4.2, Figure 2);
+* :mod:`repro.ctables` — conditional tables and the grounding-based
+  approximation algorithms (Section 4.2);
+* :mod:`repro.probabilistic` — supports, the 0–1 law, conditional
+  certainty under constraints (Section 4.3);
+* :mod:`repro.mvl` — many-valued logics, SQL's three-valued logic and its
+  capture in Boolean FO (Section 5);
+* :mod:`repro.constraints` — dependencies and the chase;
+* :mod:`repro.sql` — a small SQL frontend that evaluates queries the way
+  SQL does, for side-by-side comparisons with certain answers;
+* :mod:`repro.workloads` and :mod:`repro.bench` — data generators and the
+  benchmark harness used to regenerate the paper's experiments.
+"""
+
+from .datamodel import (
+    Database,
+    DatabaseSchema,
+    Null,
+    NullFactory,
+    Relation,
+    RelationSchema,
+    Valuation,
+    fresh_null,
+    is_const,
+    is_null,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "DatabaseSchema",
+    "Null",
+    "NullFactory",
+    "Relation",
+    "RelationSchema",
+    "Valuation",
+    "fresh_null",
+    "is_const",
+    "is_null",
+    "__version__",
+]

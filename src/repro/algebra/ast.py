@@ -1,0 +1,381 @@
+"""Relational algebra abstract syntax.
+
+The operators are those of Section 2 of the paper — selection σ,
+projection π, Cartesian product ×, union ∪ and difference − — plus the
+extra operators needed by the material it surveys:
+
+* intersection ∩ (used by the Figure 2a translation);
+* division ÷ (the Pos∀G-related fragment of Theorem 4.4);
+* the active-domain relation ``Dom^k`` (used by the Figure 2a translation);
+* the unification anti-semijoin ``⋉⇑`` (used by both translations);
+* renaming, natural join, semijoin and anti-semijoin as conveniences for
+  the SQL frontend and the workloads.
+
+Queries are immutable trees of :class:`Query` nodes.  Attribute
+propagation is static: every node can compute its output attributes from
+its children via :meth:`Query.output_attributes`, given a schema for the
+base relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..datamodel.schema import DatabaseSchema
+from .conditions import Condition, TrueCondition
+
+__all__ = [
+    "Query",
+    "RelationRef",
+    "ConstantRelation",
+    "Selection",
+    "Projection",
+    "Product",
+    "Union",
+    "Difference",
+    "Intersection",
+    "Rename",
+    "Division",
+    "DomainRelation",
+    "UnifAntiSemiJoin",
+    "NaturalJoin",
+    "SemiJoin",
+    "AntiSemiJoin",
+    "walk",
+    "operator_count",
+]
+
+
+class Query:
+    """Base class of relational algebra query nodes."""
+
+    def children(self) -> tuple["Query", ...]:
+        return ()
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        """The attribute names of the query result under the given schema."""
+        raise NotImplementedError
+
+    def arity(self, schema: DatabaseSchema) -> int:
+        return len(self.output_attributes(schema))
+
+    # ------------------------------------------------------------------
+    # Small fluent API so examples and tests read naturally.
+    # ------------------------------------------------------------------
+    def select(self, condition: Condition) -> "Selection":
+        return Selection(self, condition)
+
+    def project(self, attributes: Sequence[str]) -> "Projection":
+        return Projection(self, attributes)
+
+    def product(self, other: "Query") -> "Product":
+        return Product(self, other)
+
+    def union(self, other: "Query") -> "Union":
+        return Union(self, other)
+
+    def difference(self, other: "Query") -> "Difference":
+        return Difference(self, other)
+
+    def intersect(self, other: "Query") -> "Intersection":
+        return Intersection(self, other)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Rename":
+        return Rename(self, mapping)
+
+    def divide(self, other: "Query") -> "Division":
+        return Division(self, other)
+
+    def natural_join(self, other: "Query") -> "NaturalJoin":
+        return NaturalJoin(self, other)
+
+    def __str__(self) -> str:
+        from .pretty import to_text
+
+        return to_text(self)
+
+
+@dataclass(frozen=True)
+class RelationRef(Query):
+    """Reference to a base relation by name."""
+
+    name: str
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return schema[self.name].attributes
+
+
+@dataclass(frozen=True)
+class ConstantRelation(Query):
+    """An inline constant relation (a literal table in the query)."""
+
+    attributes: tuple[str, ...]
+    rows: tuple[tuple, ...]
+
+    def __init__(self, attributes: Sequence[str], rows: Iterable[Sequence[Any]] = ()):
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "rows", tuple(tuple(r) for r in rows))
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.attributes
+
+
+@dataclass(frozen=True)
+class Selection(Query):
+    """σ_θ(Q): keep the rows satisfying the selection condition."""
+
+    child: Query
+    condition: Condition = field(default_factory=TrueCondition)
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.child,)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.child.output_attributes(schema)
+
+
+@dataclass(frozen=True)
+class Projection(Query):
+    """π_α(Q): keep only the listed attributes (in the listed order)."""
+
+    child: Query
+    attributes: tuple[str, ...]
+
+    def __init__(self, child: Query, attributes: Sequence[str]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "attributes", tuple(attributes))
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.child,)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.attributes
+
+
+@dataclass(frozen=True)
+class Product(Query):
+    """Q1 × Q2: Cartesian product.  Attribute names must be disjoint."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        left_attrs = self.left.output_attributes(schema)
+        right_attrs = self.right.output_attributes(schema)
+        overlap = set(left_attrs) & set(right_attrs)
+        if overlap:
+            raise ValueError(
+                f"product with overlapping attributes {sorted(overlap)}; rename first"
+            )
+        return left_attrs + right_attrs
+
+
+@dataclass(frozen=True)
+class Union(Query):
+    """Q1 ∪ Q2.  Children must have the same arity; names come from the left."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return _compatible_attributes(self, schema)
+
+
+@dataclass(frozen=True)
+class Difference(Query):
+    """Q1 − Q2."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return _compatible_attributes(self, schema)
+
+
+@dataclass(frozen=True)
+class Intersection(Query):
+    """Q1 ∩ Q2."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return _compatible_attributes(self, schema)
+
+
+@dataclass(frozen=True)
+class Rename(Query):
+    """ρ: rename output attributes according to a mapping old → new."""
+
+    child: Query
+    mapping: tuple[tuple[str, str], ...]
+
+    def __init__(self, child: Query, mapping: Mapping[str, str]):
+        object.__setattr__(self, "child", child)
+        object.__setattr__(self, "mapping", tuple(sorted(mapping.items())))
+
+    def mapping_dict(self) -> dict[str, str]:
+        return dict(self.mapping)
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.child,)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        mapping = self.mapping_dict()
+        return tuple(mapping.get(a, a) for a in self.child.output_attributes(schema))
+
+
+@dataclass(frozen=True)
+class Division(Query):
+    """R ÷ S (Section 4.1).
+
+    For ``R`` over attributes ``A₁..Aₙ B₁..Bₘ`` and ``S`` over ``B₁..Bₘ``,
+    the division contains the tuples ``ā`` over ``A₁..Aₙ`` such that
+    ``(ā, b̄) ∈ R`` for every ``b̄ ∈ S``.
+    """
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        left_attrs = self.left.output_attributes(schema)
+        right_attrs = self.right.output_attributes(schema)
+        missing = [a for a in right_attrs if a not in left_attrs]
+        if missing:
+            raise ValueError(f"division: divisor attributes {missing} not in dividend")
+        return tuple(a for a in left_attrs if a not in right_attrs)
+
+
+@dataclass(frozen=True)
+class DomainRelation(Query):
+    """``Dom^k``: the k-th Cartesian power of the active domain of the database.
+
+    Used by the Figure 2a translation.  The attribute names are synthetic
+    (``_dom1``, ``_dom2``, ...) unless explicitly provided.
+    """
+
+    attributes: tuple[str, ...]
+
+    def __init__(self, arity_or_attributes: int | Sequence[str]):
+        if isinstance(arity_or_attributes, int):
+            attrs = tuple(f"_dom{i + 1}" for i in range(arity_or_attributes))
+        else:
+            attrs = tuple(arity_or_attributes)
+        object.__setattr__(self, "attributes", attrs)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.attributes
+
+
+@dataclass(frozen=True)
+class UnifAntiSemiJoin(Query):
+    """Q1 ⋉⇑ Q2: rows of Q1 that do not unify with any row of Q2.
+
+    This is the anti-semijoin whose join condition is *unifiability* of
+    tuples (Section 4.2): ``r̄`` and ``s̄`` match when some valuation makes
+    them equal.  Children must have the same arity; attribute names come
+    from the left child.
+    """
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        left_attrs = self.left.output_attributes(schema)
+        right_attrs = self.right.output_attributes(schema)
+        if len(left_attrs) != len(right_attrs):
+            raise ValueError(
+                "unification anti-semijoin requires children of equal arity: "
+                f"{left_attrs} vs {right_attrs}"
+            )
+        return left_attrs
+
+
+@dataclass(frozen=True)
+class NaturalJoin(Query):
+    """Natural join on the shared attribute names."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        left_attrs = self.left.output_attributes(schema)
+        right_attrs = self.right.output_attributes(schema)
+        return left_attrs + tuple(a for a in right_attrs if a not in left_attrs)
+
+
+@dataclass(frozen=True)
+class SemiJoin(Query):
+    """Q1 ⋉ Q2: rows of Q1 that join with some row of Q2 on the shared attributes."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.left.output_attributes(schema)
+
+
+@dataclass(frozen=True)
+class AntiSemiJoin(Query):
+    """Q1 ▷ Q2: rows of Q1 that join with no row of Q2 on the shared attributes."""
+
+    left: Query
+    right: Query
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.left.output_attributes(schema)
+
+
+def _compatible_attributes(node: Query, schema: DatabaseSchema) -> tuple[str, ...]:
+    left_attrs = node.left.output_attributes(schema)  # type: ignore[attr-defined]
+    right_attrs = node.right.output_attributes(schema)  # type: ignore[attr-defined]
+    if len(left_attrs) != len(right_attrs):
+        raise ValueError(
+            f"{type(node).__name__} requires children of equal arity: "
+            f"{left_attrs} vs {right_attrs}"
+        )
+    return left_attrs
+
+
+def walk(query: Query):
+    """Yield every node of the query tree (pre-order)."""
+    yield query
+    for child in query.children():
+        yield from walk(child)
+
+
+def operator_count(query: Query) -> dict[str, int]:
+    """Count operator occurrences by class name; used in reports and ablations."""
+    counts: dict[str, int] = {}
+    for node in walk(query):
+        name = type(node).__name__
+        counts[name] = counts.get(name, 0) + 1
+    return counts

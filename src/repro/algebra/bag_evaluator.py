@@ -1,0 +1,37 @@
+"""Bag-semantics evaluation of relational algebra (SQL's data model).
+
+As prescribed by the SQL standard and recalled in Section 4.2 of the
+paper, real systems evaluate queries over bags: union adds up
+multiplicities, difference subtracts them down to zero, projection and
+product multiply and preserve them.  The heavy lifting lives in
+:class:`repro.algebra.evaluator.Evaluator`; this module provides the
+bag-flavoured entry points used by the bag-certainty machinery
+(:mod:`repro.approx.bag_bounds`) and by the SQL frontend.
+"""
+
+from __future__ import annotations
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from . import ast
+from .evaluator import Evaluator
+
+__all__ = ["BagEvaluator", "evaluate_bag", "multiplicity_of"]
+
+
+class BagEvaluator(Evaluator):
+    """Evaluator that preserves multiplicities (bag semantics)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("bag", True)
+        super().__init__(**kwargs)
+
+
+def evaluate_bag(query: ast.Query, database: Database, **kwargs) -> Relation:
+    """Evaluate a query under bag semantics (convenience wrapper)."""
+    return BagEvaluator(**kwargs).evaluate(query, database)
+
+
+def multiplicity_of(query: ast.Query, database: Database, row: tuple, **kwargs) -> int:
+    """``#(ā, Q(D))``: the multiplicity of ``row`` in the bag answer."""
+    return evaluate_bag(query, database, **kwargs).multiplicity(row)

@@ -1,0 +1,150 @@
+"""Convenience constructors for building relational algebra queries.
+
+The functions here are thin wrappers around the AST classes with the
+names used in the paper (σ, π, and so on spelled out), plus a few common
+derived forms (theta-join, attribute equality selections over products).
+They keep the examples, workloads and tests readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from . import ast
+from .conditions import (
+    And,
+    Attr,
+    Condition,
+    Eq,
+    Literal,
+    Neq,
+    conjoin,
+)
+
+__all__ = [
+    "relation",
+    "constant_table",
+    "select",
+    "project",
+    "product",
+    "union",
+    "difference",
+    "intersection",
+    "rename",
+    "division",
+    "dom",
+    "unif_antijoin",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+    "theta_join",
+    "eq",
+    "neq",
+    "attr",
+    "lit",
+]
+
+
+def relation(name: str) -> ast.RelationRef:
+    """Reference a base relation by name."""
+    return ast.RelationRef(name)
+
+
+def constant_table(attributes: Sequence[str], rows: Sequence[Sequence[Any]]) -> ast.ConstantRelation:
+    """An inline table literal."""
+    return ast.ConstantRelation(attributes, rows)
+
+
+def select(child: ast.Query, condition: Condition) -> ast.Selection:
+    """σ_condition(child)."""
+    return ast.Selection(child, condition)
+
+
+def project(child: ast.Query, attributes: Sequence[str]) -> ast.Projection:
+    """π_attributes(child)."""
+    return ast.Projection(child, attributes)
+
+
+def product(left: ast.Query, right: ast.Query) -> ast.Product:
+    """left × right (attribute names must be disjoint)."""
+    return ast.Product(left, right)
+
+
+def union(left: ast.Query, right: ast.Query) -> ast.Union:
+    """left ∪ right."""
+    return ast.Union(left, right)
+
+
+def difference(left: ast.Query, right: ast.Query) -> ast.Difference:
+    """left − right."""
+    return ast.Difference(left, right)
+
+
+def intersection(left: ast.Query, right: ast.Query) -> ast.Intersection:
+    """left ∩ right."""
+    return ast.Intersection(left, right)
+
+
+def rename(child: ast.Query, mapping: Mapping[str, str]) -> ast.Rename:
+    """ρ_mapping(child)."""
+    return ast.Rename(child, mapping)
+
+
+def division(left: ast.Query, right: ast.Query) -> ast.Division:
+    """left ÷ right."""
+    return ast.Division(left, right)
+
+
+def dom(arity_or_attributes) -> ast.DomainRelation:
+    """Dom^k: the k-fold product of the active domain."""
+    return ast.DomainRelation(arity_or_attributes)
+
+
+def unif_antijoin(left: ast.Query, right: ast.Query) -> ast.UnifAntiSemiJoin:
+    """left ⋉⇑ right: rows of left unifiable with no row of right."""
+    return ast.UnifAntiSemiJoin(left, right)
+
+
+def natural_join(left: ast.Query, right: ast.Query) -> ast.NaturalJoin:
+    """Natural join on shared attribute names."""
+    return ast.NaturalJoin(left, right)
+
+
+def semijoin(left: ast.Query, right: ast.Query) -> ast.SemiJoin:
+    """left ⋉ right on shared attribute names."""
+    return ast.SemiJoin(left, right)
+
+
+def antijoin(left: ast.Query, right: ast.Query) -> ast.AntiSemiJoin:
+    """left ▷ right on shared attribute names."""
+    return ast.AntiSemiJoin(left, right)
+
+
+def theta_join(left: ast.Query, right: ast.Query, condition: Condition) -> ast.Selection:
+    """σ_condition(left × right)."""
+    return ast.Selection(ast.Product(left, right), condition)
+
+
+def eq(left: Any, right: Any) -> Eq:
+    """Equality condition; strings are attribute names, other values literals."""
+    return Eq(left, right)
+
+
+def neq(left: Any, right: Any) -> Neq:
+    """Disequality condition; strings are attribute names, other values literals."""
+    return Neq(left, right)
+
+
+def attr(name: str) -> Attr:
+    """An attribute term (for when a string would be ambiguous)."""
+    return Attr(name)
+
+
+def lit(value: Any) -> Literal:
+    """A literal term (for when the literal is a string)."""
+    return Literal(value)
+
+
+def equijoin_condition(pairs: Sequence[tuple[str, str]]) -> Condition:
+    """A conjunction of attribute equalities, e.g. for explicit join conditions."""
+    return conjoin([Eq(Attr(a), Attr(b)) for a, b in pairs])

@@ -1,0 +1,503 @@
+"""Selection conditions for relational algebra.
+
+The grammar follows Section 2 of the paper::
+
+    θ ::= const(A) | null(A) | A = B | A = c | A ≠ B | A ≠ c | θ ∨ θ | θ ∧ θ
+
+extended with order comparisons (<, ≤, >, ≥) so that realistic TPC-H-like
+workloads can be expressed; the paper notes (Section 6, "Types of
+attributes") that type-specific comparisons are treated like
+disequalities by the approximation schemes, and that is exactly what the
+``star`` translation below does.
+
+Conditions support three evaluation modes:
+
+* :meth:`Condition.eval_naive` — two-valued evaluation where nulls are
+  treated as ordinary values (equal only to themselves).  This is the
+  evaluation used by naïve evaluation and by the rewritten queries of
+  Figure 2 (whose soundness comes from the θ* guards, not from the
+  evaluation mode).
+* :meth:`Condition.eval_3vl` — SQL-style three-valued evaluation where
+  any comparison involving a null is ``unknown``.
+* negation is not part of the grammar; :func:`negate` propagates ¬
+  through a condition (interchanging = and ≠, const and null, ∧ and ∨),
+  as described in the paper.
+
+The θ* translation used by both approximation schemes of Figure 2 is
+provided by :func:`star`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Sequence
+
+from ..datamodel.values import Value, is_const, is_null
+from ..mvl.truthvalues import FALSE, TRUE, UNKNOWN, TruthValue, from_bool
+
+__all__ = [
+    "Term",
+    "Attr",
+    "Literal",
+    "Condition",
+    "TrueCondition",
+    "FalseCondition",
+    "IsConst",
+    "IsNull",
+    "Comparison",
+    "Eq",
+    "Neq",
+    "Lt",
+    "Le",
+    "Gt",
+    "Ge",
+    "And",
+    "Or",
+    "Not",
+    "negate",
+    "star",
+    "attrs_in_condition",
+    "conjoin",
+    "disjoin",
+]
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+class Term:
+    """A term in a selection condition: an attribute reference or a literal."""
+
+    def resolve(self, row: Sequence[Value], index: Mapping[str, int]) -> Value:
+        raise NotImplementedError
+
+    def is_literal(self) -> bool:
+        return isinstance(self, Literal)
+
+
+@dataclass(frozen=True)
+class Attr(Term):
+    """Reference to an attribute by name."""
+
+    name: str
+
+    def resolve(self, row: Sequence[Value], index: Mapping[str, int]) -> Value:
+        try:
+            return row[index[self.name]]
+        except KeyError:
+            raise KeyError(f"attribute {self.name!r} not available in {list(index)}") from None
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Term):
+    """A constant literal appearing in the query text."""
+
+    value: Any
+
+    def resolve(self, row: Sequence[Value], index: Mapping[str, int]) -> Value:
+        return self.value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+def _as_term(value: Any) -> Term:
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str):
+        return Attr(value)
+    return Literal(value)
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+class Condition:
+    """Base class of selection conditions."""
+
+    # -- evaluation ----------------------------------------------------
+    def eval_naive(self, row: Sequence[Value], index: Mapping[str, int]) -> bool:
+        """Two-valued evaluation treating nulls as ordinary values."""
+        raise NotImplementedError
+
+    def eval_3vl(self, row: Sequence[Value], index: Mapping[str, int]) -> TruthValue:
+        """SQL-style three-valued evaluation (null comparisons are unknown)."""
+        raise NotImplementedError
+
+    # -- syntax --------------------------------------------------------
+    def children(self) -> tuple["Condition", ...]:
+        return ()
+
+    def attributes(self) -> set[str]:
+        return attrs_in_condition(self)
+
+    # -- connective sugar ----------------------------------------------
+    def __and__(self, other: "Condition") -> "Condition":
+        return And(self, other)
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return Or(self, other)
+
+    def __invert__(self) -> "Condition":
+        return negate(self)
+
+
+@dataclass(frozen=True)
+class TrueCondition(Condition):
+    """The always-true condition."""
+
+    def eval_naive(self, row, index) -> bool:
+        return True
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        return TRUE
+
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FalseCondition(Condition):
+    """The always-false condition."""
+
+    def eval_naive(self, row, index) -> bool:
+        return False
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        return FALSE
+
+    def __str__(self) -> str:
+        return "false"
+
+
+@dataclass(frozen=True)
+class IsConst(Condition):
+    """``const(A)``: the value of the term is a constant."""
+
+    term: Term
+
+    def __init__(self, term: Any):
+        object.__setattr__(self, "term", _as_term(term))
+
+    def eval_naive(self, row, index) -> bool:
+        return is_const(self.term.resolve(row, index))
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        # The const/null tests themselves are never unknown: they inspect
+        # the value's kind, not its (missing) content.
+        return from_bool(is_const(self.term.resolve(row, index)))
+
+    def __str__(self) -> str:
+        return f"const({self.term})"
+
+
+@dataclass(frozen=True)
+class IsNull(Condition):
+    """``null(A)``: the value of the term is a null."""
+
+    term: Term
+
+    def __init__(self, term: Any):
+        object.__setattr__(self, "term", _as_term(term))
+
+    def eval_naive(self, row, index) -> bool:
+        return is_null(self.term.resolve(row, index))
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        return from_bool(is_null(self.term.resolve(row, index)))
+
+    def __str__(self) -> str:
+        return f"null({self.term})"
+
+
+@dataclass(frozen=True)
+class Comparison(Condition):
+    """A binary comparison between two terms."""
+
+    left: Term
+    right: Term
+
+    #: Symbol used in pretty printing; subclasses override.
+    symbol = "?"
+
+    def __init__(self, left: Any, right: Any):
+        object.__setattr__(self, "left", _as_term(left))
+        object.__setattr__(self, "right", _as_term(right))
+
+    def compare(self, left_value: Value, right_value: Value) -> bool:
+        raise NotImplementedError
+
+    def eval_naive(self, row, index) -> bool:
+        return self.compare(
+            self.left.resolve(row, index), self.right.resolve(row, index)
+        )
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        left_value = self.left.resolve(row, index)
+        right_value = self.right.resolve(row, index)
+        if is_null(left_value) or is_null(right_value):
+            return UNKNOWN
+        return from_bool(self.compare(left_value, right_value))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.symbol} {self.right}"
+
+
+class Eq(Comparison):
+    """Equality ``A = B`` / ``A = c``.  Under naïve evaluation a null equals only itself."""
+
+    symbol = "="
+
+    def compare(self, left_value, right_value) -> bool:
+        return left_value == right_value
+
+
+class Neq(Comparison):
+    """Disequality ``A ≠ B`` / ``A ≠ c``."""
+
+    symbol = "≠"
+
+    def compare(self, left_value, right_value) -> bool:
+        return left_value != right_value
+
+
+class _OrderComparison(Comparison):
+    """Order comparisons; only defined between constants of comparable types."""
+
+    op: Callable[[Any, Any], bool] = staticmethod(lambda a, b: False)
+
+    def compare(self, left_value, right_value) -> bool:
+        if is_null(left_value) or is_null(right_value):
+            # Under naïve evaluation a null is an unordered fresh value:
+            # order comparisons with it are simply false.
+            return False
+        try:
+            return type(self).op(left_value, right_value)
+        except TypeError:
+            return False
+
+
+class Lt(_OrderComparison):
+    symbol = "<"
+    op = staticmethod(lambda a, b: a < b)
+
+
+class Le(_OrderComparison):
+    symbol = "≤"
+    op = staticmethod(lambda a, b: a <= b)
+
+
+class Gt(_OrderComparison):
+    symbol = ">"
+    op = staticmethod(lambda a, b: a > b)
+
+
+class Ge(_OrderComparison):
+    symbol = "≥"
+    op = staticmethod(lambda a, b: a >= b)
+
+
+@dataclass(frozen=True)
+class And(Condition):
+    """Conjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def eval_naive(self, row, index) -> bool:
+        return self.left.eval_naive(row, index) and self.right.eval_naive(row, index)
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        return _kleene_and(self.left.eval_3vl(row, index), self.right.eval_3vl(row, index))
+
+    def children(self) -> tuple[Condition, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Condition):
+    """Disjunction of two conditions."""
+
+    left: Condition
+    right: Condition
+
+    def eval_naive(self, row, index) -> bool:
+        return self.left.eval_naive(row, index) or self.right.eval_naive(row, index)
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        return _kleene_or(self.left.eval_3vl(row, index), self.right.eval_3vl(row, index))
+
+    def children(self) -> tuple[Condition, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Not(Condition):
+    """Explicit negation.
+
+    The paper's condition grammar has no ¬; SQL's WHERE clauses do.  We
+    keep an explicit node for the SQL frontend and provide :func:`negate`
+    to push negations through into the negation-free grammar.
+    """
+
+    operand: Condition
+
+    def eval_naive(self, row, index) -> bool:
+        return not self.operand.eval_naive(row, index)
+
+    def eval_3vl(self, row, index) -> TruthValue:
+        return _kleene_not(self.operand.eval_3vl(row, index))
+
+    def children(self) -> tuple[Condition, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+def _kleene_and(a: TruthValue, b: TruthValue) -> TruthValue:
+    if a is FALSE or b is FALSE:
+        return FALSE
+    if a is TRUE and b is TRUE:
+        return TRUE
+    return UNKNOWN
+
+
+def _kleene_or(a: TruthValue, b: TruthValue) -> TruthValue:
+    if a is TRUE or b is TRUE:
+        return TRUE
+    if a is FALSE and b is FALSE:
+        return FALSE
+    return UNKNOWN
+
+
+def _kleene_not(a: TruthValue) -> TruthValue:
+    if a is TRUE:
+        return FALSE
+    if a is FALSE:
+        return TRUE
+    return UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# Negation propagation and the θ* translation
+# ----------------------------------------------------------------------
+_COMPLEMENT: dict[type, type] = {}
+
+
+def _register_complements() -> None:
+    pairs = [(Eq, Neq), (Lt, Ge), (Le, Gt)]
+    for a, b in pairs:
+        _COMPLEMENT[a] = b
+        _COMPLEMENT[b] = a
+
+
+_register_complements()
+
+
+def negate(condition: Condition) -> Condition:
+    """Propagate negation through a condition (¬ pushed to the atoms).
+
+    Following the paper: ∧/∨ are interchanged, = and ≠ are interchanged,
+    const and null are interchanged.  Explicit :class:`Not` nodes are
+    eliminated by double negation.
+    """
+    if isinstance(condition, TrueCondition):
+        return FalseCondition()
+    if isinstance(condition, FalseCondition):
+        return TrueCondition()
+    if isinstance(condition, Not):
+        return condition.operand
+    if isinstance(condition, And):
+        return Or(negate(condition.left), negate(condition.right))
+    if isinstance(condition, Or):
+        return And(negate(condition.left), negate(condition.right))
+    if isinstance(condition, IsConst):
+        return IsNull(condition.term)
+    if isinstance(condition, IsNull):
+        return IsConst(condition.term)
+    if isinstance(condition, Comparison):
+        complement = _COMPLEMENT.get(type(condition))
+        if complement is None:
+            raise TypeError(f"cannot negate comparison {condition}")
+        return complement(condition.left, condition.right)
+    raise TypeError(f"cannot negate condition of type {type(condition).__name__}")
+
+
+def star(condition: Condition) -> Condition:
+    """The θ* translation of Figure 2.
+
+    Every comparison of the form ``A ≠ x`` is replaced by
+
+    * ``(A ≠ x) ∧ const(A)`` when ``x`` is a constant literal, and
+    * ``(A ≠ x) ∧ const(A) ∧ const(x)`` when ``x`` is an attribute,
+
+    which makes the (naïvely evaluated) condition sound for certainty:
+    a disequality is only asserted when both sides are known constants.
+    Order comparisons are guarded in the same way, following the paper's
+    remark that type-specific comparisons are treated like disequalities.
+    Equalities, const/null tests, ∧ and ∨ are left untouched.
+    """
+    if isinstance(condition, (TrueCondition, FalseCondition, IsConst, IsNull)):
+        return condition
+    if isinstance(condition, Not):
+        return star(negate(condition.operand))
+    if isinstance(condition, And):
+        return And(star(condition.left), star(condition.right))
+    if isinstance(condition, Or):
+        return Or(star(condition.left), star(condition.right))
+    if isinstance(condition, Eq):
+        return condition
+    if isinstance(condition, (Neq, Lt, Le, Gt, Ge)):
+        # Guard every non-literal side with const(): the disequality is only
+        # asserted when the compared values are known constants.
+        guarded: Condition = condition
+        for term in (condition.left, condition.right):
+            if not term.is_literal():
+                guarded = And(guarded, IsConst(term))
+        return guarded
+    raise TypeError(f"cannot star-translate condition of type {type(condition).__name__}")
+
+
+def attrs_in_condition(condition: Condition) -> set[str]:
+    """All attribute names mentioned in a condition."""
+    attrs: set[str] = set()
+
+    def visit(node: Condition) -> None:
+        if isinstance(node, (IsConst, IsNull)):
+            if isinstance(node.term, Attr):
+                attrs.add(node.term.name)
+        elif isinstance(node, Comparison):
+            for term in (node.left, node.right):
+                if isinstance(term, Attr):
+                    attrs.add(term.name)
+        for child in node.children():
+            visit(child)
+
+    visit(condition)
+    return attrs
+
+
+def conjoin(conditions: Sequence[Condition]) -> Condition:
+    """Conjunction of a list of conditions (true if empty)."""
+    result: Condition | None = None
+    for condition in conditions:
+        result = condition if result is None else And(result, condition)
+    return result if result is not None else TrueCondition()
+
+
+def disjoin(conditions: Sequence[Condition]) -> Condition:
+    """Disjunction of a list of conditions (false if empty)."""
+    result: Condition | None = None
+    for condition in conditions:
+        result = condition if result is None else Or(result, condition)
+    return result if result is not None else FalseCondition()

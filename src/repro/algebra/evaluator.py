@@ -1,0 +1,329 @@
+"""Evaluation of relational algebra queries over databases with nulls.
+
+The evaluator implements *naïve evaluation* in the sense of Section 4.1:
+nulls are treated as ordinary values (a null is equal only to itself),
+and the operators are computed by the textbook algorithms.  This is the
+evaluation that the rewritten queries of Figure 2 are run under — their
+correctness guarantees come from the structure of the rewriting (θ*
+guards, unification anti-semijoins), not from a special evaluation mode.
+
+Two interpretations of multiplicities are provided:
+
+* set semantics (:class:`SetEvaluator`, the default) — the model used by
+  most of the paper's theory;
+* bag semantics (:class:`BagEvaluator`, in
+  :mod:`repro.algebra.bag_evaluator`) — the SQL model, where union adds
+  multiplicities and difference subtracts them down to zero.
+
+Internally every operator is computed on bags (``Counter`` objects); the
+set evaluator simply collapses multiplicities to one after each
+operator, which yields exactly the set-theoretic operators.
+
+The evaluator also exposes a ``condition_mode``: ``"naive"`` evaluates
+selection conditions in two-valued logic with nulls as values, while
+``"3vl"`` keeps only rows whose condition evaluates to Kleene-true,
+mirroring an SQL WHERE clause.  The SQL frontend uses the latter.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Literal as TypingLiteral
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation, Row
+from ..datamodel.schema import DatabaseSchema
+from ..datamodel.unification import unifiable
+from ..datamodel.values import is_const, value_sort_key
+from ..mvl.truthvalues import TRUE
+from . import ast
+from .conditions import Condition
+
+__all__ = ["Evaluator", "SetEvaluator", "evaluate", "evaluate_boolean"]
+
+ConditionMode = TypingLiteral["naive", "3vl"]
+UnifStrategy = TypingLiteral["nested", "hashed"]
+
+
+class Evaluator:
+    """Evaluates :class:`~repro.algebra.ast.Query` trees against a database.
+
+    Parameters
+    ----------
+    bag:
+        If True, interpret the operators under bag semantics (multiplicities
+        are preserved); otherwise set semantics.
+    condition_mode:
+        ``"naive"`` for two-valued condition evaluation with nulls as
+        values; ``"3vl"`` to keep rows whose condition is Kleene-true.
+    unif_strategy:
+        How the unification anti-semijoin probes the right-hand side:
+        ``"hashed"`` separates ground rows (hash lookup for ground probes)
+        from rows with nulls; ``"nested"`` is the plain nested loop.  The
+        two strategies are compared in the ablation benchmarks.
+    """
+
+    def __init__(
+        self,
+        *,
+        bag: bool = False,
+        condition_mode: ConditionMode = "naive",
+        unif_strategy: UnifStrategy = "hashed",
+    ):
+        self.bag = bag
+        self.condition_mode = condition_mode
+        self.unif_strategy = unif_strategy
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def evaluate(self, query: ast.Query, database: Database) -> Relation:
+        """Evaluate ``query`` on ``database`` and return the result relation."""
+        schema = database.schema()
+        result = self._eval(query, database, schema)
+        return result if self.bag else result.distinct()
+
+    def evaluate_boolean(self, query: ast.Query, database: Database) -> bool:
+        """Evaluate a Boolean (nullary) query: non-empty result means true."""
+        return bool(self.evaluate(query, database))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _eval(self, query: ast.Query, database: Database, schema: DatabaseSchema) -> Relation:
+        method = getattr(self, f"_eval_{type(query).__name__}", None)
+        if method is None:
+            raise TypeError(f"no evaluation rule for {type(query).__name__}")
+        result: Relation = method(query, database, schema)
+        return result if self.bag else result.distinct()
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _eval_RelationRef(self, query: ast.RelationRef, database, schema) -> Relation:
+        relation = database.get(query.name)
+        if relation is None:
+            raise KeyError(f"relation {query.name!r} not present in the database")
+        return relation
+
+    def _eval_ConstantRelation(self, query: ast.ConstantRelation, database, schema) -> Relation:
+        return Relation(query.attributes, query.rows)
+
+    def _eval_DomainRelation(self, query: ast.DomainRelation, database, schema) -> Relation:
+        domain = sorted(database.active_domain(), key=value_sort_key)
+        arity = len(query.attributes)
+        if arity == 0:
+            return Relation((), [()])
+        rows: Iterable[Row] = [(v,) for v in domain]
+        result = Counter({row: 1 for row in rows})
+        for _ in range(arity - 1):
+            extended: Counter = Counter()
+            for row in result:
+                for value in domain:
+                    extended[row + (value,)] += 1
+            result = extended
+        return Relation.from_counter(query.attributes, result)
+
+    # ------------------------------------------------------------------
+    # Unary operators
+    # ------------------------------------------------------------------
+    def _eval_Selection(self, query: ast.Selection, database, schema) -> Relation:
+        child = self._eval(query.child, database, schema)
+        index = {a: i for i, a in enumerate(child.attributes)}
+        counter: Counter = Counter()
+        for row, count in child.iter_rows(with_multiplicity=True):
+            if self._condition_holds(query.condition, row, index):
+                counter[row] += count
+        return Relation.from_counter(child.attributes, counter)
+
+    def _condition_holds(self, condition: Condition, row: Row, index: dict) -> bool:
+        if self.condition_mode == "3vl":
+            return condition.eval_3vl(row, index) is TRUE
+        return condition.eval_naive(row, index)
+
+    def _eval_Projection(self, query: ast.Projection, database, schema) -> Relation:
+        child = self._eval(query.child, database, schema)
+        positions = [child.attribute_index(a) for a in query.attributes]
+        counter: Counter = Counter()
+        for row, count in child.iter_rows(with_multiplicity=True):
+            counter[tuple(row[p] for p in positions)] += count
+        return Relation.from_counter(query.attributes, counter)
+
+    def _eval_Rename(self, query: ast.Rename, database, schema) -> Relation:
+        child = self._eval(query.child, database, schema)
+        return child.rename(query.mapping_dict())
+
+    # ------------------------------------------------------------------
+    # Binary operators
+    # ------------------------------------------------------------------
+    def _eval_Product(self, query: ast.Product, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        attributes = query.output_attributes(schema)
+        counter: Counter = Counter()
+        for left_row, left_count in left.iter_rows(with_multiplicity=True):
+            for right_row, right_count in right.iter_rows(with_multiplicity=True):
+                counter[left_row + right_row] += left_count * right_count
+        return Relation.from_counter(attributes, counter)
+
+    def _eval_Union(self, query: ast.Union, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        self._check_arity(left, right, "union")
+        counter = Counter(left.rows_bag())
+        for row, count in right.iter_rows(with_multiplicity=True):
+            counter[row] += count
+        return Relation.from_counter(left.attributes, counter)
+
+    def _eval_Difference(self, query: ast.Difference, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        self._check_arity(left, right, "difference")
+        counter: Counter = Counter()
+        for row, count in left.iter_rows(with_multiplicity=True):
+            remaining = count - right.multiplicity(row)
+            if remaining > 0:
+                counter[row] = remaining
+        return Relation.from_counter(left.attributes, counter)
+
+    def _eval_Intersection(self, query: ast.Intersection, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        self._check_arity(left, right, "intersection")
+        counter: Counter = Counter()
+        for row, count in left.iter_rows(with_multiplicity=True):
+            other = right.multiplicity(row)
+            if other:
+                counter[row] = min(count, other)
+        return Relation.from_counter(left.attributes, counter)
+
+    def _eval_Division(self, query: ast.Division, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        output_attrs = [a for a in left.attributes if a not in right.attributes]
+        group_positions = [left.attribute_index(a) for a in output_attrs]
+        divisor_positions = [left.attribute_index(a) for a in right.attributes]
+        divisor_rows = right.rows_set()
+        groups: dict[Row, set] = {}
+        for row in left:
+            key = tuple(row[p] for p in group_positions)
+            groups.setdefault(key, set()).add(tuple(row[p] for p in divisor_positions))
+        counter: Counter = Counter()
+        for key, seen in groups.items():
+            if divisor_rows <= seen:
+                counter[key] = 1
+        if not divisor_rows:
+            # R ÷ ∅ contains every group of R (universal quantification over ∅).
+            counter = Counter({key: 1 for key in groups})
+        return Relation.from_counter(output_attrs, counter)
+
+    def _eval_UnifAntiSemiJoin(self, query: ast.UnifAntiSemiJoin, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        self._check_arity(left, right, "unification anti-semijoin")
+        keep = self._unif_antijoin_rows(left, right)
+        counter = Counter(
+            {row: count for row, count in left.iter_rows(with_multiplicity=True) if row in keep}
+        )
+        return Relation.from_counter(left.attributes, counter)
+
+    def _unif_antijoin_rows(self, left: Relation, right: Relation) -> set:
+        """Rows of ``left`` that unify with no row of ``right``."""
+        if self.unif_strategy == "nested":
+            return {
+                row
+                for row in left
+                if not any(unifiable(row, other) for other in right)
+            }
+        ground_right = {row for row in right if all(is_const(v) for v in row)}
+        nonground_right = [row for row in right if row not in ground_right]
+        keep = set()
+        for row in left:
+            if all(is_const(v) for v in row) and row in ground_right:
+                continue
+            if any(unifiable(row, other) for other in nonground_right):
+                continue
+            if not all(is_const(v) for v in row) and any(
+                unifiable(row, other) for other in ground_right
+            ):
+                continue
+            keep.add(row)
+        return keep
+
+    def _eval_NaturalJoin(self, query: ast.NaturalJoin, database, schema) -> Relation:
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        shared = [a for a in left.attributes if a in right.attributes]
+        right_extra = [a for a in right.attributes if a not in left.attributes]
+        left_key = [left.attribute_index(a) for a in shared]
+        right_key = [right.attribute_index(a) for a in shared]
+        right_extra_pos = [right.attribute_index(a) for a in right_extra]
+        buckets: dict[Row, list[tuple[Row, int]]] = {}
+        for row, count in right.iter_rows(with_multiplicity=True):
+            key = tuple(row[p] for p in right_key)
+            buckets.setdefault(key, []).append((tuple(row[p] for p in right_extra_pos), count))
+        counter: Counter = Counter()
+        for row, count in left.iter_rows(with_multiplicity=True):
+            key = tuple(row[p] for p in left_key)
+            for extra, right_count in buckets.get(key, ()):
+                counter[row + extra] += count * right_count
+        return Relation.from_counter(tuple(left.attributes) + tuple(right_extra), counter)
+
+    def _eval_SemiJoin(self, query: ast.SemiJoin, database, schema) -> Relation:
+        left, right, left_key, right_keys = self._semijoin_parts(query, database, schema)
+        counter = Counter(
+            {
+                row: count
+                for row, count in left.iter_rows(with_multiplicity=True)
+                if tuple(row[p] for p in left_key) in right_keys
+            }
+        )
+        return Relation.from_counter(left.attributes, counter)
+
+    def _eval_AntiSemiJoin(self, query: ast.AntiSemiJoin, database, schema) -> Relation:
+        left, right, left_key, right_keys = self._semijoin_parts(query, database, schema)
+        counter = Counter(
+            {
+                row: count
+                for row, count in left.iter_rows(with_multiplicity=True)
+                if tuple(row[p] for p in left_key) not in right_keys
+            }
+        )
+        return Relation.from_counter(left.attributes, counter)
+
+    def _semijoin_parts(self, query, database, schema):
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        shared = [a for a in left.attributes if a in right.attributes]
+        left_key = [left.attribute_index(a) for a in shared]
+        right_key = [right.attribute_index(a) for a in shared]
+        right_keys = {tuple(row[p] for p in right_key) for row in right}
+        return left, right, left_key, right_keys
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_arity(left: Relation, right: Relation, operator: str) -> None:
+        if left.arity != right.arity:
+            raise ValueError(
+                f"{operator} requires equal arities, got {left.arity} and {right.arity}"
+            )
+
+
+class SetEvaluator(Evaluator):
+    """Set-semantics evaluator (the default)."""
+
+    def __init__(self, **kwargs):
+        kwargs.setdefault("bag", False)
+        super().__init__(**kwargs)
+
+
+def evaluate(query: ast.Query, database: Database, **kwargs) -> Relation:
+    """Evaluate a query under set semantics (convenience wrapper)."""
+    return SetEvaluator(**kwargs).evaluate(query, database)
+
+
+def evaluate_boolean(query: ast.Query, database: Database, **kwargs) -> bool:
+    """Evaluate a Boolean query under set semantics (convenience wrapper)."""
+    return SetEvaluator(**kwargs).evaluate_boolean(query, database)

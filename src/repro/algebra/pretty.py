@@ -1,0 +1,85 @@
+"""Pretty printing of relational algebra queries.
+
+Produces a compact single-line rendering using the paper's symbols
+(σ, π, ×, ∪, −, ∩, ÷, ⋉⇑) and an indented multi-line rendering for
+larger queries; both are used by the examples and by EXPERIMENTS.md
+tables.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+__all__ = ["to_text", "to_tree_text"]
+
+
+def to_text(query: ast.Query) -> str:
+    """A compact, single-line rendering of the query."""
+    if isinstance(query, ast.RelationRef):
+        return query.name
+    if isinstance(query, ast.ConstantRelation):
+        return f"⟨{len(query.rows)} rows⟩"
+    if isinstance(query, ast.DomainRelation):
+        return f"Dom^{len(query.attributes)}"
+    if isinstance(query, ast.Selection):
+        return f"σ[{query.condition}]({to_text(query.child)})"
+    if isinstance(query, ast.Projection):
+        return f"π[{', '.join(query.attributes)}]({to_text(query.child)})"
+    if isinstance(query, ast.Rename):
+        renames = ", ".join(f"{old}→{new}" for old, new in query.mapping)
+        return f"ρ[{renames}]({to_text(query.child)})"
+    if isinstance(query, ast.Product):
+        return f"({to_text(query.left)} × {to_text(query.right)})"
+    if isinstance(query, ast.Union):
+        return f"({to_text(query.left)} ∪ {to_text(query.right)})"
+    if isinstance(query, ast.Difference):
+        return f"({to_text(query.left)} − {to_text(query.right)})"
+    if isinstance(query, ast.Intersection):
+        return f"({to_text(query.left)} ∩ {to_text(query.right)})"
+    if isinstance(query, ast.Division):
+        return f"({to_text(query.left)} ÷ {to_text(query.right)})"
+    if isinstance(query, ast.UnifAntiSemiJoin):
+        return f"({to_text(query.left)} ⋉⇑ {to_text(query.right)})"
+    if isinstance(query, ast.NaturalJoin):
+        return f"({to_text(query.left)} ⋈ {to_text(query.right)})"
+    if isinstance(query, ast.SemiJoin):
+        return f"({to_text(query.left)} ⋉ {to_text(query.right)})"
+    if isinstance(query, ast.AntiSemiJoin):
+        return f"({to_text(query.left)} ▷ {to_text(query.right)})"
+    return f"<{type(query).__name__}>"
+
+
+def to_tree_text(query: ast.Query, indent: int = 0) -> str:
+    """An indented, one-node-per-line rendering of the query tree."""
+    pad = "  " * indent
+    label = _node_label(query)
+    lines = [f"{pad}{label}"]
+    for child in query.children():
+        lines.append(to_tree_text(child, indent + 1))
+    return "\n".join(lines)
+
+
+def _node_label(query: ast.Query) -> str:
+    if isinstance(query, ast.RelationRef):
+        return f"Relation {query.name}"
+    if isinstance(query, ast.ConstantRelation):
+        return f"Constant table ({len(query.rows)} rows)"
+    if isinstance(query, ast.DomainRelation):
+        return f"Dom^{len(query.attributes)}"
+    if isinstance(query, ast.Selection):
+        return f"σ {query.condition}"
+    if isinstance(query, ast.Projection):
+        return f"π {', '.join(query.attributes)}"
+    if isinstance(query, ast.Rename):
+        return "ρ " + ", ".join(f"{old}→{new}" for old, new in query.mapping)
+    return {
+        ast.Product: "×",
+        ast.Union: "∪",
+        ast.Difference: "−",
+        ast.Intersection: "∩",
+        ast.Division: "÷",
+        ast.UnifAntiSemiJoin: "⋉⇑",
+        ast.NaturalJoin: "⋈",
+        ast.SemiJoin: "⋉",
+        ast.AntiSemiJoin: "▷",
+    }.get(type(query), type(query).__name__)

@@ -1,0 +1,27 @@
+"""Approximation schemes with correctness guarantees (Section 4.2, Figure 2)."""
+
+from .normalize import normalize_for_translation
+from .libkin16 import CertainFalsePair, translate_libkin16
+from .guagliardo16 import CertainPossiblePair, translate_guagliardo16
+from .bag_bounds import (
+    MultiplicityBounds,
+    approximate_multiplicity_bounds,
+    certain_multiplicity_lower_bound,
+    exact_multiplicity_bounds,
+)
+from .quality import AnswerQuality, compare_answers, evaluate_procedure
+
+__all__ = [
+    "normalize_for_translation",
+    "CertainFalsePair",
+    "translate_libkin16",
+    "CertainPossiblePair",
+    "translate_guagliardo16",
+    "MultiplicityBounds",
+    "exact_multiplicity_bounds",
+    "approximate_multiplicity_bounds",
+    "certain_multiplicity_lower_bound",
+    "AnswerQuality",
+    "compare_answers",
+    "evaluate_procedure",
+]

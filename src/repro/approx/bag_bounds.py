@@ -1,0 +1,94 @@
+"""Certainty bounds under bag semantics (Section 4.2, Theorem 4.8).
+
+Under bag semantics the natural notion of certainty of a tuple ``ā`` is
+the range of its multiplicities across possible worlds::
+
+    □Q(D, ā) = min over valuations v of #(v(ā), Q(v(D)))
+    ◇Q(D, ā) = max over valuations v of #(v(ā), Q(v(D)))
+
+Theorem 4.8 states that the Figure 2b translation, evaluated under bag
+semantics, brackets the minimum multiplicity::
+
+    #(ā, Q+(D)) ≤ □Q(D, ā) ≤ #(ā, Q?(D))
+
+This module computes the exact bounds by enumeration over a finite
+constant pool (reference implementation for small databases) and the
+approximation bounds from ``Q+``/``Q?`` for arbitrary databases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..algebra import ast as ra
+from ..algebra.bag_evaluator import BagEvaluator
+from ..datamodel.database import Database
+from ..datamodel.values import Value
+from ..incomplete.naive import _query_constants
+from ..incomplete.worlds import constant_pool, iterate_worlds
+from .guagliardo16 import translate_guagliardo16
+
+__all__ = [
+    "MultiplicityBounds",
+    "exact_multiplicity_bounds",
+    "approximate_multiplicity_bounds",
+    "certain_multiplicity_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class MultiplicityBounds:
+    """A lower and upper bound on the certain multiplicity of a tuple."""
+
+    lower: int
+    upper: int
+
+    def contains(self, value: int) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def exact_multiplicity_bounds(
+    query: ra.Query,
+    database: Database,
+    row: Sequence[Value],
+    *,
+    extra_fresh: int | None = None,
+) -> MultiplicityBounds:
+    """``(□Q(D, ā), ◇Q(D, ā))`` by enumeration over a finite constant pool."""
+    row = tuple(row)
+    pool = constant_pool(database, _query_constants(query), extra_fresh=extra_fresh)
+    evaluator = BagEvaluator()
+    minimum: int | None = None
+    maximum = 0
+    for valuation, world in iterate_worlds(database, pool):
+        answer = evaluator.evaluate(query, world)
+        count = answer.multiplicity(valuation.apply_tuple(row))
+        minimum = count if minimum is None else min(minimum, count)
+        maximum = max(maximum, count)
+    if minimum is None:
+        # No nulls at all: single world, the database itself.
+        count = evaluator.evaluate(query, database).multiplicity(row)
+        return MultiplicityBounds(count, count)
+    return MultiplicityBounds(minimum, maximum)
+
+
+def approximate_multiplicity_bounds(
+    query: ra.Query,
+    database: Database,
+    row: Sequence[Value],
+) -> MultiplicityBounds:
+    """The bracket ``#(ā, Q+(D)) ≤ □Q ≤ #(ā, Q?(D))`` of Theorem 4.8."""
+    row = tuple(row)
+    pair = translate_guagliardo16(query, database.schema())
+    evaluator = BagEvaluator()
+    lower = evaluator.evaluate(pair.certain, database).multiplicity(row)
+    upper = evaluator.evaluate(pair.possible, database).multiplicity(row)
+    return MultiplicityBounds(lower, upper)
+
+
+def certain_multiplicity_lower_bound(
+    query: ra.Query, database: Database, row: Sequence[Value]
+) -> int:
+    """``#(ā, Q+(D))``: the sound lower bound on the certain multiplicity."""
+    return approximate_multiplicity_bounds(query, database, row).lower

@@ -1,0 +1,59 @@
+"""Normalisation of relational algebra into the core operators.
+
+The approximation translations of Figure 2 are defined over the core
+algebra: base relations, σ, π, ×, ∪ and −.  The convenience operators
+provided by :mod:`repro.algebra.ast` are rewritten into the core here:
+
+* ``Q1 ∩ Q2``      →  ``Q1 − (Q1 − Q2)``
+* ``Q1 ⋉ Q2``      →  ``π_left(σ_join(Q1 × ρ(Q2)))``
+* ``Q1 ▷ Q2``      →  ``Q1 − (Q1 ⋉ Q2)``
+* ``Q1 ⋈ Q2``      →  ``π(σ_join(Q1 × ρ(Q2)))``
+
+Division and the unification anti-semijoin are not normalised: the
+former is outside the fragment the translations are defined for
+(naïve evaluation already handles Pos∀G queries exactly), and the
+latter only *appears* in translated queries, never in user queries.
+"""
+
+from __future__ import annotations
+
+from ..algebra import ast as ra
+from ..algebra.conditions import Attr, Eq, conjoin
+
+__all__ = ["normalize_for_translation"]
+
+
+def normalize_for_translation(query: ra.Query) -> ra.Query:
+    """Rewrite convenience operators into the core algebra (recursively)."""
+    return _normalize(query)
+
+
+def _normalize(query: ra.Query) -> ra.Query:
+    if isinstance(query, (ra.RelationRef, ra.ConstantRelation, ra.DomainRelation)):
+        return query
+    if isinstance(query, ra.Selection):
+        return ra.Selection(_normalize(query.child), query.condition)
+    if isinstance(query, ra.Projection):
+        return ra.Projection(_normalize(query.child), query.attributes)
+    if isinstance(query, ra.Rename):
+        return ra.Rename(_normalize(query.child), query.mapping_dict())
+    if isinstance(query, ra.Product):
+        return ra.Product(_normalize(query.left), _normalize(query.right))
+    if isinstance(query, ra.Union):
+        return ra.Union(_normalize(query.left), _normalize(query.right))
+    if isinstance(query, ra.Difference):
+        return ra.Difference(_normalize(query.left), _normalize(query.right))
+    if isinstance(query, ra.Intersection):
+        left = _normalize(query.left)
+        right = _normalize(query.right)
+        return ra.Difference(left, ra.Difference(left, right))
+    if isinstance(query, ra.UnifAntiSemiJoin):
+        return ra.UnifAntiSemiJoin(_normalize(query.left), _normalize(query.right))
+    if isinstance(query, ra.Division):
+        return ra.Division(_normalize(query.left), _normalize(query.right))
+    if isinstance(query, (ra.SemiJoin, ra.AntiSemiJoin, ra.NaturalJoin)):
+        raise ValueError(
+            f"{type(query).__name__} requires schema information to normalise; "
+            "build the query from core operators (σ, π, ×, ∪, −) before translating"
+        )
+    raise ValueError(f"cannot normalise operator {type(query).__name__}")

@@ -1,0 +1,82 @@
+"""Quality metrics for approximations of certain answers.
+
+The SIGMOD'19 study summarised in the paper ([27], experiment E6)
+compares approximation procedures against ground-truth certain answers
+using precision and recall.  This module provides those metrics for any
+pair of answer relations, plus a convenience routine that evaluates a
+given evaluation *procedure* against exact certain answers on a small
+database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+
+__all__ = ["AnswerQuality", "compare_answers", "evaluate_procedure"]
+
+
+@dataclass(frozen=True)
+class AnswerQuality:
+    """Precision/recall of a produced answer set against the ground truth."""
+
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    @property
+    def precision(self) -> float:
+        """Fraction of produced answers that are correct (1.0 when nothing produced)."""
+        produced = self.true_positives + self.false_positives
+        return self.true_positives / produced if produced else 1.0
+
+    @property
+    def recall(self) -> float:
+        """Fraction of correct answers that were produced (1.0 when nothing to find)."""
+        expected = self.true_positives + self.false_negatives
+        return self.true_positives / expected if expected else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def is_sound(self) -> bool:
+        """No false positives: the produced answers are a subset of the truth."""
+        return self.false_positives == 0
+
+    def is_complete(self) -> bool:
+        """No false negatives: every true answer was produced."""
+        return self.false_negatives == 0
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.3f} recall={self.recall:.3f} "
+            f"f1={self.f1:.3f} (tp={self.true_positives}, "
+            f"fp={self.false_positives}, fn={self.false_negatives})"
+        )
+
+
+def compare_answers(produced: Relation, ground_truth: Relation) -> AnswerQuality:
+    """Compare a produced answer relation against the ground truth (set view)."""
+    produced_rows = produced.rows_set()
+    truth_rows = ground_truth.rows_set()
+    return AnswerQuality(
+        true_positives=len(produced_rows & truth_rows),
+        false_positives=len(produced_rows - truth_rows),
+        false_negatives=len(truth_rows - produced_rows),
+    )
+
+
+def evaluate_procedure(
+    procedure: Callable[[object, Database], Relation],
+    query,
+    database: Database,
+    ground_truth: Relation,
+) -> AnswerQuality:
+    """Run an evaluation procedure and score it against the ground truth."""
+    return compare_answers(procedure(query, database), ground_truth)

@@ -1,0 +1,5 @@
+"""Benchmark harness helpers."""
+
+from .harness import ResultTable, relative_overhead, time_call
+
+__all__ = ["ResultTable", "time_call", "relative_overhead"]

@@ -1,0 +1,77 @@
+"""Benchmark harness utilities: result tables rendered as text.
+
+The benchmark scripts under ``benchmarks/`` measure timings with
+pytest-benchmark; the *shape* results the paper reports (who wins, by
+what factor, where recall degrades) are collected into
+:class:`ResultTable` objects and printed, so a run of the benchmark
+suite regenerates the qualitative rows of each experiment.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+__all__ = ["ResultTable", "time_call", "relative_overhead"]
+
+
+@dataclass
+class ResultTable:
+    """A small column-oriented result table with text rendering."""
+
+    title: str
+    columns: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+
+    def __init__(self, title: str, columns: Sequence[str]):
+        self.title = title
+        self.columns = tuple(columns)
+        self.rows = []
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self.rows.append(tuple(values))
+
+    def to_text(self) -> str:
+        rendered = [[str(c) for c in self.columns]] + [
+            [_format(v) for v in row] for row in self.rows
+        ]
+        widths = [max(len(row[i]) for row in rendered) for i in range(len(self.columns))]
+        lines = [self.title, "=" * len(self.title)]
+        for i, row in enumerate(rendered):
+            lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.to_text())
+
+
+def _format(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def time_call(func: Callable[[], Any], repeat: int = 3) -> tuple[float, Any]:
+    """Best-of-``repeat`` wall-clock time of ``func()`` plus its last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = func()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def relative_overhead(baseline_seconds: float, rewritten_seconds: float) -> float:
+    """Percentage overhead of the rewritten query over the baseline."""
+    if baseline_seconds <= 0:
+        return 0.0
+    return (rewritten_seconds - baseline_seconds) / baseline_seconds * 100.0

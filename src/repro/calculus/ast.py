@@ -1,0 +1,354 @@
+"""First-order logic (relational calculus) formulae.
+
+The atomic formulae follow Section 2 of the paper: relational atoms
+``R(x̄)``, equality atoms ``x = y``, the constant test ``const(x)`` and
+the null test ``null(x)``.  Formulae are closed under ∧, ∨, ¬, ∃ and ∀.
+Terms are variables or constants.
+
+The same AST is used by
+
+* the classical Boolean evaluation (:mod:`repro.calculus.evaluation`),
+* the syntactic fragment classifiers (:mod:`repro.calculus.fragments`),
+* the many-valued semantics of Section 5 (:mod:`repro.mvl.fo_eval`), and
+* the compilation to relational algebra for the safe existential-positive
+  fragment (:mod:`repro.calculus.to_algebra`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Sequence
+
+__all__ = [
+    "FoTerm",
+    "Var",
+    "ConstTerm",
+    "Formula",
+    "RelAtom",
+    "EqAtom",
+    "ConstTest",
+    "NullTest",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Exists",
+    "Forall",
+    "TrueFormula",
+    "FalseFormula",
+    "free_variables",
+    "variables",
+    "constants_mentioned",
+    "subformulas",
+    "conjunction",
+    "disjunction",
+    "exists",
+    "forall",
+]
+
+
+# ----------------------------------------------------------------------
+# Terms
+# ----------------------------------------------------------------------
+class FoTerm:
+    """A term: a variable or a constant."""
+
+
+@dataclass(frozen=True)
+class Var(FoTerm):
+    """A first-order variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ConstTerm(FoTerm):
+    """A constant mentioned in the formula."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+def _as_term(value: Any) -> FoTerm:
+    if isinstance(value, FoTerm):
+        return value
+    if isinstance(value, str):
+        return Var(value)
+    return ConstTerm(value)
+
+
+# ----------------------------------------------------------------------
+# Formulae
+# ----------------------------------------------------------------------
+class Formula:
+    """Base class of FO formulae."""
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    # Connective sugar, so tests and examples read like formulae.
+    def __and__(self, other: "Formula") -> "And":
+        return And(self, other)
+
+    def __or__(self, other: "Formula") -> "Or":
+        return Or(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueFormula(Formula):
+    """The formula ⊤."""
+
+    def __str__(self) -> str:
+        return "⊤"
+
+
+@dataclass(frozen=True)
+class FalseFormula(Formula):
+    """The formula ⊥ (falsity, not a null)."""
+
+    def __str__(self) -> str:
+        return "⊥f"
+
+
+@dataclass(frozen=True)
+class RelAtom(Formula):
+    """A relational atom ``R(t₁, ..., tₖ)``."""
+
+    relation: str
+    terms: tuple[FoTerm, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Any]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(_as_term(t) for t in terms))
+
+    def __str__(self) -> str:
+        return f"{self.relation}({', '.join(str(t) for t in self.terms)})"
+
+
+@dataclass(frozen=True)
+class EqAtom(Formula):
+    """An equality atom ``t₁ = t₂``."""
+
+    left: FoTerm
+    right: FoTerm
+
+    def __init__(self, left: Any, right: Any):
+        object.__setattr__(self, "left", _as_term(left))
+        object.__setattr__(self, "right", _as_term(right))
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class ConstTest(Formula):
+    """The atom ``const(t)``: t denotes a constant."""
+
+    term: FoTerm
+
+    def __init__(self, term: Any):
+        object.__setattr__(self, "term", _as_term(term))
+
+    def __str__(self) -> str:
+        return f"const({self.term})"
+
+
+@dataclass(frozen=True)
+class NullTest(Formula):
+    """The atom ``null(t)``: t denotes a null."""
+
+    term: FoTerm
+
+    def __init__(self, term: Any):
+        object.__setattr__(self, "term", _as_term(term))
+
+    def __str__(self) -> str:
+        return f"null({self.term})"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    """Negation ¬φ."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"¬({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    """Conjunction φ ∧ ψ."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∧ {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    """Disjunction φ ∨ ψ."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} ∨ {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    """Implication φ → ψ (kept explicit because Pos∀G uses guarded implications)."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} → {self.right})"
+
+
+@dataclass(frozen=True)
+class Exists(Formula):
+    """Existential quantification ∃x̄ φ."""
+
+    variables: tuple[Var, ...]
+    body: Formula
+
+    def __init__(self, variables: Sequence[Any], body: Formula):
+        object.__setattr__(
+            self, "variables", tuple(Var(v) if isinstance(v, str) else v for v in variables)
+        )
+        object.__setattr__(self, "body", body)
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∃{names} ({self.body})"
+
+
+@dataclass(frozen=True)
+class Forall(Formula):
+    """Universal quantification ∀x̄ φ."""
+
+    variables: tuple[Var, ...]
+    body: Formula
+
+    def __init__(self, variables: Sequence[Any], body: Formula):
+        object.__setattr__(
+            self, "variables", tuple(Var(v) if isinstance(v, str) else v for v in variables)
+        )
+        object.__setattr__(self, "body", body)
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.body,)
+
+    def __str__(self) -> str:
+        names = ", ".join(v.name for v in self.variables)
+        return f"∀{names} ({self.body})"
+
+
+# ----------------------------------------------------------------------
+# Structural helpers
+# ----------------------------------------------------------------------
+def _atom_terms(formula: Formula) -> tuple[FoTerm, ...]:
+    if isinstance(formula, RelAtom):
+        return formula.terms
+    if isinstance(formula, EqAtom):
+        return (formula.left, formula.right)
+    if isinstance(formula, (ConstTest, NullTest)):
+        return (formula.term,)
+    return ()
+
+
+def variables(formula: Formula) -> set[Var]:
+    """All variables occurring in the formula (free or bound)."""
+    result: set[Var] = set()
+    for sub in subformulas(formula):
+        for term in _atom_terms(sub):
+            if isinstance(term, Var):
+                result.add(term)
+        if isinstance(sub, (Exists, Forall)):
+            result.update(sub.variables)
+    return result
+
+
+def free_variables(formula: Formula) -> set[Var]:
+    """The free variables of the formula."""
+    if isinstance(formula, (RelAtom, EqAtom, ConstTest, NullTest)):
+        return {t for t in _atom_terms(formula) if isinstance(t, Var)}
+    if isinstance(formula, (TrueFormula, FalseFormula)):
+        return set()
+    if isinstance(formula, Not):
+        return free_variables(formula.operand)
+    if isinstance(formula, (And, Or, Implies)):
+        return free_variables(formula.left) | free_variables(formula.right)
+    if isinstance(formula, (Exists, Forall)):
+        return free_variables(formula.body) - set(formula.variables)
+    raise TypeError(f"unknown formula type {type(formula).__name__}")
+
+
+def constants_mentioned(formula: Formula) -> set:
+    """All constants mentioned explicitly in the formula."""
+    result: set = set()
+    for sub in subformulas(formula):
+        for term in _atom_terms(sub):
+            if isinstance(term, ConstTerm):
+                result.add(term.value)
+    return result
+
+
+def subformulas(formula: Formula) -> Iterator[Formula]:
+    """All subformulae (pre-order, including the formula itself)."""
+    yield formula
+    for child in formula.children():
+        yield from subformulas(child)
+
+
+def conjunction(formulas: Sequence[Formula]) -> Formula:
+    """The conjunction of a list of formulae (⊤ if empty)."""
+    result: Formula | None = None
+    for formula in formulas:
+        result = formula if result is None else And(result, formula)
+    return result if result is not None else TrueFormula()
+
+
+def disjunction(formulas: Sequence[Formula]) -> Formula:
+    """The disjunction of a list of formulae (falsity if empty)."""
+    result: Formula | None = None
+    for formula in formulas:
+        result = formula if result is None else Or(result, formula)
+    return result if result is not None else FalseFormula()
+
+
+def exists(variables_: Sequence[Any], body: Formula) -> Formula:
+    """∃x̄ body, collapsing the empty quantifier."""
+    return Exists(variables_, body) if variables_ else body
+
+
+def forall(variables_: Sequence[Any], body: Formula) -> Formula:
+    """∀x̄ body, collapsing the empty quantifier."""
+    return Forall(variables_, body) if variables_ else body

@@ -1,0 +1,292 @@
+"""Conjunctive queries and unions of conjunctive queries in rule form.
+
+A conjunctive query is written as a Datalog-style rule::
+
+    Q(x, y) :- R(x, z), S(z, y), z = 'a'
+
+i.e. a head (the output variables) and a body of relational atoms plus
+equality conditions.  This is the class for which naïve evaluation
+computes certain answers under both CWA and OWA (Theorem 4.1 / 4.4), and
+the starting point of most workloads.
+
+The class converts to
+
+* an FO formula (:meth:`ConjunctiveQuery.to_formula`), for the calculus
+  and many-valued evaluators;
+* a relational algebra query (:meth:`ConjunctiveQuery.to_algebra`), for
+  the algebra evaluators and the approximation translations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from ..algebra import ast as ra
+from ..algebra.conditions import And as CondAnd, Attr, Condition, Eq, Literal, conjoin
+from ..datamodel.schema import DatabaseSchema
+from . import ast as fo
+from .evaluation import FoQuery
+
+__all__ = ["CqConst", "Atom", "ConjunctiveQuery", "UnionOfConjunctiveQueries"]
+
+
+@dataclass(frozen=True)
+class CqConst:
+    """An explicit constant term in a rule body.
+
+    Plain strings in atoms are read as *variable names*; wrap a string in
+    ``CqConst`` to use it as a constant (non-string values are constants
+    automatically).
+    """
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+def _is_variable(term: Any) -> bool:
+    return isinstance(term, str)
+
+
+def _constant_value(term: Any) -> Any:
+    return term.value if isinstance(term, CqConst) else term
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A body atom ``R(t₁, ..., tₖ)``.
+
+    Each term is a variable name (a plain string), a :class:`CqConst`, or a
+    non-string Python value (read as a constant).
+    """
+
+    relation: str
+    terms: tuple[Any, ...]
+
+    def __init__(self, relation: str, terms: Sequence[Any]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+
+    def variables(self) -> list[str]:
+        return [t for t in self.terms if _is_variable(t)]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(t if _is_variable(t) else repr(_constant_value(t)) for t in self.terms)
+        return f"{self.relation}({rendered})"
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query in rule form.
+
+    ``head`` lists the output variables (strings); ``body`` is a sequence
+    of :class:`Atom`; ``equalities`` is an optional list of pairs
+    ``(term, term)`` where terms are variable names or constants.
+    """
+
+    head: tuple[str, ...]
+    body: tuple[Atom, ...]
+    equalities: tuple[tuple[Any, Any], ...] = field(default=())
+
+    def __init__(
+        self,
+        head: Sequence[str],
+        body: Sequence[Atom | tuple],
+        equalities: Sequence[tuple[Any, Any]] = (),
+    ):
+        atoms = tuple(a if isinstance(a, Atom) else Atom(a[0], a[1]) for a in body)
+        object.__setattr__(self, "head", tuple(head))
+        object.__setattr__(self, "body", atoms)
+        object.__setattr__(self, "equalities", tuple((a, b) for a, b in equalities))
+        body_vars = {v for atom in atoms for v in atom.variables()}
+        missing = [v for v in self.head if v not in body_vars]
+        if missing:
+            raise ValueError(f"head variables {missing} do not occur in the body (unsafe query)")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def variables(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for atom in self.body:
+            for variable in atom.variables():
+                seen.setdefault(variable, None)
+        for left, right in self.equalities:
+            for term in (left, right):
+                if _is_variable(term):
+                    seen.setdefault(term, None)
+        return list(seen)
+
+    def existential_variables(self) -> list[str]:
+        return [v for v in self.variables() if v not in self.head]
+
+    @property
+    def arity(self) -> int:
+        return len(self.head)
+
+    def __str__(self) -> str:
+        head = f"Q({', '.join(self.head)})"
+        body = ", ".join(str(atom) for atom in self.body)
+        eqs = ", ".join(f"{a} = {b}" for a, b in self.equalities)
+        parts = ", ".join(p for p in (body, eqs) if p)
+        return f"{head} :- {parts}"
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def to_formula(self) -> FoQuery:
+        """The FO query ∃(existential vars) ⋀ atoms ∧ ⋀ equalities."""
+        conjuncts: list[fo.Formula] = [
+            fo.RelAtom(atom.relation, [self._fo_term(t) for t in atom.terms])
+            for atom in self.body
+        ]
+        conjuncts.extend(
+            fo.EqAtom(self._fo_term(a), self._fo_term(b)) for a, b in self.equalities
+        )
+        body = fo.conjunction(conjuncts)
+        formula = fo.exists(self.existential_variables(), body)
+        return FoQuery(formula, free=list(self.head))
+
+    @staticmethod
+    def _fo_term(term: Any):
+        if _is_variable(term):
+            return fo.Var(term)
+        return fo.ConstTerm(_constant_value(term))
+
+    def to_algebra(self, schema: DatabaseSchema) -> ra.Query:
+        """Compile to relational algebra: product of atoms, selections, projection.
+
+        Each atom occurrence gets its own renamed copy of the base relation
+        (attributes ``_a{i}_{position}``); join conditions are equalities
+        between the columns bound to the same variable, plus the explicit
+        equalities and constant bindings.
+        """
+        if not self.body:
+            raise ValueError("cannot compile a conjunctive query with an empty body")
+        plan: ra.Query | None = None
+        var_columns: dict[str, list[str]] = {}
+        conditions: list[Condition] = []
+        for i, atom in enumerate(self.body):
+            base_attrs = schema[atom.relation].attributes
+            if len(base_attrs) != len(atom.terms):
+                raise ValueError(
+                    f"atom {atom} has arity {len(atom.terms)}, relation has {len(base_attrs)}"
+                )
+            mapping = {a: f"_a{i}_{j}" for j, a in enumerate(base_attrs)}
+            node: ra.Query = ra.Rename(ra.RelationRef(atom.relation), mapping)
+            plan = node if plan is None else ra.Product(plan, node)
+            for j, term in enumerate(atom.terms):
+                column = f"_a{i}_{j}"
+                if _is_variable(term):
+                    var_columns.setdefault(term, []).append(column)
+                else:
+                    conditions.append(Eq(Attr(column), Literal(_constant_value(term))))
+        for columns in var_columns.values():
+            for first, second in zip(columns, columns[1:]):
+                conditions.append(Eq(Attr(first), Attr(second)))
+        for left, right in self.equalities:
+            conditions.append(Eq(self._cond_term(left, var_columns), self._cond_term(right, var_columns)))
+        assert plan is not None
+        if conditions:
+            plan = ra.Selection(plan, conjoin(conditions))
+        output_columns = [var_columns[v][0] for v in self.head]
+        plan = ra.Projection(plan, output_columns)
+        return ra.Rename(plan, dict(zip(output_columns, self.head)))
+
+    @staticmethod
+    def _cond_term(term: Any, var_columns: Mapping[str, list[str]]):
+        if _is_variable(term):
+            if term not in var_columns:
+                raise ValueError(f"equality mentions unknown variable {term!r}")
+            return Attr(var_columns[term][0])
+        return Literal(_constant_value(term))
+
+
+@dataclass(frozen=True)
+class UnionOfConjunctiveQueries:
+    """A union of conjunctive queries with a common head arity."""
+
+    disjuncts: tuple[ConjunctiveQuery, ...]
+
+    def __init__(self, disjuncts: Sequence[ConjunctiveQuery]):
+        disjuncts = tuple(disjuncts)
+        if not disjuncts:
+            raise ValueError("a UCQ needs at least one disjunct")
+        arities = {cq.arity for cq in disjuncts}
+        if len(arities) != 1:
+            raise ValueError(f"disjuncts have different arities: {sorted(arities)}")
+        object.__setattr__(self, "disjuncts", disjuncts)
+
+    @property
+    def arity(self) -> int:
+        return self.disjuncts[0].arity
+
+    def to_formula(self) -> FoQuery:
+        """The disjunction of the disjuncts' formulae over a shared head."""
+        head = list(self.disjuncts[0].head)
+        renamed = []
+        for cq in self.disjuncts:
+            query = cq.to_formula()
+            formula = query.formula
+            if list(cq.head) != head:
+                formula = _rename_free(formula, dict(zip(cq.head, head)))
+            renamed.append(formula)
+        return FoQuery(fo.disjunction(renamed), free=head)
+
+    def to_algebra(self, schema: DatabaseSchema) -> ra.Query:
+        """The union of the compiled disjuncts, aligned on the first head."""
+        head = self.disjuncts[0].head
+        plans = []
+        for cq in self.disjuncts:
+            plan = cq.to_algebra(schema)
+            if cq.head != head:
+                plan = ra.Rename(plan, dict(zip(cq.head, head)))
+            plans.append(plan)
+        result = plans[0]
+        for plan in plans[1:]:
+            result = ra.Union(result, plan)
+        return result
+
+    def __str__(self) -> str:
+        return "  ∪  ".join(str(cq) for cq in self.disjuncts)
+
+
+def _rename_free(formula: fo.Formula, mapping: Mapping[str, str]) -> fo.Formula:
+    """Rename free variables in a formula (bound variables are untouched)."""
+
+    def rename_term(term: fo.FoTerm, bound: frozenset[str]) -> fo.FoTerm:
+        if isinstance(term, fo.Var) and term.name in mapping and term.name not in bound:
+            return fo.Var(mapping[term.name])
+        return term
+
+    def walk(node: fo.Formula, bound: frozenset[str]) -> fo.Formula:
+        if isinstance(node, fo.RelAtom):
+            return fo.RelAtom(node.relation, [rename_term(t, bound) for t in node.terms])
+        if isinstance(node, fo.EqAtom):
+            return fo.EqAtom(rename_term(node.left, bound), rename_term(node.right, bound))
+        if isinstance(node, fo.ConstTest):
+            return fo.ConstTest(rename_term(node.term, bound))
+        if isinstance(node, fo.NullTest):
+            return fo.NullTest(rename_term(node.term, bound))
+        if isinstance(node, (fo.TrueFormula, fo.FalseFormula)):
+            return node
+        if isinstance(node, fo.Not):
+            return fo.Not(walk(node.operand, bound))
+        if isinstance(node, fo.And):
+            return fo.And(walk(node.left, bound), walk(node.right, bound))
+        if isinstance(node, fo.Or):
+            return fo.Or(walk(node.left, bound), walk(node.right, bound))
+        if isinstance(node, fo.Implies):
+            return fo.Implies(walk(node.left, bound), walk(node.right, bound))
+        if isinstance(node, fo.Exists):
+            inner = bound | {v.name for v in node.variables}
+            return fo.Exists(node.variables, walk(node.body, inner))
+        if isinstance(node, fo.Forall):
+            inner = bound | {v.name for v in node.variables}
+            return fo.Forall(node.variables, walk(node.body, inner))
+        raise TypeError(f"unknown formula type {type(node).__name__}")
+
+    return walk(formula, frozenset())

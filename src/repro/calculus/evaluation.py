@@ -1,0 +1,203 @@
+"""Classical (Boolean) active-domain evaluation of FO formulae.
+
+This is the textbook two-valued semantics used throughout the paper as
+the baseline: quantifiers range over the active domain of the database,
+nulls are treated as ordinary values (so it coincides with naïve
+evaluation when run directly on a database with nulls), and a k-ary
+query returns the set of assignments of its free variables that make the
+formula true.
+
+The many-valued semantics of Section 5 live in :mod:`repro.mvl.fo_eval`
+and share this module's assignment machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Value, is_const, is_null, value_sort_key
+from . import ast
+
+__all__ = ["FoQuery", "evaluate_formula", "evaluate_query", "holds"]
+
+
+def _resolve(term: ast.FoTerm, assignment: Mapping[ast.Var, Value]) -> Value:
+    if isinstance(term, ast.Var):
+        try:
+            return assignment[term]
+        except KeyError:
+            raise KeyError(f"unbound variable {term.name}") from None
+    if isinstance(term, ast.ConstTerm):
+        return term.value
+    raise TypeError(f"unknown term type {type(term).__name__}")
+
+
+def holds(
+    formula: ast.Formula,
+    database: Database,
+    assignment: Mapping[ast.Var, Value] | None = None,
+    domain: Sequence[Value] | None = None,
+) -> bool:
+    """``D ⊨ φ(ā)``: truth of the formula under the given assignment.
+
+    ``domain`` is the range of quantification; it defaults to the active
+    domain of the database together with the constants mentioned in the
+    formula (the standard active-domain semantics for generic queries).
+    """
+    assignment = dict(assignment or {})
+    if domain is None:
+        domain = _quantification_domain(formula, database)
+    return _holds(formula, database, assignment, list(domain))
+
+
+def _quantification_domain(formula: ast.Formula, database: Database) -> list[Value]:
+    values = set(database.active_domain()) | ast.constants_mentioned(formula)
+    return sorted(values, key=value_sort_key)
+
+
+def _holds(formula, database, assignment, domain) -> bool:
+    if isinstance(formula, ast.TrueFormula):
+        return True
+    if isinstance(formula, ast.FalseFormula):
+        return False
+    if isinstance(formula, ast.RelAtom):
+        relation = database.get(formula.relation)
+        if relation is None:
+            return False
+        row = tuple(_resolve(t, assignment) for t in formula.terms)
+        return row in relation
+    if isinstance(formula, ast.EqAtom):
+        return _resolve(formula.left, assignment) == _resolve(formula.right, assignment)
+    if isinstance(formula, ast.ConstTest):
+        return is_const(_resolve(formula.term, assignment))
+    if isinstance(formula, ast.NullTest):
+        return is_null(_resolve(formula.term, assignment))
+    if isinstance(formula, ast.Not):
+        return not _holds(formula.operand, database, assignment, domain)
+    if isinstance(formula, ast.And):
+        return _holds(formula.left, database, assignment, domain) and _holds(
+            formula.right, database, assignment, domain
+        )
+    if isinstance(formula, ast.Or):
+        return _holds(formula.left, database, assignment, domain) or _holds(
+            formula.right, database, assignment, domain
+        )
+    if isinstance(formula, ast.Implies):
+        return (not _holds(formula.left, database, assignment, domain)) or _holds(
+            formula.right, database, assignment, domain
+        )
+    if isinstance(formula, ast.Exists):
+        return _quantify(formula, database, assignment, domain, want=True)
+    if isinstance(formula, ast.Forall):
+        return not _quantify(formula, database, assignment, domain, want=False)
+    raise TypeError(f"unknown formula type {type(formula).__name__}")
+
+
+def _quantify(formula, database, assignment, domain, *, want: bool) -> bool:
+    """Search for a witness making the body evaluate to ``want``."""
+    variables = list(formula.variables)
+
+    def search(index: int) -> bool:
+        if index == len(variables):
+            return _holds(formula.body, database, assignment, domain) is want
+        var = variables[index]
+        saved = assignment.get(var, _MISSING)
+        for value in domain:
+            assignment[var] = value
+            if search(index + 1):
+                if saved is _MISSING:
+                    del assignment[var]
+                else:
+                    assignment[var] = saved
+                return True
+        if saved is _MISSING:
+            assignment.pop(var, None)
+        else:
+            assignment[var] = saved
+        return False
+
+    return search(0)
+
+
+_MISSING = object()
+
+
+class FoQuery:
+    """A k-ary FO query: a formula together with an ordered tuple of free variables.
+
+    The answer on a database is the relation of assignments to the free
+    variables (drawn from the active domain plus the constants mentioned
+    in the formula) that satisfy the formula.
+    """
+
+    def __init__(self, formula: ast.Formula, free: Sequence[ast.Var | str] | None = None):
+        self.formula = formula
+        if free is None:
+            free = sorted(ast.free_variables(formula), key=lambda v: v.name)
+        self.free: tuple[ast.Var, ...] = tuple(
+            ast.Var(v) if isinstance(v, str) else v for v in free
+        )
+        declared = set(self.free)
+        actual = ast.free_variables(formula)
+        if not actual <= declared:
+            missing = {v.name for v in actual - declared}
+            raise ValueError(f"free variables {sorted(missing)} not declared in query head")
+
+    @property
+    def arity(self) -> int:
+        return len(self.free)
+
+    def attributes(self) -> tuple[str, ...]:
+        return tuple(v.name for v in self.free)
+
+    def answers(self, database: Database, domain: Iterable[Value] | None = None) -> Relation:
+        """All satisfying assignments of the free variables, as a relation."""
+        domain_list = (
+            sorted(set(domain), key=value_sort_key)
+            if domain is not None
+            else _quantification_domain(self.formula, database)
+        )
+        rows = []
+        for row in _assignments(domain_list, self.arity):
+            assignment = dict(zip(self.free, row))
+            if holds(self.formula, database, assignment, domain_list):
+                rows.append(row)
+        return Relation(self.attributes() or (), rows if self.arity else rows)
+
+    def boolean(self, database: Database) -> bool:
+        """Evaluate a Boolean query (arity 0)."""
+        if self.arity != 0:
+            raise ValueError("boolean() requires a query with no free variables")
+        return holds(self.formula, database)
+
+    def __repr__(self) -> str:
+        head = ", ".join(v.name for v in self.free)
+        return f"FoQuery(({head}) ← {self.formula})"
+
+
+def _assignments(domain: Sequence[Value], arity: int):
+    if arity == 0:
+        yield ()
+        return
+    stack = [()]
+    while stack:
+        prefix = stack.pop()
+        if len(prefix) == arity:
+            yield prefix
+            continue
+        for value in reversed(domain):
+            stack.append(prefix + (value,))
+
+
+def evaluate_formula(
+    formula: ast.Formula, database: Database, assignment: Mapping[ast.Var, Value] | None = None
+) -> bool:
+    """Convenience wrapper around :func:`holds`."""
+    return holds(formula, database, assignment)
+
+
+def evaluate_query(query: FoQuery, database: Database) -> Relation:
+    """Convenience wrapper around :meth:`FoQuery.answers`."""
+    return query.answers(database)

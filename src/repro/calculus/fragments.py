@@ -1,0 +1,161 @@
+"""Syntactic fragments of FO relevant to naïve evaluation (Section 4.1).
+
+The paper relates naïve evaluation to homomorphism-preservation classes:
+
+* conjunctive queries (∃, ∧) and unions of conjunctive queries
+  (∃, ∧, ∨ — the existential positive fragment) are preserved under
+  arbitrary homomorphisms, so naïve evaluation computes certain answers
+  under OWA (Theorem 4.4);
+* positive formulae (∃, ∀, ∧, ∨) are preserved under onto homomorphisms;
+* Pos∀G formulae — positive formulae with universally guarded
+  quantification ``∀x̄ (α(x̄) → φ)`` for an atomic guard α — are
+  preserved under strong onto homomorphisms, so naïve evaluation
+  computes certain answers under CWA (Theorem 4.4).
+
+This module classifies formulae syntactically.  The classifiers are
+deliberately conservative: they accept exactly the stated grammars (after
+no rewriting), which is what the guarantees are stated for.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+__all__ = [
+    "is_quantifier_free",
+    "is_conjunctive",
+    "is_existential_positive",
+    "is_ucq",
+    "is_positive",
+    "is_pos_forall_g",
+    "classify",
+    "naive_evaluation_is_exact",
+]
+
+
+def _is_atom(formula: ast.Formula) -> bool:
+    return isinstance(
+        formula, (ast.RelAtom, ast.EqAtom, ast.ConstTest, ast.NullTest, ast.TrueFormula)
+    )
+
+
+def is_quantifier_free(formula: ast.Formula) -> bool:
+    """No ∃ or ∀ anywhere in the formula."""
+    return not any(
+        isinstance(sub, (ast.Exists, ast.Forall)) for sub in ast.subformulas(formula)
+    )
+
+
+def is_conjunctive(formula: ast.Formula) -> bool:
+    """Membership in the ∃,∧ fragment (conjunctive queries)."""
+    if _is_atom(formula):
+        return True
+    if isinstance(formula, ast.And):
+        return is_conjunctive(formula.left) and is_conjunctive(formula.right)
+    if isinstance(formula, ast.Exists):
+        return is_conjunctive(formula.body)
+    return False
+
+
+def is_existential_positive(formula: ast.Formula) -> bool:
+    """Membership in the ∃,∧,∨ fragment (existential positive formulae)."""
+    if _is_atom(formula):
+        return True
+    if isinstance(formula, (ast.And, ast.Or)):
+        return is_existential_positive(formula.left) and is_existential_positive(formula.right)
+    if isinstance(formula, ast.Exists):
+        return is_existential_positive(formula.body)
+    return False
+
+
+def is_ucq(formula: ast.Formula) -> bool:
+    """Unions of conjunctive queries.
+
+    Syntactically we accept the whole existential positive fragment, which
+    has exactly the expressive power of UCQs (Section 2 of the paper).
+    """
+    return is_existential_positive(formula)
+
+
+def is_positive(formula: ast.Formula) -> bool:
+    """Membership in the ∃,∀,∧,∨ fragment (no negation, no implication)."""
+    if _is_atom(formula):
+        return True
+    if isinstance(formula, (ast.And, ast.Or)):
+        return is_positive(formula.left) and is_positive(formula.right)
+    if isinstance(formula, (ast.Exists, ast.Forall)):
+        return is_positive(formula.body)
+    return False
+
+
+def is_pos_forall_g(formula: ast.Formula) -> bool:
+    """Membership in Pos∀G: positive formulae with universally guarded ∀.
+
+    The formation rules (Section 4.1): all atomic formulae are in Pos∀G;
+    the class is closed under ∧, ∨, ∃, ∀; and if φ(x̄, ȳ) is in Pos∀G and
+    α(x̄) is an atomic formula with distinct variables x̄, then
+    ``∀x̄ (α(x̄) → φ(x̄, ȳ))`` is in Pos∀G.
+
+    Plain (unguarded) ∀ is allowed by the closure rules; the implication
+    form is only allowed when guarded by an atom over pairwise distinct
+    variables, all of which are universally quantified at that point.
+    """
+    if _is_atom(formula):
+        return True
+    if isinstance(formula, (ast.And, ast.Or)):
+        return is_pos_forall_g(formula.left) and is_pos_forall_g(formula.right)
+    if isinstance(formula, ast.Exists):
+        return is_pos_forall_g(formula.body)
+    if isinstance(formula, ast.Forall):
+        body = formula.body
+        if isinstance(body, ast.Implies):
+            guard = body.left
+            if not isinstance(guard, (ast.RelAtom, ast.EqAtom)):
+                return False
+            guard_vars = [t for t in _guard_terms(guard) if isinstance(t, ast.Var)]
+            if len(set(guard_vars)) != len(guard_vars):
+                return False
+            quantified = set(formula.variables)
+            if not quantified <= set(guard_vars):
+                return False
+            return is_pos_forall_g(body.right)
+        return is_pos_forall_g(body)
+    return False
+
+
+def _guard_terms(guard: ast.Formula) -> tuple[ast.FoTerm, ...]:
+    if isinstance(guard, ast.RelAtom):
+        return guard.terms
+    if isinstance(guard, ast.EqAtom):
+        return (guard.left, guard.right)
+    return ()
+
+
+def classify(formula: ast.Formula) -> str:
+    """The most specific fragment name for a formula.
+
+    One of ``"CQ"``, ``"UCQ"``, ``"Pos∀G"``, ``"positive"``, ``"FO"``.
+    """
+    if is_conjunctive(formula):
+        return "CQ"
+    if is_existential_positive(formula):
+        return "UCQ"
+    if is_pos_forall_g(formula):
+        return "Pos∀G"
+    if is_positive(formula):
+        return "positive"
+    return "FO"
+
+
+def naive_evaluation_is_exact(formula: ast.Formula, semantics: str = "cwa") -> bool:
+    """Does Theorem 4.4 guarantee naïve evaluation computes cert⊥?
+
+    Under OWA the guarantee holds for UCQs; under CWA it extends to Pos∀G.
+    The check is syntactic and therefore sufficient but not necessary.
+    """
+    semantics = semantics.lower()
+    if semantics == "owa":
+        return is_ucq(formula)
+    if semantics == "cwa":
+        return is_ucq(formula) or is_pos_forall_g(formula)
+    raise ValueError(f"unknown semantics {semantics!r}; expected 'cwa' or 'owa'")

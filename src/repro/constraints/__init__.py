@@ -1,0 +1,26 @@
+"""Integrity constraints and the chase."""
+
+from .dependencies import (
+    Constraint,
+    ForeignKey,
+    FunctionalDependency,
+    InclusionDependency,
+    Key,
+    satisfies_all,
+    violations,
+)
+from .chase import ChaseFailure, ChaseResult, chase, chase_functional_dependencies
+
+__all__ = [
+    "Constraint",
+    "FunctionalDependency",
+    "Key",
+    "InclusionDependency",
+    "ForeignKey",
+    "satisfies_all",
+    "violations",
+    "ChaseFailure",
+    "ChaseResult",
+    "chase",
+    "chase_functional_dependencies",
+]

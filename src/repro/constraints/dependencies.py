@@ -1,0 +1,162 @@
+"""Integrity constraints: functional and inclusion dependencies.
+
+Section 4.3 of the paper conditions the probabilistic semantics on a set
+Σ of constraints, "most commonly keys and foreign keys, which are
+special cases of functional dependencies and inclusion constraints".
+This module provides those two classes (plus key/foreign-key sugar),
+each able to check satisfaction on a database and to report the
+violating pairs of facts — which the chase uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.values import Value
+
+__all__ = [
+    "Constraint",
+    "FunctionalDependency",
+    "Key",
+    "InclusionDependency",
+    "ForeignKey",
+    "satisfies_all",
+    "violations",
+]
+
+
+class Constraint:
+    """Base class of integrity constraints (generic Boolean queries)."""
+
+    def holds(self, database: Database) -> bool:
+        raise NotImplementedError
+
+    def violations(self, database: Database) -> Iterator:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FunctionalDependency(Constraint):
+    """``relation: lhs → rhs``: equal lhs values force equal rhs values."""
+
+    relation: str
+    lhs: tuple[str, ...]
+    rhs: tuple[str, ...]
+
+    def __init__(self, relation: str, lhs: Sequence[str], rhs: Sequence[str]):
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", tuple(lhs))
+        object.__setattr__(self, "rhs", tuple(rhs))
+
+    def __str__(self) -> str:
+        return f"{self.relation}: {', '.join(self.lhs)} → {', '.join(self.rhs)}"
+
+    def _positions(self, database: Database) -> tuple[list[int], list[int]]:
+        relation = database[self.relation]
+        return (
+            [relation.attribute_index(a) for a in self.lhs],
+            [relation.attribute_index(a) for a in self.rhs],
+        )
+
+    def holds(self, database: Database) -> bool:
+        for _ in self.violations(database):
+            return False
+        return True
+
+    def violations(self, database: Database) -> Iterator[tuple[tuple, tuple]]:
+        """Pairs of rows that agree on the lhs but differ on the rhs."""
+        if self.relation not in database:
+            return
+        relation = database[self.relation]
+        lhs_pos, rhs_pos = self._positions(database)
+        groups: dict[tuple, list[tuple]] = {}
+        for row in relation:
+            key = tuple(row[p] for p in lhs_pos)
+            groups.setdefault(key, []).append(row)
+        for rows in groups.values():
+            for i, first in enumerate(rows):
+                for second in rows[i + 1 :]:
+                    if tuple(first[p] for p in rhs_pos) != tuple(second[p] for p in rhs_pos):
+                        yield first, second
+
+
+class Key(FunctionalDependency):
+    """A key: the key attributes functionally determine all attributes."""
+
+    def __init__(self, relation: str, key_attributes: Sequence[str], all_attributes: Sequence[str]):
+        rhs = [a for a in all_attributes if a not in key_attributes]
+        super().__init__(relation, key_attributes, rhs)
+
+    def __str__(self) -> str:
+        return f"key({self.relation}: {', '.join(self.lhs)})"
+
+
+@dataclass(frozen=True)
+class InclusionDependency(Constraint):
+    """``source[source_attrs] ⊆ target[target_attrs]``."""
+
+    source: str
+    source_attributes: tuple[str, ...]
+    target: str
+    target_attributes: tuple[str, ...]
+
+    def __init__(
+        self,
+        source: str,
+        source_attributes: Sequence[str],
+        target: str,
+        target_attributes: Sequence[str],
+    ):
+        if len(tuple(source_attributes)) != len(tuple(target_attributes)):
+            raise ValueError("inclusion dependency sides must have the same length")
+        object.__setattr__(self, "source", source)
+        object.__setattr__(self, "source_attributes", tuple(source_attributes))
+        object.__setattr__(self, "target", target)
+        object.__setattr__(self, "target_attributes", tuple(target_attributes))
+
+    def __str__(self) -> str:
+        return (
+            f"{self.source}[{', '.join(self.source_attributes)}] ⊆ "
+            f"{self.target}[{', '.join(self.target_attributes)}]"
+        )
+
+    def holds(self, database: Database) -> bool:
+        for _ in self.violations(database):
+            return False
+        return True
+
+    def violations(self, database: Database) -> Iterator[tuple]:
+        """Projected source tuples with no matching target tuple."""
+        if self.source not in database:
+            return
+        source = database[self.source]
+        source_pos = [source.attribute_index(a) for a in self.source_attributes]
+        target_rows: set = set()
+        if self.target in database:
+            target = database[self.target]
+            target_pos = [target.attribute_index(a) for a in self.target_attributes]
+            target_rows = {tuple(row[p] for p in target_pos) for row in target}
+        for row in source:
+            projected = tuple(row[p] for p in source_pos)
+            if projected not in target_rows:
+                yield projected
+
+
+class ForeignKey(InclusionDependency):
+    """A foreign key: an inclusion dependency into a key of the target."""
+
+
+def satisfies_all(database: Database, constraints: Sequence[Constraint]) -> bool:
+    """True iff the database satisfies every constraint in the list."""
+    return all(constraint.holds(database) for constraint in constraints)
+
+
+def violations(database: Database, constraints: Sequence[Constraint]) -> list:
+    """All violations of all constraints (constraint, violation) pairs."""
+    found = []
+    for constraint in constraints:
+        for violation in constraint.violations(database):
+            found.append((constraint, violation))
+    return found

@@ -1,0 +1,58 @@
+"""Conditional tables and the grounding-based approximation algorithms of [36]."""
+
+from .condition import (
+    CtAnd,
+    CtCondition,
+    CtEq,
+    CtFalse,
+    CtNeq,
+    CtNot,
+    CtOpaque,
+    CtOr,
+    CtTrue,
+    ct_and,
+    ct_not,
+    ct_or,
+    forced_equalities,
+    ground,
+)
+from .ctable import ConditionalDatabase, CTable, CTuple
+from .evaluation import ConditionalEvaluator, symbolic_condition
+from .strategies import (
+    STRATEGIES,
+    StrategyResult,
+    aware_evaluate,
+    eager_evaluate,
+    lazy_evaluate,
+    run_strategy,
+    semi_eager_evaluate,
+)
+
+__all__ = [
+    "CtCondition",
+    "CtTrue",
+    "CtFalse",
+    "CtEq",
+    "CtNeq",
+    "CtOpaque",
+    "CtAnd",
+    "CtOr",
+    "CtNot",
+    "ct_and",
+    "ct_or",
+    "ct_not",
+    "ground",
+    "forced_equalities",
+    "CTuple",
+    "CTable",
+    "ConditionalDatabase",
+    "ConditionalEvaluator",
+    "symbolic_condition",
+    "StrategyResult",
+    "STRATEGIES",
+    "run_strategy",
+    "eager_evaluate",
+    "semi_eager_evaluate",
+    "lazy_evaluate",
+    "aware_evaluate",
+]

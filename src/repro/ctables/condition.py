@@ -1,0 +1,366 @@
+"""Conditions attached to c-tuples in conditional tables.
+
+A condition is a Boolean combination of equality atoms between values
+(constants and nulls).  Its truth depends on how nulls are interpreted,
+so a condition can be *grounded* (Section 4.2, [36]) to one of three
+values:
+
+* ``t`` — the condition holds under every valuation (it is valid);
+* ``f`` — it holds under no valuation (it is unsatisfiable);
+* ``u`` — otherwise.
+
+Validity and satisfiability of equality logic over a finite set of nulls
+are decided by enumerating valuations of the nulls *occurring in the
+condition* over a small adequate pool (the constants mentioned plus one
+fresh constant per null); conditions attached to c-tuples are small, so
+this is cheap.
+
+The module also extracts *forced equalities* (null = constant entailed
+by a satisfiable condition), which the semi-eager and lazy strategies
+use to propagate equalities into the tuple values.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..datamodel.values import Null, Value, is_const, is_null
+from ..mvl.truthvalues import FALSE, TRUE, UNKNOWN, TruthValue
+
+__all__ = [
+    "CtCondition",
+    "CtTrue",
+    "CtFalse",
+    "CtEq",
+    "CtNeq",
+    "CtOpaque",
+    "CtAnd",
+    "CtOr",
+    "CtNot",
+    "ct_and",
+    "ct_or",
+    "ct_not",
+    "ground",
+    "forced_equalities",
+]
+
+
+class CtCondition:
+    """Base class of c-tuple conditions."""
+
+    def nulls(self) -> set[Null]:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: dict) -> bool | None:
+        """Truth under a total assignment of the condition's nulls.
+
+        Returns None when the condition contains an opaque atom whose truth
+        cannot be determined even under a full assignment (used for order
+        comparisons involving nulls, which we do not interpret).
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class CtTrue(CtCondition):
+    def nulls(self) -> set[Null]:
+        return set()
+
+    def evaluate(self, assignment) -> bool | None:
+        return True
+
+    def __str__(self) -> str:
+        return "t"
+
+
+@dataclass(frozen=True)
+class CtFalse(CtCondition):
+    def nulls(self) -> set[Null]:
+        return set()
+
+    def evaluate(self, assignment) -> bool | None:
+        return False
+
+    def __str__(self) -> str:
+        return "f"
+
+
+@dataclass(frozen=True)
+class CtEq(CtCondition):
+    """Equality between two values (constants or nulls)."""
+
+    left: Value
+    right: Value
+
+    def nulls(self) -> set[Null]:
+        return {v for v in (self.left, self.right) if is_null(v)}
+
+    def evaluate(self, assignment) -> bool | None:
+        left = assignment.get(self.left, self.left) if is_null(self.left) else self.left
+        right = assignment.get(self.right, self.right) if is_null(self.right) else self.right
+        return left == right
+
+    def __str__(self) -> str:
+        return f"{self.left!r}={self.right!r}"
+
+
+@dataclass(frozen=True)
+class CtNeq(CtCondition):
+    """Disequality between two values."""
+
+    left: Value
+    right: Value
+
+    def nulls(self) -> set[Null]:
+        return {v for v in (self.left, self.right) if is_null(v)}
+
+    def evaluate(self, assignment) -> bool | None:
+        left = assignment.get(self.left, self.left) if is_null(self.left) else self.left
+        right = assignment.get(self.right, self.right) if is_null(self.right) else self.right
+        return left != right
+
+    def __str__(self) -> str:
+        return f"{self.left!r}≠{self.right!r}"
+
+
+@dataclass(frozen=True)
+class CtOpaque(CtCondition):
+    """An atom whose truth is unknown whenever a null is involved.
+
+    Used for order comparisons with nulls: the c-table machinery does not
+    interpret the order of unknown values, so such an atom grounds to u.
+    """
+
+    description: str
+    involved: tuple[Value, ...] = ()
+
+    def nulls(self) -> set[Null]:
+        return {v for v in self.involved if is_null(v)}
+
+    def evaluate(self, assignment) -> bool | None:
+        return None
+
+    def __str__(self) -> str:
+        return f"?{self.description}"
+
+
+@dataclass(frozen=True)
+class CtAnd(CtCondition):
+    operands: tuple[CtCondition, ...]
+
+    def nulls(self) -> set[Null]:
+        return set().union(*(op.nulls() for op in self.operands)) if self.operands else set()
+
+    def evaluate(self, assignment) -> bool | None:
+        result: bool | None = True
+        for operand in self.operands:
+            value = operand.evaluate(assignment)
+            if value is False:
+                return False
+            if value is None:
+                result = None
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " ∧ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class CtOr(CtCondition):
+    operands: tuple[CtCondition, ...]
+
+    def nulls(self) -> set[Null]:
+        return set().union(*(op.nulls() for op in self.operands)) if self.operands else set()
+
+    def evaluate(self, assignment) -> bool | None:
+        result: bool | None = False
+        for operand in self.operands:
+            value = operand.evaluate(assignment)
+            if value is True:
+                return True
+            if value is None:
+                result = None
+        return result
+
+    def __str__(self) -> str:
+        return "(" + " ∨ ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class CtNot(CtCondition):
+    operand: CtCondition
+
+    def nulls(self) -> set[Null]:
+        return self.operand.nulls()
+
+    def evaluate(self, assignment) -> bool | None:
+        value = self.operand.evaluate(assignment)
+        return None if value is None else not value
+
+    def __str__(self) -> str:
+        return f"¬{self.operand}"
+
+
+# ----------------------------------------------------------------------
+# Smart constructors with local simplification
+# ----------------------------------------------------------------------
+def ct_eq(left: Value, right: Value) -> CtCondition:
+    """Equality atom, simplified when both sides are constants or identical."""
+    if left == right:
+        return CtTrue()
+    if is_const(left) and is_const(right):
+        return CtFalse()
+    return CtEq(left, right)
+
+
+def ct_neq(left: Value, right: Value) -> CtCondition:
+    if left == right:
+        return CtFalse()
+    if is_const(left) and is_const(right):
+        return CtTrue()
+    return CtNeq(left, right)
+
+
+def ct_and(operands: Iterable[CtCondition]) -> CtCondition:
+    flattened: list[CtCondition] = []
+    for operand in operands:
+        if isinstance(operand, CtFalse):
+            return CtFalse()
+        if isinstance(operand, CtTrue):
+            continue
+        if isinstance(operand, CtAnd):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if not flattened:
+        return CtTrue()
+    if len(flattened) == 1:
+        return flattened[0]
+    return CtAnd(tuple(flattened))
+
+
+def ct_or(operands: Iterable[CtCondition]) -> CtCondition:
+    flattened: list[CtCondition] = []
+    for operand in operands:
+        if isinstance(operand, CtTrue):
+            return CtTrue()
+        if isinstance(operand, CtFalse):
+            continue
+        if isinstance(operand, CtOr):
+            flattened.extend(operand.operands)
+        else:
+            flattened.append(operand)
+    if not flattened:
+        return CtFalse()
+    if len(flattened) == 1:
+        return flattened[0]
+    return CtOr(tuple(flattened))
+
+
+def ct_not(operand: CtCondition) -> CtCondition:
+    if isinstance(operand, CtTrue):
+        return CtFalse()
+    if isinstance(operand, CtFalse):
+        return CtTrue()
+    if isinstance(operand, CtNot):
+        return operand.operand
+    if isinstance(operand, CtEq):
+        return CtNeq(operand.left, operand.right)
+    if isinstance(operand, CtNeq):
+        return CtEq(operand.left, operand.right)
+    return CtNot(operand)
+
+
+# ----------------------------------------------------------------------
+# Grounding
+# ----------------------------------------------------------------------
+def _assignments(condition: CtCondition) -> Iterable[dict]:
+    """All relevant assignments of the condition's nulls over an adequate pool."""
+    nulls = sorted(condition.nulls(), key=lambda n: str(n.label))
+    if not nulls:
+        yield {}
+        return
+    constants = _constants_in(condition)
+    pool = sorted(constants, key=str) + [f"#g{i}" for i in range(1, len(nulls) + 1)]
+    for image in itertools.product(pool, repeat=len(nulls)):
+        yield dict(zip(nulls, image))
+
+
+def _constants_in(condition: CtCondition) -> set:
+    constants: set = set()
+
+    def visit(node: CtCondition) -> None:
+        if isinstance(node, (CtEq, CtNeq)):
+            for value in (node.left, node.right):
+                if is_const(value):
+                    constants.add(value)
+        elif isinstance(node, CtOpaque):
+            for value in node.involved:
+                if is_const(value):
+                    constants.add(value)
+        elif isinstance(node, (CtAnd, CtOr)):
+            for operand in node.operands:
+                visit(operand)
+        elif isinstance(node, CtNot):
+            visit(node.operand)
+
+    visit(condition)
+    return constants
+
+
+def ground(condition: CtCondition) -> TruthValue:
+    """Reduce a condition to t (valid), f (unsatisfiable) or u (contingent)."""
+    always = True
+    never = True
+    for assignment in _assignments(condition):
+        value = condition.evaluate(assignment)
+        if value is None:
+            return UNKNOWN
+        if value:
+            never = False
+        else:
+            always = False
+        if not always and not never:
+            return UNKNOWN
+    if always:
+        return TRUE
+    if never:
+        return FALSE
+    return UNKNOWN
+
+
+def forced_equalities(condition: CtCondition) -> dict[Null, Value]:
+    """Null → constant bindings entailed by a satisfiable condition.
+
+    A binding ⊥ → c is forced when the condition is satisfiable and every
+    satisfying assignment maps ⊥ to c.  Used by the equality-propagation
+    strategies (semi-eager, lazy, aware) of [36].
+    """
+    nulls = sorted(condition.nulls(), key=lambda n: str(n.label))
+    if not nulls:
+        return {}
+    candidates: dict[Null, set] = {}
+    satisfiable = False
+    for assignment in _assignments(condition):
+        value = condition.evaluate(assignment)
+        if value is None:
+            return {}
+        if not value:
+            continue
+        satisfiable = True
+        for null in nulls:
+            candidates.setdefault(null, set()).add(assignment[null])
+    if not satisfiable:
+        return {}
+    known_constants = _constants_in(condition)
+    forced: dict[Null, Value] = {}
+    for null, values in candidates.items():
+        if len(values) == 1:
+            (value,) = values
+            # Only constants actually mentioned in the condition can be forced;
+            # a lone pool-fresh witness just means "anything unmentioned works".
+            if is_const(value) and value in known_constants:
+                forced[null] = value
+    return forced

@@ -1,0 +1,139 @@
+"""Conditional tables (c-tables) and conditional databases.
+
+A c-table is a relation whose rows carry conditions: the pair ⟨t̄, φ⟩ is
+a *c-tuple*, and the tuple t̄ is present in a possible world exactly when
+the world's valuation satisfies φ (Imielinski–Lipski [43], recalled in
+Section 4.2 of the paper).
+
+The approximation algorithms of [36] start from an ordinary database
+converted into a conditional database where every condition is ``t``,
+then evaluate relational algebra conditionally and *ground* conditions
+to t / f / u at various points (see :mod:`repro.ctables.strategies`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Value
+from ..mvl.truthvalues import FALSE, TRUE, UNKNOWN, TruthValue
+from .condition import CtCondition, CtTrue, ground
+
+__all__ = ["CTuple", "CTable", "ConditionalDatabase"]
+
+
+@dataclass(frozen=True)
+class CTuple:
+    """A conditional tuple ⟨values, condition⟩."""
+
+    values: tuple[Value, ...]
+    condition: CtCondition
+
+    def __init__(self, values: Sequence[Value], condition: CtCondition | None = None):
+        object.__setattr__(self, "values", tuple(values))
+        object.__setattr__(self, "condition", condition if condition is not None else CtTrue())
+
+    def grounded(self) -> TruthValue:
+        """The grounded condition: t, f or u."""
+        return ground(self.condition)
+
+    def __str__(self) -> str:
+        return f"⟨{self.values}, {self.condition}⟩"
+
+
+class CTable:
+    """A conditional table: attributes plus a list of c-tuples."""
+
+    def __init__(self, attributes: Sequence[str], ctuples: Iterable[CTuple] = ()):
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        self.ctuples: tuple[CTuple, ...] = tuple(ctuples)
+        for ctuple in self.ctuples:
+            if len(ctuple.values) != len(self.attributes):
+                raise ValueError(
+                    f"c-tuple {ctuple} has arity {len(ctuple.values)}, "
+                    f"expected {len(self.attributes)}"
+                )
+
+    @classmethod
+    def from_relation(cls, relation: Relation) -> "CTable":
+        """Lift an ordinary relation: every row gets the condition ``t``."""
+        return cls(relation.attributes, [CTuple(row) for row in relation.sorted_rows()])
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.ctuples)
+
+    def __iter__(self) -> Iterator[CTuple]:
+        return iter(self.ctuples)
+
+    def attribute_index(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(f"attribute {attribute!r} not in {self.attributes}") from None
+
+    def with_ctuples(self, ctuples: Iterable[CTuple]) -> "CTable":
+        return CTable(self.attributes, ctuples)
+
+    # ------------------------------------------------------------------
+    # Extraction of answers (equations (9a)/(9b) of the paper)
+    # ------------------------------------------------------------------
+    def certain_rows(self) -> Relation:
+        """``Eval_t``: the tuples whose grounded condition is t."""
+        rows = [ct.values for ct in self.ctuples if ct.grounded() is TRUE]
+        return Relation(self.attributes, rows)
+
+    def possible_rows(self) -> Relation:
+        """``Eval_p``: the tuples whose grounded condition is t or u."""
+        rows = [ct.values for ct in self.ctuples if ct.grounded() is not FALSE]
+        return Relation(self.attributes, rows)
+
+    def to_text(self, max_rows: int | None = 20) -> str:
+        lines = [" | ".join(self.attributes) + " | condition"]
+        shown = self.ctuples if max_rows is None else self.ctuples[:max_rows]
+        for ctuple in shown:
+            rendered = " | ".join(str(v) for v in ctuple.values)
+            lines.append(f"{rendered} | {ctuple.condition}")
+        if max_rows is not None and len(self.ctuples) > max_rows:
+            lines.append(f"... ({len(self.ctuples) - max_rows} more c-tuples)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"CTable({list(self.attributes)!r}, {len(self.ctuples)} c-tuples)"
+
+
+class ConditionalDatabase:
+    """A database whose relations are conditional tables."""
+
+    def __init__(self, tables: dict[str, CTable] | None = None):
+        self._tables: dict[str, CTable] = dict(tables or {})
+
+    @classmethod
+    def from_database(cls, database: Database) -> "ConditionalDatabase":
+        """Lift an ordinary database (all conditions ``t``), as in [36]."""
+        return cls({name: CTable.from_relation(rel) for name, rel in database.relations()})
+
+    def __getitem__(self, name: str) -> CTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} not in conditional database") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def relation_names(self) -> list[str]:
+        return list(self._tables)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}[{len(table)}]" for name, table in self._tables.items())
+        return f"ConditionalDatabase({parts})"

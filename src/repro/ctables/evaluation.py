@@ -1,0 +1,218 @@
+"""Conditional evaluation of relational algebra over c-tables.
+
+The classic Imielinski–Lipski rules, recalled in Section 4.2: relational
+algebra operators manipulate c-tuples and combine their conditions —
+Cartesian product conjoins conditions, selection conjoins the (symbolic)
+selection condition, union keeps both sides, difference adds the
+condition that the tuple does not coincide with any matching tuple of
+the right-hand side, and so on.
+
+The evaluation is parameterised by a *post-processing hook* applied to
+the c-table produced by each operator; the four strategies of [36]
+(eager, semi-eager, lazy, aware) are different choices of hook and are
+assembled in :mod:`repro.ctables.strategies`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..algebra import ast as ra
+from ..algebra.conditions import (
+    And,
+    Comparison,
+    Condition,
+    Eq,
+    FalseCondition,
+    IsConst,
+    IsNull,
+    Neq,
+    Not,
+    Or,
+    TrueCondition,
+)
+from ..datamodel.values import Value, is_const, is_null, value_sort_key
+from .condition import (
+    CtCondition,
+    CtOpaque,
+    CtTrue,
+    ct_and,
+    ct_eq,
+    ct_neq,
+    ct_not,
+    ct_or,
+)
+from .ctable import ConditionalDatabase, CTable, CTuple
+
+__all__ = ["ConditionalEvaluator", "symbolic_condition"]
+
+PostProcess = Callable[[CTable, str], CTable]
+
+
+def _identity_post_process(table: CTable, operator: str) -> CTable:
+    return table
+
+
+class ConditionalEvaluator:
+    """Evaluates relational algebra over a :class:`ConditionalDatabase`.
+
+    ``post_process(table, operator_name)`` is applied to the result of every
+    operator; the grounding strategies plug in here.
+    """
+
+    def __init__(self, post_process: PostProcess | None = None):
+        self.post_process = post_process or _identity_post_process
+
+    def evaluate(self, query: ra.Query, database: ConditionalDatabase) -> CTable:
+        method = getattr(self, f"_eval_{type(query).__name__}", None)
+        if method is None:
+            raise TypeError(
+                f"operator {type(query).__name__} is not supported by conditional evaluation"
+            )
+        result = method(query, database)
+        return self.post_process(result, type(query).__name__)
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _eval_RelationRef(self, query: ra.RelationRef, database: ConditionalDatabase) -> CTable:
+        return database[query.name]
+
+    def _eval_ConstantRelation(self, query: ra.ConstantRelation, database) -> CTable:
+        return CTable(query.attributes, [CTuple(row) for row in query.rows])
+
+    # ------------------------------------------------------------------
+    # Unary operators
+    # ------------------------------------------------------------------
+    def _eval_Selection(self, query: ra.Selection, database) -> CTable:
+        child = self.evaluate(query.child, database)
+        index = {a: i for i, a in enumerate(child.attributes)}
+        result = []
+        for ctuple in child:
+            symbolic = symbolic_condition(query.condition, ctuple.values, index)
+            condition = ct_and([ctuple.condition, symbolic])
+            result.append(CTuple(ctuple.values, condition))
+        return child.with_ctuples(result)
+
+    def _eval_Projection(self, query: ra.Projection, database) -> CTable:
+        child = self.evaluate(query.child, database)
+        positions = [child.attribute_index(a) for a in query.attributes]
+        result = [
+            CTuple(tuple(ct.values[p] for p in positions), ct.condition) for ct in child
+        ]
+        return CTable(query.attributes, result)
+
+    def _eval_Rename(self, query: ra.Rename, database) -> CTable:
+        child = self.evaluate(query.child, database)
+        mapping = query.mapping_dict()
+        attributes = [mapping.get(a, a) for a in child.attributes]
+        return CTable(attributes, child.ctuples)
+
+    # ------------------------------------------------------------------
+    # Binary operators
+    # ------------------------------------------------------------------
+    def _eval_Product(self, query: ra.Product, database) -> CTable:
+        left = self.evaluate(query.left, database)
+        right = self.evaluate(query.right, database)
+        attributes = tuple(left.attributes) + tuple(right.attributes)
+        result = []
+        for lt in left:
+            for rt in right:
+                result.append(
+                    CTuple(lt.values + rt.values, ct_and([lt.condition, rt.condition]))
+                )
+        return CTable(attributes, result)
+
+    def _eval_Union(self, query: ra.Union, database) -> CTable:
+        left = self.evaluate(query.left, database)
+        right = self.evaluate(query.right, database)
+        if left.arity != right.arity:
+            raise ValueError("union requires children of equal arity")
+        return CTable(left.attributes, tuple(left.ctuples) + tuple(right.ctuples))
+
+    def _eval_Intersection(self, query: ra.Intersection, database) -> CTable:
+        left = self.evaluate(query.left, database)
+        right = self.evaluate(query.right, database)
+        if left.arity != right.arity:
+            raise ValueError("intersection requires children of equal arity")
+        result = []
+        for lt in left:
+            matches = [
+                ct_and([rt.condition, _tuples_equal(lt.values, rt.values)]) for rt in right
+            ]
+            condition = ct_and([lt.condition, ct_or(matches)])
+            result.append(CTuple(lt.values, condition))
+        return CTable(left.attributes, result)
+
+    def _eval_Difference(self, query: ra.Difference, database) -> CTable:
+        left = self.evaluate(query.left, database)
+        right = self.evaluate(query.right, database)
+        if left.arity != right.arity:
+            raise ValueError("difference requires children of equal arity")
+        result = []
+        for lt in left:
+            exclusions = [
+                ct_not(ct_and([rt.condition, _tuples_equal(lt.values, rt.values)]))
+                for rt in right
+            ]
+            condition = ct_and([lt.condition, *exclusions])
+            result.append(CTuple(lt.values, condition))
+        return CTable(left.attributes, result)
+
+
+def _tuples_equal(left: tuple, right: tuple) -> CtCondition:
+    """The condition stating that two value tuples coincide componentwise."""
+    return ct_and([ct_eq(a, b) for a, b in zip(left, right)])
+
+
+def symbolic_condition(
+    condition: Condition, row: tuple, index: Mapping[str, int]
+) -> CtCondition:
+    """Translate an algebra selection condition into a c-tuple condition.
+
+    Equalities and disequalities become symbolic atoms over the row's
+    values; const/null tests are resolved against the *syntactic* shape of
+    the value; order comparisons involving a null become opaque atoms that
+    ground to ``u``.
+    """
+    if isinstance(condition, TrueCondition):
+        return CtTrue()
+    if isinstance(condition, FalseCondition):
+        return ct_not(CtTrue())
+    if isinstance(condition, Not):
+        return ct_not(symbolic_condition(condition.operand, row, index))
+    if isinstance(condition, And):
+        return ct_and(
+            [
+                symbolic_condition(condition.left, row, index),
+                symbolic_condition(condition.right, row, index),
+            ]
+        )
+    if isinstance(condition, Or):
+        return ct_or(
+            [
+                symbolic_condition(condition.left, row, index),
+                symbolic_condition(condition.right, row, index),
+            ]
+        )
+    if isinstance(condition, IsConst):
+        value = condition.term.resolve(row, index)
+        return CtTrue() if is_const(value) else ct_not(CtTrue())
+    if isinstance(condition, IsNull):
+        value = condition.term.resolve(row, index)
+        return CtTrue() if is_null(value) else ct_not(CtTrue())
+    if isinstance(condition, Eq):
+        return ct_eq(
+            condition.left.resolve(row, index), condition.right.resolve(row, index)
+        )
+    if isinstance(condition, Neq):
+        return ct_neq(
+            condition.left.resolve(row, index), condition.right.resolve(row, index)
+        )
+    if isinstance(condition, Comparison):
+        left = condition.left.resolve(row, index)
+        right = condition.right.resolve(row, index)
+        if is_const(left) and is_const(right):
+            return CtTrue() if condition.compare(left, right) else ct_not(CtTrue())
+        return CtOpaque(f"{left!r}{condition.symbol}{right!r}", (left, right))
+    raise TypeError(f"unsupported condition {type(condition).__name__}")

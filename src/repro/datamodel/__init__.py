@@ -1,0 +1,77 @@
+"""Relational data model with marked nulls (Section 2 of the paper)."""
+
+from .values import (
+    Null,
+    NullFactory,
+    Value,
+    constants_in,
+    fresh_null,
+    is_const,
+    is_null,
+    nulls_in,
+    value_sort_key,
+)
+from .relation import Relation, Row
+from .schema import DatabaseSchema, RelationSchema
+from .database import Database
+from .valuation import (
+    Valuation,
+    apply_valuation_to_tuple,
+    bijective_valuation,
+    enumerate_valuations,
+)
+from .unification import (
+    most_general_unifier,
+    tuples_unify_componentwise,
+    unifiable,
+    unify,
+)
+from .homomorphism import (
+    find_homomorphism,
+    find_homomorphisms,
+    is_homomorphism,
+    is_onto_homomorphism,
+    is_strong_onto_homomorphism,
+)
+from .codd import (
+    SQL_NULL,
+    coddify_database,
+    coddify_relation,
+    equal_up_to_null_renaming,
+    is_codd_database,
+)
+
+__all__ = [
+    "Null",
+    "NullFactory",
+    "Value",
+    "Row",
+    "Relation",
+    "RelationSchema",
+    "DatabaseSchema",
+    "Database",
+    "Valuation",
+    "bijective_valuation",
+    "enumerate_valuations",
+    "apply_valuation_to_tuple",
+    "unifiable",
+    "unify",
+    "most_general_unifier",
+    "tuples_unify_componentwise",
+    "is_homomorphism",
+    "is_onto_homomorphism",
+    "is_strong_onto_homomorphism",
+    "find_homomorphism",
+    "find_homomorphisms",
+    "SQL_NULL",
+    "coddify_database",
+    "coddify_relation",
+    "is_codd_database",
+    "equal_up_to_null_renaming",
+    "is_null",
+    "is_const",
+    "fresh_null",
+    "constants_in",
+    "nulls_in",
+    "value_sort_key",
+]

@@ -1,0 +1,116 @@
+"""Codd nulls and the ``codd`` transformation of SQL nulls.
+
+SQL has a single placeholder ``NULL``; the common theoretical reading
+(discussed in the paper's "Marked nulls" open problem, Section 6) is to
+interpret each occurrence of ``NULL`` as a *distinct* marked null.  The
+``codd`` transformation below performs exactly that replacement, and
+helpers check whether a database is in Codd form (no null repeats) and
+whether two databases are equal up to a renaming of nulls — the notion
+needed to state the commutation property ``Q(codd(D)) ≃ codd(Q(D))``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from .database import Database
+from .relation import Relation
+from .values import Null, NullFactory, is_null
+
+__all__ = [
+    "SQL_NULL",
+    "coddify_database",
+    "coddify_relation",
+    "is_codd_database",
+    "equal_up_to_null_renaming",
+]
+
+#: The single SQL placeholder value.  Workload builders may use this marker
+#: for "an SQL NULL"; ``coddify_*`` replaces each occurrence by a fresh
+#: marked null.
+SQL_NULL = Null("sql")
+
+
+def coddify_relation(relation: Relation, factory: NullFactory | None = None) -> Relation:
+    """Replace every null occurrence in ``relation`` with a fresh marked null."""
+    factory = factory or NullFactory(prefix="codd")
+    rows = []
+    for row, count in relation.iter_rows(with_multiplicity=True):
+        for _ in range(count):
+            rows.append(tuple(factory.fresh() if is_null(v) else v for v in row))
+    return Relation(relation.attributes, rows)
+
+
+def coddify_database(database: Database, prefix: str = "codd") -> Database:
+    """The ``codd`` transformation: each null occurrence becomes a fresh null."""
+    factory = NullFactory(prefix=prefix)
+    return Database(
+        {name: coddify_relation(rel, factory) for name, rel in database.relations()}
+    )
+
+
+def is_codd_database(database: Database) -> bool:
+    """True iff no null occurs more than once across the whole database."""
+    seen: set[Null] = set()
+    for _, relation in database.relations():
+        for row, count in relation.iter_rows(with_multiplicity=True):
+            occurrences = [v for v in row for _ in range(count) if is_null(v)]
+            # Count each occurrence, including repeats inside a single row.
+            row_nulls = [v for v in row if is_null(v)]
+            if count > 1 and row_nulls:
+                return False
+            for value in row_nulls:
+                if value in seen:
+                    return False
+                seen.add(value)
+            del occurrences
+    return True
+
+
+def equal_up_to_null_renaming(left: Database, right: Database) -> bool:
+    """True iff the databases are equal up to a bijective renaming of nulls.
+
+    Used to check the commutation property ``Q(codd(D)) ≃ codd(Q(D))``
+    from the paper's discussion of Codd semantics.  The search is a
+    backtracking bijection search over nulls; fine for the small instances
+    used in tests and examples.
+    """
+    if sorted(left.relation_names()) != sorted(right.relation_names()):
+        return False
+    left_nulls = sorted(left.nulls(), key=str)
+    right_nulls = sorted(right.nulls(), key=str)
+    if len(left_nulls) != len(right_nulls):
+        return False
+    return _match(left, right, left_nulls, {}, set())
+
+
+def _match(
+    left: Database,
+    right: Database,
+    remaining: list[Null],
+    mapping: dict,
+    used: set,
+) -> bool:
+    if not remaining:
+        renamed = left.map_values(lambda v: mapping.get(v, v) if is_null(v) else v)
+        return _same_facts(renamed, right)
+    null = remaining[0]
+    for candidate in sorted(right.nulls(), key=str):
+        if candidate in used:
+            continue
+        mapping[null] = candidate
+        used.add(candidate)
+        if _match(left, right, remaining[1:], mapping, used):
+            return True
+        del mapping[null]
+        used.discard(candidate)
+    return False
+
+
+def _same_facts(left: Database, right: Database) -> bool:
+    for name in set(left.relation_names()) | set(right.relation_names()):
+        left_rows = left.get(name).rows_set() if left.get(name) else frozenset()
+        right_rows = right.get(name).rows_set() if right.get(name) else frozenset()
+        if left_rows != right_rows:
+            return False
+    return True

@@ -1,0 +1,178 @@
+"""Incomplete database instances.
+
+A :class:`Database` maps relation names to :class:`~repro.datamodel.relation.Relation`
+instances.  It exposes the notions from Section 2 of the paper: the sets
+``Const(D)`` and ``Null(D)`` of constants and nulls occurring in ``D``,
+the active domain ``dom(D)``, and completeness (no nulls).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .relation import Relation
+from .schema import DatabaseSchema, RelationSchema
+from .values import Value, is_const, is_null
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of relations, possibly containing nulls."""
+
+    def __init__(self, relations: Mapping[str, Relation] | None = None):
+        self._relations: dict[str, Relation] = dict(relations or {})
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dict(
+        cls, data: Mapping[str, tuple[Sequence[str], Iterable[Sequence[Value]]]]
+    ) -> "Database":
+        """Build a database from ``{name: (attributes, rows)}``."""
+        relations = {
+            name: Relation(attributes, rows) for name, (attributes, rows) in data.items()
+        }
+        return cls(relations)
+
+    def copy(self) -> "Database":
+        return Database(dict(self._relations))
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __getitem__(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} not in database") from None
+
+    def get(self, name: str) -> Relation | None:
+        return self._relations.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def relations(self) -> Iterator[tuple[str, Relation]]:
+        return iter(self._relations.items())
+
+    def with_relation(self, name: str, relation: Relation) -> "Database":
+        """Return a copy of the database with ``name`` bound to ``relation``."""
+        new = dict(self._relations)
+        new[name] = relation
+        return Database(new)
+
+    def without_relation(self, name: str) -> "Database":
+        new = dict(self._relations)
+        new.pop(name, None)
+        return Database(new)
+
+    # ------------------------------------------------------------------
+    # Section 2 notions
+    # ------------------------------------------------------------------
+    def constants(self) -> set:
+        """``Const(D)``: constants occurring anywhere in the database."""
+        result: set = set()
+        for relation in self._relations.values():
+            result |= relation.constants()
+        return result
+
+    def nulls(self) -> set:
+        """``Null(D)``: nulls occurring anywhere in the database."""
+        result: set = set()
+        for relation in self._relations.values():
+            result |= relation.nulls()
+        return result
+
+    def active_domain(self) -> set:
+        """``dom(D) = Const(D) ∪ Null(D)``."""
+        result: set = set()
+        for relation in self._relations.values():
+            result |= relation.active_domain()
+        return result
+
+    def is_complete(self) -> bool:
+        """True iff the database contains no nulls."""
+        return all(relation.is_complete() for relation in self._relations.values())
+
+    def total_rows(self) -> int:
+        """Total number of distinct rows across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def total_rows_bag(self) -> int:
+        """Total number of rows counted with multiplicity."""
+        return sum(r.total_multiplicity() for r in self._relations.values())
+
+    def schema(self) -> DatabaseSchema:
+        """The schema induced by the stored relations."""
+        return DatabaseSchema(
+            RelationSchema(name, relation.attributes)
+            for name, relation in self._relations.items()
+        )
+
+    # ------------------------------------------------------------------
+    # Mapping helpers
+    # ------------------------------------------------------------------
+    def map_values(self, func) -> "Database":
+        """Apply ``func`` to every value in every relation."""
+        return Database(
+            {name: relation.map_values(func) for name, relation in self._relations.items()}
+        )
+
+    def facts(self) -> Iterator[tuple[str, tuple]]:
+        """Iterate over all facts ``(relation_name, row)`` (distinct rows)."""
+        for name, relation in self._relations.items():
+            for row in relation:
+                yield name, row
+
+    # ------------------------------------------------------------------
+    # Equality, containment and display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def issubset_of(self, other: "Database", *, bag: bool = False) -> bool:
+        """Fact-wise containment: every fact of ``self`` appears in ``other``.
+
+        Relations missing from ``self`` are treated as empty.  With
+        ``bag=True`` multiplicities must be dominated as well.
+        """
+        for name, relation in self._relations.items():
+            other_rel = other.get(name)
+            if other_rel is None:
+                if relation:
+                    return False
+                continue
+            if bag:
+                for row, count in relation.iter_rows(with_multiplicity=True):
+                    if other_rel.multiplicity(row) < count:
+                        return False
+            else:
+                if not relation.rows_set() <= other_rel.rows_set():
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name}[{len(rel)}]" for name, rel in self._relations.items())
+        return f"Database({parts})"
+
+    def to_text(self, max_rows: int | None = 20) -> str:
+        """Render every relation as a small fixed-width table."""
+        chunks = []
+        for name, relation in self._relations.items():
+            chunks.append(f"{name}:")
+            chunks.append(relation.to_text(max_rows=max_rows))
+            chunks.append("")
+        return "\n".join(chunks).rstrip()

@@ -1,0 +1,161 @@
+"""Homomorphisms between databases.
+
+Section 4.1 of the paper characterises naïve evaluation via preservation
+under classes of homomorphisms: a homomorphism ``h : D → D'`` maps the
+active domain of ``D`` to that of ``D'`` so that every fact of ``D`` is
+sent to a fact of ``D'``.  Three classes matter:
+
+* arbitrary homomorphisms (identity on constants) — give the OWA
+  semantics ``⟦D⟧_owa``;
+* *onto* homomorphisms — ``h(dom(D)) = dom(D')``;
+* *strong onto* homomorphisms — additionally ``h(D) = D'`` — give the
+  CWA semantics ``⟦D⟧``.
+
+This module searches for homomorphisms between (small) databases by
+backtracking, and classifies a given mapping.  It is used by the tests
+and by the possible-world machinery; the search is exponential in the
+worst case, as expected for a reference implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from .database import Database
+from .values import Value, is_const, is_null
+
+__all__ = [
+    "is_homomorphism",
+    "is_onto_homomorphism",
+    "is_strong_onto_homomorphism",
+    "find_homomorphism",
+    "find_homomorphisms",
+]
+
+
+def _facts(database: Database) -> list[tuple[str, tuple]]:
+    return sorted(database.facts(), key=lambda fact: (fact[0], str(fact[1])))
+
+
+def is_homomorphism(
+    mapping: Mapping[Value, Value], source: Database, target: Database
+) -> bool:
+    """Check that ``mapping`` is a homomorphism ``source → target``.
+
+    The mapping must be defined on all of ``dom(source)`` (constants may be
+    omitted — they are implicitly mapped to themselves), be the identity on
+    constants, and send every fact of ``source`` to a fact of ``target``.
+    """
+
+    def image(value: Value) -> Value:
+        if value in mapping:
+            return mapping[value]
+        return value
+
+    for value in source.active_domain():
+        if is_const(value) and value in mapping and mapping[value] != value:
+            return False
+    for name, row in source.facts():
+        target_rel = target.get(name)
+        if target_rel is None:
+            return False
+        if tuple(image(v) for v in row) not in target_rel:
+            return False
+    return True
+
+
+def is_onto_homomorphism(
+    mapping: Mapping[Value, Value], source: Database, target: Database
+) -> bool:
+    """Check that ``mapping`` is an onto homomorphism: ``h(dom(D)) = dom(D')``."""
+    if not is_homomorphism(mapping, source, target):
+        return False
+    image = {mapping.get(v, v) for v in source.active_domain()}
+    return image == target.active_domain()
+
+
+def is_strong_onto_homomorphism(
+    mapping: Mapping[Value, Value], source: Database, target: Database
+) -> bool:
+    """Check that ``mapping`` is strong onto: ``h(D) = D'`` fact-for-fact."""
+    if not is_homomorphism(mapping, source, target):
+        return False
+
+    def image(value: Value) -> Value:
+        return mapping.get(value, value)
+
+    for name in set(source.relation_names()) | set(target.relation_names()):
+        source_rows = {
+            tuple(image(v) for v in row) for row in (source.get(name) or ())
+        }
+        target_rows = set(target.get(name).rows_set()) if target.get(name) else set()
+        if source_rows != target_rows:
+            return False
+    return True
+
+
+def find_homomorphisms(
+    source: Database,
+    target: Database,
+    *,
+    limit: int | None = None,
+) -> Iterator[dict]:
+    """Enumerate homomorphisms ``source → target`` (identity on constants).
+
+    A straightforward backtracking search over the facts of the source.
+    Intended for small databases (tests, reference checks).
+    """
+    facts = _facts(source)
+    target_domain = sorted(target.active_domain(), key=str)
+    count = 0
+
+    def backtrack(index: int, mapping: dict) -> Iterator[dict]:
+        nonlocal count
+        if limit is not None and count >= limit:
+            return
+        if index == len(facts):
+            # Extend to any unmapped nulls (nulls not occurring in facts).
+            remaining = [n for n in source.nulls() if n not in mapping]
+            if not remaining:
+                count += 1
+                yield dict(mapping)
+                return
+            null = remaining[0]
+            for candidate in target_domain:
+                mapping[null] = candidate
+                yield from backtrack(index, mapping)
+                del mapping[null]
+            return
+        name, row = facts[index]
+        target_rel = target.get(name)
+        if target_rel is None:
+            return
+        for target_row in target_rel:
+            extension: dict = {}
+            ok = True
+            for a, b in zip(row, target_row):
+                current = mapping.get(a, extension.get(a))
+                if is_const(a):
+                    if a != b:
+                        ok = False
+                        break
+                elif current is None:
+                    extension[a] = b
+                elif current != b:
+                    ok = False
+                    break
+            if not ok:
+                continue
+            mapping.update(extension)
+            yield from backtrack(index + 1, mapping)
+            for key in extension:
+                del mapping[key]
+
+    yield from backtrack(0, {})
+
+
+def find_homomorphism(source: Database, target: Database) -> dict | None:
+    """Return some homomorphism ``source → target`` or None if none exists."""
+    for mapping in find_homomorphisms(source, target, limit=1):
+        return mapping
+    return None

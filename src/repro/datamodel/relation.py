@@ -1,0 +1,258 @@
+"""Relations over constants and nulls, with set and bag interpretations.
+
+A relation has a tuple of attribute names and a multiset of rows (each
+row is a Python ``tuple`` of values of the right arity).  The same class
+serves both the set-based theoretical model and the bag-based SQL model:
+the :class:`Relation` always records multiplicities, and the set and bag
+evaluators in :mod:`repro.algebra` choose how to interpret them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from .values import Null, Value, is_const, is_null, value_sort_key
+
+__all__ = ["Row", "Relation"]
+
+#: A database row: a tuple of values (constants and nulls).
+Row = tuple
+
+
+class Relation:
+    """A named collection of rows over a fixed list of attributes.
+
+    Rows are stored with multiplicities (a bag).  ``Relation`` is
+    immutable from the caller's perspective: every operation returns a
+    new relation.  Equality compares attributes and row multiplicities.
+    """
+
+    __slots__ = ("attributes", "_rows")
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        rows: Iterable[Sequence[Value]] = (),
+        multiplicities: Mapping[Row, int] | None = None,
+    ):
+        self.attributes: tuple[str, ...] = tuple(attributes)
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attribute names: {self.attributes}")
+        counter: Counter = Counter()
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != len(self.attributes):
+                raise ValueError(
+                    f"row {tup!r} has arity {len(tup)}, expected {len(self.attributes)}"
+                )
+            counter[tup] += 1
+        if multiplicities:
+            for row, count in multiplicities.items():
+                tup = tuple(row)
+                if len(tup) != len(self.attributes):
+                    raise ValueError(
+                        f"row {tup!r} has arity {len(tup)}, "
+                        f"expected {len(self.attributes)}"
+                    )
+                if count < 0:
+                    raise ValueError(f"negative multiplicity for row {tup!r}")
+                if count:
+                    counter[tup] += count
+        self._rows: Counter = counter
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_counter(cls, attributes: Sequence[str], counter: Mapping[Row, int]) -> "Relation":
+        """Build a relation directly from a row → multiplicity mapping."""
+        return cls(attributes, rows=(), multiplicities=counter)
+
+    @classmethod
+    def empty(cls, attributes: Sequence[str]) -> "Relation":
+        """An empty relation over the given attributes."""
+        return cls(attributes)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of attributes."""
+        return len(self.attributes)
+
+    def multiplicity(self, row: Sequence[Value]) -> int:
+        """Number of occurrences of ``row`` in the bag (0 if absent)."""
+        return self._rows.get(tuple(row), 0)
+
+    def rows_set(self) -> frozenset:
+        """The set of distinct rows (set-semantics view)."""
+        return frozenset(self._rows)
+
+    def rows_bag(self) -> Counter:
+        """A copy of the row → multiplicity mapping (bag-semantics view)."""
+        return Counter(self._rows)
+
+    def iter_rows(self, with_multiplicity: bool = False) -> Iterator:
+        """Iterate over distinct rows; optionally yield ``(row, count)`` pairs."""
+        if with_multiplicity:
+            yield from self._rows.items()
+        else:
+            yield from self._rows
+
+    def iter_rows_bag(self) -> Iterator[Row]:
+        """Iterate over rows with repetition according to multiplicities."""
+        for row, count in self._rows.items():
+            for _ in range(count):
+                yield row
+
+    def __contains__(self, row: Sequence[Value]) -> bool:
+        return tuple(row) in self._rows
+
+    def __len__(self) -> int:
+        """Number of distinct rows (set cardinality)."""
+        return len(self._rows)
+
+    def total_multiplicity(self) -> int:
+        """Total number of rows counted with multiplicity (bag cardinality)."""
+        return sum(self._rows.values())
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    # ------------------------------------------------------------------
+    # Value inspection
+    # ------------------------------------------------------------------
+    def constants(self) -> set:
+        """All constants occurring in the relation."""
+        return {v for row in self._rows for v in row if is_const(v)}
+
+    def nulls(self) -> set:
+        """All nulls occurring in the relation."""
+        return {v for row in self._rows for v in row if is_null(v)}
+
+    def active_domain(self) -> set:
+        """All values (constants and nulls) occurring in the relation."""
+        return {v for row in self._rows for v in row}
+
+    def is_complete(self) -> bool:
+        """True iff the relation contains no nulls."""
+        return not self.nulls()
+
+    def attribute_index(self, attribute: str) -> int:
+        """Position of ``attribute``; raises ``KeyError`` if absent."""
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"attribute {attribute!r} not in {self.attributes}"
+            ) from None
+
+    def column(self, attribute: str) -> list:
+        """The list of values in the given column (distinct rows, in order)."""
+        idx = self.attribute_index(attribute)
+        return [row[idx] for row in self.sorted_rows()]
+
+    # ------------------------------------------------------------------
+    # Transformation helpers (used by evaluators and workload generators)
+    # ------------------------------------------------------------------
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Return a copy with attributes renamed according to ``mapping``."""
+        new_attrs = [mapping.get(a, a) for a in self.attributes]
+        return Relation.from_counter(new_attrs, self._rows)
+
+    def with_attributes(self, attributes: Sequence[str]) -> "Relation":
+        """Return a copy with the attribute list replaced (same arity)."""
+        attributes = tuple(attributes)
+        if len(attributes) != self.arity:
+            raise ValueError(
+                f"cannot relabel arity-{self.arity} relation with {attributes}"
+            )
+        return Relation.from_counter(attributes, self._rows)
+
+    def map_values(self, func) -> "Relation":
+        """Apply ``func`` to every value, summing multiplicities of collisions."""
+        counter: Counter = Counter()
+        for row, count in self._rows.items():
+            counter[tuple(func(v) for v in row)] += count
+        return Relation.from_counter(self.attributes, counter)
+
+    def distinct(self) -> "Relation":
+        """Set-semantics projection of the bag: all multiplicities become 1."""
+        return Relation(self.attributes, rows=self._rows.keys())
+
+    def add_rows(self, rows: Iterable[Sequence[Value]]) -> "Relation":
+        """Return a new relation with the given rows added (bag union)."""
+        counter = Counter(self._rows)
+        for row in rows:
+            tup = tuple(row)
+            if len(tup) != self.arity:
+                raise ValueError(f"row {tup!r} has wrong arity")
+            counter[tup] += 1
+        return Relation.from_counter(self.attributes, counter)
+
+    def sorted_rows(self) -> list[Row]:
+        """Distinct rows in a deterministic order (for printing and tests)."""
+        return sorted(self._rows, key=lambda row: tuple(value_sort_key(v) for v in row))
+
+    # ------------------------------------------------------------------
+    # Equality and display
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.attributes == other.attributes and self._rows == other._rows
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((self.attributes, frozenset(self._rows.items())))
+
+    def same_rows_as(self, other: "Relation", *, bag: bool = False) -> bool:
+        """Compare row contents ignoring attribute names.
+
+        With ``bag=False`` only the sets of distinct rows are compared;
+        with ``bag=True`` multiplicities must match as well.
+        """
+        if self.arity != other.arity:
+            return False
+        if bag:
+            return self._rows == other._rows
+        return self.rows_set() == other.rows_set()
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.attributes)!r}, {len(self)} rows)"
+
+    def to_text(self, max_rows: int | None = 20) -> str:
+        """A small fixed-width rendering of the relation for examples/benchmarks."""
+        rows = self.sorted_rows()
+        shown = rows if max_rows is None else rows[:max_rows]
+        cells = [[str(a) for a in self.attributes]] + [
+            [_render_value(v) for v in row] for row in shown
+        ]
+        widths = [max(len(r[i]) for r in cells) for i in range(self.arity)] if self.arity else []
+        lines = []
+        for i, row in enumerate(cells):
+            line = " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            lines.append(line.rstrip())
+            if i == 0:
+                lines.append("-+-".join("-" * width for width in widths))
+        if max_rows is not None and len(rows) > max_rows:
+            lines.append(f"... ({len(rows) - max_rows} more rows)")
+        if not self.arity:
+            lines = ["(nullary relation: %s)" % ("true" if self else "false")]
+        return "\n".join(lines)
+
+
+def _render_value(value: Value) -> str:
+    if isinstance(value, Null):
+        return str(value)
+    return repr(value) if isinstance(value, str) else str(value)

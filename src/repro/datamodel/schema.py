@@ -1,0 +1,95 @@
+"""Relational schemas: relation names with attribute lists.
+
+A :class:`RelationSchema` gives a relation name and its attributes; a
+:class:`DatabaseSchema` is a collection of relation schemas.  Schemas
+are used by the workload generators, the SQL frontend (name
+resolution) and by the algebra evaluators to check that a query is
+well-formed for the database it runs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["RelationSchema", "DatabaseSchema"]
+
+
+@dataclass(frozen=True)
+class RelationSchema:
+    """Name and attributes of a single relation."""
+
+    name: str
+    attributes: tuple[str, ...]
+
+    def __init__(self, name: str, attributes: Sequence[str]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        if len(set(self.attributes)) != len(self.attributes):
+            raise ValueError(f"duplicate attributes in schema {name}: {attributes}")
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    def has_attribute(self, attribute: str) -> bool:
+        return attribute in self.attributes
+
+    def index_of(self, attribute: str) -> int:
+        try:
+            return self.attributes.index(attribute)
+        except ValueError:
+            raise KeyError(
+                f"attribute {attribute!r} not in relation {self.name}"
+            ) from None
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(self.attributes)})"
+
+
+class DatabaseSchema:
+    """A set of relation schemas, addressable by relation name."""
+
+    def __init__(self, relations: Iterable[RelationSchema] = ()):
+        self._relations: dict[str, RelationSchema] = {}
+        for relation in relations:
+            self.add(relation)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Sequence[str]]) -> "DatabaseSchema":
+        """Build a schema from ``{relation_name: [attr, ...]}``."""
+        return cls(RelationSchema(name, attrs) for name, attrs in mapping.items())
+
+    def add(self, relation: RelationSchema) -> None:
+        if relation.name in self._relations:
+            raise ValueError(f"relation {relation.name!r} already in schema")
+        self._relations[relation.name] = relation
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> RelationSchema:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} not in schema") from None
+
+    def get(self, name: str) -> RelationSchema | None:
+        return self._relations.get(name)
+
+    def __iter__(self) -> Iterator[RelationSchema]:
+        return iter(self._relations.values())
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def relation_names(self) -> list[str]:
+        return list(self._relations)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseSchema):
+            return NotImplemented
+        return self._relations == other._relations
+
+    def __repr__(self) -> str:
+        return f"DatabaseSchema({', '.join(str(r) for r in self)})"

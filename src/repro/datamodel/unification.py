@@ -1,0 +1,137 @@
+"""Unification of tuples containing nulls.
+
+Two tuples ``r̄`` and ``s̄`` are *unifiable*, written ``r̄ ⇑ s̄``, if there
+is a valuation ``v`` with ``v(r̄) = v(s̄)`` (Section 4.2 and Section 5.1 of
+the paper).  Unifiability of flat tuples is decidable in linear time via
+union-find; this module implements it and exposes the most general
+unifier when one exists.
+
+Unification is the workhorse of both approximation schemes (the
+unification anti-semijoin ``⋉⇑`` in Figure 2) and the three-valued atom
+semantics with correctness guarantees (equation 13a).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .values import Value, is_const, is_null
+
+__all__ = ["unifiable", "unify", "most_general_unifier", "tuples_unify_componentwise"]
+
+
+class _UnionFind:
+    """Union-find over arbitrary hashable items, tracking one constant per class."""
+
+    def __init__(self):
+        self._parent: dict = {}
+        self._constant: dict = {}
+
+    def find(self, item):
+        parent = self._parent.setdefault(item, item)
+        if parent != item:
+            root = self.find(parent)
+            self._parent[item] = root
+            return root
+        return item
+
+    def constant_of(self, item):
+        return self._constant.get(self.find(item))
+
+    def union(self, a, b) -> bool:
+        """Merge the classes of ``a`` and ``b``; False on constant clash."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return True
+        ca, cb = self._constant.get(ra), self._constant.get(rb)
+        if ca is not None and cb is not None and ca != cb:
+            return False
+        self._parent[ra] = rb
+        if cb is None and ca is not None:
+            self._constant[rb] = ca
+        return True
+
+    def set_constant(self, item, constant) -> bool:
+        root = self.find(item)
+        existing = self._constant.get(root)
+        if existing is not None and existing != constant:
+            return False
+        self._constant[root] = constant
+        return True
+
+
+def unifiable(left: Sequence[Value], right: Sequence[Value]) -> bool:
+    """Return True iff the two tuples unify (``left ⇑ right``).
+
+    Tuples of different arities never unify.  Constants unify only with
+    equal constants or with nulls; a null can be forced to several values
+    only if they are all equal.
+    """
+    return most_general_unifier(left, right) is not None
+
+
+def most_general_unifier(
+    left: Sequence[Value], right: Sequence[Value]
+) -> dict | None:
+    """Return a most general unifier as ``{null: representative}`` or None.
+
+    In the unifier, each null is mapped either to a constant it must take
+    or to a canonical null of its equivalence class.  Returns ``None`` when
+    the tuples do not unify.
+    """
+    if len(left) != len(right):
+        return None
+    uf = _UnionFind()
+    for a, b in zip(left, right):
+        a_null, b_null = is_null(a), is_null(b)
+        if not a_null and not b_null:
+            if a != b:
+                return None
+        elif a_null and b_null:
+            if not uf.union(a, b):
+                return None
+        elif a_null:
+            if not uf.set_constant(a, b):
+                return None
+        else:
+            if not uf.set_constant(b, a):
+                return None
+    unifier: dict = {}
+    for value in list(left) + list(right):
+        if is_null(value):
+            constant = uf.constant_of(value)
+            unifier[value] = constant if constant is not None else uf.find(value)
+    return unifier
+
+
+def unify(left: Sequence[Value], right: Sequence[Value]) -> tuple | None:
+    """Return the unified tuple (applying the MGU to ``left``) or None.
+
+    Positions whose class has a constant take that constant; positions whose
+    class is purely null keep the class representative null.
+    """
+    mgu = most_general_unifier(left, right)
+    if mgu is None:
+        return None
+    result = []
+    for value in left:
+        if is_null(value):
+            result.append(mgu[value])
+        else:
+            result.append(value)
+    return tuple(result)
+
+
+def tuples_unify_componentwise(left: Sequence[Value], right: Sequence[Value]) -> bool:
+    """A weaker test: every position pair is compatible in isolation.
+
+    Differs from :func:`unifiable` when the same null occurs several times:
+    ``(⊥, ⊥)`` and ``(1, 2)`` are componentwise compatible but not unifiable.
+    Exposed because the difference matters in tests and ablations.
+    """
+    if len(left) != len(right):
+        return False
+    for a, b in zip(left, right):
+        if is_const(a) and is_const(b) and a != b:
+            return False
+    return True

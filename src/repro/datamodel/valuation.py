@@ -1,0 +1,201 @@
+"""Valuations: maps from nulls to constants.
+
+A valuation ``v : Null(D) → Const`` assigns constants to the nulls of a
+database; ``v(D)`` is the complete database obtained by replacing each
+null with its image (Section 2 of the paper).  The closed-world
+semantics ``⟦D⟧`` is the set of all such ``v(D)``; the open-world
+semantics additionally allows arbitrary extra facts.
+
+This module also provides *bijective* valuations onto fresh constants,
+the device used to define naïve evaluation (Section 4.1), and
+enumeration of all valuations into a finite constant pool, used by the
+exact certain-answer and probabilistic modules.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from .database import Database
+from .relation import Relation
+from .values import Null, Value, is_null
+
+__all__ = [
+    "Valuation",
+    "bijective_valuation",
+    "enumerate_valuations",
+    "apply_valuation_to_tuple",
+]
+
+
+class Valuation:
+    """An assignment of constants to nulls.
+
+    The mapping need not cover every null in existence — only the nulls it
+    is applied to.  Applying a valuation to a value, tuple, relation or
+    database replaces mapped nulls by their image and leaves everything
+    else (constants and unmapped nulls) untouched.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Mapping[Null, Value] | None = None):
+        self._mapping: dict[Null, Value] = dict(mapping or {})
+
+    # ------------------------------------------------------------------
+    # Mapping interface
+    # ------------------------------------------------------------------
+    def __getitem__(self, null: Null) -> Value:
+        return self._mapping[null]
+
+    def get(self, null: Null, default: Value = None) -> Value:
+        return self._mapping.get(null, default)
+
+    def __contains__(self, null: Null) -> bool:
+        return null in self._mapping
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __iter__(self) -> Iterator[Null]:
+        return iter(self._mapping)
+
+    def items(self) -> Iterator[tuple[Null, Value]]:
+        return iter(self._mapping.items())
+
+    def domain(self) -> set[Null]:
+        return set(self._mapping)
+
+    def range(self) -> set[Value]:
+        return set(self._mapping.values())
+
+    def as_dict(self) -> dict[Null, Value]:
+        return dict(self._mapping)
+
+    def extended(self, mapping: Mapping[Null, Value]) -> "Valuation":
+        """A new valuation with extra bindings (existing ones take priority)."""
+        merged = dict(mapping)
+        merged.update(self._mapping)
+        return Valuation(merged)
+
+    def is_injective(self) -> bool:
+        return len(set(self._mapping.values())) == len(self._mapping)
+
+    # ------------------------------------------------------------------
+    # Application
+    # ------------------------------------------------------------------
+    def apply_value(self, value: Value) -> Value:
+        """``v(value)``: map a null through the valuation, pass constants through."""
+        if is_null(value) and value in self._mapping:
+            return self._mapping[value]
+        return value
+
+    def apply_tuple(self, row: Sequence[Value]) -> tuple:
+        """``v(t̄)``: apply the valuation componentwise to a tuple."""
+        return tuple(self.apply_value(v) for v in row)
+
+    def apply_relation(self, relation: Relation) -> Relation:
+        """``v(R)``: apply the valuation to every row of a relation."""
+        return relation.map_values(self.apply_value)
+
+    def apply_database(self, database: Database) -> Database:
+        """``v(D)``: apply the valuation to every relation of a database."""
+        return database.map_values(self.apply_value)
+
+    def __call__(self, obj):
+        """Apply to a value, tuple, Relation or Database, by type."""
+        if isinstance(obj, Database):
+            return self.apply_database(obj)
+        if isinstance(obj, Relation):
+            return self.apply_relation(obj)
+        if isinstance(obj, tuple):
+            return self.apply_tuple(obj)
+        return self.apply_value(obj)
+
+    def inverse(self) -> "Valuation":
+        """The inverse map (only meaningful for injective valuations)."""
+        if not self.is_injective():
+            raise ValueError("cannot invert a non-injective valuation")
+        return _InverseValuation({v: k for k, v in self._mapping.items()})
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Valuation):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}→{v!r}" for k, v in self._mapping.items())
+        return f"Valuation({{{inner}}})"
+
+
+class _InverseValuation(Valuation):
+    """Maps fresh constants back to the nulls they stand for.
+
+    Used to implement naïve evaluation, where ``Q_naive(D) = v⁻¹(Q(v(D)))``
+    for a bijective valuation ``v`` onto fresh constants.  The inverse maps
+    arbitrary values (the fresh constants), so it overrides value handling.
+    """
+
+    def __init__(self, mapping: Mapping[Value, Value]):
+        super().__init__({})
+        self._raw = dict(mapping)
+
+    def apply_value(self, value: Value) -> Value:
+        return self._raw.get(value, value)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k!r}→{v!r}" for k, v in self._raw.items())
+        return f"InverseValuation({{{inner}}})"
+
+
+def bijective_valuation(
+    database: Database,
+    avoid: Iterable[Value] = (),
+    prefix: str = "@c",
+) -> Valuation:
+    """A bijective valuation of ``Null(D)`` onto fresh constants.
+
+    The fresh constants are strings ``@c1, @c2, ...`` chosen to be disjoint
+    from the active domain of the database and from the extra values in
+    ``avoid`` (typically the constants mentioned in the query).  This is
+    the valuation used by naïve evaluation (Section 4.1).
+    """
+    used = set(database.active_domain()) | set(avoid)
+    mapping: dict[Null, Value] = {}
+    counter = itertools.count(1)
+    nulls = sorted(database.nulls(), key=lambda n: str(n.label))
+    for null in nulls:
+        while True:
+            candidate = f"{prefix}{next(counter)}"
+            if candidate not in used:
+                break
+        used.add(candidate)
+        mapping[null] = candidate
+    return Valuation(mapping)
+
+
+def enumerate_valuations(
+    nulls: Sequence[Null], constants: Sequence[Value]
+) -> Iterator[Valuation]:
+    """All valuations of the given nulls into the given constant pool.
+
+    This is the finite set ``V_k(D)`` from Section 4.3 when ``constants``
+    is the first ``k`` constants of an enumeration of ``Const``.  The
+    number of valuations is ``len(constants) ** len(nulls)``; callers are
+    expected to keep both small.
+    """
+    nulls = list(dict.fromkeys(nulls))
+    if not nulls:
+        yield Valuation({})
+        return
+    for image in itertools.product(constants, repeat=len(nulls)):
+        yield Valuation(dict(zip(nulls, image)))
+
+
+def apply_valuation_to_tuple(valuation: Valuation, row: Sequence[Value]) -> tuple:
+    """Convenience wrapper mirroring the paper's ``v(t̄)`` notation."""
+    return valuation.apply_tuple(row)

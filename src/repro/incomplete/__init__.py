@@ -1,0 +1,43 @@
+"""Semantics of incompleteness: possible worlds, naïve evaluation, certain answers."""
+
+from .worlds import (
+    constant_pool,
+    count_valuations,
+    fresh_constants,
+    iterate_valuations,
+    iterate_worlds,
+)
+from .naive import naive_boolean, naive_evaluate, naive_evaluate_direct
+from .certain import (
+    CERTAIN_ENUMERATION_LIMIT,
+    certain_answers_intersection,
+    certain_answers_owa,
+    certain_answers_with_nulls,
+    certain_boolean,
+    possible_answers,
+)
+from .certain_objects import (
+    FiniteDatabaseDomain,
+    certain_answer_object,
+    most_informative,
+)
+
+__all__ = [
+    "constant_pool",
+    "fresh_constants",
+    "iterate_valuations",
+    "iterate_worlds",
+    "count_valuations",
+    "naive_evaluate",
+    "naive_evaluate_direct",
+    "naive_boolean",
+    "certain_answers_with_nulls",
+    "certain_answers_intersection",
+    "certain_answers_owa",
+    "certain_boolean",
+    "possible_answers",
+    "CERTAIN_ENUMERATION_LIMIT",
+    "FiniteDatabaseDomain",
+    "certain_answer_object",
+    "most_informative",
+]

@@ -1,0 +1,133 @@
+"""Certain answers as objects: the abstract framework of Section 3.1.
+
+A *database domain* is a triple (I, C, ⟦·⟧) of database objects, complete
+objects, and a semantic function assigning to each object its set of
+possible worlds.  The information preorder is ``x ⪯ y  iff  ⟦y⟧ ⊆ ⟦x⟧``
+(fewer possible worlds = more information), and the information-based
+certain answer of a query on an object is the greatest lower bound, with
+respect to ⪯ on the target domain, of the set of query answers over all
+possible worlds (Definition 3.3).
+
+The paper's results in this framework (Propositions 3.5, 3.6, 3.8) are
+about existence and coincidence of these objects.  We implement the
+framework for *finite* database domains, which is enough to demonstrate
+the phenomena — in particular the non-existence of certO under a CWA
+target (Proposition 3.5) and its coincidence with cert∩ when the target
+has no nulls (Proposition 3.8) — and to use it as an executable
+specification in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Hashable, Iterable, Mapping, Sequence, TypeVar
+
+__all__ = ["FiniteDatabaseDomain", "certain_answer_object", "most_informative"]
+
+Obj = TypeVar("Obj", bound=Hashable)
+
+
+class FiniteDatabaseDomain(Generic[Obj]):
+    """A finite database domain (I, C, ⟦·⟧).
+
+    Parameters
+    ----------
+    objects:
+        The set I of database objects.
+    complete:
+        The subset C ⊆ I of complete objects.
+    semantics:
+        A mapping (or function) assigning to each object its possible
+        worlds, each of which must be a complete object.  Every complete
+        object must be one of its own possible worlds.
+    """
+
+    def __init__(
+        self,
+        objects: Iterable[Obj],
+        complete: Iterable[Obj],
+        semantics: Mapping[Obj, Iterable[Obj]] | Callable[[Obj], Iterable[Obj]],
+    ):
+        self.objects: tuple[Obj, ...] = tuple(objects)
+        self.complete: frozenset[Obj] = frozenset(complete)
+        if not self.complete <= set(self.objects):
+            raise ValueError("complete objects must be among the domain objects")
+        getter = semantics if callable(semantics) else semantics.__getitem__
+        self._semantics: dict[Obj, frozenset[Obj]] = {}
+        for obj in self.objects:
+            worlds = frozenset(getter(obj))
+            if not worlds <= self.complete:
+                raise ValueError(f"possible worlds of {obj!r} must be complete objects")
+            self._semantics[obj] = worlds
+        for obj in self.complete:
+            if obj not in self._semantics[obj]:
+                raise ValueError(f"complete object {obj!r} must satisfy x ∈ ⟦x⟧")
+
+    # ------------------------------------------------------------------
+    # The semantics and the information preorder
+    # ------------------------------------------------------------------
+    def worlds(self, obj: Obj) -> frozenset[Obj]:
+        """``⟦x⟧``: the possible worlds of an object."""
+        return self._semantics[obj]
+
+    def less_informative(self, x: Obj, y: Obj) -> bool:
+        """``x ⪯ y``: every possible world of y is a possible world of x."""
+        return self.worlds(y) <= self.worlds(x)
+
+    def equivalent(self, x: Obj, y: Obj) -> bool:
+        """Information equivalence: same sets of possible worlds."""
+        return self.worlds(x) == self.worlds(y)
+
+    # ------------------------------------------------------------------
+    # Greatest lower bounds
+    # ------------------------------------------------------------------
+    def lower_bounds(self, targets: Iterable[Obj]) -> list[Obj]:
+        """Objects less informative than every target object."""
+        targets = list(targets)
+        return [
+            candidate
+            for candidate in self.objects
+            if all(self.less_informative(candidate, t) for t in targets)
+        ]
+
+    def greatest_lower_bound(self, targets: Iterable[Obj]) -> Obj | None:
+        """The ⪯-greatest lower bound of the targets, if it exists (up to ≡).
+
+        Returns None when no lower bound dominates all others.  When several
+        equivalent maxima exist, one of them is returned.
+        """
+        bounds = self.lower_bounds(targets)
+        for candidate in bounds:
+            if all(self.less_informative(other, candidate) for other in bounds):
+                return candidate
+        return None
+
+
+def certain_answer_object(
+    source: FiniteDatabaseDomain,
+    target: FiniteDatabaseDomain,
+    query: Callable[[Obj], Obj],
+    obj: Obj,
+):
+    """``certO(Q, x)``: the information-based certain answer (Definition 3.3).
+
+    ``query`` maps complete objects of the source domain to complete
+    objects of the target domain.  The result is the ⪯-greatest lower
+    bound, in the target domain, of ``{Q(w) | w ∈ ⟦x⟧}``, or None when it
+    does not exist — which is precisely the situation of Proposition 3.5.
+    """
+    answers = [query(world) for world in sorted(source.worlds(obj), key=repr)]
+    missing = [a for a in answers if a not in set(target.objects)]
+    if missing:
+        raise ValueError(f"query answers {missing!r} are not objects of the target domain")
+    return target.greatest_lower_bound(answers)
+
+
+def most_informative(domain: FiniteDatabaseDomain, objects: Sequence[Obj]) -> list[Obj]:
+    """The ⪯-maximal elements among ``objects`` (used in tests and examples)."""
+    return [
+        x
+        for x in objects
+        if not any(
+            domain.less_informative(x, y) and not domain.equivalent(x, y) for y in objects
+        )
+    ]

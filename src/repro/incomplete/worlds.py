@@ -1,0 +1,89 @@
+"""Possible-world semantics of incomplete databases (Section 2).
+
+Under the closed-world assumption (CWA) the semantics of an incomplete
+database ``D`` is ``⟦D⟧ = {v(D) | v a valuation}``; under the open-world
+assumption (OWA) any complete superset of some ``v(D)`` is also a
+possible world.
+
+``⟦D⟧`` is infinite (valuations range over the countably infinite set of
+constants), so it cannot be materialised.  For *generic* queries,
+however, it suffices to consider valuations into a finite pool of
+constants: the constants of the database, the constants mentioned in the
+query, and one fresh constant per null (so that "all nulls distinct and
+different from everything known" is represented).  This module builds
+such pools and enumerates the corresponding worlds; the exact certain
+answer and probabilistic modules are built on top of it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.valuation import Valuation, enumerate_valuations
+from ..datamodel.values import Value, value_sort_key
+
+__all__ = [
+    "constant_pool",
+    "fresh_constants",
+    "iterate_valuations",
+    "iterate_worlds",
+    "count_valuations",
+]
+
+
+def fresh_constants(count: int, avoid: Iterable[Value], prefix: str = "#f") -> list[str]:
+    """``count`` constants not occurring in ``avoid`` (deterministic names)."""
+    avoid_set = set(avoid)
+    result: list[str] = []
+    counter = itertools.count(1)
+    while len(result) < count:
+        candidate = f"{prefix}{next(counter)}"
+        if candidate not in avoid_set:
+            result.append(candidate)
+            avoid_set.add(candidate)
+    return result
+
+
+def constant_pool(
+    database: Database,
+    query_constants: Iterable[Value] = (),
+    extra_fresh: int | None = None,
+) -> list[Value]:
+    """A finite constant pool adequate for generic queries.
+
+    The pool contains ``Const(D)``, the constants mentioned in the query,
+    and ``extra_fresh`` fresh constants (default: one per null of ``D``,
+    which is enough for a generic query to distinguish "all nulls equal to
+    known values" from "all nulls fresh and distinct").
+    """
+    known = set(database.constants()) | set(query_constants)
+    if extra_fresh is None:
+        extra_fresh = max(1, len(database.nulls()))
+    pool = sorted(known, key=value_sort_key)
+    pool.extend(fresh_constants(extra_fresh, known))
+    return pool
+
+
+def iterate_valuations(
+    database: Database,
+    pool: Sequence[Value],
+) -> Iterator[Valuation]:
+    """All valuations of ``Null(D)`` into the given constant pool."""
+    nulls = sorted(database.nulls(), key=lambda n: str(n.label))
+    yield from enumerate_valuations(nulls, list(pool))
+
+
+def iterate_worlds(
+    database: Database,
+    pool: Sequence[Value],
+) -> Iterator[tuple[Valuation, Database]]:
+    """All pairs ``(v, v(D))`` for valuations into the pool (CWA worlds)."""
+    for valuation in iterate_valuations(database, pool):
+        yield valuation, valuation.apply_database(database)
+
+
+def count_valuations(database: Database, pool: Sequence[Value]) -> int:
+    """The number of valuations into the pool: ``|pool| ** |Null(D)|``."""
+    return len(pool) ** len(database.nulls())

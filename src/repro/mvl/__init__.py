@@ -1,0 +1,112 @@
+"""Many-valued logics for incomplete information (Section 5 of the paper)."""
+
+from .truthvalues import (
+    FALSE,
+    SOMETIMES,
+    SOMETIMES_FALSE,
+    SOMETIMES_TRUE,
+    TRUE,
+    UNKNOWN,
+    TruthValue,
+    from_bool,
+    to_bool_strict,
+)
+from .logic import PropositionalLogic
+from .kleene import L2V, L3V, kleene_and, kleene_not, kleene_or
+from .sixvalued import L6V, SIX_VALUES, knowledge_order_6v, six_valued_logic
+from .assertion import ASSERT_NAME, L3V_ASSERT, assertion
+from .properties import (
+    closed_subsets,
+    is_associative,
+    is_commutative,
+    is_distributive,
+    is_idempotent,
+    is_weakly_idempotent,
+    maximal_idempotent_distributive_sublogics,
+    respects_knowledge_order,
+)
+from .atom_semantics import (
+    AtomSemantics,
+    BOOL_SEMANTICS,
+    MixedSemantics,
+    NULLFREE_SEMANTICS,
+    SQL_SEMANTICS,
+    UNIF_SEMANTICS,
+)
+
+# The first-order layers (fo_eval, capture) depend on repro.calculus, which in
+# turn depends on repro.algebra — and the algebra imports the truth values from
+# this package.  To keep `from repro.mvl import fo_sql` working without a
+# circular import at package-initialisation time, those names are loaded
+# lazily (PEP 562).
+_LAZY_FO = {
+    "Assertion": "fo_eval",
+    "ManyValuedFo": "fo_eval",
+    "fo_bool": "fo_eval",
+    "fo_unif": "fo_eval",
+    "fo_sql": "fo_eval",
+    "fo_sql_assert": "fo_eval",
+    "CapturePair": "capture",
+    "capture": "capture",
+    "captured_answers": "capture",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY_FO.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.mvl' has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+__all__ = [
+    "TruthValue",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "SOMETIMES",
+    "SOMETIMES_TRUE",
+    "SOMETIMES_FALSE",
+    "from_bool",
+    "to_bool_strict",
+    "PropositionalLogic",
+    "L2V",
+    "L3V",
+    "L6V",
+    "L3V_ASSERT",
+    "SIX_VALUES",
+    "six_valued_logic",
+    "knowledge_order_6v",
+    "kleene_and",
+    "kleene_or",
+    "kleene_not",
+    "assertion",
+    "ASSERT_NAME",
+    "is_idempotent",
+    "is_weakly_idempotent",
+    "is_distributive",
+    "is_commutative",
+    "is_associative",
+    "respects_knowledge_order",
+    "closed_subsets",
+    "maximal_idempotent_distributive_sublogics",
+    "AtomSemantics",
+    "MixedSemantics",
+    "BOOL_SEMANTICS",
+    "UNIF_SEMANTICS",
+    "NULLFREE_SEMANTICS",
+    "SQL_SEMANTICS",
+    "ManyValuedFo",
+    "Assertion",
+    "fo_bool",
+    "fo_unif",
+    "fo_sql",
+    "fo_sql_assert",
+    "CapturePair",
+    "capture",
+    "captured_answers",
+]

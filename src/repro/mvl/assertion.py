@@ -1,0 +1,41 @@
+"""The assertion operator ↑ and the logic L3v↑ (end of Section 5.2).
+
+SQL evaluates WHERE conditions in three-valued logic but then keeps only
+the rows whose condition is *true*, collapsing f and u to f.  That
+collapse is the assertion operator of Bochvar: ``↑t = t`` and
+``↑f = ↑u = f``.  The logic L3v extended with ↑, written L3v↑ here,
+underlies the FO↑SQL semantics that captures real SQL behaviour.
+
+Crucially ↑ is **not** monotone with respect to the knowledge order
+(u ⪯ t but ↑u = f ⋠ t = ↑t), which is why SQL can return
+almost-certainly-false answers even though plain FO(L3v) cannot — the
+paper's diagnosis of "the real culprit" in SQL's behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from .kleene import L3V
+from .logic import PropositionalLogic
+from .truthvalues import FALSE, TRUE, UNKNOWN, TruthValue
+
+__all__ = ["assertion", "L3V_ASSERT", "ASSERT_NAME"]
+
+#: Name under which the assertion operator is registered as an extra connective.
+ASSERT_NAME = "assert"
+
+
+def assertion(value: TruthValue) -> TruthValue:
+    """↑: collapse f and u to f, keep t."""
+    return TRUE if value is TRUE else FALSE
+
+
+#: Kleene's logic extended with the assertion operator (written L↑3v in the paper).
+L3V_ASSERT: PropositionalLogic = replace(
+    L3V,
+    name="L3v↑",
+    extra_unary={
+        ASSERT_NAME: PropositionalLogic.tabulate_unary(L3V.values, assertion)
+    },
+)

@@ -1,0 +1,160 @@
+"""Atom semantics for many-valued first-order logics (Section 5).
+
+A semantics assigns a truth value to each atomic formula given the
+database and the values of its terms.  The paper discusses:
+
+* the **Boolean** semantics (equation 12): a relational atom is t iff the
+  tuple is in the relation, f otherwise; equality is t iff the values are
+  equal;
+* the **unification** semantics (equations 13a/13b): an atom is f only
+  when no tuple of the relation unifies with the given one — the
+  semantics with correctness guarantees w.r.t. cert⊥ (Corollary 5.2);
+* the **null-free** semantics (equation 14): atoms involving a null are u
+  — the way SQL treats comparisons;
+* the **SQL mixed** semantics (equation 15): Boolean semantics for base
+  relations, null-free semantics for equality — this yields FOSQL.
+
+Equality is treated as the special relation ``Eq`` so that mixed
+semantics can assign it its own behaviour, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.unification import unifiable
+from ..datamodel.values import Value, is_const, is_null
+from .truthvalues import FALSE, TRUE, UNKNOWN, TruthValue, from_bool
+
+__all__ = [
+    "AtomSemantics",
+    "BOOL_SEMANTICS",
+    "UNIF_SEMANTICS",
+    "NULLFREE_SEMANTICS",
+    "SQL_SEMANTICS",
+    "MixedSemantics",
+]
+
+RelationAtomRule = Callable[[Database, str, tuple], TruthValue]
+EqualityRule = Callable[[Database, Value, Value], TruthValue]
+
+
+# ----------------------------------------------------------------------
+# Relational atom rules
+# ----------------------------------------------------------------------
+def _bool_relation(database: Database, name: str, row: tuple) -> TruthValue:
+    """Equation (12): t iff the tuple is in the relation, f otherwise."""
+    relation = database.get(name)
+    return from_bool(relation is not None and row in relation)
+
+
+def _unif_relation(database: Database, name: str, row: tuple) -> TruthValue:
+    """Equation (13a): f only when no stored tuple unifies with the given one."""
+    relation = database.get(name)
+    if relation is not None and row in relation:
+        return TRUE
+    if relation is not None and any(unifiable(row, other) for other in relation):
+        return UNKNOWN
+    return FALSE
+
+
+def _nullfree_relation(database: Database, name: str, row: tuple) -> TruthValue:
+    """Equation (14): u whenever the tuple involves a null."""
+    if not all(is_const(v) for v in row):
+        return UNKNOWN
+    relation = database.get(name)
+    return from_bool(relation is not None and row in relation)
+
+
+# ----------------------------------------------------------------------
+# Equality rules
+# ----------------------------------------------------------------------
+def _bool_equality(database: Database, left: Value, right: Value) -> TruthValue:
+    return from_bool(left == right)
+
+
+def _unif_equality(database: Database, left: Value, right: Value) -> TruthValue:
+    """Equation (13b): f only when both sides are distinct constants."""
+    if left == right:
+        return TRUE
+    if is_const(left) and is_const(right):
+        return FALSE
+    return UNKNOWN
+
+
+def _nullfree_equality(database: Database, left: Value, right: Value) -> TruthValue:
+    """SQL's comparison rule: u whenever a null is involved."""
+    if is_null(left) or is_null(right):
+        return UNKNOWN
+    return from_bool(left == right)
+
+
+@dataclass(frozen=True)
+class AtomSemantics:
+    """A semantics for atomic formulae: one rule for relations, one for equality.
+
+    ``const``/``null`` tests are always two-valued (they inspect the kind of
+    the value, which is never unknown).
+    """
+
+    name: str
+    relation_rule: RelationAtomRule
+    equality_rule: EqualityRule
+
+    def relation_atom(self, database: Database, relation: str, row: Sequence[Value]) -> TruthValue:
+        return self.relation_rule(database, relation, tuple(row))
+
+    def equality_atom(self, database: Database, left: Value, right: Value) -> TruthValue:
+        return self.equality_rule(database, left, right)
+
+    def const_test(self, value: Value) -> TruthValue:
+        return from_bool(is_const(value))
+
+    def null_test(self, value: Value) -> TruthValue:
+        return from_bool(is_null(value))
+
+
+#: The standard two-valued semantics of atoms (equation 12).
+BOOL_SEMANTICS = AtomSemantics("bool", _bool_relation, _bool_equality)
+
+#: The unification-based three-valued semantics (equations 13a/13b).
+UNIF_SEMANTICS = AtomSemantics("unif", _unif_relation, _unif_equality)
+
+#: The null-free semantics (equation 14) for both relations and equality.
+NULLFREE_SEMANTICS = AtomSemantics("nullfree", _nullfree_relation, _nullfree_equality)
+
+#: The SQL mixed semantics (equation 15): Boolean relations, null-free equality.
+SQL_SEMANTICS = AtomSemantics("sql", _bool_relation, _nullfree_equality)
+
+
+@dataclass(frozen=True)
+class MixedSemantics(AtomSemantics):
+    """A mixed semantics: a per-relation choice among bool / unif / nullfree.
+
+    The paper's notion of "mixed semantics" allows each base relation
+    (including the equality relation ``Eq``) to use any of the three basic
+    semantics.  Unspecified relations default to ``default``.
+    """
+
+    per_relation: Mapping[str, AtomSemantics] = field(default_factory=dict)
+    default: AtomSemantics = BOOL_SEMANTICS
+
+    def __init__(
+        self,
+        per_relation: Mapping[str, AtomSemantics],
+        default: AtomSemantics = BOOL_SEMANTICS,
+        equality: AtomSemantics | None = None,
+        name: str = "mixed",
+    ):
+        equality = equality or per_relation.get("Eq", default)
+        object.__setattr__(self, "per_relation", dict(per_relation))
+        object.__setattr__(self, "default", default)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "relation_rule", self._relation_rule)
+        object.__setattr__(self, "equality_rule", equality.equality_rule)
+
+    def _relation_rule(self, database: Database, relation: str, row: tuple) -> TruthValue:
+        semantics = self.per_relation.get(relation, self.default)
+        return semantics.relation_rule(database, relation, row)

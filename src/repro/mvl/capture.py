@@ -1,0 +1,202 @@
+"""Capturing three-valued logics in Boolean FO (Theorems 5.4 and 5.5).
+
+Boolean FO *captures* a many-valued logic (FO(L), ⟦·⟧) if for every
+formula φ and truth value τ there is a Boolean FO formula ψτ such that
+``⟦φ⟧_{D, ā} = τ`` iff ``D ⊨ ψτ(ā)``.  The paper shows this holds for
+FO(L3v) under every mixed semantics, and even for FO↑SQL — i.e. SQL's
+three-valued logic adds no expressive power over Boolean FO.
+
+The construction here is the standard pair translation: each three-valued
+formula φ is mapped to a pair ``(φ_t, φ_f)`` of Boolean formulae
+capturing "φ is true" and "φ is false"; ``φ_u`` is then ``¬φ_t ∧ ¬φ_f``.
+The rules follow Kleene's tables::
+
+    (¬φ)_t = φ_f                (¬φ)_f = φ_t
+    (φ∧ψ)_t = φ_t ∧ ψ_t         (φ∧ψ)_f = φ_f ∨ ψ_f
+    (φ∨ψ)_t = φ_t ∨ ψ_t         (φ∨ψ)_f = φ_f ∧ ψ_f
+    (∃x φ)_t = ∃x φ_t           (∃x φ)_f = ∀x φ_f
+    (∀x φ)_t = ∀x φ_t           (∀x φ)_f = ∃x φ_f
+    (↑φ)_t  = φ_t               (↑φ)_f  = ¬φ_t
+
+and, for atoms, the Boolean definition of each atom semantics:
+
+* Boolean atoms: ``(R(x̄))_t = R(x̄)``, ``(R(x̄))_f = ¬R(x̄)``;
+* null-free atoms: guarded by ``const`` tests on every term;
+* unification atoms for equality: ``(x=y)_f = x≠y ∧ const(x) ∧ const(y)``;
+* unification atoms for relations are supported for Codd-style use: the
+  falsity formula states that no stored tuple matches the given one
+  componentwise (equal or one side null), which coincides with
+  unifiability whenever no null repeats inside a single stored tuple.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..calculus import ast as fo
+from ..datamodel.database import Database
+from .atom_semantics import (
+    AtomSemantics,
+    BOOL_SEMANTICS,
+    NULLFREE_SEMANTICS,
+    SQL_SEMANTICS,
+    UNIF_SEMANTICS,
+)
+from .fo_eval import Assertion
+
+__all__ = ["CapturePair", "capture", "captured_answers"]
+
+
+@dataclass(frozen=True)
+class CapturePair:
+    """Boolean FO formulae capturing truth and falsity of a three-valued formula."""
+
+    when_true: fo.Formula
+    when_false: fo.Formula
+
+    @property
+    def when_unknown(self) -> fo.Formula:
+        """The formula capturing the truth value u: neither true nor false."""
+        return fo.And(fo.Not(self.when_true), fo.Not(self.when_false))
+
+
+_FRESH_COUNTER = [0]
+
+
+def _fresh_vars(count: int) -> list[fo.Var]:
+    _FRESH_COUNTER[0] += 1
+    stamp = _FRESH_COUNTER[0]
+    return [fo.Var(f"_cap{stamp}_{i}") for i in range(count)]
+
+
+def capture(formula: fo.Formula, atoms: AtomSemantics = SQL_SEMANTICS) -> CapturePair:
+    """Translate a formula of FO(L3v)/FO↑SQL into its Boolean capture pair."""
+    if isinstance(formula, fo.TrueFormula):
+        return CapturePair(fo.TrueFormula(), fo.FalseFormula())
+    if isinstance(formula, fo.FalseFormula):
+        return CapturePair(fo.FalseFormula(), fo.TrueFormula())
+    if isinstance(formula, fo.RelAtom):
+        return _capture_relation_atom(formula, atoms)
+    if isinstance(formula, fo.EqAtom):
+        return _capture_equality_atom(formula, atoms)
+    if isinstance(formula, fo.ConstTest):
+        return CapturePair(formula, fo.NullTest(formula.term))
+    if isinstance(formula, fo.NullTest):
+        return CapturePair(formula, fo.ConstTest(formula.term))
+    if isinstance(formula, fo.Not):
+        inner = capture(formula.operand, atoms)
+        return CapturePair(inner.when_false, inner.when_true)
+    if isinstance(formula, fo.And):
+        left, right = capture(formula.left, atoms), capture(formula.right, atoms)
+        return CapturePair(
+            fo.And(left.when_true, right.when_true),
+            fo.Or(left.when_false, right.when_false),
+        )
+    if isinstance(formula, fo.Or):
+        left, right = capture(formula.left, atoms), capture(formula.right, atoms)
+        return CapturePair(
+            fo.Or(left.when_true, right.when_true),
+            fo.And(left.when_false, right.when_false),
+        )
+    if isinstance(formula, fo.Implies):
+        return capture(fo.Or(fo.Not(formula.left), formula.right), atoms)
+    if isinstance(formula, Assertion):
+        inner = capture(formula.operand, atoms)
+        return CapturePair(inner.when_true, fo.Not(inner.when_true))
+    if isinstance(formula, fo.Exists):
+        inner = capture(formula.body, atoms)
+        return CapturePair(
+            fo.Exists(formula.variables, inner.when_true),
+            fo.Forall(formula.variables, inner.when_false),
+        )
+    if isinstance(formula, fo.Forall):
+        inner = capture(formula.body, atoms)
+        return CapturePair(
+            fo.Forall(formula.variables, inner.when_true),
+            fo.Exists(formula.variables, inner.when_false),
+        )
+    raise TypeError(f"cannot capture formula of type {type(formula).__name__}")
+
+
+def _const_guard(terms) -> fo.Formula:
+    return fo.conjunction([fo.ConstTest(t) for t in terms])
+
+
+def _capture_relation_atom(atom: fo.RelAtom, atoms: AtomSemantics) -> CapturePair:
+    semantics = _semantics_for(atoms, atom.relation)
+    if semantics is BOOL_SEMANTICS or semantics.name == "bool":
+        return CapturePair(atom, fo.Not(atom))
+    if semantics is NULLFREE_SEMANTICS or semantics.name == "nullfree":
+        guard = _const_guard(atom.terms)
+        return CapturePair(fo.And(atom, guard), fo.And(fo.Not(atom), guard))
+    if semantics is UNIF_SEMANTICS or semantics.name == "unif":
+        # Falsity: no stored tuple matches the given one componentwise
+        # (equal, or one of the two sides is a null).
+        fresh = _fresh_vars(len(atom.terms))
+        matches = fo.conjunction(
+            [
+                fo.Or(
+                    fo.EqAtom(term, var),
+                    fo.Or(fo.NullTest(term), fo.NullTest(var)),
+                )
+                for term, var in zip(atom.terms, fresh)
+            ]
+        )
+        some_match = fo.Exists(fresh, fo.And(fo.RelAtom(atom.relation, fresh), matches))
+        return CapturePair(atom, fo.Not(some_match))
+    raise ValueError(f"cannot capture atoms under semantics {semantics.name!r}")
+
+
+def _capture_equality_atom(atom: fo.EqAtom, atoms: AtomSemantics) -> CapturePair:
+    # Equality uses the semantics registered for the special relation "Eq".
+    semantics_name = _equality_semantics_name(atoms)
+    if semantics_name == "bool":
+        return CapturePair(atom, fo.Not(atom))
+    guard = _const_guard((atom.left, atom.right))
+    # Both the null-free and the unification semantics for equality say:
+    # true iff equal (nullfree additionally requires constants, but equal
+    # nulls are also certainly equal under unif); false iff distinct constants.
+    if semantics_name == "nullfree":
+        return CapturePair(fo.And(atom, guard), fo.And(fo.Not(atom), guard))
+    if semantics_name == "unif":
+        return CapturePair(atom, fo.And(fo.Not(atom), guard))
+    raise ValueError(f"cannot capture equality under semantics {semantics_name!r}")
+
+
+def _semantics_for(atoms: AtomSemantics, relation: str) -> AtomSemantics:
+    per_relation = getattr(atoms, "per_relation", None)
+    if per_relation and relation in per_relation:
+        return per_relation[relation]
+    if atoms.name == "sql":
+        return BOOL_SEMANTICS
+    default = getattr(atoms, "default", None)
+    return default if default is not None else atoms
+
+
+def _equality_semantics_name(atoms: AtomSemantics) -> str:
+    if atoms.name == "sql":
+        return "nullfree"
+    if atoms.name in ("bool", "unif", "nullfree"):
+        return atoms.name
+    per_relation = getattr(atoms, "per_relation", {})
+    if "Eq" in per_relation:
+        return per_relation["Eq"].name
+    default = getattr(atoms, "default", None)
+    return default.name if default is not None else "bool"
+
+
+def captured_answers(
+    formula: fo.Formula,
+    database: Database,
+    free,
+    atoms: AtomSemantics = SQL_SEMANTICS,
+):
+    """Evaluate ``Q_φ`` through its Boolean capture formula ψ_t (Theorem 5.5).
+
+    Returns the same relation as evaluating φ in the three-valued semantics
+    and keeping the tuples with value t — checked by the test suite.
+    """
+    from ..calculus.evaluation import FoQuery
+
+    pair = capture(formula, atoms)
+    return FoQuery(pair.when_true, free=list(free)).answers(database)

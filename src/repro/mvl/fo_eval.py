@@ -1,0 +1,221 @@
+"""Many-valued first-order evaluation: the logics FO(L) of Section 5.
+
+Given a propositional logic L and an atom semantics, a formula is
+evaluated bottom-up: the connectives follow L's truth tables (equation
+10) and the quantifiers fold ∨ / ∧ over the active domain (equation 11).
+The assertion operator ↑ of L3v↑ is available through the
+:class:`Assertion` formula wrapper, which lets us express the FO core of
+SQL, FO↑SQL, and reproduce its behaviour (e.g. returning
+almost-certainly-false answers on the ``R − (S − T)`` example).
+
+The pre-built semantics:
+
+* ``fo_bool``      — FO(L2v) with Boolean atoms: classical FO;
+* ``fo_unif``      — FO(L3v) with unification atoms: the semantics with
+  correctness guarantees for cert⊥ (Corollary 5.2);
+* ``fo_sql``       — FOSQL = FO(L3v) with the SQL mixed atom semantics;
+* ``fo_sql_assert``— FO↑SQL = FO(L3v↑) with the SQL mixed atom semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..calculus import ast as fo
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Value, value_sort_key
+from .assertion import ASSERT_NAME, L3V_ASSERT
+from .atom_semantics import (
+    AtomSemantics,
+    BOOL_SEMANTICS,
+    SQL_SEMANTICS,
+    UNIF_SEMANTICS,
+)
+from .kleene import L2V, L3V
+from .logic import PropositionalLogic
+from .truthvalues import FALSE, TRUE, UNKNOWN, TruthValue
+
+__all__ = [
+    "Assertion",
+    "ManyValuedFo",
+    "fo_bool",
+    "fo_unif",
+    "fo_sql",
+    "fo_sql_assert",
+]
+
+
+@dataclass(frozen=True)
+class Assertion(fo.Formula):
+    """The assertion operator ↑φ: t if φ is t, f otherwise.
+
+    Only meaningful in logics that define the ``assert`` connective (L3v↑).
+    """
+
+    operand: fo.Formula
+
+    def children(self) -> tuple[fo.Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"↑({self.operand})"
+
+
+class ManyValuedFo:
+    """The many-valued first-order logic (FO(L), ⟦·⟧) for a logic and atom semantics."""
+
+    def __init__(self, logic: PropositionalLogic, atoms: AtomSemantics, name: str | None = None):
+        self.logic = logic
+        self.atoms = atoms
+        self.name = name or f"FO({logic.name}, {atoms.name})"
+
+    # ------------------------------------------------------------------
+    # Formula evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        formula: fo.Formula,
+        database: Database,
+        assignment: Mapping[fo.Var, Value] | None = None,
+        domain: Sequence[Value] | None = None,
+    ) -> TruthValue:
+        """``⟦φ⟧_{D, ā}``: the truth value of the formula under the assignment."""
+        assignment = dict(assignment or {})
+        if domain is None:
+            domain = self._domain(formula, database)
+        return self._eval(formula, database, assignment, list(domain))
+
+    def _domain(self, formula: fo.Formula, database: Database) -> list[Value]:
+        values = set(database.active_domain()) | fo.constants_mentioned(formula)
+        return sorted(values, key=value_sort_key)
+
+    def _resolve(self, term: fo.FoTerm, assignment) -> Value:
+        if isinstance(term, fo.Var):
+            return assignment[term]
+        if isinstance(term, fo.ConstTerm):
+            return term.value
+        raise TypeError(f"unknown term {term!r}")
+
+    def _eval(self, formula, database, assignment, domain) -> TruthValue:
+        logic = self.logic
+        if isinstance(formula, fo.TrueFormula):
+            return TRUE
+        if isinstance(formula, fo.FalseFormula):
+            return FALSE
+        if isinstance(formula, fo.RelAtom):
+            row = tuple(self._resolve(t, assignment) for t in formula.terms)
+            return self.atoms.relation_atom(database, formula.relation, row)
+        if isinstance(formula, fo.EqAtom):
+            return self.atoms.equality_atom(
+                database,
+                self._resolve(formula.left, assignment),
+                self._resolve(formula.right, assignment),
+            )
+        if isinstance(formula, fo.ConstTest):
+            return self.atoms.const_test(self._resolve(formula.term, assignment))
+        if isinstance(formula, fo.NullTest):
+            return self.atoms.null_test(self._resolve(formula.term, assignment))
+        if isinstance(formula, fo.Not):
+            return logic.neg(self._eval(formula.operand, database, assignment, domain))
+        if isinstance(formula, fo.And):
+            return logic.conj(
+                self._eval(formula.left, database, assignment, domain),
+                self._eval(formula.right, database, assignment, domain),
+            )
+        if isinstance(formula, fo.Or):
+            return logic.disj(
+                self._eval(formula.left, database, assignment, domain),
+                self._eval(formula.right, database, assignment, domain),
+            )
+        if isinstance(formula, fo.Implies):
+            # φ → ψ is ¬φ ∨ ψ in every logic considered here.
+            return logic.disj(
+                logic.neg(self._eval(formula.left, database, assignment, domain)),
+                self._eval(formula.right, database, assignment, domain),
+            )
+        if isinstance(formula, Assertion):
+            return logic.unary(
+                ASSERT_NAME, self._eval(formula.operand, database, assignment, domain)
+            )
+        if isinstance(formula, fo.Exists):
+            return self._quantify(formula, database, assignment, domain, existential=True)
+        if isinstance(formula, fo.Forall):
+            return self._quantify(formula, database, assignment, domain, existential=False)
+        raise TypeError(f"unknown formula type {type(formula).__name__}")
+
+    def _quantify(self, formula, database, assignment, domain, *, existential: bool) -> TruthValue:
+        variables = list(formula.variables)
+
+        def recurse(index: int) -> TruthValue:
+            if index == len(variables):
+                return self._eval(formula.body, database, assignment, domain)
+            var = variables[index]
+            saved = assignment.get(var, _MISSING)
+            values = []
+            for value in domain:
+                assignment[var] = value
+                values.append(recurse(index + 1))
+            if saved is _MISSING:
+                assignment.pop(var, None)
+            else:
+                assignment[var] = saved
+            if existential:
+                return self.logic.disj_all(values, FALSE)
+            return self.logic.conj_all(values, TRUE)
+
+        return recurse(0)
+
+    # ------------------------------------------------------------------
+    # Query answering: keep the tuples whose condition evaluates to t
+    # ------------------------------------------------------------------
+    def answers(
+        self,
+        formula: fo.Formula,
+        database: Database,
+        free: Sequence[fo.Var | str],
+        *,
+        keep: tuple[TruthValue, ...] = (TRUE,),
+    ) -> Relation:
+        """``Q_φ(D)``: the assignments whose truth value is in ``keep`` (default: t only)."""
+        free_vars = tuple(fo.Var(v) if isinstance(v, str) else v for v in free)
+        domain = self._domain(formula, database)
+        rows = []
+        for row in _tuples(domain, len(free_vars)):
+            assignment = dict(zip(free_vars, row))
+            if self._eval(formula, database, assignment, domain) in keep:
+                rows.append(row)
+        return Relation(tuple(v.name for v in free_vars), rows)
+
+
+_MISSING = object()
+
+
+def _tuples(domain: Sequence[Value], arity: int):
+    if arity == 0:
+        yield ()
+        return
+    import itertools
+
+    yield from itertools.product(domain, repeat=arity)
+
+
+def fo_bool() -> ManyValuedFo:
+    """Classical Boolean FO: FO(L2v, ⟦·⟧_bool)."""
+    return ManyValuedFo(L2V, BOOL_SEMANTICS, name="FO(L2v, bool)")
+
+
+def fo_unif() -> ManyValuedFo:
+    """FO(L3v) with the unification atom semantics (Corollary 5.2)."""
+    return ManyValuedFo(L3V, UNIF_SEMANTICS, name="FO(L3v, unif)")
+
+
+def fo_sql() -> ManyValuedFo:
+    """FOSQL: FO(L3v) with the SQL mixed atom semantics (equation 15)."""
+    return ManyValuedFo(L3V, SQL_SEMANTICS, name="FOSQL")
+
+
+def fo_sql_assert() -> ManyValuedFo:
+    """FO↑SQL: FO(L3v↑) with the SQL mixed atom semantics — the FO core of SQL."""
+    return ManyValuedFo(L3V_ASSERT, SQL_SEMANTICS, name="FO↑SQL")

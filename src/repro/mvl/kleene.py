@@ -1,0 +1,74 @@
+"""Kleene's three-valued logic L3v and the Boolean logic L2v.
+
+The truth tables are those of Figure 3 of the paper; the knowledge order
+has ``u`` below both ``t`` and ``f`` (which are incomparable), with ``u``
+as the no-information bottom value τ₀.
+"""
+
+from __future__ import annotations
+
+from .logic import PropositionalLogic
+from .truthvalues import FALSE, TRUE, UNKNOWN, TruthValue
+
+__all__ = ["L2V", "L3V", "kleene_and", "kleene_or", "kleene_not"]
+
+
+def kleene_and(a: TruthValue, b: TruthValue) -> TruthValue:
+    """Kleene conjunction: false dominates, unknown otherwise unless both true."""
+    if a is FALSE or b is FALSE:
+        return FALSE
+    if a is TRUE and b is TRUE:
+        return TRUE
+    return UNKNOWN
+
+
+def kleene_or(a: TruthValue, b: TruthValue) -> TruthValue:
+    """Kleene disjunction: true dominates, unknown otherwise unless both false."""
+    if a is TRUE or b is TRUE:
+        return TRUE
+    if a is FALSE and b is FALSE:
+        return FALSE
+    return UNKNOWN
+
+
+def kleene_not(a: TruthValue) -> TruthValue:
+    """Kleene negation: swaps t and f, fixes u."""
+    if a is TRUE:
+        return FALSE
+    if a is FALSE:
+        return TRUE
+    return UNKNOWN
+
+
+_BOOL_VALUES = (TRUE, FALSE)
+_KLEENE_VALUES = (TRUE, FALSE, UNKNOWN)
+
+#: The familiar two-valued Boolean logic.
+L2V = PropositionalLogic(
+    name="L2v",
+    values=_BOOL_VALUES,
+    and_table=PropositionalLogic.tabulate_binary(_BOOL_VALUES, kleene_and),
+    or_table=PropositionalLogic.tabulate_binary(_BOOL_VALUES, kleene_or),
+    not_table=PropositionalLogic.tabulate_unary(_BOOL_VALUES, kleene_not),
+    knowledge_order=frozenset({(TRUE, TRUE), (FALSE, FALSE)}),
+    bottom=None,
+)
+
+#: Kleene's three-valued logic, the logic underlying SQL (Figure 3).
+L3V = PropositionalLogic(
+    name="L3v",
+    values=_KLEENE_VALUES,
+    and_table=PropositionalLogic.tabulate_binary(_KLEENE_VALUES, kleene_and),
+    or_table=PropositionalLogic.tabulate_binary(_KLEENE_VALUES, kleene_or),
+    not_table=PropositionalLogic.tabulate_unary(_KLEENE_VALUES, kleene_not),
+    knowledge_order=frozenset(
+        {
+            (TRUE, TRUE),
+            (FALSE, FALSE),
+            (UNKNOWN, UNKNOWN),
+            (UNKNOWN, TRUE),
+            (UNKNOWN, FALSE),
+        }
+    ),
+    bottom=UNKNOWN,
+)

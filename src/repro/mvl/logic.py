@@ -1,0 +1,181 @@
+"""Propositional many-valued logics (Section 5).
+
+A propositional many-valued logic is a pair (T, Ω) of truth values and
+connectives.  :class:`PropositionalLogic` represents one with explicit
+truth tables for ∧, ∨ and ¬ (plus optional extra unary connectives such
+as the assertion operator ↑), together with a *knowledge order* on the
+truth values (Section 5.1): ``u ⪯ t`` and ``u ⪯ f`` in Kleene's logic,
+and the corresponding order for richer logics.
+
+The property checks used by Theorem 5.3 and Theorem 5.1 — idempotency,
+distributivity, monotonicity with respect to the knowledge order — live
+in :mod:`repro.mvl.properties`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping, Sequence
+
+from .truthvalues import TruthValue
+
+__all__ = ["PropositionalLogic"]
+
+BinaryTable = Mapping[tuple[TruthValue, TruthValue], TruthValue]
+UnaryTable = Mapping[TruthValue, TruthValue]
+
+
+@dataclass(frozen=True)
+class PropositionalLogic:
+    """A propositional logic given by explicit truth tables.
+
+    Attributes
+    ----------
+    name:
+        A short name ("L2v", "L3v", "L6v", ...).
+    values:
+        The truth values, in a fixed order.
+    and_table, or_table, not_table:
+        Truth tables of the standard connectives.
+    knowledge_order:
+        The set of pairs (a, b) with a ⪯ b (must contain the reflexive
+        pairs).  ``bottom`` is the least element τ₀ (no-information value)
+        when one exists.
+    extra_unary:
+        Additional unary connectives by name (e.g. ``{"assert": table}``).
+    """
+
+    name: str
+    values: tuple[TruthValue, ...]
+    and_table: dict[tuple[TruthValue, TruthValue], TruthValue]
+    or_table: dict[tuple[TruthValue, TruthValue], TruthValue]
+    not_table: dict[TruthValue, TruthValue]
+    knowledge_order: frozenset[tuple[TruthValue, TruthValue]]
+    bottom: TruthValue | None = None
+    extra_unary: dict[str, dict[TruthValue, TruthValue]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def conj(self, a: TruthValue, b: TruthValue) -> TruthValue:
+        """a ∧ b."""
+        return self.and_table[(a, b)]
+
+    def disj(self, a: TruthValue, b: TruthValue) -> TruthValue:
+        """a ∨ b."""
+        return self.or_table[(a, b)]
+
+    def neg(self, a: TruthValue) -> TruthValue:
+        """¬a."""
+        return self.not_table[a]
+
+    def unary(self, name: str, a: TruthValue) -> TruthValue:
+        """An extra unary connective by name (e.g. the assertion operator)."""
+        try:
+            table = self.extra_unary[name]
+        except KeyError:
+            raise KeyError(f"logic {self.name} has no unary connective {name!r}") from None
+        return table[a]
+
+    def conj_all(self, values: Iterable[TruthValue], empty: TruthValue) -> TruthValue:
+        """Fold ∧ over a sequence (used for ∀ in the FO lift)."""
+        result = empty
+        first = True
+        for value in values:
+            result = value if first else self.conj(result, value)
+            first = False
+        return result
+
+    def disj_all(self, values: Iterable[TruthValue], empty: TruthValue) -> TruthValue:
+        """Fold ∨ over a sequence (used for ∃ in the FO lift)."""
+        result = empty
+        first = True
+        for value in values:
+            result = value if first else self.disj(result, value)
+            first = False
+        return result
+
+    # ------------------------------------------------------------------
+    # Knowledge order
+    # ------------------------------------------------------------------
+    def leq_knowledge(self, a: TruthValue, b: TruthValue) -> bool:
+        """a ⪯ b in the knowledge order."""
+        return (a, b) in self.knowledge_order
+
+    def knowledge_glb(self, values: Sequence[TruthValue]) -> TruthValue | None:
+        """The ⪯-greatest lower bound of a set of values, if it exists."""
+        values = list(values)
+        lower = [
+            candidate
+            for candidate in self.values
+            if all(self.leq_knowledge(candidate, v) for v in values)
+        ]
+        for candidate in lower:
+            if all(self.leq_knowledge(other, candidate) for other in lower):
+                return candidate
+        return None
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def tabulate_binary(
+        values: Sequence[TruthValue], func: Callable[[TruthValue, TruthValue], TruthValue]
+    ) -> dict[tuple[TruthValue, TruthValue], TruthValue]:
+        """Materialise a binary truth table from a function."""
+        return {(a, b): func(a, b) for a in values for b in values}
+
+    @staticmethod
+    def tabulate_unary(
+        values: Sequence[TruthValue], func: Callable[[TruthValue], TruthValue]
+    ) -> dict[TruthValue, TruthValue]:
+        """Materialise a unary truth table from a function."""
+        return {a: func(a) for a in values}
+
+    def restrict(self, subset: Sequence[TruthValue], name: str | None = None) -> "PropositionalLogic":
+        """The sublogic over a subset of values (must be closed under the connectives)."""
+        subset = tuple(subset)
+        subset_set = set(subset)
+        for a in subset:
+            if self.neg(a) not in subset_set:
+                raise ValueError(f"{subset} is not closed under ¬")
+            for b in subset:
+                if self.conj(a, b) not in subset_set or self.disj(a, b) not in subset_set:
+                    raise ValueError(f"{subset} is not closed under ∧/∨")
+        return PropositionalLogic(
+            name=name or f"{self.name}|{{{', '.join(str(v) for v in subset)}}}",
+            values=subset,
+            and_table={k: v for k, v in self.and_table.items() if set(k) <= subset_set},
+            or_table={k: v for k, v in self.or_table.items() if set(k) <= subset_set},
+            not_table={k: v for k, v in self.not_table.items() if k in subset_set},
+            knowledge_order=frozenset(
+                (a, b) for a, b in self.knowledge_order if a in subset_set and b in subset_set
+            ),
+            bottom=self.bottom if self.bottom in subset_set else None,
+            extra_unary={
+                name: {k: v for k, v in table.items() if k in subset_set}
+                for name, table in self.extra_unary.items()
+                if all(v in subset_set for k, v in table.items() if k in subset_set)
+            },
+        )
+
+    def truth_table_text(self) -> str:
+        """Render the ∧, ∨, ¬ tables as fixed-width text (Figure 3 style)."""
+        width = max(len(str(v)) for v in self.values) + 1
+        lines = []
+        for symbol, table in (("∧", self.and_table), ("∨", self.or_table)):
+            header = symbol.ljust(width) + "".join(str(v).ljust(width) for v in self.values)
+            lines.append(header)
+            for a in self.values:
+                row = str(a).ljust(width) + "".join(
+                    str(table[(a, b)]).ljust(width) for b in self.values
+                )
+                lines.append(row)
+            lines.append("")
+        lines.append("¬".ljust(width))
+        for a in self.values:
+            lines.append(str(a).ljust(width) + str(self.not_table[a]).ljust(width))
+        return "\n".join(line.rstrip() for line in lines)
+
+    def __repr__(self) -> str:
+        return f"PropositionalLogic({self.name}, values={[str(v) for v in self.values]})"

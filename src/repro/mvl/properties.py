@@ -1,0 +1,139 @@
+"""Algebraic properties of propositional many-valued logics.
+
+Used for two results of the paper:
+
+* Theorem 5.3 — Kleene's L3v is the *maximal* sublogic of L6v that is
+  both idempotent and distributive (the two properties query optimisers
+  rely on);
+* Theorem 5.1's premise — the connectives must be monotone with respect
+  to the knowledge order for a many-valued evaluation to have
+  correctness guarantees; the assertion operator ↑ famously is not.
+
+All checks are exhaustive over the (small) value sets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Sequence
+
+from .logic import PropositionalLogic
+from .truthvalues import TruthValue
+
+__all__ = [
+    "is_idempotent",
+    "is_distributive",
+    "is_commutative",
+    "is_associative",
+    "respects_knowledge_order",
+    "is_weakly_idempotent",
+    "closed_subsets",
+    "maximal_idempotent_distributive_sublogics",
+]
+
+
+def is_idempotent(logic: PropositionalLogic) -> bool:
+    """a ∧ a = a and a ∨ a = a for every value a."""
+    return all(
+        logic.conj(a, a) == a and logic.disj(a, a) == a for a in logic.values
+    )
+
+
+def is_weakly_idempotent(logic: PropositionalLogic) -> bool:
+    """a ∨ a ∨ a = a ∨ a (and dually for ∧) — the premise of Theorem 5.4's general form."""
+    for a in logic.values:
+        twice_or = logic.disj(a, a)
+        if logic.disj(twice_or, a) != twice_or:
+            return False
+        twice_and = logic.conj(a, a)
+        if logic.conj(twice_and, a) != twice_and:
+            return False
+    return True
+
+
+def is_commutative(logic: PropositionalLogic) -> bool:
+    """∧ and ∨ are commutative."""
+    return all(
+        logic.conj(a, b) == logic.conj(b, a) and logic.disj(a, b) == logic.disj(b, a)
+        for a in logic.values
+        for b in logic.values
+    )
+
+
+def is_associative(logic: PropositionalLogic) -> bool:
+    """∧ and ∨ are associative."""
+    for a, b, c in itertools.product(logic.values, repeat=3):
+        if logic.conj(logic.conj(a, b), c) != logic.conj(a, logic.conj(b, c)):
+            return False
+        if logic.disj(logic.disj(a, b), c) != logic.disj(a, logic.disj(b, c)):
+            return False
+    return True
+
+
+def is_distributive(logic: PropositionalLogic) -> bool:
+    """∧ distributes over ∨ and ∨ distributes over ∧."""
+    for a, b, c in itertools.product(logic.values, repeat=3):
+        if logic.conj(a, logic.disj(b, c)) != logic.disj(logic.conj(a, b), logic.conj(a, c)):
+            return False
+        if logic.disj(a, logic.conj(b, c)) != logic.conj(logic.disj(a, b), logic.disj(a, c)):
+            return False
+    return True
+
+
+def respects_knowledge_order(logic: PropositionalLogic, include_extra: bool = True) -> bool:
+    """Every connective is monotone w.r.t. the knowledge order (condition (2) of §5.1)."""
+    values = logic.values
+    for a1, a2, b1, b2 in itertools.product(values, repeat=4):
+        if not (logic.leq_knowledge(a1, a2) and logic.leq_knowledge(b1, b2)):
+            continue
+        if not logic.leq_knowledge(logic.conj(a1, b1), logic.conj(a2, b2)):
+            return False
+        if not logic.leq_knowledge(logic.disj(a1, b1), logic.disj(a2, b2)):
+            return False
+    for a1, a2 in itertools.product(values, repeat=2):
+        if logic.leq_knowledge(a1, a2) and not logic.leq_knowledge(logic.neg(a1), logic.neg(a2)):
+            return False
+    if include_extra:
+        for name in logic.extra_unary:
+            for a1, a2 in itertools.product(values, repeat=2):
+                if logic.leq_knowledge(a1, a2) and not logic.leq_knowledge(
+                    logic.unary(name, a1), logic.unary(name, a2)
+                ):
+                    return False
+    return True
+
+
+def closed_subsets(logic: PropositionalLogic) -> list[tuple[TruthValue, ...]]:
+    """All non-empty subsets of the values closed under ∧, ∨ and ¬."""
+    result = []
+    values = logic.values
+    for size in range(1, len(values) + 1):
+        for subset in itertools.combinations(values, size):
+            subset_set = set(subset)
+            closed = all(logic.neg(a) in subset_set for a in subset) and all(
+                logic.conj(a, b) in subset_set and logic.disj(a, b) in subset_set
+                for a in subset
+                for b in subset
+            )
+            if closed:
+                result.append(subset)
+    return result
+
+
+def maximal_idempotent_distributive_sublogics(
+    logic: PropositionalLogic,
+) -> list[tuple[TruthValue, ...]]:
+    """The ⊆-maximal closed value subsets whose restriction is idempotent and distributive.
+
+    Theorem 5.3: for L6v this is exactly {t, f, u}, i.e. Kleene's logic.
+    """
+    good: list[tuple[TruthValue, ...]] = []
+    for subset in closed_subsets(logic):
+        restricted = logic.restrict(subset)
+        if is_idempotent(restricted) and is_distributive(restricted):
+            good.append(subset)
+    maximal = []
+    for subset in good:
+        if not any(set(subset) < set(other) for other in good):
+            maximal.append(subset)
+    return maximal

@@ -1,0 +1,166 @@
+"""The six-valued epistemic logic L6v of Section 5.2, derived semantically.
+
+The paper models incompleteness with sets of possible worlds: a
+propositional interpretation assigns to each formula α the set ``t(α)``
+of worlds known to satisfy it and the (disjoint) set ``f(α)`` of worlds
+known to falsify it; the two need not cover all worlds.  The maximally
+consistent theories of the epistemic modalities K(α), P(α), K(¬α), P(¬α)
+give exactly six truth values:
+
+======  =======================================================
+``t``   α is true in all worlds
+``f``   α is false in all worlds
+``s``   α is true in some worlds and false in others
+``st``  α is true in some world; nothing known about the rest
+``sf``  α is false in some world; nothing known about the rest
+``u``   nothing is known about α
+======  =======================================================
+
+We derive the connective tables *semantically*: a world can be of nine
+kinds according to what it determines about α and β (true/false/unknown
+each), a scenario is a non-empty set of world kinds, and the value of
+α, β and α∘β in a scenario follows from which kinds are present.  The
+table entry ω(τ₁, τ₂) is the most general truth value consistent with
+all scenarios realising (τ₁, τ₂) — i.e. the knowledge-order greatest
+lower bound of the realisable outcomes, exactly the paper's
+"choose the most general one" rule.
+
+Theorem 5.3 — Kleene's L3v is the maximal idempotent and distributive
+sublogic of L6v — is verified exhaustively in
+:mod:`repro.mvl.properties` and in the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+
+from .logic import PropositionalLogic
+from .truthvalues import (
+    FALSE,
+    SOMETIMES,
+    SOMETIMES_FALSE,
+    SOMETIMES_TRUE,
+    TRUE,
+    UNKNOWN,
+    TruthValue,
+)
+
+__all__ = ["L6V", "six_valued_logic", "SIX_VALUES", "knowledge_order_6v"]
+
+#: The six truth values in display order.
+SIX_VALUES = (TRUE, FALSE, SOMETIMES, SOMETIMES_TRUE, SOMETIMES_FALSE, UNKNOWN)
+
+#: Per-world knowledge about a single proposition: determined true,
+#: determined false, or undetermined.
+_WORLD_KINDS = ("1", "0", "?")
+
+
+def _pattern(world_values: tuple[str, ...]) -> TruthValue:
+    """The truth value of a proposition given its per-world knowledge."""
+    has_true = "1" in world_values
+    has_false = "0" in world_values
+    all_true = all(v == "1" for v in world_values)
+    all_false = all(v == "0" for v in world_values)
+    if all_true:
+        return TRUE
+    if all_false:
+        return FALSE
+    if has_true and has_false:
+        return SOMETIMES
+    if has_true:
+        return SOMETIMES_TRUE
+    if has_false:
+        return SOMETIMES_FALSE
+    return UNKNOWN
+
+
+def _combine_and(a: str, b: str) -> str:
+    """Knowledge about α∧β at a world, from knowledge about α and β there."""
+    if a == "0" or b == "0":
+        return "0"
+    if a == "1" and b == "1":
+        return "1"
+    return "?"
+
+
+def _combine_or(a: str, b: str) -> str:
+    if a == "1" or b == "1":
+        return "1"
+    if a == "0" and b == "0":
+        return "0"
+    return "?"
+
+
+def _negate(a: str) -> str:
+    return {"1": "0", "0": "1", "?": "?"}[a]
+
+
+def knowledge_order_6v() -> frozenset[tuple[TruthValue, TruthValue]]:
+    """The knowledge order of L6v: u below everything; st below t and s; sf below f and s."""
+    pairs = {(v, v) for v in SIX_VALUES}
+    pairs |= {(UNKNOWN, v) for v in SIX_VALUES}
+    pairs |= {(SOMETIMES_TRUE, TRUE), (SOMETIMES_TRUE, SOMETIMES)}
+    pairs |= {(SOMETIMES_FALSE, FALSE), (SOMETIMES_FALSE, SOMETIMES)}
+    return frozenset(pairs)
+
+
+def _glb(values: set[TruthValue], order: frozenset) -> TruthValue:
+    lower = [
+        candidate
+        for candidate in SIX_VALUES
+        if all((candidate, v) in order for v in values)
+    ]
+    for candidate in lower:
+        if all((other, candidate) in order for other in lower):
+            return candidate
+    # The order is a meet-semilattice with bottom u, so this never happens.
+    return UNKNOWN
+
+
+@lru_cache(maxsize=1)
+def six_valued_logic() -> PropositionalLogic:
+    """Build L6v by enumerating scenarios over the nine world kinds."""
+    order = knowledge_order_6v()
+
+    # For binary connectives, a scenario is a non-empty set of world kinds,
+    # each kind being a pair (knowledge about α, knowledge about β).
+    binary_kinds = list(itertools.product(_WORLD_KINDS, repeat=2))
+    and_outcomes: dict[tuple[TruthValue, TruthValue], set[TruthValue]] = {}
+    or_outcomes: dict[tuple[TruthValue, TruthValue], set[TruthValue]] = {}
+    for size in range(1, len(binary_kinds) + 1):
+        for scenario in itertools.combinations(binary_kinds, size):
+            alpha = _pattern(tuple(kind[0] for kind in scenario))
+            beta = _pattern(tuple(kind[1] for kind in scenario))
+            conj = _pattern(tuple(_combine_and(*kind) for kind in scenario))
+            disj = _pattern(tuple(_combine_or(*kind) for kind in scenario))
+            and_outcomes.setdefault((alpha, beta), set()).add(conj)
+            or_outcomes.setdefault((alpha, beta), set()).add(disj)
+
+    and_table = {key: _glb(outcomes, order) for key, outcomes in and_outcomes.items()}
+    or_table = {key: _glb(outcomes, order) for key, outcomes in or_outcomes.items()}
+
+    # Negation is deterministic on patterns: it swaps the true and false parts.
+    not_table = {}
+    neg_outcomes: dict[TruthValue, set[TruthValue]] = {}
+    for size in range(1, len(_WORLD_KINDS) + 1):
+        for scenario in itertools.combinations(_WORLD_KINDS, size):
+            alpha = _pattern(scenario)
+            negated = _pattern(tuple(_negate(kind) for kind in scenario))
+            neg_outcomes.setdefault(alpha, set()).add(negated)
+    for value, outcomes in neg_outcomes.items():
+        not_table[value] = _glb(outcomes, order)
+
+    return PropositionalLogic(
+        name="L6v",
+        values=SIX_VALUES,
+        and_table=and_table,
+        or_table=or_table,
+        not_table=not_table,
+        knowledge_order=order,
+        bottom=UNKNOWN,
+    )
+
+
+#: The six-valued logic, constructed once at import time.
+L6V = six_valued_logic()

@@ -1,0 +1,89 @@
+"""Truth values shared across the many-valued-logic machinery.
+
+The propositional logics of Section 5 are built over named truth values.
+This module defines the :class:`TruthValue` symbol type and the standard
+values used throughout the library:
+
+* ``TRUE`` (t), ``FALSE`` (f) — the Boolean values of L2v;
+* ``UNKNOWN`` (u) — Kleene's third value, SQL's ``unknown``;
+* ``SOMETIMES`` (s), ``SOMETIMES_TRUE`` (st), ``SOMETIMES_FALSE`` (sf) —
+  the three extra values of the epistemic six-valued logic L6v
+  (Section 5.2).
+
+Truth values are interned singletons, so identity comparison is safe.
+The SQL-style three-valued evaluation in :mod:`repro.algebra.conditions`
+and :mod:`repro.sql` uses ``TRUE``/``FALSE``/``UNKNOWN`` directly.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TruthValue",
+    "TRUE",
+    "FALSE",
+    "UNKNOWN",
+    "SOMETIMES",
+    "SOMETIMES_TRUE",
+    "SOMETIMES_FALSE",
+    "from_bool",
+    "to_bool_strict",
+]
+
+
+class TruthValue:
+    """An interned, named truth value."""
+
+    _interned: dict[str, "TruthValue"] = {}
+    __slots__ = ("name",)
+
+    def __new__(cls, name: str) -> "TruthValue":
+        existing = cls._interned.get(name)
+        if existing is not None:
+            return existing
+        value = super().__new__(cls)
+        object.__setattr__(value, "name", name)
+        cls._interned[name] = value
+        return value
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("TruthValue is immutable")
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return hash(("TruthValue", self.name))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TruthValue):
+            return self.name == other.name
+        return NotImplemented
+
+    def __lt__(self, other: "TruthValue") -> bool:
+        # Arbitrary but stable order, handy for sorting in reports.
+        return self.name < other.name
+
+
+TRUE = TruthValue("t")
+FALSE = TruthValue("f")
+UNKNOWN = TruthValue("u")
+SOMETIMES = TruthValue("s")
+SOMETIMES_TRUE = TruthValue("st")
+SOMETIMES_FALSE = TruthValue("sf")
+
+
+def from_bool(value: bool) -> TruthValue:
+    """Map a Python boolean to ``TRUE``/``FALSE``."""
+    return TRUE if value else FALSE
+
+
+def to_bool_strict(value: TruthValue) -> bool:
+    """Map ``TRUE``/``FALSE`` back to booleans; raise on any other value."""
+    if value is TRUE:
+        return True
+    if value is FALSE:
+        return False
+    raise ValueError(f"cannot convert truth value {value} to bool")

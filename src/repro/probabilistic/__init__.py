@@ -1,0 +1,24 @@
+"""Probabilistic approximation of certainty (Section 4.3)."""
+
+from .support import enumeration_prefix, mu_k, mu_k_profile, support_size
+from .zero_one import (
+    almost_certainly_true_answers,
+    empirical_mu_limit,
+    is_almost_certainly_true,
+    mu_limit,
+)
+from .conditional import conditional_mu, conditional_mu_k, conditional_mu_profile
+
+__all__ = [
+    "enumeration_prefix",
+    "support_size",
+    "mu_k",
+    "mu_k_profile",
+    "almost_certainly_true_answers",
+    "is_almost_certainly_true",
+    "mu_limit",
+    "empirical_mu_limit",
+    "conditional_mu_k",
+    "conditional_mu",
+    "conditional_mu_profile",
+]

@@ -1,0 +1,74 @@
+"""Supports and the measures µ_k of Section 4.3.
+
+For a query ``Q``, database ``D`` and tuple ``ā`` over ``dom(D)``::
+
+    Supp(Q, D, ā)  = { v | v(ā) ∈ Q(v(D)) }
+    V_k(D)         = valuations whose range lies in the first k constants
+    µ_k(Q, D, ā)   = |Supp(Q, D, ā) ∩ V_k(D)| / |V_k(D)|
+    µ(Q, D, ā)     = lim_k µ_k(Q, D, ā)
+
+The enumeration of ``Const`` is taken to start with the constants of the
+database and of the query (for generic queries the limit does not depend
+on the enumeration), followed by fresh constants ``#f1, #f2, ...``.
+
+All values are exact rationals (:class:`fractions.Fraction`); µ_k is
+computed by explicit enumeration of ``V_k(D)``, so keep ``|Null(D)|``
+small, as elsewhere in the exact reference machinery.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.values import Value, value_sort_key
+from ..incomplete.naive import _query_constants, _run
+from ..incomplete.worlds import fresh_constants, iterate_worlds
+
+__all__ = ["enumeration_prefix", "support_size", "mu_k", "mu_k_profile"]
+
+
+def enumeration_prefix(query, database: Database, k: int) -> list[Value]:
+    """The first ``k`` constants of the enumeration used for V_k(D).
+
+    The enumeration starts with ``Const(D)`` and the constants of the
+    query (sorted deterministically) and continues with fresh constants.
+    ``k`` must be at least the number of known constants.
+    """
+    known = sorted(
+        set(database.constants()) | set(_query_constants(query)), key=value_sort_key
+    )
+    if k < len(known):
+        raise ValueError(
+            f"k={k} is smaller than the number of known constants ({len(known)})"
+        )
+    return known + fresh_constants(k - len(known), known)
+
+
+def support_size(query, database: Database, row: Sequence[Value], pool: Sequence[Value]) -> int:
+    """``|Supp(Q, D, ā) ∩ V_k(D)|`` for the valuation pool given."""
+    row = tuple(row)
+    count = 0
+    for valuation, world in iterate_worlds(database, pool):
+        answer = _run(query, world)
+        if valuation.apply_tuple(row) in answer.rows_set():
+            count += 1
+    return count
+
+
+def mu_k(query, database: Database, row: Sequence[Value], k: int) -> Fraction:
+    """``µ_k(Q, D, ā)``: exact probability over valuations into k constants."""
+    pool = enumeration_prefix(query, database, k)
+    nulls = len(database.nulls())
+    total = len(pool) ** nulls
+    if total == 0:
+        return Fraction(0)
+    return Fraction(support_size(query, database, row, pool), total)
+
+
+def mu_k_profile(
+    query, database: Database, row: Sequence[Value], ks: Sequence[int]
+) -> list[tuple[int, Fraction]]:
+    """µ_k for several values of k — the convergence series plotted in E8."""
+    return [(k, mu_k(query, database, row, k)) for k in ks]

@@ -1,0 +1,57 @@
+"""The 0–1 law for certainty (Theorem 4.10) and almost-certainly-true answers.
+
+For a generic query ``Q``, a tuple ``ā`` is an *almost certainly true*
+answer (µ(Q, D, ā) = 1) if and only if ``ā`` belongs to the naïve
+evaluation of ``Q`` on ``D``; otherwise µ(Q, D, ā) = 0.  In other words,
+naïve evaluation computes exactly the answers that are true with
+probability 1 when nulls are interpreted uniformly at random — a much
+weaker guarantee than certainty, but one with AC0 complexity.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Value
+from ..incomplete.naive import naive_evaluate_direct
+from .support import mu_k
+
+__all__ = ["almost_certainly_true_answers", "mu_limit", "is_almost_certainly_true"]
+
+
+def almost_certainly_true_answers(query, database: Database) -> Relation:
+    """The tuples with µ(Q, D, ā) = 1; by Theorem 4.10 this is Q_naive(D)."""
+    return naive_evaluate_direct(query, database)
+
+
+def is_almost_certainly_true(query, database: Database, row: Sequence[Value]) -> bool:
+    """Is ``row`` an almost-certainly-true answer (µ = 1)?"""
+    return tuple(row) in almost_certainly_true_answers(query, database)
+
+
+def mu_limit(query, database: Database, row: Sequence[Value]) -> Fraction:
+    """The limit µ(Q, D, ā), computed via the 0–1 law (Theorem 4.10)."""
+    return Fraction(1) if is_almost_certainly_true(query, database, row) else Fraction(0)
+
+
+def empirical_mu_limit(
+    query,
+    database: Database,
+    row: Sequence[Value],
+    ks: Sequence[int] = (),
+) -> Fraction:
+    """An empirical check of the limit: evaluate µ_k for growing k.
+
+    Returns the last µ_k computed.  Used in the tests to confirm that the
+    series approaches the theoretical limit of :func:`mu_limit`.
+    """
+    if not ks:
+        base = len(set(database.constants()))
+        ks = (base + 1, base + 2, base + 4)
+    value = Fraction(0)
+    for k in ks:
+        value = mu_k(query, database, row, k)
+    return value

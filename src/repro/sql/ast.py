@@ -1,0 +1,212 @@
+"""Abstract syntax for the supported SQL fragment.
+
+The fragment covers the core of SQL used in the paper's examples and in
+the TPC-H-lite workload: ``SELECT [DISTINCT] ... FROM ... WHERE ...``
+with (correlated) ``IN`` / ``NOT IN`` / ``EXISTS`` / ``NOT EXISTS``
+subqueries, ``IS [NOT] NULL``, comparisons, ``AND``/``OR``/``NOT``, and
+the set operations ``UNION`` / ``EXCEPT`` / ``INTERSECT`` (with or
+without ``ALL``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = [
+    "SqlExpr",
+    "ColumnRef",
+    "SqlLiteral",
+    "SqlNull",
+    "SqlCondition",
+    "Comparison",
+    "IsNull",
+    "InSubquery",
+    "ExistsSubquery",
+    "BoolOp",
+    "NotOp",
+    "SelectItem",
+    "TableRef",
+    "SelectQuery",
+    "SetOperation",
+    "SqlQuery",
+]
+
+
+# ----------------------------------------------------------------------
+# Scalar expressions
+# ----------------------------------------------------------------------
+class SqlExpr:
+    """A scalar expression appearing in SELECT lists or conditions."""
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlExpr):
+    """A (possibly qualified) column reference ``alias.column`` or ``column``."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class SqlLiteral(SqlExpr):
+    """A literal constant (number or string)."""
+
+    value: Any
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SqlNull(SqlExpr):
+    """The literal ``NULL``."""
+
+    def __str__(self) -> str:
+        return "NULL"
+
+
+# ----------------------------------------------------------------------
+# Conditions
+# ----------------------------------------------------------------------
+class SqlCondition:
+    """A condition in a WHERE clause (evaluated in three-valued logic)."""
+
+
+@dataclass(frozen=True)
+class Comparison(SqlCondition):
+    """``left op right`` with op in =, <>, <, <=, >, >=."""
+
+    op: str
+    left: SqlExpr
+    right: SqlExpr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class IsNull(SqlCondition):
+    """``expr IS [NOT] NULL``."""
+
+    operand: SqlExpr
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.operand} IS {'NOT ' if self.negated else ''}NULL"
+
+
+@dataclass(frozen=True)
+class InSubquery(SqlCondition):
+    """``expr [NOT] IN (subquery)``."""
+
+    operand: SqlExpr
+    subquery: "SqlQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{self.operand} {'NOT ' if self.negated else ''}IN (...)"
+
+
+@dataclass(frozen=True)
+class ExistsSubquery(SqlCondition):
+    """``[NOT] EXISTS (subquery)``."""
+
+    subquery: "SqlQuery"
+    negated: bool = False
+
+    def __str__(self) -> str:
+        return f"{'NOT ' if self.negated else ''}EXISTS (...)"
+
+
+@dataclass(frozen=True)
+class BoolOp(SqlCondition):
+    """``AND`` / ``OR`` of two conditions."""
+
+    op: str  # "AND" or "OR"
+    left: SqlCondition
+    right: SqlCondition
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class NotOp(SqlCondition):
+    """``NOT condition``."""
+
+    operand: SqlCondition
+
+    def __str__(self) -> str:
+        return f"NOT ({self.operand})"
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SelectItem:
+    """One item of a SELECT list: an expression with an optional output name."""
+
+    expr: SqlExpr
+    alias: str | None = None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.column
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM item: a base table with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    def name(self) -> str:
+        return self.alias or self.table
+
+
+class SqlQuery:
+    """Base class of SQL queries (SELECT blocks and set operations)."""
+
+
+@dataclass(frozen=True)
+class SelectQuery(SqlQuery):
+    """A single SELECT block."""
+
+    items: tuple[SelectItem, ...]
+    tables: tuple[TableRef, ...]
+    where: SqlCondition | None = None
+    distinct: bool = False
+    select_star: bool = False
+
+    def __init__(
+        self,
+        items: Sequence[SelectItem],
+        tables: Sequence[TableRef],
+        where: SqlCondition | None = None,
+        distinct: bool = False,
+        select_star: bool = False,
+    ):
+        object.__setattr__(self, "items", tuple(items))
+        object.__setattr__(self, "tables", tuple(tables))
+        object.__setattr__(self, "where", where)
+        object.__setattr__(self, "distinct", distinct)
+        object.__setattr__(self, "select_star", select_star)
+
+
+@dataclass(frozen=True)
+class SetOperation(SqlQuery):
+    """``left UNION/EXCEPT/INTERSECT [ALL] right``."""
+
+    op: str  # "UNION", "EXCEPT", "INTERSECT"
+    left: SqlQuery
+    right: SqlQuery
+    all: bool = False

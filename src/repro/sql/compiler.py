@@ -1,0 +1,143 @@
+"""Compilation of simple SQL blocks to relational algebra.
+
+Only the subquery-free fragment is compiled — ``SELECT [DISTINCT] cols
+FROM tables WHERE comparisons`` plus the set operations — which is
+enough to push SQL-authored workload queries through the approximation
+translations of Figure 2.  Queries with (correlated) subqueries should
+either be written directly against the algebra builder API or evaluated
+with the SQL-semantics evaluator.
+"""
+
+from __future__ import annotations
+
+from ..algebra import ast as ra
+from ..algebra.conditions import (
+    Attr,
+    Condition,
+    Eq,
+    Ge,
+    Gt,
+    IsConst,
+    IsNull,
+    Le,
+    Literal,
+    Lt,
+    Neq,
+    Not,
+    conjoin,
+)
+from ..datamodel.schema import DatabaseSchema
+from . import ast
+from .parser import parse
+
+__all__ = ["compile_sql", "SqlCompilationError"]
+
+
+class SqlCompilationError(ValueError):
+    """Raised when a query uses features outside the compilable fragment."""
+
+
+_COMPARISONS = {"=": Eq, "<>": Neq, "<": Lt, "<=": Le, ">": Gt, ">=": Ge}
+
+
+def compile_sql(query: ast.SqlQuery | str, schema: DatabaseSchema) -> ra.Query:
+    """Compile a subquery-free SQL query into a relational algebra tree."""
+    if isinstance(query, str):
+        query = parse(query)
+    return _compile_query(query, schema)
+
+
+def _compile_query(query: ast.SqlQuery, schema: DatabaseSchema) -> ra.Query:
+    if isinstance(query, ast.SetOperation):
+        left = _compile_query(query.left, schema)
+        right = _compile_query(query.right, schema)
+        operator = {"UNION": ra.Union, "EXCEPT": ra.Difference, "INTERSECT": ra.Intersection}[
+            query.op
+        ]
+        return operator(left, right)
+    if isinstance(query, ast.SelectQuery):
+        return _compile_select(query, schema)
+    raise SqlCompilationError(f"cannot compile query node {type(query).__name__}")
+
+
+def _compile_select(query: ast.SelectQuery, schema: DatabaseSchema) -> ra.Query:
+    # FROM: product of the tables, columns renamed to "alias.column".
+    plan: ra.Query | None = None
+    column_map: dict[tuple[str | None, str], str] = {}
+    for table_ref in query.tables:
+        if table_ref.table not in schema:
+            raise SqlCompilationError(f"unknown table {table_ref.table!r}")
+        alias = table_ref.name()
+        attributes = schema[table_ref.table].attributes
+        renaming = {a: f"{alias}.{a}" for a in attributes}
+        node: ra.Query = ra.Rename(ra.RelationRef(table_ref.table), renaming)
+        plan = node if plan is None else ra.Product(plan, node)
+        for attribute in attributes:
+            column_map[(alias, attribute)] = f"{alias}.{attribute}"
+            column_map.setdefault((None, attribute), f"{alias}.{attribute}")
+            if (None, attribute) in column_map and column_map[(None, attribute)] != f"{alias}.{attribute}":
+                column_map[(None, attribute)] = column_map[(None, attribute)]
+    if plan is None:
+        raise SqlCompilationError("a SELECT needs at least one table")
+
+    if query.where is not None:
+        plan = ra.Selection(plan, _compile_condition(query.where, column_map))
+
+    if query.select_star:
+        output_columns = [column for (_alias, _attr), column in sorted(column_map.items()) if _alias]
+        output_names = output_columns
+    else:
+        output_columns = []
+        output_names = []
+        for item in query.items:
+            if not isinstance(item.expr, ast.ColumnRef):
+                raise SqlCompilationError("only column references are supported in SELECT lists")
+            output_columns.append(_resolve_column(item.expr, column_map))
+            output_names.append(item.output_name())
+    plan = ra.Projection(plan, output_columns)
+    if output_names != output_columns and len(set(output_names)) == len(output_names):
+        plan = ra.Rename(plan, dict(zip(output_columns, output_names)))
+    return plan
+
+
+def _resolve_column(ref: ast.ColumnRef, column_map) -> str:
+    key = (ref.table, ref.column)
+    if key in column_map:
+        return column_map[key]
+    if (None, ref.column) in column_map:
+        return column_map[(None, ref.column)]
+    raise SqlCompilationError(f"unknown column {ref}")
+
+
+def _compile_expr(expr: ast.SqlExpr, column_map):
+    if isinstance(expr, ast.ColumnRef):
+        return Attr(_resolve_column(expr, column_map))
+    if isinstance(expr, ast.SqlLiteral):
+        return Literal(expr.value)
+    raise SqlCompilationError(f"unsupported expression {type(expr).__name__}")
+
+
+def _compile_condition(condition: ast.SqlCondition, column_map) -> Condition:
+    if isinstance(condition, ast.BoolOp):
+        left = _compile_condition(condition.left, column_map)
+        right = _compile_condition(condition.right, column_map)
+        from ..algebra.conditions import And as CondAnd, Or as CondOr
+
+        return CondAnd(left, right) if condition.op == "AND" else CondOr(left, right)
+    if isinstance(condition, ast.NotOp):
+        return Not(_compile_condition(condition.operand, column_map))
+    if isinstance(condition, ast.Comparison):
+        comparison = _COMPARISONS.get(condition.op)
+        if comparison is None:
+            raise SqlCompilationError(f"unsupported comparison {condition.op!r}")
+        return comparison(
+            _compile_expr(condition.left, column_map),
+            _compile_expr(condition.right, column_map),
+        )
+    if isinstance(condition, ast.IsNull):
+        term = _compile_expr(condition.operand, column_map)
+        return IsConst(term) if condition.negated else IsNull(term)
+    raise SqlCompilationError(
+        f"{type(condition).__name__} is outside the compilable fragment "
+        "(use the SQL evaluator or the algebra builder instead)"
+    )

@@ -1,0 +1,111 @@
+"""Tokenizer for the supported SQL fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Token", "SqlSyntaxError", "tokenize"]
+
+KEYWORDS = {
+    "SELECT",
+    "DISTINCT",
+    "FROM",
+    "WHERE",
+    "AND",
+    "OR",
+    "NOT",
+    "IN",
+    "IS",
+    "NULL",
+    "EXISTS",
+    "UNION",
+    "EXCEPT",
+    "INTERSECT",
+    "ALL",
+    "AS",
+}
+
+SYMBOLS = ("<>", "<=", ">=", "!=", "=", "<", ">", "(", ")", ",", ".", "*")
+
+
+class SqlSyntaxError(ValueError):
+    """Raised on malformed SQL input."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: kind is one of KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF."""
+
+    kind: str
+    value: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize an SQL string; raises :class:`SqlSyntaxError` on bad input."""
+    return list(_tokens(text))
+
+
+def _tokens(text: str) -> Iterator[Token]:
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "-" and text[position : position + 2] == "--":
+            newline = text.find("\n", position)
+            position = length if newline < 0 else newline + 1
+            continue
+        if char == "'":
+            end = position + 1
+            chunks = []
+            while True:
+                if end >= length:
+                    raise SqlSyntaxError(f"unterminated string literal at offset {position}")
+                if text[end] == "'":
+                    if end + 1 < length and text[end + 1] == "'":
+                        chunks.append("'")
+                        end += 2
+                        continue
+                    break
+                chunks.append(text[end])
+                end += 1
+            yield Token("STRING", "".join(chunks), position)
+            position = end + 1
+            continue
+        if char.isdigit():
+            end = position
+            seen_dot = False
+            while end < length and (text[end].isdigit() or (text[end] == "." and not seen_dot)):
+                if text[end] == ".":
+                    # A dot not followed by a digit is a qualifier, not a decimal point.
+                    if end + 1 >= length or not text[end + 1].isdigit():
+                        break
+                    seen_dot = True
+                end += 1
+            yield Token("NUMBER", text[position:end], position)
+            position = end
+            continue
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end]
+            kind = "KEYWORD" if word.upper() in KEYWORDS else "IDENT"
+            yield Token(kind, word.upper() if kind == "KEYWORD" else word, position)
+            position = end
+            continue
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, position):
+                yield Token("SYMBOL", symbol, position)
+                position += len(symbol)
+                break
+        else:
+            raise SqlSyntaxError(f"unexpected character {char!r} at offset {position}")
+    yield Token("EOF", "", length)

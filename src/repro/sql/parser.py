@@ -1,0 +1,241 @@
+"""Recursive-descent parser for the supported SQL fragment."""
+
+from __future__ import annotations
+
+from .ast import (
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    ExistsSubquery,
+    InSubquery,
+    IsNull,
+    NotOp,
+    SelectItem,
+    SelectQuery,
+    SetOperation,
+    SqlCondition,
+    SqlExpr,
+    SqlLiteral,
+    SqlNull,
+    SqlQuery,
+    TableRef,
+)
+from .lexer import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse"]
+
+
+def parse(text: str) -> SqlQuery:
+    """Parse an SQL string into a :class:`~repro.sql.ast.SqlQuery`."""
+    parser = _Parser(tokenize(text))
+    query = parser.parse_query()
+    parser.expect_eof()
+    return query
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._index]
+        self._index += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.kind == "KEYWORD" and token.value in keywords
+
+    def _accept_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> None:
+        if not self._accept_keyword(keyword):
+            raise SqlSyntaxError(f"expected {keyword}, found {self._peek().value!r}")
+
+    def _check_symbol(self, symbol: str) -> bool:
+        token = self._peek()
+        return token.kind == "SYMBOL" and token.value == symbol
+
+    def _accept_symbol(self, symbol: str) -> bool:
+        if self._check_symbol(symbol):
+            self._advance()
+            return True
+        return False
+
+    def _expect_symbol(self, symbol: str) -> None:
+        if not self._accept_symbol(symbol):
+            raise SqlSyntaxError(f"expected {symbol!r}, found {self._peek().value!r}")
+
+    def expect_eof(self) -> None:
+        if self._peek().kind != "EOF":
+            raise SqlSyntaxError(f"unexpected trailing input at {self._peek().value!r}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def parse_query(self) -> SqlQuery:
+        left = self.parse_select()
+        while self._check_keyword("UNION", "EXCEPT", "INTERSECT"):
+            op = self._advance().value
+            all_flag = self._accept_keyword("ALL")
+            right = self.parse_select()
+            left = SetOperation(op=op, left=left, right=right, all=all_flag)
+        return left
+
+    def parse_select(self) -> SqlQuery:
+        if self._accept_symbol("("):
+            query = self.parse_query()
+            self._expect_symbol(")")
+            return query
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        select_star = False
+        items: list[SelectItem] = []
+        if self._accept_symbol("*"):
+            select_star = True
+        else:
+            items.append(self._parse_select_item())
+            while self._accept_symbol(","):
+                items.append(self._parse_select_item())
+        self._expect_keyword("FROM")
+        tables = [self._parse_table_ref()]
+        while self._accept_symbol(","):
+            tables.append(self._parse_table_ref())
+        where = None
+        if self._accept_keyword("WHERE"):
+            where = self._parse_condition()
+        return SelectQuery(
+            items=items, tables=tables, where=where, distinct=distinct, select_star=select_star
+        )
+
+    def _parse_select_item(self) -> SelectItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().value
+        return SelectItem(expr=expr, alias=alias)
+
+    def _parse_table_ref(self) -> TableRef:
+        table = self._expect_ident()
+        alias = None
+        if self._accept_keyword("AS"):
+            alias = self._expect_ident()
+        elif self._peek().kind == "IDENT":
+            alias = self._advance().value
+        return TableRef(table=table, alias=alias)
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "IDENT":
+            raise SqlSyntaxError(f"expected identifier, found {token.value!r}")
+        return self._advance().value
+
+    # ------------------------------------------------------------------
+    # Conditions (precedence: OR < AND < NOT < atoms)
+    # ------------------------------------------------------------------
+    def _parse_condition(self) -> SqlCondition:
+        return self._parse_or()
+
+    def _parse_or(self) -> SqlCondition:
+        left = self._parse_and()
+        while self._accept_keyword("OR"):
+            right = self._parse_and()
+            left = BoolOp("OR", left, right)
+        return left
+
+    def _parse_and(self) -> SqlCondition:
+        left = self._parse_not()
+        while self._accept_keyword("AND"):
+            right = self._parse_not()
+            left = BoolOp("AND", left, right)
+        return left
+
+    def _parse_not(self) -> SqlCondition:
+        if self._accept_keyword("NOT"):
+            if self._check_keyword("EXISTS"):
+                return self._parse_exists(negated=True)
+            return NotOp(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_exists(self, *, negated: bool) -> SqlCondition:
+        self._expect_keyword("EXISTS")
+        self._expect_symbol("(")
+        subquery = self.parse_query()
+        self._expect_symbol(")")
+        return ExistsSubquery(subquery=subquery, negated=negated)
+
+    def _parse_predicate(self) -> SqlCondition:
+        if self._check_keyword("EXISTS"):
+            return self._parse_exists(negated=False)
+        if self._check_symbol("("):
+            # Could be a parenthesised condition.
+            saved = self._index
+            self._advance()
+            try:
+                condition = self._parse_condition()
+                self._expect_symbol(")")
+                return condition
+            except SqlSyntaxError:
+                self._index = saved
+        left = self._parse_expr()
+        if self._accept_keyword("IS"):
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("NULL")
+            return IsNull(operand=left, negated=negated)
+        if self._check_keyword("NOT") or self._check_keyword("IN"):
+            negated = self._accept_keyword("NOT")
+            self._expect_keyword("IN")
+            self._expect_symbol("(")
+            subquery = self.parse_query()
+            self._expect_symbol(")")
+            return InSubquery(operand=left, subquery=subquery, negated=negated)
+        token = self._peek()
+        if token.kind == "SYMBOL" and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._parse_expr()
+            return Comparison(op=op, left=left, right=right)
+        raise SqlSyntaxError(f"expected a predicate, found {token.value!r}")
+
+    # ------------------------------------------------------------------
+    # Scalar expressions
+    # ------------------------------------------------------------------
+    def _parse_expr(self) -> SqlExpr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.value) if "." in token.value else int(token.value)
+            return SqlLiteral(value)
+        if token.kind == "STRING":
+            self._advance()
+            return SqlLiteral(token.value)
+        if token.kind == "KEYWORD" and token.value == "NULL":
+            self._advance()
+            return SqlNull()
+        if token.kind == "IDENT":
+            name = self._advance().value
+            if self._accept_symbol("."):
+                column = self._expect_column()
+                return ColumnRef(column=column, table=name)
+            return ColumnRef(column=name)
+        raise SqlSyntaxError(f"expected an expression, found {token.value!r}")
+
+    def _expect_column(self) -> str:
+        token = self._peek()
+        if token.kind not in ("IDENT",):
+            raise SqlSyntaxError(f"expected column name, found {token.value!r}")
+        return self._advance().value

@@ -1,0 +1,34 @@
+"""Workloads: the Figure 1 example, a synthetic generator and TPC-H-lite."""
+
+from .figure1 import (
+    CUSTOMERS_WITHOUT_PAID_ORDER_SQL,
+    PAYMENT_NULL,
+    TAUTOLOGY_SQL,
+    UNPAID_ORDERS_SQL,
+    customers_without_paid_order_algebra,
+    figure1_database,
+    figure1_database_with_null,
+    tautology_algebra,
+    unpaid_orders_algebra,
+)
+from .generator import GeneratorConfig, RelationSpec, generate_database, inject_nulls
+from .tpch_lite import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
+
+__all__ = [
+    "figure1_database",
+    "figure1_database_with_null",
+    "PAYMENT_NULL",
+    "UNPAID_ORDERS_SQL",
+    "CUSTOMERS_WITHOUT_PAID_ORDER_SQL",
+    "TAUTOLOGY_SQL",
+    "unpaid_orders_algebra",
+    "customers_without_paid_order_algebra",
+    "tautology_algebra",
+    "GeneratorConfig",
+    "RelationSpec",
+    "generate_database",
+    "inject_nulls",
+    "TpchLiteConfig",
+    "generate_tpch_lite",
+    "tpch_lite_queries",
+]

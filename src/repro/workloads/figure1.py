@@ -1,0 +1,91 @@
+"""The paper's Figure 1 database of orders, payments and customers.
+
+Two variants are provided: the complete database of Figure 1, and the
+variant used throughout the introduction where the ``oid`` of the second
+Payments tuple is replaced by a null.  The three SQL queries discussed
+in Section 1 (unpaid orders, customers without a paid order, and the
+``oid = 'o2' OR oid <> 'o2'`` tautology-like query) are included as
+SQL text and as relational algebra, so every part of the pipeline can be
+run on the same motivating example.
+"""
+
+from __future__ import annotations
+
+from ..algebra import ast as ra
+from ..algebra import builder as rb
+from ..algebra.conditions import Attr, Eq, Literal, Neq, Or
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Null
+
+__all__ = [
+    "figure1_database",
+    "figure1_database_with_null",
+    "PAYMENT_NULL",
+    "UNPAID_ORDERS_SQL",
+    "CUSTOMERS_WITHOUT_PAID_ORDER_SQL",
+    "TAUTOLOGY_SQL",
+    "unpaid_orders_algebra",
+    "customers_without_paid_order_algebra",
+    "tautology_algebra",
+]
+
+#: The marked null that replaces the 'o2' payment in the incomplete variant.
+PAYMENT_NULL = Null("pay_o2")
+
+UNPAID_ORDERS_SQL = (
+    "SELECT oid FROM Orders WHERE oid NOT IN ( SELECT oid FROM Payments )"
+)
+
+CUSTOMERS_WITHOUT_PAID_ORDER_SQL = (
+    "SELECT C.cid FROM Customers C WHERE NOT EXISTS "
+    "( SELECT * FROM Orders O, Payments P WHERE C.cid = P.cid AND P.oid = O.oid )"
+)
+
+TAUTOLOGY_SQL = "SELECT cid FROM Payments WHERE oid = 'o2' OR oid <> 'o2'"
+
+
+def figure1_database() -> Database:
+    """The complete database of Figure 1."""
+    return Database.from_dict(
+        {
+            "Orders": (
+                ("oid", "title", "price"),
+                [("o1", "Big Data", 30), ("o2", "SQL", 35), ("o3", "Logic", 50)],
+            ),
+            "Payments": (("cid", "oid"), [("c1", "o1"), ("c2", "o2")]),
+            "Customers": (("cid", "name"), [("c1", "John"), ("c2", "Mary")]),
+        }
+    )
+
+
+def figure1_database_with_null() -> Database:
+    """Figure 1 with the second payment's ``oid`` replaced by a null (Section 1)."""
+    database = figure1_database()
+    payments = Relation(("cid", "oid"), [("c1", "o1"), ("c2", PAYMENT_NULL)])
+    return database.with_relation("Payments", payments)
+
+
+def unpaid_orders_algebra() -> ra.Query:
+    """The unpaid-orders query as relational algebra: π_oid(Orders) − π_oid(Payments)."""
+    orders = rb.project(rb.relation("Orders"), ["oid"])
+    paid = rb.project(rb.relation("Payments"), ["oid"])
+    return rb.difference(orders, paid)
+
+
+def customers_without_paid_order_algebra() -> ra.Query:
+    """Customers with no paid order: π_cid(Customers) − π_cid(paid-join)."""
+    customers = rb.project(rb.relation("Customers"), ["cid"])
+    payments = rb.rename(rb.relation("Payments"), {"cid": "p_cid", "oid": "p_oid"})
+    orders = rb.rename(rb.relation("Orders"), {"oid": "o_oid", "title": "o_title", "price": "o_price"})
+    joined = rb.select(
+        rb.product(payments, orders), Eq(Attr("p_oid"), Attr("o_oid"))
+    )
+    paid_customers = rb.rename(rb.project(joined, ["p_cid"]), {"p_cid": "cid"})
+    return rb.difference(customers, paid_customers)
+
+
+def tautology_algebra() -> ra.Query:
+    """π_cid(σ_{oid='o2' ∨ oid≠'o2'}(Payments))."""
+    condition = Or(Eq(Attr("oid"), Literal("o2")), Neq(Attr("oid"), Literal("o2")))
+    return rb.project(rb.select(rb.relation("Payments"), condition), ["cid"])

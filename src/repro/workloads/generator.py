@@ -1,0 +1,123 @@
+"""Synthetic incomplete databases with controllable null rates.
+
+The precision/recall experiment (E6, mirroring the SIGMOD'19 study [27])
+and the scalability experiments need families of databases whose size
+and amount of incompleteness can be dialled.  The generator here is
+deterministic given a seed, produces relations over small value
+domains (so joins and differences are selective enough to be
+interesting), and can inject either Codd-style nulls (each occurrence is
+a fresh marked null) or repeated marked nulls.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import NullFactory
+
+__all__ = ["GeneratorConfig", "RelationSpec", "generate_database", "inject_nulls"]
+
+
+@dataclass(frozen=True)
+class RelationSpec:
+    """Shape of one generated relation."""
+
+    name: str
+    attributes: tuple[str, ...]
+    rows: int
+
+    def __init__(self, name: str, attributes: Sequence[str], rows: int):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "rows", rows)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Parameters of the synthetic database generator."""
+
+    relations: tuple[RelationSpec, ...]
+    domain_size: int = 50
+    null_rate: float = 0.0
+    repeated_nulls: bool = False
+    seed: int = 0
+
+    def __init__(
+        self,
+        relations: Sequence[RelationSpec],
+        domain_size: int = 50,
+        null_rate: float = 0.0,
+        repeated_nulls: bool = False,
+        seed: int = 0,
+    ):
+        if not 0.0 <= null_rate <= 1.0:
+            raise ValueError("null_rate must be between 0 and 1")
+        object.__setattr__(self, "relations", tuple(relations))
+        object.__setattr__(self, "domain_size", domain_size)
+        object.__setattr__(self, "null_rate", null_rate)
+        object.__setattr__(self, "repeated_nulls", repeated_nulls)
+        object.__setattr__(self, "seed", seed)
+
+
+def generate_database(config: GeneratorConfig) -> Database:
+    """Generate a complete database and then inject nulls at the configured rate."""
+    rng = random.Random(config.seed)
+    relations = {}
+    for spec in config.relations:
+        rows = [
+            tuple(f"v{rng.randrange(config.domain_size)}" for _ in spec.attributes)
+            for _ in range(spec.rows)
+        ]
+        relations[spec.name] = Relation(spec.attributes, rows)
+    database = Database(relations)
+    if config.null_rate > 0:
+        database = inject_nulls(
+            database,
+            null_rate=config.null_rate,
+            repeated=config.repeated_nulls,
+            seed=config.seed + 1,
+        )
+    return database
+
+
+def inject_nulls(
+    database: Database,
+    *,
+    null_rate: float,
+    repeated: bool = False,
+    seed: int = 0,
+    protected_relations: Sequence[str] = (),
+) -> Database:
+    """Replace a fraction of the values of a database by marked nulls.
+
+    With ``repeated=False`` (the default) each replaced occurrence gets a
+    fresh null (Codd nulls, the SQL reading); with ``repeated=True`` a
+    small pool of nulls is reused so the same unknown value can occur in
+    several places (genuine marked nulls).
+    ``protected_relations`` are copied through untouched.
+    """
+    if not 0.0 <= null_rate <= 1.0:
+        raise ValueError("null_rate must be between 0 and 1")
+    rng = random.Random(seed)
+    factory = NullFactory(prefix="g")
+    pool = factory.fresh_many(8) if repeated else []
+    relations = {}
+    for name, relation in database.relations():
+        if name in protected_relations:
+            relations[name] = relation
+            continue
+        rows = []
+        for row in relation.iter_rows_bag():
+            new_row = []
+            for value in row:
+                if rng.random() < null_rate:
+                    new_row.append(rng.choice(pool) if repeated else factory.fresh())
+                else:
+                    new_row.append(value)
+            rows.append(tuple(new_row))
+        relations[name] = Relation(relation.attributes, rows)
+    return Database(relations)

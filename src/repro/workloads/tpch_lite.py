@@ -1,0 +1,204 @@
+"""A scaled-down TPC-H-shaped workload (substitute for the study in [37]).
+
+The feasibility study surveyed in Section 4.2 ran rewritten queries on
+the TPC Benchmark H in a commercial DBMS.  Offline and in pure Python we
+substitute a *TPC-H-lite* workload: the same schema shape (customer,
+orders, lineitem, supplier, part, nation, region), a deterministic
+generator scaled by a row-count factor, null injection on the
+foreign-key and attribute columns, and a set of decision-support-style
+queries built from the core relational algebra operators so that they
+can be pushed through the Figure 2 translations.
+
+The queries are deliberately written in the negation-heavy style that
+makes certain answers interesting (anti-joins expressed with difference,
+as in "orders from customers in region X that have no lineitem from a
+local supplier"), plus positive join/selection queries matching the
+overhead experiment of [37].
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..algebra import ast as ra
+from ..algebra import builder as rb
+from ..algebra.conditions import And, Attr, Eq, Ge, Gt, Literal, Or
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from .generator import inject_nulls
+
+__all__ = ["TpchLiteConfig", "generate_tpch_lite", "tpch_lite_queries"]
+
+
+@dataclass(frozen=True)
+class TpchLiteConfig:
+    """Scale parameters for the TPC-H-lite generator.
+
+    The defaults are deliberately small: the pure-Python evaluator computes
+    Cartesian products before selections, so the four-way join queries cost
+    roughly ``customers × orders × lineitems × suppliers`` row combinations.
+    Scale up explicitly for longer benchmark runs.
+    """
+
+    customers: int = 12
+    orders: int = 25
+    lineitems: int = 40
+    suppliers: int = 5
+    parts: int = 10
+    nations: int = 5
+    regions: int = 3
+    null_rate: float = 0.0
+    seed: int = 7
+
+
+def generate_tpch_lite(config: TpchLiteConfig = TpchLiteConfig()) -> Database:
+    """Generate the TPC-H-lite database (complete, then nulls injected)."""
+    rng = random.Random(config.seed)
+    regions = [(f"r{i}", f"REGION_{i}") for i in range(config.regions)]
+    nations = [
+        (f"n{i}", f"NATION_{i}", rng.choice(regions)[0]) for i in range(config.nations)
+    ]
+    customers = [
+        (f"c{i}", f"Customer#{i}", rng.choice(nations)[0], rng.randrange(0, 10_000) / 100.0)
+        for i in range(config.customers)
+    ]
+    orders = [
+        (
+            f"o{i}",
+            rng.choice(customers)[0],
+            rng.choice(["F", "O", "P"]),
+            rng.randrange(100, 50_000) / 100.0,
+        )
+        for i in range(config.orders)
+    ]
+    suppliers = [
+        (f"s{i}", f"Supplier#{i}", rng.choice(nations)[0]) for i in range(config.suppliers)
+    ]
+    parts = [
+        (f"p{i}", f"Part#{i}", rng.choice(["BRASS", "STEEL", "TIN", "COPPER"]))
+        for i in range(config.parts)
+    ]
+    lineitems = [
+        (
+            f"l{i}",
+            rng.choice(orders)[0],
+            rng.choice(parts)[0],
+            rng.choice(suppliers)[0],
+            rng.randrange(1, 50),
+            rng.randrange(100, 10_000) / 100.0,
+        )
+        for i in range(config.lineitems)
+    ]
+    database = Database(
+        {
+            "region": Relation(("r_regionkey", "r_name"), regions),
+            "nation": Relation(("n_nationkey", "n_name", "n_regionkey"), nations),
+            "customer": Relation(
+                ("c_custkey", "c_name", "c_nationkey", "c_acctbal"), customers
+            ),
+            "orders": Relation(
+                ("o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice"), orders
+            ),
+            "supplier": Relation(("s_suppkey", "s_name", "s_nationkey"), suppliers),
+            "part": Relation(("p_partkey", "p_name", "p_type"), parts),
+            "lineitem": Relation(
+                (
+                    "l_linekey",
+                    "l_orderkey",
+                    "l_partkey",
+                    "l_suppkey",
+                    "l_quantity",
+                    "l_extendedprice",
+                ),
+                lineitems,
+            ),
+        }
+    )
+    if config.null_rate > 0:
+        database = inject_nulls(
+            database,
+            null_rate=config.null_rate,
+            seed=config.seed + 13,
+            protected_relations=("region", "nation"),
+        )
+    return database
+
+
+def tpch_lite_queries() -> dict[str, ra.Query]:
+    """The TPC-H-lite query suite, keyed by a short name.
+
+    All queries are built from the core operators (σ, π, ×, ∪, −) so they
+    can be rewritten by both Figure 2 translations.
+    """
+    customer = rb.relation("customer")
+    orders = rb.relation("orders")
+    lineitem = rb.relation("lineitem")
+    supplier = rb.relation("supplier")
+    nation = rb.relation("nation")
+
+    # Q_join: customers with an open order above a price threshold.
+    cust_orders = rb.select(
+        rb.product(customer, orders),
+        And(Eq(Attr("c_custkey"), Attr("o_custkey")), Gt(Attr("o_totalprice"), Literal(250.0))),
+    )
+    q_join = rb.project(cust_orders, ["c_custkey", "c_name", "o_orderkey"])
+
+    # Q_select: high-balance customers from a fixed nation or with tiny balance.
+    q_select = rb.project(
+        rb.select(
+            customer,
+            Or(
+                And(Eq(Attr("c_nationkey"), Literal("n0")), Ge(Attr("c_acctbal"), Literal(50.0))),
+                Ge(Attr("c_acctbal"), Literal(95.0)),
+            ),
+        ),
+        ["c_custkey", "c_acctbal"],
+    )
+
+    # Q_unordered: customers with no order at all (anti-join via difference).
+    all_customers = rb.project(customer, ["c_custkey"])
+    ordering_customers = rb.rename(
+        rb.project(orders, ["o_custkey"]), {"o_custkey": "c_custkey"}
+    )
+    q_unordered = rb.difference(all_customers, ordering_customers)
+
+    # Q_unshipped: orders with no lineitem (false-negative-prone under nulls).
+    all_orders = rb.project(orders, ["o_orderkey"])
+    shipped_orders = rb.rename(
+        rb.project(lineitem, ["l_orderkey"]), {"l_orderkey": "o_orderkey"}
+    )
+    q_unshipped = rb.difference(all_orders, shipped_orders)
+
+    # Q_localsupp: lineitems supplied from the customer's own nation.
+    supp = rb.rename(supplier, {"s_nationkey": "sn_key"})
+    cust = rb.rename(customer, {"c_nationkey": "cn_key"})
+    big_join = rb.select(
+        rb.product(rb.product(rb.product(cust, orders), lineitem), supp),
+        And(
+            And(Eq(Attr("c_custkey"), Attr("o_custkey")), Eq(Attr("o_orderkey"), Attr("l_orderkey"))),
+            And(Eq(Attr("l_suppkey"), Attr("s_suppkey")), Eq(Attr("cn_key"), Attr("sn_key"))),
+        ),
+    )
+    q_localsupp = rb.project(big_join, ["c_custkey", "o_orderkey", "l_linekey"])
+
+    # Q_nonlocal: orders whose customer nation has no supplier (difference over join).
+    nations_with_supplier = rb.rename(
+        rb.project(supplier, ["s_nationkey"]), {"s_nationkey": "n_nationkey"}
+    )
+    all_nations = rb.project(nation, ["n_nationkey"])
+    nations_without_supplier = rb.difference(all_nations, nations_with_supplier)
+    cust_in_those = rb.select(
+        rb.product(customer, rb.rename(nations_without_supplier, {"n_nationkey": "x_nationkey"})),
+        Eq(Attr("c_nationkey"), Attr("x_nationkey")),
+    )
+    q_nonlocal = rb.project(cust_in_those, ["c_custkey", "c_name"])
+
+    return {
+        "q_join": q_join,
+        "q_select": q_select,
+        "q_unordered": q_unordered,
+        "q_unshipped": q_unshipped,
+        "q_localsupp": q_localsupp,
+        "q_nonlocal": q_nonlocal,
+    }

@@ -1,0 +1,42 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel import Database, Null, Relation
+from repro.workloads import figure1_database, figure1_database_with_null
+
+
+@pytest.fixture
+def null_x() -> Null:
+    return Null("x")
+
+
+@pytest.fixture
+def null_y() -> Null:
+    return Null("y")
+
+
+@pytest.fixture
+def rs_database(null_x) -> Database:
+    """The paper's running example: R = {1}, S = {⊥}."""
+    return Database.from_dict(
+        {"R": (("A",), [(1,)]), "S": (("A",), [(null_x,)])}
+    )
+
+
+@pytest.fixture
+def figure1() -> Database:
+    return figure1_database()
+
+
+@pytest.fixture
+def figure1_null() -> Database:
+    return figure1_database_with_null()
+
+
+@pytest.fixture
+def graph_database(null_x) -> Database:
+    """A two-edge graph 1 → ⊥ → 2 used in the naïve-evaluation examples."""
+    return Database.from_dict({"E": (("src", "dst"), [(1, null_x), (null_x, 2)])})

@@ -1,0 +1,236 @@
+"""Tests for relational algebra: conditions, operators, set and bag evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.algebra import (
+    And,
+    Attr,
+    Eq,
+    IsConst,
+    IsNull,
+    Literal,
+    Neq,
+    Not,
+    Or,
+    builder as rb,
+    evaluate,
+    evaluate_bag,
+    negate,
+    operator_count,
+    star,
+    to_text,
+    to_tree_text,
+)
+from repro.algebra.evaluator import Evaluator
+from repro.datamodel import Database, Null, Relation
+from repro.mvl.truthvalues import FALSE, TRUE, UNKNOWN
+
+
+@pytest.fixture
+def simple_db(null_x):
+    return Database.from_dict(
+        {
+            "R": (("A", "B"), [(1, 2), (2, 3), (1, null_x)]),
+            "S": (("B",), [(2,), (null_x,)]),
+            "T": (("A", "B"), [(1, 2), (1, 2)]),
+        }
+    )
+
+
+class TestConditions:
+    def test_eq_naive_null_equals_only_itself(self, null_x):
+        index = {"A": 0, "B": 1}
+        cond = Eq(Attr("A"), Attr("B"))
+        assert cond.eval_naive((null_x, null_x), index)
+        assert not cond.eval_naive((null_x, 1), index)
+
+    def test_eq_3vl_null_is_unknown(self, null_x):
+        index = {"A": 0}
+        cond = Eq(Attr("A"), Literal(1))
+        assert cond.eval_3vl((null_x,), index) is UNKNOWN
+        assert cond.eval_3vl((1,), index) is TRUE
+        assert cond.eval_3vl((2,), index) is FALSE
+
+    def test_const_null_tests_are_two_valued(self, null_x):
+        index = {"A": 0}
+        assert IsNull(Attr("A")).eval_3vl((null_x,), index) is TRUE
+        assert IsConst(Attr("A")).eval_3vl((null_x,), index) is FALSE
+
+    def test_kleene_or_with_unknown(self, null_x):
+        index = {"A": 0}
+        cond = Or(Eq(Attr("A"), Literal(1)), Neq(Attr("A"), Literal(1)))
+        # A classical tautology evaluates to unknown on a null (SQL behaviour).
+        assert cond.eval_3vl((null_x,), index) is UNKNOWN
+        assert cond.eval_3vl((5,), index) is TRUE
+
+    def test_negate_interchanges_operators(self):
+        cond = And(Eq(Attr("A"), Attr("B")), IsNull(Attr("A")))
+        negated = negate(cond)
+        assert isinstance(negated, Or)
+        assert isinstance(negated.left, Neq)
+        assert isinstance(negated.right, IsConst)
+
+    def test_negate_not_eliminates_double_negation(self):
+        cond = Eq(Attr("A"), Literal(1))
+        assert negate(Not(cond)) == cond
+
+    def test_star_guards_disequalities(self, null_x):
+        index = {"A": 0, "B": 1}
+        starred = star(Neq(Attr("A"), Attr("B")))
+        # On a null the starred disequality is false (not asserted).
+        assert not starred.eval_naive((null_x, 1), index)
+        assert starred.eval_naive((2, 1), index)
+
+    def test_star_leaves_equalities_alone(self):
+        cond = Eq(Attr("A"), Literal(1))
+        assert star(cond) == cond
+
+    def test_condition_operators_sugar(self):
+        cond = Eq(Attr("A"), Literal(1)) & Neq(Attr("B"), Literal(2))
+        assert isinstance(cond, And)
+        assert isinstance(~Eq(Attr("A"), Literal(1)), Neq)
+
+
+class TestSetEvaluation:
+    def test_selection_projection(self, simple_db):
+        query = rb.project(rb.select(rb.relation("R"), rb.eq("A", 1)), ["B"])
+        result = evaluate(query, simple_db)
+        assert result.rows_set() == {(2,), (Null("x"),)}
+
+    def test_product_requires_disjoint_attributes(self, simple_db):
+        with pytest.raises(ValueError):
+            evaluate(rb.product(rb.relation("R"), rb.relation("T")), simple_db)
+
+    def test_union_difference_intersection(self, simple_db):
+        r_b = rb.project(rb.relation("R"), ["B"])
+        s = rb.relation("S")
+        assert evaluate(rb.union(r_b, s), simple_db).rows_set() == {
+            (2,),
+            (3,),
+            (Null("x"),),
+        }
+        assert evaluate(rb.difference(r_b, s), simple_db).rows_set() == {(3,)}
+        assert evaluate(rb.intersection(r_b, s), simple_db).rows_set() == {
+            (2,),
+            (Null("x"),),
+        }
+
+    def test_division(self):
+        db = Database.from_dict(
+            {
+                "Takes": (("student", "course"), [("ann", "db"), ("ann", "ml"), ("bob", "db")]),
+                "Courses": (("course",), [("db",), ("ml",)]),
+            }
+        )
+        query = rb.division(rb.relation("Takes"), rb.relation("Courses"))
+        assert evaluate(query, db).rows_set() == {("ann",)}
+
+    def test_domain_relation_power(self, simple_db):
+        dom2 = evaluate(rb.dom(2), simple_db)
+        domain_size = len(simple_db.active_domain())
+        assert len(dom2) == domain_size**2
+
+    def test_unif_antijoin_strategies_agree(self, simple_db):
+        query = rb.unif_antijoin(rb.project(rb.relation("R"), ["B"]), rb.relation("S"))
+        hashed = Evaluator(unif_strategy="hashed").evaluate(query, simple_db)
+        nested = Evaluator(unif_strategy="nested").evaluate(query, simple_db)
+        assert hashed.rows_set() == nested.rows_set() == set()
+
+    def test_natural_join_and_semijoins(self, simple_db):
+        join = evaluate(rb.natural_join(rb.relation("R"), rb.relation("S")), simple_db)
+        assert join.rows_set() == {(1, 2), (1, Null("x"))}
+        semi = evaluate(rb.semijoin(rb.relation("R"), rb.relation("S")), simple_db)
+        assert semi.rows_set() == {(1, 2), (1, Null("x"))}
+        anti = evaluate(rb.antijoin(rb.relation("R"), rb.relation("S")), simple_db)
+        assert anti.rows_set() == {(2, 3)}
+
+    def test_rename(self, simple_db):
+        query = rb.rename(rb.relation("S"), {"B": "C"})
+        assert evaluate(query, simple_db).attributes == ("C",)
+
+    def test_3vl_condition_mode_drops_unknown(self, simple_db):
+        query = rb.select(rb.relation("R"), rb.eq("B", 2))
+        naive = evaluate(query, simple_db)
+        sql_like = evaluate(query, simple_db, condition_mode="3vl")
+        assert naive.rows_set() == sql_like.rows_set() == {(1, 2)}
+
+    def test_missing_relation_raises(self, simple_db):
+        with pytest.raises(KeyError):
+            evaluate(rb.relation("Missing"), simple_db)
+
+    def test_boolean_query(self, simple_db):
+        query = rb.project(rb.select(rb.relation("R"), rb.eq("A", 99)), [])
+        assert not evaluate(query, simple_db)
+
+
+class TestBagEvaluation:
+    def test_projection_keeps_multiplicities(self, simple_db):
+        query = rb.project(rb.relation("T"), ["A"])
+        assert evaluate_bag(query, simple_db).multiplicity((1,)) == 2
+        assert evaluate(query, simple_db).multiplicity((1,)) == 1
+
+    def test_union_adds_and_difference_subtracts(self, simple_db):
+        t_a = rb.project(rb.relation("T"), ["A"])
+        union = evaluate_bag(rb.union(t_a, t_a), simple_db)
+        assert union.multiplicity((1,)) == 4
+        diff = evaluate_bag(rb.difference(rb.union(t_a, t_a), t_a), simple_db)
+        assert diff.multiplicity((1,)) == 2
+
+    def test_product_multiplies(self, simple_db):
+        query = rb.product(rb.relation("T"), rb.rename(rb.relation("S"), {"B": "C"}))
+        result = evaluate_bag(query, simple_db)
+        assert result.multiplicity((1, 2, 2)) == 2
+
+
+class TestPrettyPrinting:
+    def test_to_text_mentions_operators(self, simple_db):
+        query = rb.project(rb.select(rb.relation("R"), rb.eq("A", 1)), ["B"])
+        text = to_text(query)
+        assert "σ" in text and "π" in text and "R" in text
+
+    def test_tree_text_has_one_line_per_node(self, simple_db):
+        query = rb.difference(rb.project(rb.relation("R"), ["B"]), rb.relation("S"))
+        assert len(to_tree_text(query).splitlines()) == 4
+
+    def test_operator_count(self):
+        query = rb.union(rb.relation("R"), rb.union(rb.relation("S"), rb.relation("T")))
+        counts = operator_count(query)
+        assert counts["Union"] == 2
+        assert counts["RelationRef"] == 3
+
+
+class TestEvaluationProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8
+        ),
+        other=st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3)), max_size=8
+        ),
+    )
+    def test_set_operations_match_python_sets(self, rows, other):
+        db = Database(
+            {"R": Relation(("A", "B"), rows), "S": Relation(("A", "B"), other)}
+        )
+        r_set, s_set = set(rows), set(other)
+        assert evaluate(
+            rb.union(rb.relation("R"), rb.relation("S")), db
+        ).rows_set() == r_set | s_set
+        assert evaluate(
+            rb.difference(rb.relation("R"), rb.relation("S")), db
+        ).rows_set() == r_set - s_set
+        assert evaluate(
+            rb.intersection(rb.relation("R"), rb.relation("S")), db
+        ).rows_set() == r_set & s_set
+
+    @given(
+        rows=st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), max_size=6)
+    )
+    def test_projection_then_selection_is_sound(self, rows):
+        db = Database({"R": Relation(("A", "B"), rows)})
+        query = rb.project(rb.select(rb.relation("R"), rb.eq("A", 1)), ["B"])
+        expected = {(b,) for (a, b) in set(rows) if a == 1}
+        assert evaluate(query, db).rows_set() == expected

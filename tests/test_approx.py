@@ -1,0 +1,262 @@
+"""Tests for the Figure 2 approximation schemes, bag bounds and quality metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import builder as rb, evaluate, evaluate_bag
+from repro.algebra.conditions import Attr, Eq, Literal, Neq, Or
+from repro.approx import (
+    approximate_multiplicity_bounds,
+    compare_answers,
+    exact_multiplicity_bounds,
+    normalize_for_translation,
+    translate_guagliardo16,
+    translate_libkin16,
+)
+from repro.datamodel import Database, Null, Relation, Valuation
+from repro.incomplete import (
+    certain_answers_with_nulls,
+    constant_pool,
+    iterate_worlds,
+)
+from repro.workloads import (
+    figure1_database,
+    figure1_database_with_null,
+    tautology_algebra,
+    unpaid_orders_algebra,
+)
+
+
+def _random_database(r_rows, s_rows, null_positions):
+    """Small two-relation database with nulls injected at given positions."""
+    nulls = [Null(f"h{i}") for i in range(4)]
+    r = [
+        tuple(nulls[(i + j) % 4] if (0, i, j) in null_positions else v for j, v in enumerate(row))
+        for i, row in enumerate(r_rows)
+    ]
+    s = [
+        tuple(nulls[(i + j + 1) % 4] if (1, i, j) in null_positions else v for j, v in enumerate(row))
+        for i, row in enumerate(s_rows)
+    ]
+    return Database({"R": Relation(("A", "B"), r), "S": Relation(("A", "B"), s)})
+
+
+QUERIES = {
+    "difference": lambda: rb.difference(rb.relation("R"), rb.relation("S")),
+    "proj_diff": lambda: rb.difference(
+        rb.project(rb.relation("R"), ["A"]), rb.project(rb.relation("S"), ["A"])
+    ),
+    "select_neq": lambda: rb.select(rb.relation("R"), rb.neq("A", 1)),
+    "union": lambda: rb.union(rb.relation("R"), rb.relation("S")),
+    "product_proj": lambda: rb.project(
+        rb.product(
+            rb.project(rb.relation("R"), ["A"]),
+            rb.rename(rb.project(rb.relation("S"), ["B"]), {"B": "C"}),
+        ),
+        ["A"],
+    ),
+    "intersection": lambda: rb.intersection(rb.relation("R"), rb.relation("S")),
+}
+
+
+class TestGuagliardo16:
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_q_plus_is_sound(self, query_name):
+        """Q+(D) ⊆ cert⊥(Q, D) on a database exercising nulls (Theorem 4.7)."""
+        null = Null("z")
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (null, 3)]),
+                "S": Relation(("A", "B"), [(1, null), (4, 5)]),
+            }
+        )
+        query = QUERIES[query_name]()
+        pair = translate_guagliardo16(query, db.schema())
+        certain_plus = evaluate(pair.certain, db).rows_set()
+        ground_truth = certain_answers_with_nulls(query, db).rows_set()
+        assert certain_plus <= ground_truth
+
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_sandwich_property(self, query_name):
+        """v(Q+(D)) ⊆ Q(v(D)) ⊆ v(Q?(D)) for every valuation (equation 5)."""
+        null = Null("z")
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (null, 3)]),
+                "S": Relation(("A", "B"), [(1, null)]),
+            }
+        )
+        query = QUERIES[query_name]()
+        pair = translate_guagliardo16(query, db.schema())
+        plus_rows = evaluate(pair.certain, db).rows_set()
+        maybe_rows = evaluate(pair.possible, db).rows_set()
+        for valuation, world in iterate_worlds(db, constant_pool(db)):
+            answer = evaluate(query, world).rows_set()
+            assert {valuation.apply_tuple(r) for r in plus_rows} <= answer
+            assert answer <= {valuation.apply_tuple(r) for r in maybe_rows}
+
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_exact_on_complete_databases(self, query_name):
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (2, 3)]),
+                "S": Relation(("A", "B"), [(1, 2), (4, 5)]),
+            }
+        )
+        query = QUERIES[query_name]()
+        pair = translate_guagliardo16(query, db.schema())
+        original = evaluate(query, db).rows_set()
+        assert evaluate(pair.certain, db).rows_set() == original
+        assert evaluate(pair.possible, db).rows_set() == original
+
+    def test_running_example_difference(self, rs_database):
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        pair = translate_guagliardo16(query, rs_database.schema())
+        assert evaluate(pair.certain, rs_database).rows_set() == set()
+        assert evaluate(pair.possible, rs_database).rows_set() == {(1,)}
+
+    def test_tautology_query_recall_loss(self, figure1_null):
+        """The 'oid = o2 OR oid <> o2' query: Q+ finds c1 but misses c2."""
+        query = tautology_algebra()
+        pair = translate_guagliardo16(query, figure1_null.schema())
+        produced = evaluate(pair.certain, figure1_null)
+        truth = certain_answers_with_nulls(query, figure1_null)
+        quality = compare_answers(produced, truth)
+        assert quality.is_sound()
+        assert truth.rows_set() == {("c1",), ("c2",)}
+        assert produced.rows_set() == {("c1",)}
+
+    def test_unsupported_operator_raises(self, rs_database):
+        query = rb.division(rb.relation("R"), rb.relation("S"))
+        with pytest.raises(ValueError):
+            translate_guagliardo16(query, rs_database.schema())
+
+
+class TestLibkin16:
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_qt_is_sound_and_qf_disjoint_from_possible(self, query_name):
+        null = Null("z")
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (null, 3)]),
+                "S": Relation(("A", "B"), [(1, null)]),
+            }
+        )
+        query = QUERIES[query_name]()
+        pair = translate_libkin16(query, db.schema())
+        certainly_true = evaluate(pair.certainly_true, db).rows_set()
+        certainly_false = evaluate(pair.certainly_false, db).rows_set()
+        ground_truth = certain_answers_with_nulls(query, db).rows_set()
+        assert certainly_true <= ground_truth
+        # Certainly-false tuples are never answers in any world (4b).
+        for valuation, world in iterate_worlds(db, constant_pool(db)):
+            answer = evaluate(query, world).rows_set()
+            for row in certainly_false:
+                assert valuation.apply_tuple(row) not in answer
+
+    @pytest.mark.parametrize("query_name", sorted(QUERIES))
+    def test_qt_equals_query_on_complete_databases(self, query_name):
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (2, 3)]),
+                "S": Relation(("A", "B"), [(1, 2)]),
+            }
+        )
+        query = QUERIES[query_name]()
+        pair = translate_libkin16(query, db.schema())
+        assert evaluate(pair.certainly_true, db).rows_set() == evaluate(query, db).rows_set()
+
+    def test_qt_and_qplus_agree_on_running_example(self, rs_database):
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        qt = translate_libkin16(query, rs_database.schema()).certainly_true
+        qplus = translate_guagliardo16(query, rs_database.schema()).certain
+        assert evaluate(qt, rs_database).rows_set() == evaluate(qplus, rs_database).rows_set()
+
+
+class TestNormalisation:
+    def test_intersection_normalised_to_difference(self):
+        query = rb.intersection(rb.relation("R"), rb.relation("S"))
+        normalized = normalize_for_translation(query)
+        assert "Intersection" not in str(type(normalized))
+
+    def test_semijoin_rejected_with_guidance(self):
+        query = rb.semijoin(rb.relation("R"), rb.relation("S"))
+        with pytest.raises(ValueError):
+            normalize_for_translation(query)
+
+
+class TestFigure1Pipeline:
+    def test_unpaid_orders_false_negative_detected(self):
+        complete = figure1_database()
+        with_null = figure1_database_with_null()
+        query = unpaid_orders_algebra()
+        assert evaluate(query, complete).rows_set() == {("o3",)}
+        # Naïve evaluation of the difference now also reports o2 — a false
+        # positive, since the null payment may well be for o2.
+        assert evaluate(query, with_null).rows_set() == {("o2",), ("o3",)}
+        # Nothing is certain, and Q+ correctly returns nothing.
+        pair = translate_guagliardo16(query, with_null.schema())
+        assert evaluate(pair.certain, with_null).rows_set() == set()
+        assert certain_answers_with_nulls(query, with_null).rows_set() == set()
+        # But o3 is still possible.
+        assert ("o3",) in evaluate(pair.possible, with_null).rows_set()
+
+
+class TestBagBounds:
+    def test_theorem_4_8_bracket(self):
+        null = Null("b")
+        db = Database(
+            {
+                "R": Relation(("A",), [(1,), (1,), (null,)]),
+                "S": Relation(("A",), [(1,)]),
+            }
+        )
+        query = rb.union(rb.relation("R"), rb.relation("S"))
+        exact = exact_multiplicity_bounds(query, db, (1,))
+        approx = approximate_multiplicity_bounds(query, db, (1,))
+        assert approx.lower <= exact.lower <= approx.upper
+
+    def test_bounds_on_complete_database_collapse(self):
+        db = Database({"R": Relation(("A",), [(1,), (1,)]), "S": Relation(("A",), [])})
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        exact = exact_multiplicity_bounds(query, db, (1,))
+        assert exact.lower == exact.upper == 2
+        approx = approximate_multiplicity_bounds(query, db, (1,))
+        assert approx.lower == approx.upper == 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        r_mult=st.integers(0, 3),
+        s_mult=st.integers(0, 2),
+        with_null=st.booleans(),
+    )
+    def test_bag_lower_bound_always_sound(self, r_mult, s_mult, with_null):
+        null = Null("bb")
+        rows_r = [(1,)] * r_mult + ([(null,)] if with_null else [])
+        rows_s = [(1,)] * s_mult
+        db = Database({"R": Relation(("A",), rows_r), "S": Relation(("A",), rows_s)})
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        exact = exact_multiplicity_bounds(query, db, (1,))
+        approx = approximate_multiplicity_bounds(query, db, (1,))
+        assert approx.lower <= exact.lower
+
+
+class TestQualityMetrics:
+    def test_precision_recall_f1(self):
+        produced = Relation(("A",), [(1,), (2,)])
+        truth = Relation(("A",), [(2,), (3,)])
+        quality = compare_answers(produced, truth)
+        assert quality.true_positives == 1
+        assert quality.false_positives == 1
+        assert quality.false_negatives == 1
+        assert quality.precision == pytest.approx(0.5)
+        assert quality.recall == pytest.approx(0.5)
+        assert quality.f1 == pytest.approx(0.5)
+        assert not quality.is_sound() and not quality.is_complete()
+
+    def test_empty_cases(self):
+        empty = Relation(("A",), [])
+        quality = compare_answers(empty, empty)
+        assert quality.precision == 1.0 and quality.recall == 1.0

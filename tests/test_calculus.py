@@ -1,0 +1,164 @@
+"""Tests for the FO calculus: evaluation, fragments, conjunctive queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calculus import (
+    Atom,
+    ConjunctiveQuery,
+    CqConst,
+    EqAtom,
+    Exists,
+    FoQuery,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    RelAtom,
+    UnionOfConjunctiveQueries,
+    Var,
+    classify,
+    constants_mentioned,
+    free_variables,
+    holds,
+    is_conjunctive,
+    is_pos_forall_g,
+    is_positive,
+    is_ucq,
+    naive_evaluation_is_exact,
+)
+from repro.calculus import ast as fo
+from repro.algebra import evaluate
+from repro.datamodel import Database
+
+
+class TestFormulaBasics:
+    def test_free_variables(self):
+        formula = Exists(["y"], fo.And(RelAtom("R", ["x", "y"]), EqAtom("x", "z")))
+        assert free_variables(formula) == {Var("x"), Var("z")}
+
+    def test_constants_mentioned(self):
+        formula = fo.And(RelAtom("R", ["x", 3]), EqAtom("x", "a_var"))
+        assert constants_mentioned(formula) == {3}
+
+    def test_str_rendering(self):
+        formula = Forall(["x"], Implies(RelAtom("R", ["x"]), RelAtom("S", ["x"])))
+        rendered = str(formula)
+        assert "∀" in rendered and "→" in rendered
+
+
+class TestEvaluation:
+    def test_boolean_query_on_graph(self, graph_database):
+        # ∃x E(1, x) ∧ E(x, 2): the path query of Section 4.1.
+        formula = Exists(
+            ["x"], fo.And(RelAtom("E", [fo.ConstTerm(1), "x"]), RelAtom("E", ["x", fo.ConstTerm(2)]))
+        )
+        assert holds(formula, graph_database)
+
+    def test_universal_quantifier(self):
+        db = Database.from_dict({"R": (("A",), [(1,), (2,)]), "S": (("A",), [(1,), (2,)])})
+        formula = Forall(["x"], Implies(RelAtom("R", ["x"]), RelAtom("S", ["x"])))
+        assert holds(formula, db)
+        smaller = Database.from_dict({"R": (("A",), [(1,), (2,)]), "S": (("A",), [(1,)])})
+        assert not holds(formula, smaller)
+
+    def test_fo_query_answers(self, graph_database):
+        query = FoQuery(Exists(["y"], RelAtom("E", ["x", "y"])), free=["x"])
+        answers = query.answers(graph_database)
+        assert (1,) in answers.rows_set()
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError):
+            FoQuery(RelAtom("R", ["x"]), free=[])
+
+    def test_boolean_requires_arity_zero(self, graph_database):
+        query = FoQuery(RelAtom("E", ["x", "y"]), free=["x", "y"])
+        with pytest.raises(ValueError):
+            query.boolean(graph_database)
+
+
+class TestFragments:
+    def test_cq_and_ucq(self):
+        cq = Exists(["x"], fo.And(RelAtom("R", ["x"]), RelAtom("S", ["x"])))
+        ucq = Or(cq, RelAtom("S", ["y"]))
+        assert is_conjunctive(cq) and is_ucq(cq)
+        assert not is_conjunctive(ucq) and is_ucq(ucq)
+        assert classify(cq) == "CQ" and classify(ucq) == "UCQ"
+
+    def test_negation_leaves_all_positive_fragments(self):
+        formula = Not(RelAtom("R", ["x"]))
+        assert not is_ucq(formula)
+        assert not is_positive(formula)
+        assert not is_pos_forall_g(formula)
+        assert classify(formula) == "FO"
+
+    def test_pos_forall_g_guarded_universal(self):
+        guarded = Forall(
+            ["x"], Implies(RelAtom("Emp", ["x"]), Exists(["p"], RelAtom("Works", ["x", "p"])))
+        )
+        assert is_pos_forall_g(guarded)
+        assert classify(guarded) == "Pos∀G"
+
+    def test_unguarded_implication_not_pos_forall_g(self):
+        bad = Forall(["x"], Implies(Not(RelAtom("R", ["x"])), RelAtom("S", ["x"])))
+        assert not is_pos_forall_g(bad)
+
+    def test_guard_must_cover_quantified_variables(self):
+        bad = Forall(["x", "y"], Implies(RelAtom("R", ["x"]), RelAtom("S", ["x", "y"])))
+        assert not is_pos_forall_g(bad)
+
+    def test_naive_exactness_predicate(self):
+        cq = Exists(["x"], RelAtom("R", ["x"]))
+        universal = Forall(["x"], Implies(RelAtom("R", ["x"]), RelAtom("S", ["x"])))
+        assert naive_evaluation_is_exact(cq, "owa")
+        assert naive_evaluation_is_exact(universal, "cwa")
+        assert not naive_evaluation_is_exact(universal, "owa")
+        with pytest.raises(ValueError):
+            naive_evaluation_is_exact(cq, "bogus")
+
+
+class TestConjunctiveQueries:
+    def test_formula_and_algebra_agree(self, graph_database):
+        cq = ConjunctiveQuery(["x"], [Atom("E", [1, "y"]), Atom("E", ["y", "x"])])
+        via_formula = cq.to_formula().answers(graph_database).rows_set()
+        via_algebra = evaluate(cq.to_algebra(graph_database.schema()), graph_database).rows_set()
+        assert via_formula == via_algebra == {(2,)}
+
+    def test_constants_in_atoms_become_selections(self, figure1):
+        cq = ConjunctiveQuery(
+            ["name"],
+            [Atom("Customers", ["c", "name"]), Atom("Payments", ["c", CqConst("o1")])],
+        )
+        result = evaluate(cq.to_algebra(figure1.schema()), figure1)
+        assert result.rows_set() == {("John",)}
+        via_formula = cq.to_formula().answers(figure1)
+        assert via_formula.rows_set() == {("John",)}
+
+    def test_explicit_equalities(self, figure1):
+        cq = ConjunctiveQuery(
+            ["cid"],
+            [Atom("Payments", ["cid", "oid"])],
+            equalities=[("oid", CqConst("o2"))],
+        )
+        result = evaluate(cq.to_algebra(figure1.schema()), figure1)
+        assert result.rows_set() == {("c2",)}
+
+    def test_unsafe_query_rejected(self):
+        with pytest.raises(ValueError):
+            ConjunctiveQuery(["x"], [Atom("R", ["y"])])
+
+    def test_ucq_union(self, figure1):
+        cq1 = ConjunctiveQuery(["cid"], [Atom("Payments", ["cid", CqConst("o1")])])
+        cq2 = ConjunctiveQuery(["cid"], [Atom("Payments", ["cid", CqConst("o2")])])
+        ucq = UnionOfConjunctiveQueries([cq1, cq2])
+        result = evaluate(ucq.to_algebra(figure1.schema()), figure1)
+        assert result.rows_set() == {("c1",), ("c2",)}
+        formula_result = ucq.to_formula().answers(figure1)
+        assert formula_result.rows_set() == {("c1",), ("c2",)}
+
+    def test_ucq_requires_consistent_arity(self):
+        cq1 = ConjunctiveQuery(["x"], [Atom("R", ["x"])])
+        cq2 = ConjunctiveQuery(["x", "y"], [Atom("S", ["x", "y"])])
+        with pytest.raises(ValueError):
+            UnionOfConjunctiveQueries([cq1, cq2])

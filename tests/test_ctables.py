@@ -1,0 +1,179 @@
+"""Tests for conditional tables and the four grounding strategies of [36]."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import builder as rb, evaluate
+from repro.approx import translate_guagliardo16
+from repro.ctables import (
+    CTable,
+    CTuple,
+    ConditionalDatabase,
+    CtEq,
+    CtNeq,
+    CtOpaque,
+    CtTrue,
+    STRATEGIES,
+    aware_evaluate,
+    ct_and,
+    ct_not,
+    ct_or,
+    eager_evaluate,
+    forced_equalities,
+    ground,
+    lazy_evaluate,
+    run_strategy,
+    semi_eager_evaluate,
+)
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import certain_answers_with_nulls
+from repro.mvl.truthvalues import FALSE, TRUE, UNKNOWN
+
+
+class TestConditions:
+    def test_ground_valid_condition(self, null_x):
+        condition = ct_or([CtEq(null_x, 1), CtNeq(null_x, 1)])
+        assert ground(condition) is TRUE
+
+    def test_ground_unsatisfiable_condition(self, null_x):
+        condition = ct_and([CtEq(null_x, 1), CtEq(null_x, 2)])
+        assert ground(condition) is FALSE
+
+    def test_ground_contingent_condition(self, null_x):
+        assert ground(CtEq(null_x, 1)) is UNKNOWN
+
+    def test_ground_constant_conditions(self):
+        assert ground(CtTrue()) is TRUE
+        assert ground(ct_not(CtTrue())) is FALSE
+
+    def test_opaque_atoms_ground_to_unknown(self, null_x):
+        assert ground(CtOpaque("x<3", (null_x,))) is UNKNOWN
+
+    def test_forced_equalities_paper_example(self, null_x, null_y):
+        # ⟨⊥2, ⊥1 = c ∧ ⊥1 = ⊥2⟩ should force ⊥2 = c (and ⊥1 = c).
+        condition = ct_and([CtEq(null_x, "c"), CtEq(null_x, null_y)])
+        forced = forced_equalities(condition)
+        assert forced.get(null_x) == "c"
+        assert forced.get(null_y) == "c"
+
+    def test_no_forced_equality_for_free_null(self, null_x):
+        assert forced_equalities(CtNeq(null_x, "c")) == {}
+
+    def test_smart_constructors_simplify(self, null_x):
+        from repro.ctables.condition import ct_eq
+
+        assert isinstance(ct_and([CtTrue(), CtTrue()]), CtTrue)
+        assert ct_eq(1, 2).__class__.__name__ == "CtFalse"
+        assert ct_eq(1, 1).__class__.__name__ == "CtTrue"
+        assert isinstance(ct_or([CtTrue(), CtEq(null_x, 1)]), CtTrue)
+        assert ground(ct_and([CtEq(1, 2)])) is FALSE
+
+
+class TestCTables:
+    def test_from_relation_all_true(self, rs_database):
+        table = CTable.from_relation(rs_database["R"])
+        assert all(isinstance(ct.condition, CtTrue) for ct in table)
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CTable(("A",), [CTuple((1, 2))])
+
+    def test_certain_and_possible_rows(self, null_x):
+        table = CTable(
+            ("A",),
+            [
+                CTuple((1,), CtTrue()),
+                CTuple((2,), CtEq(null_x, 5)),
+                CTuple((3,), ct_and([CtEq(null_x, 1), CtEq(null_x, 2)])),
+            ],
+        )
+        assert table.certain_rows().rows_set() == {(1,)}
+        assert table.possible_rows().rows_set() == {(1,), (2,)}
+
+
+class TestStrategies:
+    def test_all_strategies_sound(self, null_x):
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (null_x, 3)]),
+                "S": Relation(("A", "B"), [(1, null_x)]),
+            }
+        )
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        truth = certain_answers_with_nulls(query, db).rows_set()
+        for strategy in STRATEGIES:
+            result = run_strategy(strategy, query, db)
+            assert result.certain.rows_set() <= truth, strategy
+
+    def test_theorem_4_9_eager_matches_figure_2b(self, rs_database):
+        """Q+(D) = Eval_e,t(Q, D) and Q?(D) = Eval_e,p(Q, D) on the running example."""
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        eager = eager_evaluate(query, rs_database)
+        pair = translate_guagliardo16(query, rs_database.schema())
+        assert eager.certain.rows_set() == evaluate(pair.certain, rs_database).rows_set()
+        assert eager.possible.rows_set() == evaluate(pair.possible, rs_database).rows_set()
+
+    def test_strategy_precision_ordering(self, null_x, null_y):
+        """Later strategies retain at least the certain answers of earlier ones."""
+        db = Database(
+            {
+                "R": Relation(("A",), [(1,), (null_x,)]),
+                "S": Relation(("A",), [(null_x,), (2,)]),
+                "T": Relation(("A",), [(2,), (null_y,)]),
+            }
+        )
+        query = rb.difference(
+            rb.relation("R"), rb.difference(rb.relation("S"), rb.relation("T"))
+        )
+        results = {s: run_strategy(s, query, db).certain.rows_set() for s in STRATEGIES}
+        assert results["eager"] <= results["lazy"] <= results["aware"]
+        assert results["eager"] <= results["semi_eager"] <= results["aware"]
+
+    def test_aware_more_precise_than_eager_on_nested_difference(self, null_x):
+        """The aware strategy keeps exact conditions and can certify more."""
+        db = Database(
+            {
+                "R": Relation(("A",), [(1,)]),
+                "S": Relation(("A",), [(null_x,)]),
+                "T": Relation(("A",), [(1,)]),
+            }
+        )
+        # R − (S − T): whatever the null is, 1 survives (either the null is 1,
+        # and then S − T is empty, or it is not 1 and cannot remove 1).  The
+        # aware strategy sees the contradiction in the accumulated condition;
+        # the eager strategy has already collapsed it to "unknown".
+        query = rb.difference(
+            rb.relation("R"), rb.difference(rb.relation("S"), rb.relation("T"))
+        )
+        truth = certain_answers_with_nulls(query, db).rows_set()
+        assert truth == {(1,)}
+        assert aware_evaluate(query, db).certain.rows_set() == {(1,)}
+        assert eager_evaluate(query, db).certain.rows_set() == set()
+
+    def test_semi_eager_propagates_equalities(self, null_x):
+        db = Database({"S": Relation(("A",), [(null_x,)])})
+        query = rb.select(rb.relation("S"), rb.eq("A", 5))
+        semi = semi_eager_evaluate(query, db)
+        eager = eager_evaluate(query, db)
+        assert [ct.values for ct in semi.ctable] == [(5,)]
+        assert [ct.values for ct in eager.ctable] == [(null_x,)]
+
+    def test_lazy_only_grounds_at_difference(self, null_x):
+        db = Database({"S": Relation(("A",), [(null_x,)])})
+        query = rb.select(rb.relation("S"), rb.eq("A", 5))
+        lazy = lazy_evaluate(query, db)
+        # No difference operator: the condition is still the exact equality.
+        assert isinstance(list(lazy.ctable)[0].condition, CtEq)
+
+    def test_unknown_strategy_rejected(self, rs_database):
+        with pytest.raises(ValueError):
+            run_strategy("bogus", rb.relation("R"), rs_database)
+
+    def test_strategies_exact_on_complete_database(self, figure1):
+        query = rb.project(rb.relation("Payments"), ["cid"])
+        expected = evaluate(query, figure1).rows_set()
+        for strategy in STRATEGIES:
+            result = run_strategy(strategy, query, figure1)
+            assert result.certain.rows_set() == expected
+            assert result.possible.rows_set() == expected

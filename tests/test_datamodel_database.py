@@ -1,0 +1,162 @@
+"""Tests for databases, valuations, unification, homomorphisms, Codd nulls."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datamodel import (
+    Database,
+    Null,
+    Relation,
+    Valuation,
+    bijective_valuation,
+    coddify_database,
+    enumerate_valuations,
+    equal_up_to_null_renaming,
+    find_homomorphism,
+    is_codd_database,
+    is_homomorphism,
+    is_onto_homomorphism,
+    is_strong_onto_homomorphism,
+    most_general_unifier,
+    unifiable,
+    unify,
+)
+
+
+class TestDatabase:
+    def test_from_dict_and_access(self, rs_database):
+        assert set(rs_database.relation_names()) == {"R", "S"}
+        assert rs_database["R"].rows_set() == {(1,)}
+        with pytest.raises(KeyError):
+            rs_database["missing"]
+
+    def test_const_null_dom(self, rs_database, null_x):
+        assert rs_database.constants() == {1}
+        assert rs_database.nulls() == {null_x}
+        assert rs_database.active_domain() == {1, null_x}
+        assert not rs_database.is_complete()
+
+    def test_schema_induced(self, figure1):
+        schema = figure1.schema()
+        assert schema["Orders"].attributes == ("oid", "title", "price")
+
+    def test_with_and_without_relation(self, rs_database):
+        extended = rs_database.with_relation("T", Relation(("A",), [(9,)]))
+        assert "T" in extended and "T" not in rs_database
+        assert "R" not in extended.without_relation("R")
+
+    def test_issubset_of(self, rs_database):
+        smaller = Database({"R": Relation(("A",), [(1,)])})
+        assert smaller.issubset_of(rs_database)
+        assert not rs_database.issubset_of(smaller)
+
+
+class TestValuation:
+    def test_apply_to_value_tuple_relation_database(self, rs_database, null_x):
+        valuation = Valuation({null_x: 7})
+        assert valuation.apply_value(null_x) == 7
+        assert valuation.apply_value(3) == 3
+        assert valuation.apply_tuple((null_x, 1)) == (7, 1)
+        assert valuation(rs_database)["S"].rows_set() == {(7,)}
+
+    def test_unmapped_nulls_pass_through(self, null_x, null_y):
+        valuation = Valuation({null_x: 1})
+        assert valuation.apply_value(null_y) == null_y
+
+    def test_bijective_valuation_avoids_domain(self, rs_database, null_x):
+        valuation = bijective_valuation(rs_database, avoid={"@c1"})
+        image = valuation[null_x]
+        assert image not in rs_database.active_domain()
+        assert image != "@c1"
+        inverse = valuation.inverse()
+        assert inverse.apply_value(image) == null_x
+
+    def test_enumerate_valuations_count(self, null_x, null_y):
+        valuations = list(enumerate_valuations([null_x, null_y], [1, 2, 3]))
+        assert len(valuations) == 9
+        assert len(set(valuations)) == 9
+
+    def test_inverse_requires_injectivity(self, null_x, null_y):
+        with pytest.raises(ValueError):
+            Valuation({null_x: 1, null_y: 1}).inverse()
+
+
+class TestUnification:
+    def test_constants_unify_only_when_equal(self):
+        assert unifiable((1, 2), (1, 2))
+        assert not unifiable((1, 2), (1, 3))
+
+    def test_null_unifies_with_constant(self, null_x):
+        assert unifiable((1, null_x), (1, 2))
+        assert unify((1, null_x), (1, 2)) == (1, 2)
+
+    def test_repeated_null_must_take_one_value(self, null_x):
+        assert not unifiable((null_x, null_x), (1, 2))
+        assert unifiable((null_x, null_x), (1, 1))
+
+    def test_null_chains_propagate_constants(self, null_x, null_y):
+        # x ~ y and y ~ 3 forces x = 3; then x ~ 4 must fail.
+        assert unifiable((null_x, null_y, null_y), (null_y, 3, null_x))
+        assert not unifiable((null_x, null_x), (3, 4))
+
+    def test_different_arities_never_unify(self, null_x):
+        assert not unifiable((null_x,), (1, 2))
+
+    def test_mgu_returns_bindings(self, null_x):
+        mgu = most_general_unifier((null_x,), (5,))
+        assert mgu == {null_x: 5}
+
+    @given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=4))
+    def test_unifiability_is_reflexive_and_symmetric(self, values):
+        null = Null("h")
+        row = tuple(null if v == 0 else v for v in values)
+        other = tuple(reversed(row))
+        assert unifiable(row, row)
+        assert unifiable(row, other) == unifiable(other, row)
+
+
+class TestHomomorphisms:
+    def test_valuation_is_homomorphism_to_world(self, rs_database, null_x):
+        world = Valuation({null_x: 1})(rs_database)
+        assert is_homomorphism({null_x: 1}, rs_database, world)
+        assert is_strong_onto_homomorphism({null_x: 1}, rs_database, world)
+
+    def test_onto_but_not_strong_onto(self, null_x, null_y):
+        source = Database({"R": Relation(("A", "B"), [(null_x, null_y)])})
+        target = Database({"R": Relation(("A", "B"), [(1, 2), (2, 1)])})
+        mapping = {null_x: 1, null_y: 2}
+        assert is_onto_homomorphism(mapping, source, target)
+        assert not is_strong_onto_homomorphism(mapping, source, target)
+
+    def test_find_homomorphism(self, graph_database):
+        target = Database({"E": Relation(("src", "dst"), [(1, 5), (5, 2)])})
+        mapping = find_homomorphism(graph_database, target)
+        assert mapping is not None
+        assert is_homomorphism(mapping, graph_database, target)
+
+    def test_no_homomorphism_when_constants_missing(self, graph_database):
+        target = Database({"E": Relation(("src", "dst"), [(7, 8)])})
+        assert find_homomorphism(graph_database, target) is None
+
+
+class TestCoddNulls:
+    def test_coddify_makes_all_nulls_distinct(self, null_x):
+        database = Database(
+            {"R": Relation(("A", "B"), [(null_x, null_x), (1, null_x)])}
+        )
+        codd = coddify_database(database)
+        assert is_codd_database(codd)
+        assert len(codd.nulls()) == 3
+
+    def test_is_codd_database_detects_repeats(self, null_x):
+        database = Database({"R": Relation(("A", "B"), [(null_x, null_x)])})
+        assert not is_codd_database(database)
+
+    def test_equal_up_to_null_renaming(self, null_x, null_y):
+        left = Database({"R": Relation(("A",), [(null_x,)])})
+        right = Database({"R": Relation(("A",), [(null_y,)])})
+        different = Database({"R": Relation(("A",), [(1,)])})
+        assert equal_up_to_null_renaming(left, right)
+        assert not equal_up_to_null_renaming(left, different)

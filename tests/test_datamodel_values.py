@@ -1,0 +1,125 @@
+"""Tests for values, nulls and relations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datamodel import (
+    Null,
+    NullFactory,
+    Relation,
+    fresh_null,
+    is_const,
+    is_null,
+    value_sort_key,
+)
+
+
+class TestNull:
+    def test_equality_by_label(self):
+        assert Null("a") == Null("a")
+        assert Null("a") != Null("b")
+
+    def test_null_is_not_equal_to_constants(self):
+        assert Null("a") != "a"
+        assert Null(1) != 1
+
+    def test_hashable_and_usable_in_sets(self):
+        values = {Null("a"), Null("a"), Null("b")}
+        assert len(values) == 2
+
+    def test_fresh_nulls_are_distinct(self):
+        assert fresh_null() != fresh_null()
+
+    def test_factory_produces_distinct_labels(self):
+        factory = NullFactory(prefix="t")
+        nulls = factory.fresh_many(10)
+        assert len(set(nulls)) == 10
+
+    def test_is_null_and_is_const(self):
+        assert is_null(Null("a"))
+        assert not is_null(5)
+        assert is_const("abc")
+        assert not is_const(Null("a"))
+
+    def test_repr_mentions_label(self):
+        assert "x" in repr(Null("x"))
+
+
+class TestRelation:
+    def test_rejects_wrong_arity_rows(self):
+        with pytest.raises(ValueError):
+            Relation(("A", "B"), [(1,)])
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(ValueError):
+            Relation(("A", "A"), [])
+
+    def test_set_and_bag_views(self):
+        relation = Relation(("A",), [(1,), (1,), (2,)])
+        assert relation.rows_set() == {(1,), (2,)}
+        assert relation.multiplicity((1,)) == 2
+        assert relation.total_multiplicity() == 3
+        assert len(relation) == 2
+
+    def test_distinct_collapses_multiplicities(self):
+        relation = Relation(("A",), [(1,), (1,)])
+        assert relation.distinct().multiplicity((1,)) == 1
+
+    def test_constants_nulls_active_domain(self):
+        null = Null("n")
+        relation = Relation(("A", "B"), [(1, null)])
+        assert relation.constants() == {1}
+        assert relation.nulls() == {null}
+        assert relation.active_domain() == {1, null}
+        assert not relation.is_complete()
+
+    def test_rename_and_with_attributes(self):
+        relation = Relation(("A", "B"), [(1, 2)])
+        renamed = relation.rename({"A": "X"})
+        assert renamed.attributes == ("X", "B")
+        relabeled = relation.with_attributes(("C", "D"))
+        assert relabeled.attributes == ("C", "D")
+        with pytest.raises(ValueError):
+            relation.with_attributes(("only-one",))
+
+    def test_map_values_merges_collisions(self):
+        relation = Relation(("A",), [(1,), (2,)])
+        mapped = relation.map_values(lambda v: 0)
+        assert mapped.multiplicity((0,)) == 2
+
+    def test_column_and_attribute_index(self):
+        relation = Relation(("A", "B"), [(1, 2), (3, 4)])
+        assert relation.attribute_index("B") == 1
+        assert relation.column("A") == [1, 3]
+        with pytest.raises(KeyError):
+            relation.attribute_index("Z")
+
+    def test_same_rows_as_ignores_names(self):
+        left = Relation(("A",), [(1,), (1,)])
+        right = Relation(("B",), [(1,)])
+        assert left.same_rows_as(right)
+        assert not left.same_rows_as(right, bag=True)
+
+    def test_to_text_contains_rows(self):
+        relation = Relation(("A",), [(1,)])
+        assert "A" in relation.to_text()
+        assert "1" in relation.to_text()
+
+    def test_nullary_relation_behaves_as_boolean(self):
+        true_rel = Relation((), [()])
+        false_rel = Relation((), [])
+        assert bool(true_rel) and not bool(false_rel)
+
+
+class TestSortKey:
+    @given(st.lists(st.one_of(st.integers(), st.text(max_size=4)), max_size=6))
+    def test_sort_key_total_order_over_mixed_values(self, values):
+        values = values + [Null("a"), Null("b")]
+        ordered = sorted(values, key=value_sort_key)
+        assert len(ordered) == len(values)
+
+    def test_constants_sort_before_nulls(self):
+        ordered = sorted([Null("a"), 5], key=value_sort_key)
+        assert ordered[0] == 5

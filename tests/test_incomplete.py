@@ -1,0 +1,202 @@
+"""Tests for naïve evaluation, exact certain answers and the abstract framework."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import builder as rb, evaluate
+from repro.calculus import Atom, ConjunctiveQuery, Exists, Forall, Implies, RelAtom
+from repro.calculus import ast as fo
+from repro.calculus.evaluation import FoQuery
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import (
+    FiniteDatabaseDomain,
+    certain_answer_object,
+    certain_answers_intersection,
+    certain_answers_owa,
+    certain_answers_with_nulls,
+    certain_boolean,
+    constant_pool,
+    count_valuations,
+    iterate_worlds,
+    naive_boolean,
+    naive_evaluate,
+    naive_evaluate_direct,
+    possible_answers,
+)
+
+
+class TestWorlds:
+    def test_constant_pool_contains_fresh_constants(self, rs_database):
+        pool = constant_pool(rs_database)
+        assert 1 in pool and len(pool) >= 2
+
+    def test_count_valuations(self, rs_database):
+        pool = constant_pool(rs_database)
+        assert count_valuations(rs_database, pool) == len(pool)
+
+    def test_iterate_worlds_yields_complete_databases(self, rs_database):
+        for _, world in iterate_worlds(rs_database, constant_pool(rs_database)):
+            assert world.is_complete()
+
+
+class TestNaiveEvaluation:
+    def test_direct_and_textbook_definitions_agree(self, rs_database):
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        assert naive_evaluate(query, rs_database) == naive_evaluate_direct(query, rs_database)
+
+    def test_naive_path_query_true(self, graph_database):
+        cq = ConjunctiveQuery([], [Atom("E", [1, "x"]), Atom("E", ["x", 2])])
+        assert naive_boolean(cq.to_formula(), graph_database)
+
+    def test_naive_difference_not_certain(self, rs_database):
+        # {1} − {⊥} is {1} naïvely but has empty certain answers.
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        assert naive_evaluate_direct(query, rs_database).rows_set() == {(1,)}
+        assert certain_answers_with_nulls(query, rs_database).rows_set() == set()
+
+
+class TestCertainAnswers:
+    def test_cert_with_nulls_keeps_nulls(self, rs_database, null_x):
+        result = certain_answers_with_nulls(rb.relation("S"), rs_database)
+        assert result.rows_set() == {(null_x,)}
+
+    def test_cert_intersection_drops_nulls(self, rs_database):
+        result = certain_answers_intersection(rb.relation("S"), rs_database)
+        assert result.rows_set() == set()
+
+    def test_ucq_naive_equals_certain(self, graph_database):
+        # Theorem 4.4 (OWA/UCQ): naïve evaluation computes cert⊥ for UCQs.
+        cq = ConjunctiveQuery(["x"], [Atom("E", [1, "x"])])
+        query = cq.to_formula()
+        assert (
+            naive_evaluate_direct(query, graph_database).rows_set()
+            == certain_answers_with_nulls(query, graph_database).rows_set()
+        )
+
+    def test_pos_forall_g_naive_equals_certain_under_cwa(self, null_x):
+        # "Employees participating in all projects" with a null project.
+        db = Database.from_dict(
+            {
+                "Emp": (("e",), [("ann",), ("bob",)]),
+                "Proj": (("p",), [("p1",), (null_x,)]),
+                "Works": (
+                    ("e", "p"),
+                    [("ann", "p1"), ("ann", null_x), ("bob", "p1")],
+                ),
+            }
+        )
+        formula = fo.And(
+            RelAtom("Emp", ["e"]),
+            Forall(
+                ["p"], Implies(RelAtom("Proj", ["p"]), RelAtom("Works", ["e", "p"]))
+            ),
+        )
+        query = FoQuery(formula, free=["e"])
+        naive = naive_evaluate_direct(query, db).rows_set()
+        certain = certain_answers_with_nulls(query, db).rows_set()
+        assert naive == certain == {("ann",)}
+
+    def test_full_fo_naive_can_overshoot(self, rs_database):
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        naive = naive_evaluate_direct(query, rs_database).rows_set()
+        certain = certain_answers_with_nulls(query, rs_database).rows_set()
+        assert certain < naive
+
+    def test_certain_boolean(self, rs_database, graph_database):
+        cq = ConjunctiveQuery([], [Atom("E", [1, "x"]), Atom("E", ["x", 2])])
+        assert certain_boolean(cq.to_formula(), graph_database)
+        not_there = ConjunctiveQuery([], [Atom("R", [2])])
+        assert not certain_boolean(not_there.to_formula(), rs_database)
+
+    def test_possible_answers_superset_of_certain(self, rs_database):
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        possible = possible_answers(query, rs_database).rows_set()
+        certain = certain_answers_with_nulls(query, rs_database).rows_set()
+        assert certain <= possible
+        assert (1,) in possible
+
+    def test_owa_certain_only_for_ucq(self, rs_database, graph_database):
+        cq = ConjunctiveQuery(["x"], [Atom("E", [1, "x"])])
+        assert certain_answers_owa(cq.to_formula(), graph_database).rows_set() == {
+            (Null("x"),)
+        }
+        non_monotone = FoQuery(fo.Not(RelAtom("R", ["x"])), free=["x"])
+        with pytest.raises(ValueError):
+            certain_answers_owa(non_monotone, rs_database)
+
+    def test_enumeration_guard(self):
+        nulls = [Null(f"n{i}") for i in range(30)]
+        db = Database({"R": Relation(("A",), [(n,) for n in nulls])})
+        with pytest.raises(ValueError):
+            certain_answers_with_nulls(rb.relation("R"), db)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        r_rows=st.lists(st.integers(0, 2), min_size=0, max_size=3),
+        s_rows=st.lists(st.integers(0, 2), min_size=0, max_size=2),
+        null_in_s=st.booleans(),
+    )
+    def test_certain_answers_always_sound_wrt_worlds(self, r_rows, s_rows, null_in_s):
+        """Property: every certain answer is an answer in every possible world."""
+        null = Null("p")
+        s_content = [(v,) for v in s_rows] + ([(null,)] if null_in_s else [])
+        db = Database(
+            {"R": Relation(("A",), [(v,) for v in r_rows]), "S": Relation(("A",), s_content)}
+        )
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        certain = certain_answers_with_nulls(query, db)
+        for valuation, world in iterate_worlds(db, constant_pool(db)):
+            answer = evaluate(query, world).rows_set()
+            for row in certain:
+                assert valuation.apply_tuple(row) in answer
+
+
+class TestCertainAnswerObjects:
+    def _powerset_domain(self):
+        # Objects are frozensets of facts over {1, 2}; complete objects are all
+        # of them; an "incomplete" object is modelled by its set of worlds.
+        complete = [frozenset(), frozenset({1}), frozenset({2}), frozenset({1, 2})]
+        objects = {obj: {obj} for obj in complete}
+        # An OWA-style incomplete object: "contains 1, maybe more".
+        incomplete = "at-least-1"
+        objects[incomplete] = {frozenset({1}), frozenset({1, 2})}
+        domain = FiniteDatabaseDomain(
+            objects=list(objects), complete=complete, semantics=objects
+        )
+        return domain, incomplete
+
+    def test_information_preorder(self):
+        domain, incomplete = self._powerset_domain()
+        assert domain.less_informative(incomplete, frozenset({1}))
+        assert not domain.less_informative(frozenset({1}), incomplete)
+
+    def test_certain_answer_object_exists_for_monotone_query(self):
+        domain, incomplete = self._powerset_domain()
+
+        def query(world):
+            return world  # identity query
+
+        answer = certain_answer_object(domain, domain, query, incomplete)
+        assert answer == incomplete or domain.equivalent(answer, incomplete)
+
+    def test_proposition_3_5_non_existence_under_cwa_target(self):
+        # Target domain contains only complete objects under CWA (⟦x⟧ = {x}).
+        complete = [frozenset(), frozenset({2})]
+        target = FiniteDatabaseDomain(
+            objects=complete, complete=complete, semantics={o: {o} for o in complete}
+        )
+        source_objects = {"D": {frozenset({2}), frozenset()}}
+        source = FiniteDatabaseDomain(
+            objects=["D", frozenset(), frozenset({2})],
+            complete=complete,
+            semantics={**{o: {o} for o in complete}, **source_objects},
+        )
+
+        def query(world):
+            return frozenset({2}) if 2 in world else frozenset()
+
+        # The answers {∅, {2}} have no greatest lower bound among CWA-complete
+        # objects: neither is less informative than the other.
+        assert certain_answer_object(source, target, query, "D") is None

@@ -1,0 +1,150 @@
+"""End-to-end integration tests spanning multiple subsystems.
+
+Each test follows one of the paper's narratives across module boundaries:
+SQL text → SQL answers vs certain answers vs sound approximations; naïve
+evaluation vs homomorphism classes; bag bounds vs set certainty; the full
+Figure 1 pipeline; and a cross-check of all approximation procedures on
+randomly generated databases (hypothesis).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra import builder as rb, evaluate
+from repro.approx import (
+    compare_answers,
+    translate_guagliardo16,
+    translate_libkin16,
+)
+from repro.ctables import STRATEGIES, run_strategy
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import certain_answers_with_nulls, naive_evaluate_direct
+from repro.probabilistic import almost_certainly_true_answers
+from repro.sql import run_sql
+from repro.workloads import (
+    CUSTOMERS_WITHOUT_PAID_ORDER_SQL,
+    UNPAID_ORDERS_SQL,
+    customers_without_paid_order_algebra,
+    figure1_database,
+    figure1_database_with_null,
+    inject_nulls,
+    unpaid_orders_algebra,
+)
+
+
+class TestFigure1EndToEnd:
+    """The complete Section 1 story on the Figure 1 database."""
+
+    def test_sql_vs_certainty_vs_approximation(self):
+        complete = figure1_database()
+        incomplete = figure1_database_with_null()
+        schema = incomplete.schema()
+
+        # Unpaid orders: SQL flips from {o3} to ∅ (false negative); the
+        # certain answers are ∅, and Q+ agrees — it never overshoots.
+        assert run_sql(complete, UNPAID_ORDERS_SQL).rows_set() == {("o3",)}
+        assert run_sql(incomplete, UNPAID_ORDERS_SQL).rows_set() == set()
+        unpaid = unpaid_orders_algebra()
+        truth_unpaid = certain_answers_with_nulls(unpaid, incomplete)
+        plus_unpaid = evaluate(translate_guagliardo16(unpaid, schema).certain, incomplete)
+        assert truth_unpaid.rows_set() == set()
+        assert plus_unpaid.rows_set() == set()
+
+        # Customers without a paid order: SQL invents c2 (false positive);
+        # the sound procedures never report it.
+        assert run_sql(incomplete, CUSTOMERS_WITHOUT_PAID_ORDER_SQL).rows_set() == {("c2",)}
+        unpaid_customers = customers_without_paid_order_algebra()
+        truth_cust = certain_answers_with_nulls(unpaid_customers, incomplete)
+        plus_cust = evaluate(
+            translate_guagliardo16(unpaid_customers, schema).certain, incomplete
+        )
+        assert ("c2",) not in truth_cust.rows_set()
+        assert ("c2",) not in plus_cust.rows_set()
+        quality = compare_answers(plus_cust, truth_cust)
+        assert quality.is_sound()
+
+    def test_false_positive_is_almost_certain_but_not_certain(self):
+        """c2 illustrates the gap between the two guarantees (Sections 1 and 4.3):
+        it is *not* a certain answer, yet it is almost certainly true — the
+        probabilistic guarantee is strictly weaker than certainty."""
+        incomplete = figure1_database_with_null()
+        query = customers_without_paid_order_algebra()
+        almost_true = almost_certainly_true_answers(query, incomplete).rows_set()
+        certain = certain_answers_with_nulls(query, incomplete).rows_set()
+        assert ("c2",) in almost_true
+        assert ("c2",) not in certain
+
+
+def _small_incomplete_db(values, null_slots):
+    """Build a 2-relation database from hypothesis-drawn data."""
+    nulls = [Null(f"i{i}") for i in range(3)]
+    r_rows, s_rows = [], []
+    for index, value in enumerate(values):
+        row = (nulls[index % 3],) if (index in null_slots) else (f"v{value}",)
+        (r_rows if index % 2 == 0 else s_rows).append(row)
+    return Database(
+        {"R": Relation(("A",), r_rows), "S": Relation(("A",), s_rows)}
+    )
+
+
+class TestCrossProcedureAgreement:
+    """All sound procedures stay within exact certain answers on random inputs."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 3), min_size=1, max_size=6),
+        null_slots=st.sets(st.integers(0, 5), max_size=3),
+    )
+    def test_all_procedures_sound_on_difference_query(self, values, null_slots):
+        db = _small_incomplete_db(values, null_slots)
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        schema = db.schema()
+        truth = certain_answers_with_nulls(query, db).rows_set()
+
+        plus = evaluate(translate_guagliardo16(query, schema).certain, db).rows_set()
+        qt = evaluate(translate_libkin16(query, schema).certainly_true, db).rows_set()
+        assert plus <= truth
+        assert qt <= truth
+        for strategy in STRATEGIES:
+            assert run_strategy(strategy, query, db).certain.rows_set() <= truth
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 3), min_size=1, max_size=6),
+        null_slots=st.sets(st.integers(0, 5), max_size=3),
+    )
+    def test_naive_equals_certain_for_ucq(self, values, null_slots):
+        db = _small_incomplete_db(values, null_slots)
+        query = rb.union(rb.relation("R"), rb.relation("S"))
+        naive = naive_evaluate_direct(query, db).rows_set()
+        certain = certain_answers_with_nulls(query, db).rows_set()
+        assert naive == certain
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        values=st.lists(st.integers(0, 2), min_size=1, max_size=5),
+        null_slots=st.sets(st.integers(0, 4), max_size=2),
+    )
+    def test_qplus_exact_when_database_complete(self, values, null_slots):
+        db = _small_incomplete_db(values, set())
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        pair = translate_guagliardo16(query, db.schema())
+        assert evaluate(pair.certain, db).rows_set() == evaluate(query, db).rows_set()
+
+
+class TestNullInjectionPipeline:
+    def test_recall_degrades_with_null_rate_but_precision_stays_perfect(self):
+        base = figure1_database()
+        query = rb.project(rb.relation("Payments"), ["cid"])
+        previous_recall = 1.0
+        for rate in (0.0, 0.4, 0.8):
+            db = inject_nulls(base, null_rate=rate, seed=11, protected_relations=("Orders", "Customers"))
+            pair = translate_guagliardo16(query, db.schema())
+            produced = evaluate(pair.certain, db)
+            truth = certain_answers_with_nulls(query, db)
+            quality = compare_answers(produced, truth)
+            assert quality.is_sound()
+            previous_recall = quality.recall
+        assert 0.0 <= previous_recall <= 1.0

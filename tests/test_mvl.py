@@ -1,0 +1,243 @@
+"""Tests for the many-valued logics of Section 5."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.calculus import ast as fo
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import certain_answers_with_nulls
+from repro.mvl import (
+    BOOL_SEMANTICS,
+    FALSE,
+    L2V,
+    L3V,
+    L3V_ASSERT,
+    L6V,
+    MixedSemantics,
+    NULLFREE_SEMANTICS,
+    SQL_SEMANTICS,
+    TRUE,
+    UNIF_SEMANTICS,
+    UNKNOWN,
+    Assertion,
+    capture,
+    captured_answers,
+    fo_bool,
+    fo_sql,
+    fo_sql_assert,
+    fo_unif,
+    is_distributive,
+    is_idempotent,
+    is_weakly_idempotent,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    maximal_idempotent_distributive_sublogics,
+    respects_knowledge_order,
+)
+from repro.calculus.evaluation import FoQuery
+from repro.probabilistic import mu_limit
+
+
+class TestKleene:
+    def test_figure_3_truth_tables(self):
+        assert kleene_and(TRUE, UNKNOWN) is UNKNOWN
+        assert kleene_and(FALSE, UNKNOWN) is FALSE
+        assert kleene_or(TRUE, UNKNOWN) is TRUE
+        assert kleene_or(FALSE, UNKNOWN) is UNKNOWN
+        assert kleene_not(UNKNOWN) is UNKNOWN
+
+    def test_l3v_is_idempotent_distributive_monotone(self):
+        assert is_idempotent(L3V)
+        assert is_distributive(L3V)
+        assert is_weakly_idempotent(L3V)
+        assert respects_knowledge_order(L3V)
+
+    def test_l2v_truth_tables(self):
+        assert L2V.conj(TRUE, FALSE) is FALSE
+        assert L2V.disj(TRUE, FALSE) is TRUE
+        assert L2V.neg(TRUE) is FALSE
+
+
+class TestSixValued:
+    def test_restriction_to_three_values_is_kleene(self):
+        restricted = L6V.restrict((TRUE, FALSE, UNKNOWN))
+        for a in restricted.values:
+            assert restricted.neg(a) == L3V.neg(a)
+            for b in restricted.values:
+                assert restricted.conj(a, b) == L3V.conj(a, b)
+                assert restricted.disj(a, b) == L3V.disj(a, b)
+
+    def test_l6v_not_idempotent_nor_distributive(self):
+        assert not is_idempotent(L6V)
+        assert not is_distributive(L6V)
+
+    def test_theorem_5_3_maximal_sublogic(self):
+        maximal = maximal_idempotent_distributive_sublogics(L6V)
+        assert [set(s) for s in maximal] == [{TRUE, FALSE, UNKNOWN}]
+
+    def test_l6v_respects_knowledge_order(self):
+        assert respects_knowledge_order(L6V)
+
+    def test_negation_involution_on_determined_values(self):
+        for value in L6V.values:
+            assert L6V.neg(L6V.neg(value)) == value
+
+
+class TestAssertion:
+    def test_assertion_collapses_unknown(self):
+        assert L3V_ASSERT.unary("assert", UNKNOWN) is FALSE
+        assert L3V_ASSERT.unary("assert", TRUE) is TRUE
+        assert L3V_ASSERT.unary("assert", FALSE) is FALSE
+
+    def test_assertion_breaks_knowledge_monotonicity(self):
+        assert respects_knowledge_order(L3V)
+        assert not respects_knowledge_order(L3V_ASSERT)
+        assert respects_knowledge_order(L3V_ASSERT, include_extra=False)
+
+
+@pytest.fixture
+def unif_db(null_x):
+    return Database({"R": Relation(("A", "B"), [(1, null_x)])})
+
+
+class TestAtomSemantics:
+    def test_bool_vs_unif_vs_sql_on_missing_tuple(self, unif_db):
+        atom = fo.RelAtom("R", [fo.ConstTerm(1), fo.ConstTerm(1)])
+        assert fo_bool().evaluate(atom, unif_db) is FALSE
+        assert fo_unif().evaluate(atom, unif_db) is UNKNOWN
+        assert fo_sql().evaluate(atom, unif_db) is FALSE
+
+    def test_unif_equality(self, unif_db, null_x):
+        eq = fo.EqAtom(fo.ConstTerm(1), fo.ConstTerm(2))
+        assert fo_unif().evaluate(eq, unif_db) is FALSE
+        eq_null = fo.EqAtom(fo.ConstTerm(1), fo.ConstTerm(null_x))
+        assert fo_unif().evaluate(eq_null, unif_db) is UNKNOWN
+
+    def test_nullfree_relation_atom(self, unif_db, null_x):
+        atom = fo.RelAtom("R", [fo.ConstTerm(1), fo.ConstTerm(null_x)])
+        value = NULLFREE_SEMANTICS.relation_atom(unif_db, "R", (1, null_x))
+        assert value is UNKNOWN
+        assert BOOL_SEMANTICS.relation_atom(unif_db, "R", (1, null_x)) is TRUE
+
+    def test_mixed_semantics_dispatch(self, unif_db):
+        mixed = MixedSemantics({"R": UNIF_SEMANTICS}, default=BOOL_SEMANTICS)
+        assert mixed.relation_atom(unif_db, "R", (1, 1)) is UNKNOWN
+        assert mixed.relation_atom(unif_db, "Other", (1, 1)) is FALSE
+
+
+class TestCorrectnessGuarantees:
+    def test_corollary_5_2_unif_semantics_sound(self, null_x):
+        """Whenever the unif semantics says t, the tuple is a certain answer."""
+        db = Database(
+            {
+                "R": Relation(("A",), [(1,), (null_x,)]),
+                "S": Relation(("A",), [(null_x,)]),
+            }
+        )
+        x = fo.Var("x")
+        formula = fo.And(fo.RelAtom("R", [x]), fo.Not(fo.RelAtom("S", [x])))
+        produced = fo_unif().answers(formula, db, [x])
+        truth = certain_answers_with_nulls(FoQuery(formula, free=[x]), db)
+        assert produced.rows_set() <= truth.rows_set()
+
+    def test_sql_with_assertion_returns_almost_certainly_false(self, null_x):
+        """The R − (S − T) example at the end of Section 5.1."""
+        db = Database(
+            {
+                "R": Relation(("A",), [(1,)]),
+                "S": Relation(("A",), [(1,)]),
+                "T": Relation(("A",), [(null_x,)]),
+            }
+        )
+        x = fo.Var("x")
+        inner = fo.And(
+            fo.RelAtom("S", [x]),
+            Assertion(
+                fo.Not(fo.Exists(["y"], fo.And(fo.RelAtom("T", ["y"]), fo.EqAtom(x, "y"))))
+            ),
+        )
+        sql_formula = fo.And(fo.RelAtom("R", [x]), Assertion(fo.Not(inner)))
+        sql_answers = fo_sql_assert().answers(sql_formula, db, [x])
+        assert sql_answers.rows_set() == {(1,)}
+        # 1 is almost certainly *not* an answer to R − (S − T).
+        from repro.algebra import builder as rb
+
+        query = rb.difference(rb.relation("R"), rb.difference(rb.relation("S"), rb.relation("T")))
+        assert mu_limit(query, db, (1,)) == 0
+        # Without the assertion operator, FOSQL does not return 1.
+        plain = fo.And(
+            fo.RelAtom("R", [x]),
+            fo.Not(
+                fo.And(
+                    fo.RelAtom("S", [x]),
+                    fo.Not(fo.Exists(["y"], fo.And(fo.RelAtom("T", ["y"]), fo.EqAtom(x, "y")))),
+                )
+            ),
+        )
+        assert fo_sql().answers(plain, db, [x]).rows_set() == set()
+
+
+class TestCapture:
+    @pytest.mark.parametrize("semantics", [SQL_SEMANTICS, NULLFREE_SEMANTICS, BOOL_SEMANTICS])
+    def test_theorem_5_4_capture_agrees_with_three_valued_eval(self, semantics, null_x):
+        db = Database(
+            {
+                "R": Relation(("A", "B"), [(1, 2), (null_x, 3)]),
+                "S": Relation(("A",), [(2,), (null_x,)]),
+            }
+        )
+        x = fo.Var("x")
+        formula = fo.And(
+            fo.Exists(["y"], fo.RelAtom("R", [x, "y"])),
+            fo.Not(fo.RelAtom("S", [x])),
+        )
+        from repro.mvl import ManyValuedFo
+
+        three_valued = ManyValuedFo(L3V, semantics)
+        direct = three_valued.answers(formula, db, [x]).rows_set()
+        via_capture = captured_answers(formula, db, [x], atoms=semantics).rows_set()
+        assert direct == via_capture
+
+    def test_capture_of_assertion(self, null_x):
+        db = Database({"T": Relation(("A",), [(null_x,)])})
+        x = fo.Var("x")
+        formula = Assertion(fo.Not(fo.RelAtom("T", [x])))
+        pair = capture(formula, SQL_SEMANTICS)
+        # ↑ collapses u to f, so the capture of "false" is just ¬(capture of true).
+        query_t = FoQuery(pair.when_true, free=[x]).answers(db)
+        direct = fo_sql_assert().answers(formula, db, [x])
+        assert query_t.rows_set() == direct.rows_set()
+
+    def test_unknown_capture_partition(self, null_x):
+        """ψ_t, ψ_f, ψ_u partition the candidate tuples."""
+        db = Database({"S": Relation(("A",), [(2,), (null_x,)])})
+        x = fo.Var("x")
+        formula = fo.EqAtom(x, fo.ConstTerm(2))
+        pair = capture(formula, SQL_SEMANTICS)
+        domain_rows = {(v,) for v in db.active_domain()}
+        rows_t = FoQuery(pair.when_true, free=[x]).answers(db).rows_set()
+        rows_f = FoQuery(pair.when_false, free=[x]).answers(db).rows_set()
+        rows_u = FoQuery(pair.when_unknown, free=[x]).answers(db).rows_set()
+        assert rows_t | rows_f | rows_u >= domain_rows
+        assert not (rows_t & rows_f) and not (rows_t & rows_u) and not (rows_f & rows_u)
+
+
+class TestKleeneProperties:
+    @given(st.sampled_from([TRUE, FALSE, UNKNOWN]), st.sampled_from([TRUE, FALSE, UNKNOWN]))
+    def test_de_morgan(self, a, b):
+        assert kleene_not(kleene_and(a, b)) == kleene_or(kleene_not(a), kleene_not(b))
+        assert kleene_not(kleene_or(a, b)) == kleene_and(kleene_not(a), kleene_not(b))
+
+    @given(
+        st.sampled_from([TRUE, FALSE, UNKNOWN]),
+        st.sampled_from([TRUE, FALSE, UNKNOWN]),
+        st.sampled_from([TRUE, FALSE, UNKNOWN]),
+    )
+    def test_associativity_and_commutativity(self, a, b, c):
+        assert kleene_and(a, kleene_and(b, c)) == kleene_and(kleene_and(a, b), c)
+        assert kleene_or(a, kleene_or(b, c)) == kleene_or(kleene_or(a, b), c)
+        assert kleene_and(a, b) == kleene_and(b, a)
+        assert kleene_or(a, b) == kleene_or(b, a)

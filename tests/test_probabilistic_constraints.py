@@ -1,0 +1,174 @@
+"""Tests for the probabilistic approximations (Section 4.3) and the chase."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+
+from repro.algebra import builder as rb
+from repro.constraints import (
+    ChaseFailure,
+    FunctionalDependency,
+    InclusionDependency,
+    Key,
+    chase,
+    chase_functional_dependencies,
+    satisfies_all,
+    violations,
+)
+from repro.datamodel import Database, Null, Relation
+from repro.incomplete import naive_evaluate_direct
+from repro.probabilistic import (
+    almost_certainly_true_answers,
+    conditional_mu,
+    conditional_mu_k,
+    conditional_mu_profile,
+    empirical_mu_limit,
+    is_almost_certainly_true,
+    mu_k,
+    mu_k_profile,
+    mu_limit,
+)
+
+
+@pytest.fixture
+def ts_database(null_x):
+    """T = {1, 2}, S = {⊥}: the conditional-probability example of Section 4.3."""
+    return Database.from_dict(
+        {"T": (("A",), [(1,), (2,)]), "S": (("A",), [(null_x,)])}
+    )
+
+
+class TestZeroOneLaw:
+    def test_naive_answers_are_almost_certainly_true(self, ts_database):
+        query = rb.difference(rb.relation("T"), rb.relation("S"))
+        naive = naive_evaluate_direct(query, ts_database).rows_set()
+        assert naive == {(1,), (2,)}
+        for row in naive:
+            assert is_almost_certainly_true(query, ts_database, row)
+            assert mu_limit(query, ts_database, row) == 1
+
+    def test_non_naive_answers_have_probability_zero(self, rs_database):
+        query = rb.intersection(rb.relation("R"), rb.relation("S"))
+        assert mu_limit(query, rs_database, (1,)) == 0
+
+    def test_mu_k_converges_to_one(self, ts_database):
+        query = rb.difference(rb.relation("T"), rb.relation("S"))
+        profile = mu_k_profile(query, ts_database, (1,), [3, 4, 8])
+        values = [value for _, value in profile]
+        assert values == sorted(values)
+        assert values[-1] > Fraction(3, 4)
+        assert empirical_mu_limit(query, ts_database, (1,)) > Fraction(1, 2)
+
+    def test_mu_k_for_almost_certainly_false(self, rs_database):
+        query = rb.intersection(rb.relation("R"), rb.relation("S"))
+        assert mu_k(query, rs_database, (1,), 4) == Fraction(1, 4)
+
+    def test_mu_k_requires_enough_constants(self, ts_database):
+        query = rb.relation("T")
+        with pytest.raises(ValueError):
+            mu_k(query, ts_database, (1,), 1)
+
+    def test_almost_certainly_true_equals_naive(self, ts_database):
+        query = rb.difference(rb.relation("T"), rb.relation("S"))
+        assert (
+            almost_certainly_true_answers(query, ts_database).rows_set()
+            == naive_evaluate_direct(query, ts_database).rows_set()
+        )
+
+
+class TestConditionalProbability:
+    def test_inclusion_constraint_gives_one_half(self, ts_database):
+        """The paper's example: under S ⊆ T the answer {1} has probability 1/2."""
+        query = rb.difference(rb.relation("T"), rb.relation("S"))
+        ind = InclusionDependency("S", ["A"], "T", ["A"])
+        assert conditional_mu(query, [ind], ts_database, (1,)) == Fraction(1, 2)
+        profile = conditional_mu_profile(query, [ind], ts_database, (1,), [3, 5, 7])
+        assert all(value == Fraction(1, 2) for _, value in profile)
+
+    def test_unsatisfiable_constraints_give_zero(self, ts_database, null_x):
+        query = rb.relation("T")
+        impossible = InclusionDependency("T", ["A"], "Missing", ["A"])
+        db = ts_database.without_relation("S")
+        assert conditional_mu_k(query, [impossible], db, (1,), 3) == 0
+
+    def test_fd_only_constraints_use_the_chase(self, null_x):
+        db = Database({"R": Relation(("A", "B"), [(1, null_x), (1, 5)])})
+        fd = FunctionalDependency("R", ["A"], ["B"])
+        query = rb.project(rb.relation("R"), ["B"])
+        assert conditional_mu(query, [fd], db, (5,)) == 1
+        assert conditional_mu(query, [fd], db, (7,)) == 0
+
+    def test_fd_chase_failure_gives_zero(self):
+        db = Database({"R": Relation(("A", "B"), [(1, 2), (1, 3)])})
+        fd = FunctionalDependency("R", ["A"], ["B"])
+        query = rb.relation("R")
+        assert conditional_mu(query, [fd], db, (1, 2)) == 0
+
+
+class TestDependencies:
+    def test_fd_violations(self, null_x):
+        db = Database({"R": Relation(("A", "B"), [(1, 2), (1, 3), (2, null_x)])})
+        fd = FunctionalDependency("R", ["A"], ["B"])
+        assert not fd.holds(db)
+        assert len(list(fd.violations(db))) == 1
+
+    def test_key_is_fd_over_all_attributes(self):
+        key = Key("R", ["A"], ["A", "B", "C"])
+        assert key.lhs == ("A",) and set(key.rhs) == {"B", "C"}
+
+    def test_inclusion_dependency(self, figure1):
+        ind = InclusionDependency("Payments", ["oid"], "Orders", ["oid"])
+        assert ind.holds(figure1)
+        bad = InclusionDependency("Orders", ["oid"], "Payments", ["oid"])
+        assert not bad.holds(figure1)
+        assert ("o3",) in list(bad.violations(figure1))
+
+    def test_satisfies_all_and_violations(self, figure1):
+        constraints = [
+            InclusionDependency("Payments", ["oid"], "Orders", ["oid"]),
+            FunctionalDependency("Orders", ["oid"], ["price"]),
+        ]
+        assert satisfies_all(figure1, constraints)
+        assert violations(figure1, constraints) == []
+
+    def test_mismatched_ind_sides_rejected(self):
+        with pytest.raises(ValueError):
+            InclusionDependency("R", ["A", "B"], "S", ["A"])
+
+
+class TestChase:
+    def test_fd_chase_grounds_nulls(self, null_x):
+        db = Database({"R": Relation(("A", "B"), [(1, null_x), (1, 5)])})
+        chased = chase_functional_dependencies(db, [FunctionalDependency("R", ["A"], ["B"])])
+        assert chased["R"].rows_set() == {(1, 5)}
+        assert chased.is_complete()
+
+    def test_fd_chase_merges_nulls(self, null_x, null_y):
+        db = Database({"R": Relation(("A", "B"), [(1, null_x), (1, null_y)])})
+        chased = chase_functional_dependencies(db, [FunctionalDependency("R", ["A"], ["B"])])
+        assert len(chased.nulls()) == 1
+
+    def test_fd_chase_failure_on_constant_clash(self):
+        db = Database({"R": Relation(("A", "B"), [(1, 2), (1, 3)])})
+        with pytest.raises(ChaseFailure):
+            chase_functional_dependencies(db, [FunctionalDependency("R", ["A"], ["B"])])
+
+    def test_ind_chase_adds_facts_with_fresh_nulls(self):
+        db = Database(
+            {
+                "Payments": Relation(("cid", "oid"), [("c1", "o9")]),
+                "Orders": Relation(("oid", "title"), [("o1", "Book")]),
+            }
+        )
+        result = chase(db, [InclusionDependency("Payments", ["oid"], "Orders", ["oid"])])
+        assert result.added_facts == 1
+        assert InclusionDependency("Payments", ["oid"], "Orders", ["oid"]).holds(result.database)
+        assert len(result.database.nulls()) == 1
+
+    def test_chase_reports_bookkeeping(self, null_x):
+        db = Database({"R": Relation(("A", "B"), [(1, null_x), (1, 5)])})
+        result = chase(db, [FunctionalDependency("R", ["A"], ["B"])])
+        assert result.grounded_nulls == 1
+        assert result.merged_nulls == 0

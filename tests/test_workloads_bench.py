@@ -1,0 +1,139 @@
+"""Tests for the workload generators and the benchmark harness helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import evaluate
+from repro.approx import translate_guagliardo16
+from repro.bench import ResultTable, relative_overhead, time_call
+from repro.datamodel import is_codd_database
+from repro.workloads import (
+    GeneratorConfig,
+    RelationSpec,
+    TpchLiteConfig,
+    figure1_database,
+    figure1_database_with_null,
+    generate_database,
+    generate_tpch_lite,
+    inject_nulls,
+    tpch_lite_queries,
+    unpaid_orders_algebra,
+    customers_without_paid_order_algebra,
+)
+
+
+class TestFigure1Workload:
+    def test_complete_database_shape(self, figure1):
+        assert len(figure1["Orders"]) == 3
+        assert figure1.is_complete()
+
+    def test_null_variant_has_exactly_one_null(self, figure1_null):
+        assert len(figure1_null.nulls()) == 1
+        assert not figure1_null.is_complete()
+
+    def test_algebra_queries_match_paper_on_complete_data(self, figure1):
+        assert evaluate(unpaid_orders_algebra(), figure1).rows_set() == {("o3",)}
+        assert evaluate(customers_without_paid_order_algebra(), figure1).rows_set() == set()
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        config = GeneratorConfig(
+            relations=[RelationSpec("R", ["a", "b"], 20), RelationSpec("S", ["a"], 10)],
+            null_rate=0.2,
+            seed=3,
+        )
+        assert generate_database(config) == generate_database(config)
+
+    def test_null_rate_zero_is_complete(self):
+        config = GeneratorConfig(relations=[RelationSpec("R", ["a"], 15)], null_rate=0.0)
+        assert generate_database(config).is_complete()
+
+    def test_null_injection_rates(self):
+        config = GeneratorConfig(relations=[RelationSpec("R", ["a", "b"], 50)], seed=1)
+        complete = generate_database(config)
+        sparse = inject_nulls(complete, null_rate=0.1, seed=2)
+        dense = inject_nulls(complete, null_rate=0.6, seed=2)
+        assert len(sparse.nulls()) < len(dense.nulls())
+        assert is_codd_database(sparse)
+
+    def test_repeated_nulls_reuse_a_pool(self):
+        config = GeneratorConfig(relations=[RelationSpec("R", ["a", "b"], 60)], seed=1)
+        complete = generate_database(config)
+        repeated = inject_nulls(complete, null_rate=0.5, repeated=True, seed=4)
+        assert len(repeated.nulls()) <= 8
+
+    def test_invalid_null_rate(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(relations=[RelationSpec("R", ["a"], 5)], null_rate=1.5)
+
+    def test_protected_relations_untouched(self, figure1):
+        injected = inject_nulls(
+            figure1, null_rate=1.0, seed=0, protected_relations=("Orders",)
+        )
+        assert injected["Orders"].is_complete()
+        assert not injected["Payments"].is_complete()
+
+
+class TestTpchLite:
+    def test_schema_and_foreign_key_shape(self):
+        db = generate_tpch_lite(TpchLiteConfig())
+        assert set(db.relation_names()) == {
+            "region",
+            "nation",
+            "customer",
+            "orders",
+            "supplier",
+            "part",
+            "lineitem",
+        }
+        order_custkeys = {row[1] for row in db["orders"]}
+        customer_keys = {row[0] for row in db["customer"]}
+        assert order_custkeys <= customer_keys
+
+    def test_null_rate_injection(self):
+        db = generate_tpch_lite(TpchLiteConfig(null_rate=0.1))
+        assert db.nulls()
+        assert db["region"].is_complete()
+
+    def test_all_queries_run_and_translate(self):
+        db = generate_tpch_lite(TpchLiteConfig(null_rate=0.05))
+        schema = db.schema()
+        for name, query in tpch_lite_queries().items():
+            plain = evaluate(query, db)
+            pair = translate_guagliardo16(query, schema)
+            certain = evaluate(pair.certain, db)
+            possible = evaluate(pair.possible, db)
+            assert certain.rows_set() <= possible.rows_set(), name
+            assert certain.rows_set() <= possible.rows_set() | plain.rows_set(), name
+
+    def test_rewriting_exact_on_complete_tpch(self):
+        db = generate_tpch_lite(TpchLiteConfig(null_rate=0.0))
+        schema = db.schema()
+        for name, query in tpch_lite_queries().items():
+            pair = translate_guagliardo16(query, schema)
+            assert (
+                evaluate(pair.certain, db).rows_set() == evaluate(query, db).rows_set()
+            ), name
+
+
+class TestBenchHarness:
+    def test_result_table_rendering(self):
+        table = ResultTable("Demo", ["name", "value"])
+        table.add_row("a", 1.23456)
+        table.add_row("b", 2)
+        text = table.to_text()
+        assert "Demo" in text and "1.235" in text and "b" in text
+
+    def test_result_table_arity_check(self):
+        table = ResultTable("Demo", ["x"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_time_call_and_overhead(self):
+        elapsed, result = time_call(lambda: sum(range(1000)))
+        assert result == sum(range(1000))
+        assert elapsed >= 0
+        assert relative_overhead(1.0, 1.5) == pytest.approx(50.0)
+        assert relative_overhead(0.0, 1.0) == 0.0
