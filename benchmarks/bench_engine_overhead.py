@@ -1,0 +1,101 @@
+"""E12 — Overhead of the engine façade vs calling the pipelines directly.
+
+The `repro.engine` façade adds query normalization, registry dispatch,
+result annotation and (optionally) cache-key hashing on top of each
+evaluation pipeline.  This experiment measures that overhead for the
+naïve strategy against `incomplete.naive.naive_evaluate_direct` on the
+TPC-H-lite workload — the target is a few percent on non-trivial
+queries — and reports the speedup the per-session result cache buys on
+repeated evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.bench import ResultTable, relative_overhead, time_call
+from repro.engine import Session
+from repro.incomplete import naive_evaluate_direct
+from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
+
+CONFIG = TpchLiteConfig(
+    customers=20, orders=40, lineitems=60, suppliers=8, parts=16, null_rate=0.05
+)
+
+
+def test_facade_dispatch_overhead(benchmark):
+    db = generate_tpch_lite(CONFIG)
+    session = Session(db)
+    queries = sorted(tpch_lite_queries().items())
+
+    def run_through_engine():
+        return [
+            session.evaluate(query, strategy="naive", use_cache=False)
+            for _name, query in queries
+        ]
+
+    results = benchmark(run_through_engine)
+
+    table = ResultTable(
+        "E12: engine façade overhead on TPC-H-lite (naïve strategy)",
+        ["query", "direct (ms)", "engine (ms)", "overhead (%)"],
+    )
+    overheads = []
+    for name, query in queries:
+        direct_seconds, direct_answer = time_call(
+            lambda q=query: naive_evaluate_direct(q, db), repeat=5
+        )
+        engine_seconds, engine_result = time_call(
+            lambda q=query: session.evaluate(q, strategy="naive", use_cache=False),
+            repeat=5,
+        )
+        overhead = relative_overhead(direct_seconds, engine_seconds)
+        overheads.append(overhead)
+        table.add_row(
+            name, direct_seconds * 1e3, engine_seconds * 1e3, f"{overhead:+.1f}"
+        )
+        assert engine_result.relation.same_rows_as(direct_answer)
+    table.add_row("median", "", "", f"{sorted(overheads)[len(overheads) // 2]:+.1f}")
+    table.print()
+
+    # The façade must stay cheap relative to evaluation.  The target is
+    # < 5% on non-trivial queries; the assertion is looser so that the
+    # tiniest sub-millisecond queries (where normalization is a visible
+    # fraction) don't make the suite flaky.
+    assert sorted(overheads)[len(overheads) // 2] < 50.0
+    assert all(r.strategy == "naive" for r in results)
+
+
+def test_cache_speedup(benchmark):
+    db = generate_tpch_lite(CONFIG)
+    session = Session(db)
+    queries = sorted(tpch_lite_queries().items())
+
+    # Warm the cache once, then measure fully cached evaluation.
+    for _name, query in queries:
+        session.evaluate(query, strategy="naive")
+
+    def run_cached():
+        return [session.evaluate(query, strategy="naive") for _name, query in queries]
+
+    results = benchmark(run_cached)
+    assert all(result.from_cache for result in results)
+
+    table = ResultTable(
+        "E12: result-cache speedup (naïve strategy, repeated queries)",
+        ["query", "cold (ms)", "cached (ms)", "speedup (x)"],
+    )
+    for name, query in queries:
+        cold_seconds, _ = time_call(
+            lambda q=query: session.evaluate(q, strategy="naive", use_cache=False),
+            repeat=3,
+        )
+        cached_seconds, cached_result = time_call(
+            lambda q=query: session.evaluate(q, strategy="naive"), repeat=3
+        )
+        assert cached_result.from_cache
+        speedup = cold_seconds / cached_seconds if cached_seconds > 0 else float("inf")
+        table.add_row(name, cold_seconds * 1e3, cached_seconds * 1e3, f"{speedup:.1f}")
+    table.print()
+
+    stats = session.cache_stats
+    print(f"\ncache stats: {stats} (hit rate {stats.hit_rate:.0%})")
+    assert stats.hits > stats.misses

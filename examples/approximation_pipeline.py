@@ -1,12 +1,10 @@
 """Comparing every approximation procedure on a TPC-H-lite workload.
 
 Generates a TPC-H-lite database with injected nulls and, for each
-decision-support query, compares:
-
-* naïve evaluation (what SQL-style evaluation would report),
-* the sound Q+ rewriting of Figure 2b and the Qt rewriting of Figure 2a,
-* the four c-table strategies of [36],
-* exact certain answers where the instance is small enough.
+decision-support query, runs ``session.compare`` over the approximation
+strategies — naïve evaluation, the sound Q+ rewriting of Figure 2b, the
+eager and aware c-table strategies of [36] — collecting the unified
+:class:`~repro.engine.QueryResult` objects into one table.
 
 Run with:  python examples/approximation_pipeline.py
 """
@@ -18,11 +16,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algebra import evaluate
-from repro.approx import translate_guagliardo16
+from repro import Session
 from repro.bench import ResultTable
-from repro.ctables import run_strategy
-from repro.incomplete import naive_evaluate_direct
 from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
 
 
@@ -33,8 +28,8 @@ def main() -> None:
     config = TpchLiteConfig(
         customers=8, orders=14, lineitems=20, suppliers=4, parts=8, null_rate=0.04
     )
-    db = generate_tpch_lite(config)
-    schema = db.schema()
+    session = Session(generate_tpch_lite(config))
+    db = session.database
     print(
         f"TPC-H-lite database: {db.total_rows()} rows, "
         f"{len(db.nulls())} marked nulls (rate {config.null_rate:.0%})."
@@ -50,17 +45,20 @@ def main() -> None:
         ["query", "naive", "Q+ (2b)", "Eval_eager", "Eval_aware", "Q? (possible)"],
     )
     for name, query in sorted(tpch_lite_queries().items()):
-        naive = naive_evaluate_direct(query, db)
-        pair = translate_guagliardo16(query, schema)
-        eager = run_strategy("eager", query, db)
-        aware = run_strategy("aware", query, db)
+        results = session.compare(
+            query,
+            strategies=["naive", "approx-guagliardo16", "ctables"],
+            options={"ctables": {"variant": "eager"}},
+        )
+        aware = session.evaluate(query, strategy="ctables", variant="aware")
+        plus = results["approx-guagliardo16"]
         table.add_row(
             name,
-            len(naive),
-            len(evaluate(pair.certain, db)),
-            len(eager.certain),
-            len(aware.certain),
-            len(evaluate(pair.possible, db)),
+            len(results["naive"]),
+            len(plus.certain_rows()),
+            len(results["ctables"].certain_rows()),
+            len(aware.certain_rows()),
+            len(plus.possible),
         )
     table.print()
 

@@ -1,8 +1,9 @@
 """The paper's Figure 1 scenario: how a single NULL breaks SQL answers.
 
-Reproduces Section 1 of the paper end to end: the three SQL queries on
-the orders/payments/customers database, with and without the NULL, and
-the comparison against certain answers and the sound approximations.
+Reproduces Section 1 of the paper end to end through the engine façade:
+two sessions (complete and incomplete database), the three SQL queries,
+and the comparison of SQL's answers against certain answers and the
+sound Q+ approximation — every regime reached via ``session.evaluate``.
 
 Run with:  python examples/figure1_false_answers.py
 """
@@ -14,57 +15,34 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algebra import evaluate
-from repro.approx import compare_answers, translate_guagliardo16
+from repro import Session
+from repro.approx import compare_answers
 from repro.bench import ResultTable
-from repro.incomplete import certain_answers_with_nulls
-from repro.sql import run_sql
-from repro.workloads import (
-    CUSTOMERS_WITHOUT_PAID_ORDER_SQL,
-    TAUTOLOGY_SQL,
-    UNPAID_ORDERS_SQL,
-    customers_without_paid_order_algebra,
-    figure1_database,
-    figure1_database_with_null,
-    tautology_algebra,
-    unpaid_orders_algebra,
-)
+from repro.workloads import figure1_cases, figure1_database, figure1_database_with_null
 
 
 def main() -> None:
-    complete = figure1_database()
-    incomplete = figure1_database_with_null()
+    complete = Session(figure1_database())
+    incomplete = complete.with_database(figure1_database_with_null())
     print("Figure 1 database, with the second payment's oid replaced by a null:")
-    print(incomplete.to_text())
-
-    cases = [
-        ("unpaid orders", UNPAID_ORDERS_SQL, unpaid_orders_algebra()),
-        (
-            "customers without a paid order",
-            CUSTOMERS_WITHOUT_PAID_ORDER_SQL,
-            customers_without_paid_order_algebra(),
-        ),
-        ("oid = 'o2' OR oid <> 'o2'", TAUTOLOGY_SQL, tautology_algebra()),
-    ]
+    print(incomplete.database.to_text())
 
     table = ResultTable(
         "SQL vs certainty on Figure 1 (single NULL in Payments)",
         ["query", "SQL on complete D", "SQL with NULL", "certain answers", "Q+", "Q+ quality"],
     )
-    for name, sql_text, algebra_query in cases:
-        sql_complete = run_sql(complete, sql_text)
-        sql_null = run_sql(incomplete, sql_text)
-        certain = certain_answers_with_nulls(algebra_query, incomplete)
-        plus = evaluate(
-            translate_guagliardo16(algebra_query, incomplete.schema()).certain, incomplete
-        )
-        quality = compare_answers(plus, certain)
+    for case in figure1_cases():
+        sql_complete = complete.sql(case.sql)
+        sql_null = incomplete.sql(case.sql)
+        certain = incomplete.certain(case.algebra)
+        plus = incomplete.evaluate(case.algebra, strategy="approx-guagliardo16")
+        quality = compare_answers(plus.relation, certain.relation)
         table.add_row(
-            name,
+            case.name,
             sorted(sql_complete.rows_set()),
             sorted(sql_null.rows_set()),
             sorted(map(str, certain.rows_set())),
-            sorted(map(str, plus.rows_set())),
+            sorted(map(str, plus.certain_rows())),
             f"P={quality.precision:.0%} R={quality.recall:.0%}",
         )
     table.print()

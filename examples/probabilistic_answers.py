@@ -16,11 +16,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algebra import builder as rb
+from repro import Database, Null, Session, builder as rb
 from repro.bench import ResultTable
 from repro.constraints import FunctionalDependency, InclusionDependency
-from repro.datamodel import Database, Null
-from repro.incomplete import certain_answers_with_nulls
 from repro.probabilistic import conditional_mu, mu_k_profile, mu_limit
 
 
@@ -29,6 +27,7 @@ def main() -> None:
     db = Database.from_dict(
         {"T": (("A",), [(1,), (2,)]), "S": (("A",), [(unknown,)])}
     )
+    session = Session(db)
     query = rb.difference(rb.relation("T"), rb.relation("S"))
     print("Database: T = {1, 2}, S = {⊥};  query: T − S, candidate answer (1,).")
 
@@ -37,7 +36,8 @@ def main() -> None:
         table.add_row(k, f"{value} ≈ {float(value):.3f}")
     table.print()
     print(f"\nLimit by the 0–1 law: µ = {mu_limit(query, db, (1,))}")
-    print(f"Exact certain answers: {sorted(certain_answers_with_nulls(query, db).rows_set())}")
+    certain = session.certain(query)
+    print(f"Exact certain answers: {sorted(certain.rows_set())}")
     print("So (1,) is almost certainly true, yet not certain.")
 
     ind = InclusionDependency("S", ["A"], "T", ["A"])

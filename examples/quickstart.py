@@ -1,8 +1,10 @@
 """Quickstart: querying an incomplete database correctly.
 
-Builds a small database with marked nulls, runs a query four ways —
+Builds a small database with marked nulls, opens an engine
+:class:`~repro.engine.Session` on it, and runs one query four ways —
 SQL-style evaluation, naïve evaluation, the sound Q+ rewriting and exact
-certain answers — and shows where they differ.
+certain answers — through the single ``session.evaluate`` call, showing
+where the strategies differ.
 
 Run with:  python examples/quickstart.py
 """
@@ -14,11 +16,9 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.algebra import builder as rb, evaluate, to_text
-from repro.approx import translate_guagliardo16
-from repro.datamodel import Database, Null
-from repro.incomplete import certain_answers_with_nulls, naive_evaluate_direct
-from repro.sql import run_sql
+from repro import Database, Null, Session, builder as rb
+from repro.algebra import to_text
+from repro.bench import strategy_table
 
 
 def main() -> None:
@@ -51,25 +51,39 @@ def main() -> None:
     print("\nThe query (orders shipped outside every hub city):")
     print(" ", to_text(query))
 
+    # One session, one API — the strategy name picks the evaluation regime.
+    session = Session(db)
+
     print("\n1. SQL-style evaluation (what a DBMS would return):")
-    print(
-        run_sql(
-            db,
-            "SELECT oid FROM orders WHERE city NOT IN (SELECT city FROM hubs)",
-        ).to_text()
+    sql = session.evaluate(
+        "SELECT oid FROM orders WHERE city NOT IN (SELECT city FROM hubs)",
+        strategy="sql-3vl",
     )
+    print(sql.to_text())
 
     print("\n2. Naïve evaluation (nulls as plain values):")
-    print(naive_evaluate_direct(query, db).to_text())
+    naive = session.evaluate(query, strategy="naive")
+    print(naive.to_text())
 
     print("\n3. Sound approximation Q+ (never returns a non-certain tuple):")
-    pair = translate_guagliardo16(query, db.schema())
-    print(evaluate(pair.certain, db).to_text())
+    approx = session.evaluate(query, strategy="approx-guagliardo16")
+    print(approx.to_text())
     print("\n   ...and the possible answers Q?:")
-    print(evaluate(pair.possible, db).to_text())
+    print(approx.possible.to_text())
 
     print("\n4. Exact certain answers (exponential reference algorithm):")
-    print(certain_answers_with_nulls(query, db).to_text())
+    exact = session.evaluate(query, strategy="exact-certain")
+    print(exact.to_text())
+
+    print("\nAsking again is free — the session cache remembers:")
+    again = session.evaluate(query, strategy="exact-certain")
+    print(f"  from_cache={again.from_cache}  ({session.cache_stats})")
+
+    # Or ask for everything at once: session.compare runs every strategy
+    # that can consume this frontend and strategy_table renders the map.
+    strategy_table(
+        "All certainty-aware strategies on the same query", session.compare(query)
+    ).print()
 
     print(
         "\nTakeaway: o2's city is unknown, so o2 is not a certain answer; the"

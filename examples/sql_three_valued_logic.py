@@ -16,10 +16,8 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro import Database, FoQuery, Null, Relation, Session
 from repro.calculus import ast as fo
-from repro.calculus.evaluation import FoQuery
-from repro.datamodel import Database, Null, Relation
-from repro.incomplete import certain_answers_with_nulls
 from repro.mvl import (
     FALSE,
     L3V,
@@ -28,14 +26,12 @@ from repro.mvl import (
     UNKNOWN,
     Assertion,
     capture,
-    fo_sql,
     fo_sql_assert,
     fo_unif,
     is_distributive,
     is_idempotent,
     maximal_idempotent_distributive_sublogics,
 )
-from repro.sql import run_sql
 
 
 def main() -> None:
@@ -71,13 +67,13 @@ def main() -> None:
         "SELECT R.A FROM R WHERE R.A NOT IN "
         "( SELECT S.A FROM S WHERE S.A NOT IN ( SELECT T.A FROM T ) )"
     )
+    session = Session(db)
     print("\n2. R − (S − T) with R = S = {1}, T = {⊥}:")
-    print("   certain answers:        ", sorted(certain_answers_with_nulls(
-        FoQuery(plain, free=[x]), db).rows_set()))
+    print("   certain answers:        ", sorted(session.certain(FoQuery(plain, free=[x])).rows_set()))
     print("   FO(L3v, unif) answers:  ", sorted(fo_unif().answers(plain, db, [x]).rows_set()))
-    print("   FOSQL answers:          ", sorted(fo_sql().answers(plain, db, [x]).rows_set()))
+    print("   FOSQL answers:          ", sorted(session.sql(FoQuery(plain, free=[x])).rows_set()))
     print("   FO↑SQL answers:         ", sorted(fo_sql_assert().answers(asserted, db, [x]).rows_set()))
-    print("   real SQL engine:        ", sorted(run_sql(db, sql_text).rows_set()))
+    print("   real SQL engine:        ", sorted(session.sql(sql_text).rows_set()))
     print(
         "   → the assertion operator ↑ (SQL's WHERE keeping only 'true') is what"
         " lets SQL return the almost-certainly-false answer 1."

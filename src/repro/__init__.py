@@ -23,7 +23,16 @@ The package is organised in layers:
 * :mod:`repro.sql` — a small SQL frontend that evaluates queries the way
   SQL does, for side-by-side comparisons with certain answers;
 * :mod:`repro.workloads` and :mod:`repro.bench` — data generators and the
-  benchmark harness used to regenerate the paper's experiments.
+  benchmark harness used to regenerate the paper's experiments;
+* :mod:`repro.engine` — the unified Session/Engine façade dispatching
+  every evaluation strategy above through one ``evaluate()`` call.
+
+The recommended entry point is the engine façade::
+
+    from repro import Engine, Session
+
+    session = Session(database)
+    result = session.evaluate(query, strategy="approx-guagliardo16")
 """
 
 from .datamodel import (
@@ -38,10 +47,29 @@ from .datamodel import (
     is_const,
     is_null,
 )
+from .engine import (
+    AnnotatedTuple,
+    Certainty,
+    Engine,
+    EngineError,
+    EvaluationStrategy,
+    NormalizedQuery,
+    QueryResult,
+    Session,
+    StrategyNotApplicableError,
+    UnknownStrategyError,
+    available_strategies,
+    normalize_query,
+    register_strategy,
+)
+from .algebra import builder, evaluate as evaluate_algebra, to_text as algebra_to_text
+from .calculus import FoQuery
+from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # Data model
     "Database",
     "DatabaseSchema",
     "Null",
@@ -52,5 +80,27 @@ __all__ = [
     "fresh_null",
     "is_const",
     "is_null",
+    # Engine façade
+    "Engine",
+    "Session",
+    "QueryResult",
+    "AnnotatedTuple",
+    "Certainty",
+    "EvaluationStrategy",
+    "NormalizedQuery",
+    "available_strategies",
+    "normalize_query",
+    "register_strategy",
+    "EngineError",
+    "UnknownStrategyError",
+    "StrategyNotApplicableError",
+    # Algebra / calculus / SQL entry points
+    "builder",
+    "evaluate_algebra",
+    "algebra_to_text",
+    "FoQuery",
+    "compile_sql",
+    "parse_sql",
+    "run_sql",
     "__version__",
 ]

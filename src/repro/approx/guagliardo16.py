@@ -29,6 +29,11 @@ which is what makes the rewriting cheap: the paper reports a typical
 the same shape is measured by ``benchmarks/bench_overhead_tpch.py``.
 
 On complete databases ``Q+(D) = Q?(D) = Q(D)``.
+
+.. deprecated:: 1.1
+   As a *public* entry point, prefer ``Engine.evaluate(query, db,
+   strategy="approx-guagliardo16")`` from :mod:`repro.engine`, which
+   also evaluates the pair and annotates certain/possible answers.
 """
 
 from __future__ import annotations

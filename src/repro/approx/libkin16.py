@@ -29,6 +29,11 @@ The ``Qf`` side materialises Cartesian powers of the active domain,
 which is what makes this scheme impractical (it is the subject of
 experiment E5); the scheme of Figure 2b in
 :mod:`repro.approx.guagliardo16` avoids this.
+
+.. deprecated:: 1.1
+   As a *public* entry point, prefer ``Engine.evaluate(query, db,
+   strategy="approx-libkin16")`` from :mod:`repro.engine`, which also
+   evaluates the pair and annotates false positives.
 """
 
 from __future__ import annotations

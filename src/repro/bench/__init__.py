@@ -1,5 +1,5 @@
 """Benchmark harness helpers."""
 
-from .harness import ResultTable, relative_overhead, time_call
+from .harness import ResultTable, relative_overhead, strategy_table, time_call
 
-__all__ = ["ResultTable", "time_call", "relative_overhead"]
+__all__ = ["ResultTable", "time_call", "relative_overhead", "strategy_table"]

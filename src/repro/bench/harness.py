@@ -5,15 +5,21 @@ pytest-benchmark; the *shape* results the paper reports (who wins, by
 what factor, where recall degrades) are collected into
 :class:`ResultTable` objects and printed, so a run of the benchmark
 suite regenerates the qualitative rows of each experiment.
+
+:func:`strategy_table` bridges the harness to the engine façade: it
+renders a mapping of strategy name → :class:`~repro.engine.QueryResult`
+(as produced by ``Engine.compare`` / ``Session.compare``) as one table
+row per strategy, which is how the examples and the engine benchmarks
+report their comparisons.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
-__all__ = ["ResultTable", "time_call", "relative_overhead"]
+__all__ = ["ResultTable", "time_call", "relative_overhead", "strategy_table"]
 
 
 @dataclass
@@ -75,3 +81,29 @@ def relative_overhead(baseline_seconds: float, rewritten_seconds: float) -> floa
     if baseline_seconds <= 0:
         return 0.0
     return (rewritten_seconds - baseline_seconds) / baseline_seconds * 100.0
+
+
+def strategy_table(title: str, results: Mapping[str, Any]) -> ResultTable:
+    """Render ``{strategy: QueryResult}`` (from ``Engine.compare``) as a table.
+
+    One row per strategy: answer size, how many answers are certain /
+    merely possible / flagged false-positive, and the wall-clock time.
+    """
+    table = ResultTable(
+        title, ["strategy", "rows", "certain", "possible", "false+", "time (ms)"]
+    )
+    for name in sorted(results):
+        result = results[name]
+        possible_only = result.possible_rows() - result.certain_rows()
+        elapsed = f"{result.elapsed * 1000:.3g}"
+        if result.from_cache:
+            elapsed += " (cached)"
+        table.add_row(
+            name,
+            len(result),
+            len(result.certain_rows()),
+            len(possible_only),
+            len(result.false_positive_rows()),
+            elapsed,
+        )
+    return table

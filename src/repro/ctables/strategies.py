@@ -18,6 +18,11 @@ Every strategy has correctness guarantees (Theorem 4.9):
 ``Eval⋆_t(Q, D) ⊆ cert⊥(Q, D)``, and the eager strategy coincides with
 the Figure 2b translation: ``Q+(D) = Eval_e,t(Q, D)`` and
 ``Q?(D) = Eval_e,p(Q, D)`` — checked in the tests and in experiment E7.
+
+.. deprecated:: 1.1
+   As a *public* entry point, prefer ``Engine.evaluate(query, db,
+   strategy="ctables", variant=...)`` from :mod:`repro.engine`; these
+   functions remain as the strategy's implementation.
 """
 
 from __future__ import annotations

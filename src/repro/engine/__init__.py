@@ -1,0 +1,85 @@
+"""The unified evaluation engine: one Session/Engine API over every strategy.
+
+The paper compares evaluation regimes over incomplete databases — SQL's
+three-valued semantics, naïve evaluation, exact certain answers, the
+approximation schemes of Figure 2 and the c-table strategies.  This
+package exposes all of them behind a single façade::
+
+    from repro.engine import Session
+
+    session = Session(database)
+    session.evaluate("SELECT oid FROM Orders", strategy="sql-3vl")
+    session.evaluate(algebra_query, strategy="approx-guagliardo16")
+    session.evaluate(fo_query, strategy="exact-certain")
+
+Layers:
+
+* :mod:`repro.engine.frontend` — normalization of SQL / algebra /
+  calculus inputs into one internal representation;
+* :mod:`repro.engine.registry` — the ``@register_strategy`` registry and
+  the :class:`EvaluationStrategy` extension point;
+* :mod:`repro.engine.strategies` — the six built-in strategies;
+* :mod:`repro.engine.result` — the unified :class:`QueryResult` with
+  per-tuple certainty annotations;
+* :mod:`repro.engine.cache` — the per-session result cache keyed on
+  (query fingerprint, database fingerprint, strategy);
+* :mod:`repro.engine.core` — :class:`Engine` and :class:`Session`.
+"""
+
+from .cache import CacheStats, ResultCache, database_fingerprint
+from .core import Engine, Session, default_engine, evaluate
+from .errors import (
+    EngineError,
+    NormalizationError,
+    StrategyNotApplicableError,
+    UnknownStrategyError,
+)
+from .frontend import NormalizedQuery, normalize_query, query_fingerprint
+from .registry import (
+    EvaluationStrategy,
+    StrategyOutcome,
+    annotate,
+    available_strategies,
+    get_strategy,
+    register_strategy,
+    strategy_aliases,
+    unregister_strategy,
+)
+from .result import AnnotatedTuple, Certainty, QueryResult
+
+# Importing the module registers the built-in strategies.
+from . import strategies as _builtin_strategies  # noqa: F401
+
+__all__ = [
+    # Core façade
+    "Engine",
+    "Session",
+    "default_engine",
+    "evaluate",
+    # Results
+    "QueryResult",
+    "AnnotatedTuple",
+    "Certainty",
+    # Registry
+    "EvaluationStrategy",
+    "StrategyOutcome",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+    "strategy_aliases",
+    "annotate",
+    # Normalization
+    "NormalizedQuery",
+    "normalize_query",
+    "query_fingerprint",
+    # Cache
+    "ResultCache",
+    "CacheStats",
+    "database_fingerprint",
+    # Errors
+    "EngineError",
+    "UnknownStrategyError",
+    "StrategyNotApplicableError",
+    "NormalizationError",
+]

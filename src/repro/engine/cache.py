@@ -1,0 +1,113 @@
+"""The per-session result cache and the database fingerprint.
+
+Results are cached under ``(query fingerprint, database fingerprint,
+strategy, semantics, options)``.  Databases carry no version counter, so
+the fingerprint is a content hash: a canonical serialisation of every
+relation (name, attributes, rows with multiplicities, nulls rendered by
+label).  Hashing is linear in the data but orders of magnitude cheaper
+than any of the evaluation strategies; sessions additionally memoise the
+fingerprint of their bound database so repeated calls pay it once.
+
+This cache is the designated hook for the scaling work on the ROADMAP
+(shared backends, cross-session memoisation, async prefetching): those
+only need to supply a different :class:`ResultCache`-shaped object.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable
+
+from ..datamodel.database import Database
+from ..datamodel.values import Null
+
+__all__ = ["CacheStats", "ResultCache", "database_fingerprint"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of a :class:`ResultCache`."""
+
+    hits: int
+    misses: int
+    size: int
+    max_size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class ResultCache:
+    """A small LRU cache mapping evaluation keys to results."""
+
+    def __init__(self, max_size: int = 256):
+        if max_size < 0:
+            raise ValueError("cache size must be non-negative")
+        self.max_size = max_size
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_size > 0
+
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.enabled:
+            return
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_size:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            size=len(self._entries),
+            max_size=self.max_size,
+        )
+
+
+def _canonical_value(value: Any) -> str:
+    if isinstance(value, Null):
+        return f"null:{value.label!r}"
+    return f"{type(value).__name__}:{value!r}"
+
+
+def database_fingerprint(database: Database) -> str:
+    """A stable content hash of a database instance."""
+    hasher = hashlib.sha1()
+    for name in sorted(database.relation_names()):
+        relation = database[name]
+        hasher.update(f"relation:{name}:{relation.attributes!r}\n".encode("utf-8"))
+        rows = sorted(
+            (
+                tuple(_canonical_value(v) for v in row),
+                count,
+            )
+            for row, count in relation.iter_rows(with_multiplicity=True)
+        )
+        for row, count in rows:
+            hasher.update(f"{row!r}*{count}\n".encode("utf-8"))
+    return hasher.hexdigest()

@@ -1,0 +1,294 @@
+"""The ``Engine``/``Session`` façade: one call for every evaluation regime.
+
+::
+
+    from repro.engine import Session
+
+    session = Session(database)
+    result = session.evaluate(query, strategy="approx-guagliardo16")
+    result.certain_rows()          # sound answers
+    session.compare(query)         # every applicable strategy side by side
+
+``Engine`` is the stateful dispatcher (registry lookup, normalization,
+timing, result cache); ``Session`` binds an engine to one database and
+memoises the database fingerprint so cache keys are cheap.  Benchmarks,
+workloads and the examples all go through this module; the per-module
+entry points (``incomplete.naive``, ``approx.*``, ``ctables.strategies``,
+``sql.evaluator``) remain available but are deprecated as *public* API.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..datamodel.database import Database
+from .cache import CacheStats, ResultCache, database_fingerprint
+from .errors import EngineError, StrategyNotApplicableError
+from .frontend import NormalizedQuery, normalize_query
+from .registry import available_strategies, get_strategy
+from .result import QueryResult
+
+__all__ = ["Engine", "Session", "default_engine", "evaluate"]
+
+_SEMANTICS = ("set", "bag")
+
+
+class Engine:
+    """Evaluates queries through registered strategies, with caching."""
+
+    def __init__(self, *, cache_size: int = 256, default_semantics: str = "set"):
+        if default_semantics not in _SEMANTICS:
+            raise EngineError(
+                f"unknown semantics {default_semantics!r}; expected 'set' or 'bag'"
+            )
+        self.default_semantics = default_semantics
+        self._cache = ResultCache(cache_size)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def strategies() -> tuple[str, ...]:
+        """Canonical names of every registered strategy."""
+        return available_strategies()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._cache.stats
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._cache.enabled
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        query: Any,
+        database: Database,
+        *,
+        strategy: str = "naive",
+        semantics: str | None = None,
+        use_cache: bool = True,
+        database_fp: str | None = None,
+        **options: Any,
+    ) -> QueryResult:
+        """Evaluate ``query`` on ``database`` with the named strategy.
+
+        ``query`` may be an SQL string, an SQL/algebra/calculus AST, or an
+        :class:`FoQuery` — see :func:`repro.engine.normalize_query`.
+        Options beyond the standard ones are passed to the strategy (e.g.
+        ``variant="aware"`` for ``ctables``).
+        """
+        semantics = semantics or self.default_semantics
+        if semantics not in _SEMANTICS:
+            raise EngineError(
+                f"unknown semantics {semantics!r}; expected 'set' or 'bag'"
+            )
+        strat = get_strategy(strategy)
+        if semantics not in strat.supported_semantics:
+            raise StrategyNotApplicableError(
+                f"strategy {strat.name!r} supports {strat.supported_semantics} "
+                f"semantics, not {semantics!r}"
+            )
+        normalized = normalize_query(query, database.schema())
+
+        key = None
+        if use_cache and self._cache.enabled:
+            if database_fp is None:
+                database_fp = database_fingerprint(database)
+            key = (
+                normalized.fingerprint,
+                database_fp,
+                strat.name,
+                semantics,
+                tuple(sorted((name, repr(value)) for name, value in options.items())),
+            )
+            cached = self._cache.get(key)
+            if cached is not None:
+                return cached.as_cached()
+
+        start = time.perf_counter()
+        outcome = strat.run(normalized, database, semantics=semantics, **options)
+        elapsed = time.perf_counter() - start
+        result = QueryResult(
+            strategy=strat.name,
+            semantics=semantics,
+            relation=outcome.answer,
+            tuples=outcome.annotated,
+            certain=outcome.certain,
+            possible=outcome.possible,
+            certainly_false=outcome.certainly_false,
+            elapsed=elapsed,
+            from_cache=False,
+            fingerprint=normalized.fingerprint,
+            metadata=dict(outcome.metadata),
+        )
+        if key is not None:
+            self._cache.put(key, result)
+        return result
+
+    def evaluate_batch(
+        self,
+        queries: Iterable[Any],
+        database: Database,
+        *,
+        strategy: str = "naive",
+        semantics: str | None = None,
+        use_cache: bool = True,
+        **options: Any,
+    ) -> list[QueryResult]:
+        """Evaluate many queries on one database, hashing the database once."""
+        database_fp = (
+            database_fingerprint(database)
+            if use_cache and self._cache.enabled
+            else None
+        )
+        return [
+            self.evaluate(
+                query,
+                database,
+                strategy=strategy,
+                semantics=semantics,
+                use_cache=use_cache,
+                database_fp=database_fp,
+                **options,
+            )
+            for query in queries
+        ]
+
+    def compare(
+        self,
+        query: Any,
+        database: Database,
+        *,
+        strategies: Sequence[str] | None = None,
+        semantics: str | None = None,
+        use_cache: bool = True,
+        skip_inapplicable: bool = True,
+        database_fp: str | None = None,
+        options: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> dict[str, QueryResult]:
+        """Run several strategies on the same query, keyed by strategy name.
+
+        ``options`` maps a strategy name to its extra keyword options.
+        With ``skip_inapplicable`` (the default), strategies that cannot
+        consume the query's frontend are silently omitted — handy when
+        comparing an SQL query that only some strategies can lower.
+        """
+        names = tuple(strategies) if strategies is not None else self.strategies()
+        per_strategy = options or {}
+        if database_fp is None and use_cache and self._cache.enabled:
+            database_fp = database_fingerprint(database)
+        results: dict[str, QueryResult] = {}
+        for name in names:
+            try:
+                results[name] = self.evaluate(
+                    query,
+                    database,
+                    strategy=name,
+                    semantics=semantics,
+                    use_cache=use_cache,
+                    database_fp=database_fp,
+                    **dict(per_strategy.get(name, {})),
+                )
+            except StrategyNotApplicableError:
+                if not skip_inapplicable:
+                    raise
+        return results
+
+
+class Session:
+    """An :class:`Engine` bound to one database.
+
+    The session owns the result cache (a fresh engine is created unless
+    one is shared explicitly) and memoises the database fingerprint, so
+    repeated evaluations of the same query are answered from the cache
+    without re-hashing the data.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        engine: Engine | None = None,
+        cache_size: int = 256,
+        default_semantics: str = "set",
+    ):
+        self.database = database
+        self.engine = engine or Engine(
+            cache_size=cache_size, default_semantics=default_semantics
+        )
+        self._database_fp: str | None = None
+
+    def _fingerprint(self) -> str:
+        if self._database_fp is None:
+            self._database_fp = database_fingerprint(self.database)
+        return self._database_fp
+
+    def with_database(self, database: Database) -> "Session":
+        """A new session on another database, sharing this session's engine."""
+        return Session(database, engine=self.engine)
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    def _caching(self, kwargs: Mapping[str, Any]) -> bool:
+        """Will this call touch the cache (and hence need the fingerprint)?"""
+        return bool(kwargs.get("use_cache", True)) and self.engine.cache_enabled
+
+    def evaluate(self, query: Any, **kwargs: Any) -> QueryResult:
+        if self._caching(kwargs):
+            kwargs.setdefault("database_fp", self._fingerprint())
+        return self.engine.evaluate(query, self.database, **kwargs)
+
+    def evaluate_batch(self, queries: Iterable[Any], **kwargs: Any) -> list[QueryResult]:
+        return [self.evaluate(query, **kwargs) for query in queries]
+
+    def compare(self, query: Any, **kwargs: Any) -> dict[str, QueryResult]:
+        if self._caching(kwargs):
+            kwargs.setdefault("database_fp", self._fingerprint())
+        return self.engine.compare(query, self.database, **kwargs)
+
+    # Small conveniences mirroring the paper's vocabulary.
+    def sql(self, query: Any, **kwargs: Any) -> QueryResult:
+        """SQL-semantics evaluation (strategy ``sql-3vl``)."""
+        return self.evaluate(query, strategy="sql-3vl", **kwargs)
+
+    def naive(self, query: Any, **kwargs: Any) -> QueryResult:
+        return self.evaluate(query, strategy="naive", **kwargs)
+
+    def certain(self, query: Any, **kwargs: Any) -> QueryResult:
+        """Exact certain answers (strategy ``exact-certain``)."""
+        return self.evaluate(query, strategy="exact-certain", **kwargs)
+
+    def strategies(self) -> tuple[str, ...]:
+        return self.engine.strategies()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.engine.cache_stats
+
+    def clear_cache(self) -> None:
+        self.engine.clear_cache()
+
+
+_DEFAULT_ENGINE: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """A process-wide engine for one-off :func:`evaluate` calls."""
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        _DEFAULT_ENGINE = Engine()
+    return _DEFAULT_ENGINE
+
+
+def evaluate(query: Any, database: Database, **kwargs: Any) -> QueryResult:
+    """Module-level convenience: ``default_engine().evaluate(...)``."""
+    return default_engine().evaluate(query, database, **kwargs)

@@ -1,0 +1,162 @@
+"""Query normalization: one internal form for every query frontend.
+
+The engine accepts a query written against any of the repo's frontends —
+
+* an SQL string (or a pre-parsed :mod:`repro.sql.ast` tree),
+* a relational algebra tree (:mod:`repro.algebra.ast`, including
+  anything produced by the :mod:`repro.algebra.builder` fluent API),
+* a relational calculus formula (:mod:`repro.calculus.ast`) or a
+  ready-made :class:`~repro.calculus.evaluation.FoQuery` —
+
+and lowers it to a :class:`NormalizedQuery` carrying every derived form
+the strategies can consume:
+
+* ``sql_ast`` — the parsed SQL tree (SQL frontend only);
+* ``algebra`` — a relational algebra plan.  SQL is compiled through
+  :func:`repro.sql.compiler.compile_sql` when it falls in the
+  subquery-free fragment; otherwise ``algebra`` is ``None`` and
+  ``notes`` records why;
+* ``fo`` — an :class:`FoQuery` (calculus frontend only), classified into
+  the fragments of Theorem 4.4 via :mod:`repro.calculus.fragments`.
+
+Strategies pick the richest form they support and raise
+:class:`~repro.engine.errors.StrategyNotApplicableError` with a precise
+message when none is available.  The ``fingerprint`` is a stable hash of
+the *source* form, used (with a database fingerprint) as the result
+cache key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..algebra import ast as ra
+from ..calculus import ast as fo
+from ..calculus.evaluation import FoQuery
+from ..calculus.fragments import classify
+from ..datamodel.schema import DatabaseSchema
+from ..sql import ast as sqlast
+from ..sql.compiler import SqlCompilationError, compile_sql
+from ..sql.parser import parse as parse_sql
+from .errors import NormalizationError
+
+__all__ = ["NormalizedQuery", "normalize_query", "query_fingerprint"]
+
+
+@dataclass(frozen=True)
+class NormalizedQuery:
+    """The engine's common internal representation of a query."""
+
+    source: Any
+    frontend: str  # "sql" | "algebra" | "calculus"
+    fingerprint: str
+    sql_ast: sqlast.SqlQuery | None = None
+    sql_text: str | None = None
+    algebra: ra.Query | None = None
+    fo: FoQuery | None = None
+    fragment: str | None = None
+    notes: tuple[str, ...] = field(default_factory=tuple)
+
+    def forms(self) -> tuple[str, ...]:
+        """The lowered forms available to strategies."""
+        available = []
+        if self.sql_ast is not None:
+            available.append("sql")
+        if self.algebra is not None:
+            available.append("algebra")
+        if self.fo is not None:
+            available.append("calculus")
+        return tuple(available)
+
+    def describe(self) -> str:
+        forms = ", ".join(self.forms()) or "none"
+        return f"{self.frontend} query (lowered forms: {forms})"
+
+
+def query_fingerprint(query: Any) -> str:
+    """A stable hex digest identifying a query's source form.
+
+    SQL strings hash their whitespace-normalised text; AST and formula
+    inputs hash their ``repr`` (all node classes are frozen dataclasses,
+    so ``repr`` is canonical for structurally equal trees).
+    """
+    if isinstance(query, NormalizedQuery):
+        return query.fingerprint
+    if isinstance(query, str):
+        canonical = "sql:" + " ".join(query.split())
+    elif isinstance(query, FoQuery):
+        canonical = f"fo:{query.free!r}:{query.formula!r}"
+    else:
+        canonical = f"{type(query).__name__}:{query!r}"
+    return hashlib.sha1(canonical.encode("utf-8", "replace")).hexdigest()
+
+
+def normalize_query(
+    query: Any, schema: DatabaseSchema | None = None
+) -> NormalizedQuery:
+    """Lower any frontend input to a :class:`NormalizedQuery`.
+
+    ``schema`` enables the SQL → algebra compilation step (the compiler
+    needs the base relation attributes); without it, SQL queries are
+    normalised with ``algebra=None``.
+    """
+    if isinstance(query, NormalizedQuery):
+        return query
+    fingerprint = query_fingerprint(query)
+
+    if isinstance(query, (str, sqlast.SqlQuery)):
+        sql_text = query if isinstance(query, str) else None
+        sql_tree = parse_sql(query) if isinstance(query, str) else query
+        algebra = None
+        notes: tuple[str, ...] = ()
+        if schema is not None:
+            try:
+                algebra = compile_sql(sql_tree, schema)
+            except SqlCompilationError as exc:
+                notes = (f"not compiled to algebra: {exc}",)
+        else:
+            notes = ("not compiled to algebra: no schema provided",)
+        return NormalizedQuery(
+            source=query,
+            frontend="sql",
+            fingerprint=fingerprint,
+            sql_ast=sql_tree,
+            sql_text=sql_text,
+            algebra=algebra,
+            notes=notes,
+        )
+
+    if isinstance(query, ra.Query):
+        return NormalizedQuery(
+            source=query,
+            frontend="algebra",
+            fingerprint=fingerprint,
+            algebra=query,
+        )
+
+    if isinstance(query, FoQuery):
+        return NormalizedQuery(
+            source=query,
+            frontend="calculus",
+            fingerprint=fingerprint,
+            fo=query,
+            fragment=classify(query.formula),
+        )
+
+    if isinstance(query, fo.Formula):
+        fo_query = FoQuery(query)
+        return NormalizedQuery(
+            source=query,
+            frontend="calculus",
+            fingerprint=fingerprint,
+            fo=fo_query,
+            fragment=classify(query),
+        )
+
+    raise NormalizationError(
+        f"cannot normalise object of type {type(query).__name__}: expected an SQL "
+        "string, an repro.sql.ast tree, an repro.algebra.ast tree, an "
+        "repro.calculus.ast formula, or an FoQuery"
+    )

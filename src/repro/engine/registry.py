@@ -1,0 +1,195 @@
+"""The strategy registry: named evaluation strategies behind one interface.
+
+A strategy adapts one of the repo's evaluation pipelines to the engine's
+contract: consume a :class:`~repro.engine.frontend.NormalizedQuery` and
+a database, produce a :class:`StrategyOutcome` (the engine wraps it into
+a timed, cache-aware :class:`~repro.engine.result.QueryResult`).
+
+Registration is by decorator::
+
+    @register_strategy("naive", aliases=("direct",))
+    class NaiveStrategy(EvaluationStrategy):
+        supported_semantics = ("set", "bag")
+
+        def run(self, query, database, *, semantics, **options):
+            ...
+
+Third-party backends (sharded, cached, async — see ROADMAP) register the
+same way; nothing in the engine core knows the built-in strategy names.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from .errors import EngineError, StrategyNotApplicableError, UnknownStrategyError
+from .frontend import NormalizedQuery
+from .result import AnnotatedTuple, Certainty
+
+__all__ = [
+    "EvaluationStrategy",
+    "StrategyOutcome",
+    "register_strategy",
+    "unregister_strategy",
+    "get_strategy",
+    "available_strategies",
+    "strategy_aliases",
+    "annotate",
+]
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """What a strategy hands back to the engine core."""
+
+    answer: Relation
+    annotated: tuple[AnnotatedTuple, ...] = ()
+    certain: Relation | None = None
+    possible: Relation | None = None
+    certainly_false: Relation | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+def annotate(
+    relation: Relation, status: Certainty, *, bag: bool = False
+) -> tuple[AnnotatedTuple, ...]:
+    """Annotate every distinct row of a relation with one status."""
+    return tuple(
+        AnnotatedTuple(row, status, multiplicity=count if bag else 1)
+        for row, count in relation.iter_rows(with_multiplicity=True)
+    )
+
+
+class EvaluationStrategy:
+    """Base class of registered strategies."""
+
+    #: Canonical registry name; set by :func:`register_strategy`.
+    name: str = ""
+    #: Alternative lookup names.
+    aliases: tuple[str, ...] = ()
+    #: Which of ``"set"`` / ``"bag"`` the strategy can honour.
+    supported_semantics: tuple[str, ...] = ("set",)
+    #: One line for ``Engine.strategies()`` listings and docs.
+    description: str = ""
+
+    def run(
+        self,
+        query: NormalizedQuery,
+        database: Database,
+        *,
+        semantics: str,
+        **options: Any,
+    ) -> StrategyOutcome:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers for pulling the required lowered form out of the query
+    # ------------------------------------------------------------------
+    def require_algebra(self, query: NormalizedQuery):
+        """The algebra plan, or a precise error explaining what is missing."""
+        if query.algebra is not None:
+            return query.algebra
+        hint = "; ".join(query.notes) if query.notes else (
+            f"the {query.frontend} frontend provides no relational algebra plan"
+        )
+        raise StrategyNotApplicableError(
+            f"strategy {self.name!r} needs a relational algebra plan ({hint}); "
+            "write the query with repro.algebra.builder, or use SQL in the "
+            "subquery-free fragment"
+        )
+
+    def require_executable(self, query: NormalizedQuery):
+        """An algebra plan if available, else an FO query."""
+        if query.algebra is not None:
+            return query.algebra
+        if query.fo is not None:
+            return query.fo
+        hint = "; ".join(query.notes) if query.notes else "no evaluable form"
+        raise StrategyNotApplicableError(
+            f"strategy {self.name!r} needs an algebra plan or an FO query ({hint})"
+        )
+
+    def reject_unknown_options(self, options: Mapping[str, Any]) -> None:
+        if options:
+            raise EngineError(
+                f"strategy {self.name!r} does not understand options "
+                f"{sorted(options)}"
+            )
+
+
+_REGISTRY: dict[str, EvaluationStrategy] = {}
+_ALIASES: dict[str, str] = {}
+
+
+def register_strategy(name: str, *, aliases: Iterable[str] = ()):
+    """Class decorator registering an :class:`EvaluationStrategy`.
+
+    The class is instantiated once (strategies must be stateless) and
+    becomes reachable by ``name`` or any alias.  Re-registering a name
+    replaces the previous strategy, which lets tests and downstream
+    packages override built-ins.
+    """
+
+    aliases = tuple(aliases)
+
+    def decorator(cls: type) -> type:
+        if not issubclass(cls, EvaluationStrategy):
+            raise TypeError(
+                f"{cls.__name__} must subclass EvaluationStrategy to be registered"
+            )
+        for alias in aliases:
+            if alias in _REGISTRY and alias != name:
+                raise EngineError(
+                    f"alias {alias!r} collides with the registered strategy of that name"
+                )
+            owner = _ALIASES.get(alias)
+            if owner is not None and owner != name:
+                raise EngineError(
+                    f"alias {alias!r} is already registered for strategy {owner!r}"
+                )
+        instance = cls()
+        instance.name = name
+        instance.aliases = aliases
+        unregister_strategy(name)
+        _REGISTRY[name] = instance
+        for alias in aliases:
+            _ALIASES[alias] = name
+        return cls
+
+    return decorator
+
+
+def unregister_strategy(name: str) -> None:
+    """Remove a strategy (and its aliases) from the registry, if present."""
+    instance = _REGISTRY.pop(name, None)
+    if instance is not None:
+        for alias in instance.aliases:
+            _ALIASES.pop(alias, None)
+
+
+def get_strategy(name: str) -> EvaluationStrategy:
+    """Resolve a strategy by canonical name or alias.
+
+    Canonical names win over aliases, so an alias can never shadow a
+    registered strategy's own name.
+    """
+    strategy = _REGISTRY.get(name)
+    if strategy is not None:
+        return strategy
+    canonical = _ALIASES.get(name)
+    if canonical is not None and canonical in _REGISTRY:
+        return _REGISTRY[canonical]
+    raise UnknownStrategyError(name, available_strategies())
+
+
+def available_strategies() -> tuple[str, ...]:
+    """The registered canonical strategy names, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def strategy_aliases() -> dict[str, str]:
+    """A copy of the alias → canonical-name table."""
+    return dict(_ALIASES)

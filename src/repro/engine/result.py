@@ -1,0 +1,177 @@
+"""The unified result type returned by every evaluation strategy.
+
+A :class:`QueryResult` replaces the per-module return shapes of the old
+entry points (bare :class:`~repro.datamodel.relation.Relation` objects,
+:class:`~repro.approx.libkin16.CertainFalsePair`,
+:class:`~repro.ctables.strategies.StrategyResult`, ...): whatever the
+strategy, callers get the same object carrying
+
+* the primary answer relation (what the strategy *asserts*),
+* per-tuple certainty annotations (:class:`Certainty`),
+* the auxiliary answer sets a strategy may produce (certain, possible,
+  certainly-false),
+* strategy metadata and wall-clock timing, and
+* cache provenance (``from_cache``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Iterator, Mapping
+
+from ..datamodel.relation import Relation
+
+__all__ = ["Certainty", "AnnotatedTuple", "QueryResult"]
+
+
+class Certainty(str, Enum):
+    """Per-tuple certainty status.
+
+    * ``CERTAIN`` — the tuple is in the answer in every possible world
+      (or the strategy guarantees soundness for the tuples it reports).
+    * ``POSSIBLE`` — the tuple is in the answer in at least one world
+      (or the strategy cannot rule it out), but is not known certain.
+    * ``FALSE_POSITIVE`` — the tuple would be reported by naïve/SQL
+      evaluation yet is certainly *not* an answer (the paper's
+      "false positive" answers of Section 1).
+    * ``UNKNOWN`` — the strategy makes no certainty claim (SQL's
+      three-valued evaluation on incomplete data).
+    """
+
+    CERTAIN = "certain"
+    POSSIBLE = "possible"
+    FALSE_POSITIVE = "false-positive"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class AnnotatedTuple:
+    """One answer tuple with its certainty status and bag multiplicity."""
+
+    row: tuple
+    status: Certainty
+    multiplicity: int = 1
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """The outcome of one ``Engine.evaluate`` call.
+
+    ``relation`` is the strategy's primary answer; ``tuples`` annotates
+    every row the strategy can say something about (which may include
+    rows *outside* the primary answer, e.g. false positives).
+    """
+
+    strategy: str
+    semantics: str
+    relation: Relation
+    tuples: tuple[AnnotatedTuple, ...] = ()
+    certain: Relation | None = None
+    possible: Relation | None = None
+    certainly_false: Relation | None = None
+    elapsed: float = 0.0
+    from_cache: bool = False
+    fingerprint: str = ""
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Relation-like access to the primary answer
+    # ------------------------------------------------------------------
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        return self.relation.attributes
+
+    def rows_set(self) -> frozenset:
+        return self.relation.rows_set()
+
+    def sorted_rows(self) -> list[tuple]:
+        return self.relation.sorted_rows()
+
+    def __len__(self) -> int:
+        return len(self.relation)
+
+    def __bool__(self) -> bool:
+        return bool(self.relation)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.relation)
+
+    def __contains__(self, row) -> bool:
+        return row in self.relation
+
+    # ------------------------------------------------------------------
+    # Certainty views
+    # ------------------------------------------------------------------
+    def rows_with_status(self, status: Certainty) -> frozenset:
+        return frozenset(t.row for t in self.tuples if t.status is status)
+
+    def certain_rows(self) -> frozenset:
+        return self.rows_with_status(Certainty.CERTAIN)
+
+    def possible_rows(self) -> frozenset:
+        """Rows that might be answers: certain ∪ possible-but-not-certain."""
+        return self.certain_rows() | self.rows_with_status(Certainty.POSSIBLE)
+
+    def false_positive_rows(self) -> frozenset:
+        return self.rows_with_status(Certainty.FALSE_POSITIVE)
+
+    def status_of(self, row) -> Certainty | None:
+        """The annotation of ``row``, or None if the strategy said nothing."""
+        row = tuple(row)
+        for annotated in self.tuples:
+            if annotated.row == row:
+                return annotated.status
+        return None
+
+    # ------------------------------------------------------------------
+    # Comparison and display
+    # ------------------------------------------------------------------
+    def same_answers_as(self, other: "QueryResult", *, bag: bool = False) -> bool:
+        """Do two results carry the same primary answer (ignoring timing)?
+
+        Attribute names may legitimately differ across frontends (an FO
+        query names columns after its free variables), so only row
+        contents are compared; with ``bag=True`` multiplicities too.
+        """
+        return self.relation.same_rows_as(other.relation, bag=bag)
+
+    def as_cached(self) -> "QueryResult":
+        """A copy of this result marked as served from the cache."""
+        return replace(self, from_cache=True)
+
+    def summary(self) -> str:
+        """A one-line description used by the benchmark tables."""
+        parts = [
+            f"{self.strategy}: {len(self.relation)} rows",
+            f"{len(self.certain_rows())} certain",
+        ]
+        possible_only = self.rows_with_status(Certainty.POSSIBLE)
+        if possible_only:
+            parts.append(f"{len(possible_only)} possible")
+        false_positives = self.false_positive_rows()
+        if false_positives:
+            parts.append(f"{len(false_positives)} false-positive")
+        parts.append(f"{self.elapsed * 1000:.2f} ms" + (" (cached)" if self.from_cache else ""))
+        return ", ".join(parts)
+
+    def to_text(self, max_rows: int | None = 20) -> str:
+        """The primary answer as a table, with a certainty column when known."""
+        if not self.tuples:
+            return self.relation.to_text(max_rows=max_rows)
+        status_by_row = {t.row: t.status.value for t in self.tuples}
+        annotated = Relation(
+            self.relation.attributes + ("status",),
+            [row + (status_by_row.get(row, "?"),) for row in self.relation.sorted_rows()],
+        )
+        extra = [
+            row + (status_by_row[row],)
+            for row in sorted(status_by_row, key=str)
+            if row not in self.relation and status_by_row[row] == Certainty.FALSE_POSITIVE.value
+        ]
+        if extra:
+            annotated = annotated.add_rows(extra)
+        return annotated.to_text(max_rows=max_rows)

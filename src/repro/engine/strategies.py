@@ -1,0 +1,264 @@
+"""The built-in evaluation strategies behind ``Engine.evaluate``.
+
+Each class adapts one of the repo's evaluation pipelines to the registry
+contract, so the paper's whole comparison matrix is reachable through a
+single call:
+
+==========================  ====================================================
+``sql-3vl``                 SQL's three-valued semantics
+                            (:mod:`repro.sql.evaluator`; :func:`repro.mvl.fo_sql`
+                            for calculus input)
+``naive``                   naïve evaluation, nulls as values
+                            (:mod:`repro.incomplete.naive`)
+``exact-certain``           brute-force certain answers
+                            (:mod:`repro.incomplete.certain`)
+``approx-libkin16``         the (Qt, Qf) rewriting of Figure 2a
+                            (:mod:`repro.approx.libkin16`)
+``approx-guagliardo16``     the (Q+, Q?) rewriting of Figure 2b
+                            (:mod:`repro.approx.guagliardo16`)
+``ctables``                 the grounding strategies over c-tables
+                            (:mod:`repro.ctables.strategies`)
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..algebra.evaluator import Evaluator, evaluate
+from ..calculus.fragments import naive_evaluation_is_exact
+from ..ctables.strategies import STRATEGIES as CTABLE_VARIANTS
+from ..ctables.strategies import run_strategy as run_ctable_strategy
+from ..datamodel.database import Database
+from ..incomplete.certain import (
+    certain_answers_intersection,
+    certain_answers_with_nulls,
+    possible_answers,
+)
+from ..incomplete.naive import naive_evaluate, naive_evaluate_direct
+from ..approx.guagliardo16 import translate_guagliardo16
+from ..approx.libkin16 import translate_libkin16
+from ..mvl.fo_eval import fo_sql
+from ..sql.evaluator import SqlEvaluator
+from .errors import EngineError, StrategyNotApplicableError
+from .frontend import NormalizedQuery
+from .registry import (
+    EvaluationStrategy,
+    StrategyOutcome,
+    annotate,
+    register_strategy,
+)
+from .result import AnnotatedTuple, Certainty
+
+__all__ = [
+    "SqlThreeValuedStrategy",
+    "NaiveStrategy",
+    "ExactCertainStrategy",
+    "Libkin16Strategy",
+    "Guagliardo16Strategy",
+    "CTablesStrategy",
+]
+
+
+@register_strategy("sql-3vl", aliases=("sql", "3vl"))
+class SqlThreeValuedStrategy(EvaluationStrategy):
+    """What a real SQL engine returns: three-valued WHERE, bag semantics."""
+
+    supported_semantics = ("set", "bag")
+    description = "SQL three-valued evaluation (the paper's Section 1 baseline)"
+
+    def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        self.reject_unknown_options(options)
+        if query.sql_ast is not None:
+            relation = SqlEvaluator(database).run(query.sql_ast)
+            backend = "sql-evaluator"
+            if semantics == "set":
+                relation = relation.distinct()
+        elif query.fo is not None:
+            if semantics == "bag":
+                raise StrategyNotApplicableError(
+                    "sql-3vl over a calculus query supports set semantics only"
+                )
+            relation = fo_sql().answers(query.fo.formula, database, query.fo.free)
+            backend = "fo-sql"
+        else:
+            raise StrategyNotApplicableError(
+                "strategy 'sql-3vl' needs an SQL query or an FO formula; a bare "
+                "algebra plan has no three-valued reading (use 'naive' or the "
+                "approximation strategies)"
+            )
+        # SQL's answers carry no guarantee on incomplete data: they may miss
+        # certain answers and include certainly-false ones (Section 1).
+        status = Certainty.CERTAIN if database.is_complete() else Certainty.UNKNOWN
+        return StrategyOutcome(
+            answer=relation,
+            annotated=annotate(relation, status, bag=semantics == "bag"),
+            metadata={"backend": backend},
+        )
+
+
+@register_strategy("naive", aliases=("naive-direct",))
+class NaiveStrategy(EvaluationStrategy):
+    """Naïve evaluation: nulls as ordinary values (Section 4.1)."""
+
+    supported_semantics = ("set", "bag")
+    description = "naïve evaluation; exact on the fragments of Theorem 4.4"
+
+    def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        textbook = bool(options.pop("textbook", False))
+        self.reject_unknown_options(options)
+        target = self.require_executable(query)
+        bag = semantics == "bag"
+        if bag and query.algebra is None:
+            raise StrategyNotApplicableError(
+                "naïve bag semantics needs a relational algebra plan; the FO "
+                "evaluator is set-based"
+            )
+        runner = naive_evaluate if textbook else naive_evaluate_direct
+        relation = runner(target, database, bag=bag)
+        exact = database.is_complete() or (
+            query.fragment is not None
+            and naive_evaluation_is_exact(query.fo.formula, "cwa")
+        )
+        status = Certainty.CERTAIN if exact else Certainty.POSSIBLE
+        return StrategyOutcome(
+            answer=relation,
+            annotated=annotate(relation, status, bag=bag),
+            certain=relation if exact else None,
+            metadata={"fragment": query.fragment, "exact": exact},
+        )
+
+
+@register_strategy("exact-certain", aliases=("certain", "exact"))
+class ExactCertainStrategy(EvaluationStrategy):
+    """Exact certain answers by valuation enumeration (Section 3.2)."""
+
+    supported_semantics = ("set",)
+    description = "brute-force cert⊥ / cert∩; exponential, small instances only"
+
+    def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        variant = options.pop("variant", "with-nulls")
+        extra_fresh = options.pop("extra_fresh", None)
+        with_possible = bool(options.pop("with_possible", False))
+        self.reject_unknown_options(options)
+        target = self.require_executable(query)
+        if variant == "with-nulls":
+            relation = certain_answers_with_nulls(target, database, extra_fresh=extra_fresh)
+        elif variant == "intersection":
+            relation = certain_answers_intersection(target, database, extra_fresh=extra_fresh)
+        else:
+            raise EngineError(
+                f"unknown exact-certain variant {variant!r}; "
+                "expected 'with-nulls' or 'intersection'"
+            )
+        annotated = annotate(relation, Certainty.CERTAIN)
+        possible = None
+        if with_possible:
+            possible = possible_answers(target, database, extra_fresh=extra_fresh)
+            annotated += tuple(
+                AnnotatedTuple(row, Certainty.POSSIBLE)
+                for row in possible.sorted_rows()
+                if row not in relation
+            )
+        return StrategyOutcome(
+            answer=relation,
+            annotated=annotated,
+            certain=relation,
+            possible=possible,
+            metadata={"variant": variant},
+        )
+
+
+@register_strategy("approx-libkin16", aliases=("libkin16", "qt-qf", "figure2a"))
+class Libkin16Strategy(EvaluationStrategy):
+    """The (Qt, Qf) rewriting of Figure 2a [51]."""
+
+    supported_semantics = ("set",)
+    description = "(Qt, Qf) rewriting; sound but materialises Dom^k products"
+
+    def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        annotate_false_positives = bool(options.pop("annotate_false_positives", True))
+        self.reject_unknown_options(options)
+        algebra = self.require_algebra(query)
+        pair = translate_libkin16(algebra, database.schema())
+        certainly_true = evaluate(pair.certainly_true, database)
+        certainly_false = evaluate(pair.certainly_false, database)
+        annotated = annotate(certainly_true, Certainty.CERTAIN)
+        false_positive_count = 0
+        if annotate_false_positives:
+            naive = evaluate(algebra, database)
+            false_rows = naive.rows_set() & certainly_false.rows_set()
+            false_positive_count = len(false_rows)
+            annotated += tuple(
+                AnnotatedTuple(row, Certainty.FALSE_POSITIVE)
+                for row in sorted(false_rows, key=str)
+            )
+        return StrategyOutcome(
+            answer=certainly_true,
+            annotated=annotated,
+            certain=certainly_true,
+            certainly_false=certainly_false,
+            metadata={
+                "scheme": "figure-2a",
+                "false_positives": false_positive_count,
+            },
+        )
+
+
+@register_strategy(
+    "approx-guagliardo16", aliases=("guagliardo16", "q-plus", "figure2b")
+)
+class Guagliardo16Strategy(EvaluationStrategy):
+    """The (Q+, Q?) rewriting of Figure 2b [37]."""
+
+    supported_semantics = ("set",)
+    description = "(Q+, Q?) rewriting; sound with small overhead (experiment E4)"
+
+    def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        self.reject_unknown_options(options)
+        algebra = self.require_algebra(query)
+        pair = translate_guagliardo16(algebra, database.schema())
+        certain = evaluate(pair.certain, database)
+        possible = evaluate(pair.possible, database)
+        annotated = annotate(certain, Certainty.CERTAIN) + tuple(
+            AnnotatedTuple(row, Certainty.POSSIBLE)
+            for row in possible.sorted_rows()
+            if row not in certain
+        )
+        return StrategyOutcome(
+            answer=certain,
+            annotated=annotated,
+            certain=certain,
+            possible=possible,
+            metadata={"scheme": "figure-2b"},
+        )
+
+
+@register_strategy("ctables", aliases=("c-tables",))
+class CTablesStrategy(EvaluationStrategy):
+    """The grounding-based c-table strategies of [36] (Section 4.2)."""
+
+    supported_semantics = ("set",)
+    description = "conditional evaluation over c-tables (eager/semi_eager/lazy/aware)"
+
+    def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        variant = options.pop("variant", "lazy")
+        self.reject_unknown_options(options)
+        if variant not in CTABLE_VARIANTS:
+            raise EngineError(
+                f"unknown c-table variant {variant!r}; expected one of {CTABLE_VARIANTS}"
+            )
+        algebra = self.require_algebra(query)
+        result = run_ctable_strategy(variant, algebra, database)
+        annotated = annotate(result.certain, Certainty.CERTAIN) + tuple(
+            AnnotatedTuple(row, Certainty.POSSIBLE)
+            for row in result.possible.sorted_rows()
+            if row not in result.certain
+        )
+        return StrategyOutcome(
+            answer=result.certain,
+            annotated=annotated,
+            certain=result.certain,
+            possible=result.possible,
+            metadata={"variant": variant, "ctable_rows": len(result.ctable)},
+        )

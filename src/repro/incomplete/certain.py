@@ -26,6 +26,11 @@ Under OWA, exact computation is only offered for monotone queries
 (UCQs), where the CWA answer coincides with the OWA answer; for other
 queries :func:`certain_answers_owa` raises, matching the undecidability
 result.
+
+.. deprecated:: 1.1
+   As a *public* entry point, prefer ``Engine.evaluate(query, db,
+   strategy="exact-certain")`` from :mod:`repro.engine`; these functions
+   remain as the strategy's implementation.
 """
 
 from __future__ import annotations

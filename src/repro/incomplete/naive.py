@@ -12,6 +12,11 @@ the incomplete database *is* naïve evaluation.  Both styles are exposed:
 :func:`naive_evaluate` follows the textbook definition through a
 bijective valuation — the two coincide exactly for generic queries, and
 the test suite checks that they do.
+
+.. deprecated:: 1.1
+   As a *public* entry point, prefer ``Engine.evaluate(query, db,
+   strategy="naive")`` from :mod:`repro.engine`; these functions remain
+   as the strategy's implementation.
 """
 
 from __future__ import annotations

@@ -19,6 +19,11 @@ the ``codd`` reading discussed in Section 6.
 
 Evaluation is bag-based (``SELECT DISTINCT`` deduplicates), matching the
 SQL standard.
+
+.. deprecated:: 1.1
+   As a *public* entry point, prefer ``Engine.evaluate(sql_text, db,
+   strategy="sql-3vl", semantics="bag")`` from :mod:`repro.engine`;
+   this evaluator remains as the strategy's implementation.
 """
 
 from __future__ import annotations

@@ -2,10 +2,12 @@
 
 from .figure1 import (
     CUSTOMERS_WITHOUT_PAID_ORDER_SQL,
+    Figure1Case,
     PAYMENT_NULL,
     TAUTOLOGY_SQL,
     UNPAID_ORDERS_SQL,
     customers_without_paid_order_algebra,
+    figure1_cases,
     figure1_database,
     figure1_database_with_null,
     tautology_algebra,
@@ -24,6 +26,8 @@ __all__ = [
     "unpaid_orders_algebra",
     "customers_without_paid_order_algebra",
     "tautology_algebra",
+    "Figure1Case",
+    "figure1_cases",
     "GeneratorConfig",
     "RelationSpec",
     "generate_database",

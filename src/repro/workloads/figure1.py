@@ -11,6 +11,8 @@ run on the same motivating example.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..algebra import ast as ra
 from ..algebra import builder as rb
 from ..algebra.conditions import Attr, Eq, Literal, Neq, Or
@@ -28,6 +30,8 @@ __all__ = [
     "unpaid_orders_algebra",
     "customers_without_paid_order_algebra",
     "tautology_algebra",
+    "Figure1Case",
+    "figure1_cases",
 ]
 
 #: The marked null that replaces the 'o2' payment in the incomplete variant.
@@ -89,3 +93,30 @@ def tautology_algebra() -> ra.Query:
     """π_cid(σ_{oid='o2' ∨ oid≠'o2'}(Payments))."""
     condition = Or(Eq(Attr("oid"), Literal("o2")), Neq(Attr("oid"), Literal("o2")))
     return rb.project(rb.select(rb.relation("Payments"), condition), ["cid"])
+
+
+@dataclass(frozen=True)
+class Figure1Case:
+    """One Section 1 query in both frontends the engine accepts."""
+
+    name: str
+    sql: str
+    algebra: ra.Query
+
+
+def figure1_cases() -> tuple[Figure1Case, ...]:
+    """The three Section 1 queries, ready for ``Engine.evaluate``.
+
+    The SQL form feeds the ``sql-3vl`` strategy (two of the queries use
+    subqueries, outside the algebra-compilable fragment); the algebra
+    form feeds every certainty-aware strategy.
+    """
+    return (
+        Figure1Case("unpaid orders", UNPAID_ORDERS_SQL, unpaid_orders_algebra()),
+        Figure1Case(
+            "customers without a paid order",
+            CUSTOMERS_WITHOUT_PAID_ORDER_SQL,
+            customers_without_paid_order_algebra(),
+        ),
+        Figure1Case("oid = 'o2' OR oid <> 'o2'", TAUTOLOGY_SQL, tautology_algebra()),
+    )

@@ -1,0 +1,453 @@
+"""Tests for the unified evaluation engine façade (`repro.engine`).
+
+Covers the four behaviours the façade promises: registry dispatch,
+frontend normalization equivalence, cache hit/miss semantics, and
+cross-strategy soundness on small incomplete databases where the exact
+certain answers are computable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Certainty,
+    Database,
+    Engine,
+    Null,
+    QueryResult,
+    Session,
+    StrategyNotApplicableError,
+    UnknownStrategyError,
+    available_strategies,
+    builder as rb,
+    normalize_query,
+    register_strategy,
+)
+from repro.algebra import Gt
+from repro.bench import strategy_table
+from repro.calculus import ast as fo
+from repro.calculus.evaluation import FoQuery
+from repro.ctables import run_strategy
+from repro.engine import (
+    EngineError,
+    EvaluationStrategy,
+    NormalizationError,
+    StrategyOutcome,
+    annotate,
+    database_fingerprint,
+    get_strategy,
+    query_fingerprint,
+    strategy_aliases,
+    unregister_strategy,
+)
+from repro.incomplete import certain_answers_with_nulls, naive_evaluate_direct
+from repro.sql import run_sql
+from repro.workloads import figure1_cases, unpaid_orders_algebra
+
+ALL_STRATEGIES = (
+    "sql-3vl",
+    "naive",
+    "exact-certain",
+    "approx-libkin16",
+    "approx-guagliardo16",
+    "ctables",
+)
+
+
+@pytest.fixture
+def rs_session(rs_database) -> Session:
+    return Session(rs_database)
+
+
+@pytest.fixture
+def figure1_session(figure1_null) -> Session:
+    return Session(figure1_null)
+
+
+# ----------------------------------------------------------------------
+# Registry dispatch
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_all_six_strategies_are_registered(self):
+        assert set(ALL_STRATEGIES) <= set(available_strategies())
+
+    def test_aliases_resolve_to_canonical_strategies(self):
+        aliases = strategy_aliases()
+        assert aliases["sql"] == "sql-3vl"
+        assert aliases["q-plus"] == "approx-guagliardo16"
+        assert get_strategy("certain").name == "exact-certain"
+        assert get_strategy("figure2a").name == "approx-libkin16"
+
+    def test_unknown_strategy_raises_with_available_list(self, rs_session):
+        with pytest.raises(UnknownStrategyError, match="naive"):
+            rs_session.evaluate(rb.relation("R"), strategy="no-such-strategy")
+
+    def test_custom_strategy_registration_and_removal(self, rs_database):
+        @register_strategy("everything-empty", aliases=("nothing",))
+        class EmptyStrategy(EvaluationStrategy):
+            def run(self, query, database, *, semantics, **options):
+                relation = naive_evaluate_direct(self.require_executable(query), database)
+                empty = type(relation)(relation.attributes)
+                return StrategyOutcome(answer=empty, annotated=annotate(empty, Certainty.CERTAIN))
+
+        try:
+            engine = Engine()
+            result = engine.evaluate(
+                rb.relation("R"), rs_database, strategy="nothing", use_cache=False
+            )
+            assert result.strategy == "everything-empty"
+            assert len(result) == 0
+        finally:
+            unregister_strategy("everything-empty")
+        assert "everything-empty" not in available_strategies()
+        assert "nothing" not in strategy_aliases()
+
+    def test_alias_cannot_hijack_existing_strategies(self):
+        with pytest.raises(EngineError, match="collides"):
+
+            @register_strategy("hijacker", aliases=("naive",))
+            class Hijacker(EvaluationStrategy):
+                def run(self, query, database, *, semantics, **options):
+                    raise AssertionError("never reached")
+
+        assert "hijacker" not in available_strategies()
+        assert get_strategy("naive").name == "naive"
+        with pytest.raises(EngineError, match="already registered"):
+
+            @register_strategy("hijacker2", aliases=("sql",))
+            class Hijacker2(EvaluationStrategy):
+                def run(self, query, database, *, semantics, **options):
+                    raise AssertionError("never reached")
+
+    def test_strategy_rejects_unknown_options(self, rs_session):
+        with pytest.raises(EngineError, match="does not understand"):
+            rs_session.evaluate(rb.relation("R"), strategy="naive", frobnicate=True)
+
+    def test_unsupported_semantics_is_rejected(self, rs_session):
+        with pytest.raises(StrategyNotApplicableError, match="semantics"):
+            rs_session.evaluate(
+                rb.relation("R"), strategy="exact-certain", semantics="bag"
+            )
+
+    def test_unknown_semantics_is_rejected(self, rs_session):
+        with pytest.raises(EngineError, match="unknown semantics"):
+            rs_session.evaluate(rb.relation("R"), semantics="multiset")
+
+
+# ----------------------------------------------------------------------
+# Frontend normalization
+# ----------------------------------------------------------------------
+class TestNormalization:
+    def test_sql_string_lowered_to_sql_and_algebra(self, figure1_null):
+        normalized = normalize_query("SELECT oid FROM Orders", figure1_null.schema())
+        assert normalized.frontend == "sql"
+        assert normalized.sql_ast is not None
+        assert normalized.algebra is not None
+        assert normalized.forms() == ("sql", "algebra")
+
+    def test_sql_with_subquery_has_no_algebra_but_records_why(self, figure1_null):
+        case = figure1_cases()[0]
+        normalized = normalize_query(case.sql, figure1_null.schema())
+        assert normalized.algebra is None
+        assert any("not compiled" in note for note in normalized.notes)
+
+    def test_algebra_and_calculus_frontends(self):
+        algebra = normalize_query(rb.relation("R"))
+        assert algebra.frontend == "algebra" and algebra.forms() == ("algebra",)
+        formula = fo.RelAtom("R", [fo.Var("x")])
+        calculus = normalize_query(formula)
+        assert calculus.frontend == "calculus"
+        assert calculus.fo is not None and calculus.fragment == "CQ"
+
+    def test_fragment_classification_reaches_metadata(self, rs_session):
+        formula = fo.RelAtom("R", [fo.Var("x")])
+        result = rs_session.evaluate(FoQuery(formula), strategy="naive")
+        assert result.metadata["fragment"] == "CQ"
+        assert result.metadata["exact"] is True
+        assert result.certain_rows() == {(1,)}
+
+    def test_fingerprints_are_stable_and_distinguishing(self):
+        q1 = rb.project(rb.relation("R"), ["A"])
+        q2 = rb.project(rb.relation("R"), ["A"])
+        q3 = rb.project(rb.relation("S"), ["A"])
+        assert query_fingerprint(q1) == query_fingerprint(q2)
+        assert query_fingerprint(q1) != query_fingerprint(q3)
+        assert query_fingerprint("SELECT  A FROM R") == query_fingerprint("SELECT A FROM R")
+
+    def test_unrecognised_input_raises(self):
+        with pytest.raises(NormalizationError):
+            normalize_query(42)
+
+    def test_normalized_query_passes_through(self, rs_database):
+        normalized = normalize_query(rb.relation("R"))
+        result = Engine().evaluate(normalized, rs_database, strategy="naive")
+        assert result.rows_set() == {(1,)}
+
+
+class TestFrontendEquivalence:
+    """The same query via SQL / algebra / calculus gives identical answers."""
+
+    QUERIES = {
+        "sql": "SELECT oid FROM Orders WHERE price > 30",
+        "algebra": rb.project(
+            rb.select(rb.relation("Orders"), Gt(rb.attr("price"), rb.lit(30))),
+            ["oid"],
+        ),
+    }
+
+    @staticmethod
+    def _calculus() -> FoQuery:
+        oid, t, p = fo.Var("oid"), fo.Var("t"), fo.Var("p")
+        # ∃t,p. Orders(oid, t, p) ∧ p = 35|50 — price > 30 is not FO-atomic,
+        # so spell out the constants of the Figure 1 instance.
+        body = fo.Exists(
+            [t, p],
+            fo.And(
+                fo.RelAtom("Orders", [oid, t, p]),
+                fo.Or(fo.EqAtom(p, fo.ConstTerm(35)), fo.EqAtom(p, fo.ConstTerm(50))),
+            ),
+        )
+        return FoQuery(body, free=[oid])
+
+    @pytest.mark.parametrize("strategy", ["naive", "exact-certain"])
+    def test_three_frontends_agree(self, figure1_session, strategy):
+        results = [
+            figure1_session.evaluate(self.QUERIES["sql"], strategy=strategy),
+            figure1_session.evaluate(self.QUERIES["algebra"], strategy=strategy),
+            figure1_session.evaluate(self._calculus(), strategy=strategy),
+        ]
+        for other in results[1:]:
+            assert results[0].same_answers_as(other)
+        assert results[0].rows_set() == {("o2",), ("o3",)}
+
+    def test_sql_and_algebra_give_identical_query_results(self, figure1_session):
+        via_sql = figure1_session.evaluate(self.QUERIES["sql"], strategy="approx-guagliardo16")
+        via_algebra = figure1_session.evaluate(
+            self.QUERIES["algebra"], strategy="approx-guagliardo16"
+        )
+        assert via_sql.same_answers_as(via_algebra)
+        assert via_sql.certain_rows() == via_algebra.certain_rows()
+        assert via_sql.possible_rows() == via_algebra.possible_rows()
+
+
+# ----------------------------------------------------------------------
+# Cache behaviour
+# ----------------------------------------------------------------------
+class TestCache:
+    def test_hit_on_repeat_and_miss_on_different_query(self, rs_database):
+        session = Session(rs_database)
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        first = session.evaluate(query, strategy="naive")
+        second = session.evaluate(query, strategy="naive")
+        assert not first.from_cache and second.from_cache
+        assert second.same_answers_as(first)
+        other = session.evaluate(rb.relation("R"), strategy="naive")
+        assert not other.from_cache
+        stats = session.cache_stats
+        assert stats.hits == 1 and stats.size == 2
+
+    def test_strategy_and_options_are_part_of_the_key(self, figure1_session):
+        query = unpaid_orders_algebra()
+        figure1_session.evaluate(query, strategy="ctables", variant="eager")
+        lazy = figure1_session.evaluate(query, strategy="ctables", variant="lazy")
+        assert not lazy.from_cache
+        again = figure1_session.evaluate(query, strategy="ctables", variant="eager")
+        assert again.from_cache
+
+    def test_database_change_invalidates(self, figure1, figure1_null):
+        engine = Engine()
+        query = unpaid_orders_algebra()
+        on_complete = engine.evaluate(query, figure1, strategy="naive")
+        on_null = engine.evaluate(query, figure1_null, strategy="naive")
+        assert not on_null.from_cache
+        assert on_complete.rows_set() == {("o3",)}
+
+    def test_use_cache_false_bypasses(self, rs_session):
+        query = rb.relation("R")
+        rs_session.evaluate(query)
+        fresh = rs_session.evaluate(query, use_cache=False)
+        assert not fresh.from_cache
+
+    def test_lru_eviction(self, rs_database):
+        engine = Engine(cache_size=2)
+        queries = [rb.project(rb.relation("R"), ["A"]), rb.relation("R"), rb.relation("S")]
+        for query in queries:
+            engine.evaluate(query, rs_database)
+        assert engine.cache_stats.size == 2
+        evicted = engine.evaluate(queries[0], rs_database)
+        assert not evicted.from_cache
+
+    def test_zero_size_cache_disables_caching(self, rs_database):
+        engine = Engine(cache_size=0)
+        engine.evaluate(rb.relation("R"), rs_database)
+        repeat = engine.evaluate(rb.relation("R"), rs_database)
+        assert not repeat.from_cache
+
+    def test_database_fingerprint_tracks_content_not_identity(self, null_x):
+        db1 = Database.from_dict({"R": (("A",), [(1,), (null_x,)])})
+        db2 = Database.from_dict({"R": (("A",), [(null_x,), (1,)])})
+        db3 = Database.from_dict({"R": (("A",), [(2,), (null_x,)])})
+        assert database_fingerprint(db1) == database_fingerprint(db2)
+        assert database_fingerprint(db1) != database_fingerprint(db3)
+
+
+# ----------------------------------------------------------------------
+# Strategy correctness cross-checks
+# ----------------------------------------------------------------------
+class TestStrategyCorrectness:
+    def test_soundness_chain_on_figure1(self, figure1_session):
+        """Q+ ⊆ Eval_e ⊆ cert⊥ ⊆ naive ⊆ Q? on every Section 1 query.
+
+        (Theorem 4.9 states Q+ = Eval_e,t; our c-table grounding also
+        simplifies single-null tautologies, so it can be strictly sharper
+        than the syntactic Q+ rewriting — hence ⊆, not =.)
+        """
+        for case in figure1_cases():
+            query = case.algebra
+            naive = figure1_session.evaluate(query, strategy="naive")
+            exact = figure1_session.evaluate(query, strategy="exact-certain")
+            plus = figure1_session.evaluate(query, strategy="approx-guagliardo16")
+            qtqf = figure1_session.evaluate(query, strategy="approx-libkin16")
+            eager = figure1_session.evaluate(query, strategy="ctables", variant="eager")
+            assert plus.certain_rows() <= eager.certain_rows() <= exact.rows_set()
+            assert qtqf.certain_rows() <= exact.rows_set()
+            assert exact.rows_set() <= naive.rows_set()
+            assert naive.rows_set() <= plus.possible.rows_set()
+            assert eager.possible.rows_set() <= plus.possible.rows_set()
+
+    def test_engine_results_match_legacy_entry_points(self, figure1_null):
+        session = Session(figure1_null)
+        query = unpaid_orders_algebra()
+        assert session.naive(query).rows_set() == naive_evaluate_direct(
+            query, figure1_null
+        ).rows_set()
+        assert session.certain(query).rows_set() == certain_answers_with_nulls(
+            query, figure1_null
+        ).rows_set()
+        legacy = run_strategy("aware", query, figure1_null)
+        via_engine = session.evaluate(query, strategy="ctables", variant="aware")
+        assert via_engine.certain_rows() == legacy.certain.rows_set()
+
+    def test_sql_3vl_matches_run_sql(self, figure1_null):
+        session = Session(figure1_null)
+        for case in figure1_cases():
+            expected = run_sql(figure1_null, case.sql)
+            got = session.sql(case.sql, semantics="bag")
+            assert got.relation.same_rows_as(expected, bag=True)
+
+    def test_sql_3vl_statuses(self, figure1, figure1_null):
+        engine = Engine()
+        sql = figure1_cases()[0].sql
+        complete = engine.evaluate(sql, figure1, strategy="sql-3vl")
+        assert complete.certain_rows() == {("o3",)}
+        incomplete = engine.evaluate(sql, figure1_null, strategy="sql-3vl")
+        assert all(t.status is Certainty.UNKNOWN for t in incomplete.tuples)
+
+    def test_libkin16_flags_false_positives(self, figure1_session):
+        # The tautology query: naive returns c1 and c2, but nothing beyond
+        # the certain answers is certainly false here; use the customers
+        # query, where SQL/naive invent c2 although it is certainly out.
+        case = figure1_cases()[1]
+        result = figure1_session.evaluate(case.algebra, strategy="approx-libkin16")
+        naive = figure1_session.evaluate(case.algebra, strategy="naive")
+        assert result.false_positive_rows() <= naive.rows_set()
+        assert result.certainly_false is not None
+        assert result.status_of(("c2",)) in (Certainty.FALSE_POSITIVE, None)
+
+    def test_ctables_precision_is_monotone_in_laziness(self, figure1_session):
+        query = figure1_cases()[1].algebra
+        sizes = [
+            len(figure1_session.evaluate(query, strategy="ctables", variant=v).certain_rows())
+            for v in ("eager", "semi_eager", "lazy", "aware")
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_bag_semantics_naive_counts_duplicates(self):
+        db = Database.from_dict({"R": (("A",), [(1,), (1,), (2,)])})
+        result = Engine(default_semantics="bag").evaluate(
+            rb.project(rb.relation("R"), ["A"]), db, strategy="naive"
+        )
+        assert result.relation.multiplicity((1,)) == 2
+        assert {t.multiplicity for t in result.tuples} == {1, 2}
+
+    def test_strategies_requiring_algebra_explain_themselves(self, figure1_session):
+        sql_with_subquery = figure1_cases()[0].sql
+        with pytest.raises(StrategyNotApplicableError, match="algebra"):
+            figure1_session.evaluate(sql_with_subquery, strategy="approx-guagliardo16")
+
+    def test_exact_certain_with_possible_annotations(self, rs_session):
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        result = rs_session.evaluate(query, strategy="exact-certain", with_possible=True)
+        assert result.rows_set() == set()
+        assert result.possible_rows() == {(1,)}
+        assert result.status_of((1,)) is Certainty.POSSIBLE
+
+
+# ----------------------------------------------------------------------
+# Batch, compare and Session ergonomics
+# ----------------------------------------------------------------------
+class TestBatchAndCompare:
+    def test_evaluate_batch(self, figure1_session):
+        queries = [case.algebra for case in figure1_cases()]
+        results = figure1_session.evaluate_batch(queries, strategy="approx-guagliardo16")
+        assert [r.strategy for r in results] == ["approx-guagliardo16"] * 3
+        assert results[0].certain_rows() == set()
+
+    def test_compare_skips_inapplicable_strategies(self, figure1_session):
+        results = figure1_session.compare(figure1_cases()[0].sql)
+        assert "sql-3vl" in results
+        assert "approx-guagliardo16" not in results
+
+    def test_compare_raises_when_asked(self, figure1_session):
+        with pytest.raises(StrategyNotApplicableError):
+            figure1_session.compare(
+                figure1_cases()[0].sql,
+                strategies=["approx-guagliardo16"],
+                skip_inapplicable=False,
+            )
+
+    def test_compare_on_algebra_runs_all_certainty_strategies(self, figure1_session):
+        results = figure1_session.compare(unpaid_orders_algebra())
+        assert set(results) >= {
+            "naive",
+            "exact-certain",
+            "approx-libkin16",
+            "approx-guagliardo16",
+            "ctables",
+        }
+
+    def test_strategy_table_renders_compare_output(self, figure1_session):
+        results = figure1_session.compare(unpaid_orders_algebra())
+        text = strategy_table("comparison", results).to_text()
+        for name in ("naive", "exact-certain", "approx-guagliardo16", "ctables"):
+            assert name in text
+        assert "time (ms)" in text
+        cached = figure1_session.compare(unpaid_orders_algebra())
+        assert "(cached)" in strategy_table("again", cached).to_text()
+
+    def test_session_with_database_shares_engine(self, figure1, figure1_null):
+        session = Session(figure1)
+        other = session.with_database(figure1_null)
+        assert other.engine is session.engine
+        a = session.evaluate(unpaid_orders_algebra())
+        b = other.evaluate(unpaid_orders_algebra())
+        assert a.rows_set() != b.rows_set()
+
+
+class TestQueryResult:
+    def test_result_is_relation_like(self, figure1_session):
+        result = figure1_session.naive(unpaid_orders_algebra())
+        assert isinstance(result, QueryResult)
+        assert len(result) == 2
+        assert ("o3",) in result
+        assert set(iter(result)) == result.rows_set()
+        assert result.attributes == ("oid",)
+
+    def test_to_text_includes_status_column(self, figure1_session):
+        text = figure1_session.naive(unpaid_orders_algebra()).to_text()
+        assert "status" in text and "possible" in text
+
+    def test_summary_mentions_strategy_and_timing(self, figure1_session):
+        summary = figure1_session.naive(unpaid_orders_algebra()).summary()
+        assert summary.startswith("naive:") and "ms" in summary
