@@ -1,0 +1,191 @@
+"""E13 — Shard-count scaling on the TPC-H-lite workload.
+
+Three questions about the sharded evaluation path (`repro.sharding`):
+
+1. **Scaling** — how does wall-clock change with the shard count, for
+   the serial and the process executor?  On a multi-core machine the
+   process executor at N shards should beat single-shard evaluation on
+   the product-heavy queries (``q_localsupp`` is a four-way join whose
+   partitioned lineage splits the Cartesian work N ways); on a single
+   core it degenerates gracefully to serial-plus-overhead.
+2. **Incremental invalidation** — after appending one row to one shard,
+   re-evaluation recomputes only that shard's partial (the other
+   partials are served from the per-shard cache), so it must beat a
+   full monolithic re-evaluation on *any* machine.
+3. **Correctness under load** — every sharded result in the sweep is
+   compared tuple-for-tuple against monolithic evaluation.
+
+Run under pytest (``python -m pytest benchmarks/bench_sharding.py``) or
+directly as a script::
+
+    python benchmarks/bench_sharding.py            # full sweep
+    python benchmarks/bench_sharding.py --smoke    # tiny config for CI
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+
+# Script mode (`python benchmarks/bench_sharding.py --smoke`) runs
+# without the conftest path hook; mirror it so `import repro` works.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import ResultTable, time_call
+from repro.engine import Engine
+from repro.sharding import RoundRobinPartitioner, ShardedDatabase
+from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
+
+#: Full-size config: q_localsupp is a ~2 s four-way join, big enough for
+#: the parallel win to dominate process-pool overhead.
+CONFIG = TpchLiteConfig(
+    customers=20, orders=40, lineitems=60, suppliers=8, null_rate=0.05
+)
+#: Smoke config: the seed defaults (~0.2 s), for CI wiring checks.
+SMOKE_CONFIG = TpchLiteConfig(null_rate=0.05)
+
+SHARD_COUNTS = (1, 2, 4)
+QUERIES = ("q_localsupp", "q_join")
+#: Round-robin gives near-perfectly balanced fragments, which is what a
+#: scaling experiment wants (hash placement is the default elsewhere).
+PARTITIONER = RoundRobinPartitioner
+
+
+def _cpu_count() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def run_scaling(config: TpchLiteConfig, *, smoke: bool, repeat: int = 1) -> None:
+    database = generate_tpch_lite(config)
+    queries = tpch_lite_queries()
+    engine = Engine()
+    table = ResultTable(
+        "E13: shard-count scaling on TPC-H-lite (naïve strategy)",
+        ["query", "shards", "serial (ms)", "process (ms)", "speedup vs 1 shard"],
+    )
+    parallel_wins: list[tuple[str, float, float]] = []
+    for name in QUERIES:
+        query = queries[name]
+        mono = engine.evaluate(query, database, strategy="naive", use_cache=False)
+        single_shard_seconds = None
+        for shards in SHARD_COUNTS:
+            sharded = ShardedDatabase.from_database(database, shards, PARTITIONER())
+            timings = {}
+            for executor in ("serial", "process"):
+                seconds, result = time_call(
+                    lambda: engine.evaluate(
+                        query,
+                        sharded,
+                        strategy="naive",
+                        use_cache=False,
+                        executor=executor,
+                    ),
+                    repeat=repeat,
+                )
+                assert result.metadata["sharding"]["mode"] == "distributed"
+                assert result.relation.rows_bag() == mono.relation.rows_bag(), (
+                    f"{name} @ {shards} shards ({executor}): sharded result "
+                    "differs from monolithic"
+                )
+                timings[executor] = seconds
+            if shards == 1:
+                single_shard_seconds = timings["serial"]
+            speedup = single_shard_seconds / timings["process"]
+            table.add_row(
+                name,
+                shards,
+                timings["serial"] * 1e3,
+                timings["process"] * 1e3,
+                f"{speedup:.2f}x",
+            )
+            if shards == max(SHARD_COUNTS):
+                parallel_wins.append((name, single_shard_seconds, timings["process"]))
+    table.print()
+
+    cpus = _cpu_count()
+    print(f"\ncpus available: {cpus}")
+    if smoke or cpus < 2:
+        print("(parallel speedup assertion skipped: smoke mode or single core)")
+        return
+    # Acceptance: parallel shard execution beats single-shard wall-clock
+    # on the big product query.
+    name, single, parallel = next(w for w in parallel_wins if w[0] == "q_localsupp")
+    assert parallel < single, (
+        f"{name}: process executor at {max(SHARD_COUNTS)} shards "
+        f"({parallel * 1e3:.0f} ms) did not beat single-shard "
+        f"({single * 1e3:.0f} ms) on {cpus} cpus"
+    )
+
+
+def run_incremental(config: TpchLiteConfig, *, smoke: bool) -> None:
+    database = generate_tpch_lite(config)
+    query = tpch_lite_queries()["q_localsupp"]
+    shards = 4
+    engine = Engine()
+    sharded = ShardedDatabase.from_database(database, shards)
+    warm = engine.evaluate(query, sharded, strategy="naive")
+    assert warm.metadata["sharding"]["partial_cache_hits"] == 0
+
+    mutated = sharded.add_rows(
+        "customer", [("c9999", "Customer#9999", "n1", 42.0)]
+    )
+    incremental_seconds, result = time_call(
+        lambda: engine.evaluate(query, mutated, strategy="naive"), repeat=1
+    )
+    hits = result.metadata["sharding"]["partial_cache_hits"]
+    monolithic_seconds, mono = time_call(
+        lambda: engine.evaluate(
+            query, mutated, strategy="naive", shards=0, use_cache=False
+        ),
+        repeat=1,
+    )
+    assert result.relation.rows_bag() == mono.relation.rows_bag()
+
+    table = ResultTable(
+        "E13: per-shard cache invalidation after a one-shard append",
+        ["evaluation", "wall (ms)", "partials recomputed"],
+    )
+    table.add_row("monolithic re-eval", monolithic_seconds * 1e3, shards)
+    table.add_row("sharded re-eval", incremental_seconds * 1e3, shards - hits)
+    table.print()
+    assert hits == shards - 1, f"expected {shards - 1} cached partials, got {hits}"
+    if not smoke:
+        # Recomputing 1/N of the work must beat recomputing all of it,
+        # single core or not.
+        assert incremental_seconds < monolithic_seconds, (
+            f"incremental re-eval ({incremental_seconds * 1e3:.0f} ms) "
+            f"not faster than monolithic ({monolithic_seconds * 1e3:.0f} ms)"
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_shard_scaling():
+    run_scaling(CONFIG, smoke=False)
+
+
+def test_incremental_invalidation_beats_full_recompute():
+    run_incremental(CONFIG, smoke=False)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E13 sharding benchmark")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness checks only (CI wiring)",
+    )
+    args = parser.parse_args()
+    config = SMOKE_CONFIG if args.smoke else CONFIG
+    run_scaling(config, smoke=args.smoke)
+    run_incremental(config, smoke=args.smoke)
+    print("\nE13 ok" + (" (smoke)" if args.smoke else ""))

@@ -25,7 +25,10 @@ The package is organised in layers:
 * :mod:`repro.workloads` and :mod:`repro.bench` — data generators and the
   benchmark harness used to regenerate the paper's experiments;
 * :mod:`repro.engine` — the unified Session/Engine façade dispatching
-  every evaluation strategy above through one ``evaluate()`` call.
+  every evaluation strategy above through one ``evaluate()`` call;
+* :mod:`repro.sharding` — horizontally sharded databases with parallel
+  per-fragment evaluation behind the same façade
+  (``Session(db, shards=4, executor="process")``).
 
 The recommended entry point is the engine façade::
 
@@ -64,9 +67,10 @@ from .engine import (
 )
 from .algebra import builder, evaluate as evaluate_algebra, to_text as algebra_to_text
 from .calculus import FoQuery
+from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # Data model
@@ -94,6 +98,10 @@ __all__ = [
     "EngineError",
     "UnknownStrategyError",
     "StrategyNotApplicableError",
+    # Sharding
+    "ShardedDatabase",
+    "HashPartitioner",
+    "RoundRobinPartitioner",
     # Algebra / calculus / SQL entry points
     "builder",
     "evaluate_algebra",

@@ -21,9 +21,16 @@ from dataclasses import dataclass
 from typing import Any, Hashable
 
 from ..datamodel.database import Database
+from ..datamodel.relation import Relation
 from ..datamodel.values import Null
 
-__all__ = ["CacheStats", "ResultCache", "database_fingerprint"]
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "canonical_value",
+    "relation_fingerprint",
+    "database_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -89,25 +96,47 @@ class ResultCache:
         )
 
 
-def _canonical_value(value: Any) -> str:
+def canonical_value(value: Any) -> str:
+    """A canonical, type-tagged rendering of a database value.
+
+    Used by the fingerprints below and by the hash partitioner of
+    :mod:`repro.sharding`, which needs a rendering that is stable across
+    processes (``hash()`` of strings is salted per interpreter).
+    """
     if isinstance(value, Null):
         return f"null:{value.label!r}"
     return f"{type(value).__name__}:{value!r}"
 
 
+def relation_fingerprint(relation: Relation) -> str:
+    """A stable content hash of one relation (attributes, rows, counts)."""
+    hasher = hashlib.sha1()
+    hasher.update(f"attributes:{relation.attributes!r}\n".encode("utf-8"))
+    rows = sorted(
+        (
+            tuple(canonical_value(v) for v in row),
+            count,
+        )
+        for row, count in relation.iter_rows(with_multiplicity=True)
+    )
+    for row, count in rows:
+        hasher.update(f"{row!r}*{count}\n".encode("utf-8"))
+    return hasher.hexdigest()
+
+
 def database_fingerprint(database: Database) -> str:
-    """A stable content hash of a database instance."""
+    """A stable content hash of a database instance.
+
+    Each relation is digested separately and combined under its
+    ``repr``-escaped name.  The escaping matters: hashing raw names lets
+    a crafted relation name containing newlines forge the boundary
+    between two relations, so two different databases collide (a bug
+    surfaced by the sharding fingerprint tests).  Digest-per-relation
+    also lets :class:`~repro.sharding.ShardedDatabase` reuse cached
+    per-fragment digests.
+    """
     hasher = hashlib.sha1()
     for name in sorted(database.relation_names()):
-        relation = database[name]
-        hasher.update(f"relation:{name}:{relation.attributes!r}\n".encode("utf-8"))
-        rows = sorted(
-            (
-                tuple(_canonical_value(v) for v in row),
-                count,
-            )
-            for row, count in relation.iter_rows(with_multiplicity=True)
-        )
-        for row, count in rows:
-            hasher.update(f"{row!r}*{count}\n".encode("utf-8"))
+        fingerprint = relation_fingerprint(database[name])
+        hasher.update(f"relation:{name!r}:{fingerprint}\n".encode("utf-8"))
     return hasher.hexdigest()

@@ -15,6 +15,13 @@ memoises the database fingerprint so cache keys are cheap.  Benchmarks,
 workloads and the examples all go through this module; the per-module
 entry points (``incomplete.naive``, ``approx.*``, ``ctables.strategies``,
 ``sql.evaluator``) remain available but are deprecated as *public* API.
+
+Sharding: ``Engine(shards=4, executor="process")`` (or per call,
+``evaluate(query, db, shards=4)``) partitions the database horizontally
+and evaluates distributable plans shard-by-shard in parallel, unioning
+the partial results — see :mod:`repro.sharding`.  Passing a
+:class:`~repro.sharding.ShardedDatabase` enables the sharded path
+automatically; ``shards=0`` forces monolithic evaluation.
 """
 
 from __future__ import annotations
@@ -37,13 +44,27 @@ _SEMANTICS = ("set", "bag")
 class Engine:
     """Evaluates queries through registered strategies, with caching."""
 
-    def __init__(self, *, cache_size: int = 256, default_semantics: str = "set"):
+    def __init__(
+        self,
+        *,
+        cache_size: int = 256,
+        default_semantics: str = "set",
+        shards: int | None = None,
+        executor: Any = "serial",
+        partitioner: Any = None,
+    ):
         if default_semantics not in _SEMANTICS:
             raise EngineError(
                 f"unknown semantics {default_semantics!r}; expected 'set' or 'bag'"
             )
+        if shards is not None and shards < 0:
+            raise EngineError("shards must be a non-negative integer or None")
         self.default_semantics = default_semantics
+        self.default_shards = shards
+        self.default_executor = executor
+        self.default_partitioner = partitioner
         self._cache = ResultCache(cache_size)
+        self._executors: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
     # Introspection
@@ -64,6 +85,23 @@ class Engine:
     def clear_cache(self) -> None:
         self._cache.clear()
 
+    def close(self) -> None:
+        """Shut down any shard-executor worker pools this engine created.
+
+        Long-lived applications that discard engines should call this
+        (or use the engine as a context manager); otherwise process
+        pools live until interpreter exit.
+        """
+        for executor in self._executors.values():
+            executor.close()
+        self._executors.clear()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -76,6 +114,9 @@ class Engine:
         semantics: str | None = None,
         use_cache: bool = True,
         database_fp: str | None = None,
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
         **options: Any,
     ) -> QueryResult:
         """Evaluate ``query`` on ``database`` with the named strategy.
@@ -84,6 +125,13 @@ class Engine:
         :class:`FoQuery` — see :func:`repro.engine.normalize_query`.
         Options beyond the standard ones are passed to the strategy (e.g.
         ``variant="aware"`` for ``ctables``).
+
+        ``shards``/``executor``/``partitioner`` control sharded
+        evaluation (:mod:`repro.sharding`): ``shards=N`` partitions a
+        plain database on the fly (prefer a pre-built
+        :class:`~repro.sharding.ShardedDatabase` or ``Session(...,
+        shards=N)`` to partition once), ``shards=0`` forces monolithic
+        evaluation even on a sharded database.
         """
         semantics = semantics or self.default_semantics
         if semantics not in _SEMANTICS:
@@ -98,6 +146,96 @@ class Engine:
             )
         normalized = normalize_query(query, database.schema())
 
+        sharded = self._sharded_database(database, shards, partitioner)
+        if sharded is not None:
+            from ..sharding.evaluate import evaluate_sharded
+
+            return evaluate_sharded(
+                normalized,
+                sharded,
+                strat,
+                semantics=semantics,
+                options=options,
+                executor=self._shard_executor(executor),
+                cache=self._cache if use_cache and self._cache.enabled else None,
+                database_fp=database_fp,
+                evaluate_coalesced=lambda: self._evaluate_monolithic(
+                    normalized,
+                    sharded,
+                    strat,
+                    semantics,
+                    use_cache=use_cache,
+                    database_fp=database_fp,
+                    options=options,
+                ),
+            )
+        return self._evaluate_monolithic(
+            normalized,
+            database,
+            strat,
+            semantics,
+            use_cache=use_cache,
+            database_fp=database_fp,
+            options=options,
+        )
+
+    def _sharded_database(
+        self, database: Database, shards: int | None, partitioner: Any
+    ):
+        """Resolve the sharded view of this call, or None for monolithic.
+
+        An already-sharded database is used as-is unless the *caller*
+        explicitly asks for a different shard count — the engine default
+        never re-partitions a database somebody partitioned on purpose.
+        """
+        from ..sharding.database import ShardedDatabase
+
+        if isinstance(database, ShardedDatabase):
+            if shards == 0:
+                return None
+            matching = (shards is None or shards == database.shard_count) and (
+                partitioner is None or partitioner is database.partitioner
+            )
+            if matching:
+                return database
+            return ShardedDatabase.from_database(
+                database,
+                shards or database.shard_count,
+                partitioner or database.partitioner,
+            )
+        if shards is None:
+            shards = self.default_shards
+        if not shards:
+            return None
+        return ShardedDatabase.from_database(
+            database, shards, partitioner or self.default_partitioner
+        )
+
+    def _shard_executor(self, spec: Any):
+        """Resolve (and memoise) the shard executor for this call."""
+        from ..sharding.executor import ShardExecutor, resolve_executor
+
+        if spec is None:
+            spec = self.default_executor
+        if isinstance(spec, ShardExecutor):
+            return spec
+        executor = self._executors.get(spec)
+        if executor is None:
+            executor = resolve_executor(spec)
+            self._executors[spec] = executor
+        return executor
+
+    def _evaluate_monolithic(
+        self,
+        normalized: Any,
+        database: Database,
+        strat: Any,
+        semantics: str,
+        *,
+        use_cache: bool,
+        database_fp: str | None,
+        options: Mapping[str, Any],
+    ) -> QueryResult:
         key = None
         if use_cache and self._cache.enabled:
             if database_fp is None:
@@ -141,9 +279,20 @@ class Engine:
         strategy: str = "naive",
         semantics: str | None = None,
         use_cache: bool = True,
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
         **options: Any,
     ) -> list[QueryResult]:
-        """Evaluate many queries on one database, hashing the database once."""
+        """Evaluate many queries on one database, hashing the database once.
+
+        With sharding, the database is also partitioned once up front
+        rather than per query.
+        """
+        sharded = self._sharded_database(database, shards, partitioner)
+        if sharded is not None:
+            database = sharded
+            shards = None  # already resolved; avoid re-partitioning per query
         database_fp = (
             database_fingerprint(database)
             if use_cache and self._cache.enabled
@@ -157,6 +306,9 @@ class Engine:
                 semantics=semantics,
                 use_cache=use_cache,
                 database_fp=database_fp,
+                shards=shards,
+                executor=executor,
+                partitioner=partitioner,
                 **options,
             )
             for query in queries
@@ -172,6 +324,9 @@ class Engine:
         use_cache: bool = True,
         skip_inapplicable: bool = True,
         database_fp: str | None = None,
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run several strategies on the same query, keyed by strategy name.
@@ -183,6 +338,10 @@ class Engine:
         """
         names = tuple(strategies) if strategies is not None else self.strategies()
         per_strategy = options or {}
+        sharded = self._sharded_database(database, shards, partitioner)
+        if sharded is not None:
+            database = sharded
+            shards = None
         if database_fp is None and use_cache and self._cache.enabled:
             database_fp = database_fingerprint(database)
         results: dict[str, QueryResult] = {}
@@ -195,6 +354,9 @@ class Engine:
                     semantics=semantics,
                     use_cache=use_cache,
                     database_fp=database_fp,
+                    shards=shards,
+                    executor=executor,
+                    partitioner=partitioner,
                     **dict(per_strategy.get(name, {})),
                 )
             except StrategyNotApplicableError:
@@ -219,11 +381,35 @@ class Session:
         engine: Engine | None = None,
         cache_size: int = 256,
         default_semantics: str = "set",
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
     ):
+        if shards is not None and shards > 0:
+            from ..sharding.database import ShardedDatabase
+
+            already_matching = (
+                isinstance(database, ShardedDatabase)
+                and database.shard_count == shards
+                and (partitioner is None or partitioner is database.partitioner)
+            )
+            if not already_matching:
+                if partitioner is None and isinstance(database, ShardedDatabase):
+                    partitioner = database.partitioner
+                database = ShardedDatabase.from_database(
+                    database, shards, partitioner
+                )
         self.database = database
         self.engine = engine or Engine(
-            cache_size=cache_size, default_semantics=default_semantics
+            cache_size=cache_size,
+            default_semantics=default_semantics,
+            executor=executor or "serial",
         )
+        # Per-session sharding config, honoured even on a shared engine
+        # and carried across with_database().
+        self._executor = executor
+        self._shards = shards
+        self._partitioner = partitioner
         self._database_fp: str | None = None
 
     def _fingerprint(self) -> str:
@@ -232,8 +418,28 @@ class Session:
         return self._database_fp
 
     def with_database(self, database: Database) -> "Session":
-        """A new session on another database, sharing this session's engine."""
-        return Session(database, engine=self.engine)
+        """A new session on another database, sharing this session's engine.
+
+        The session's sharding configuration carries over: a plain
+        database is re-partitioned to the session's shard count, while a
+        database that is already sharded is respected as-is.
+        """
+        from ..sharding.database import ShardedDatabase
+
+        shards = None if isinstance(database, ShardedDatabase) else self._shards
+        session = Session(
+            database,
+            engine=self.engine,
+            shards=shards,
+            executor=self._executor,
+            partitioner=self._partitioner,
+        )
+        # The chain keeps the originally configured sharding even when
+        # this hop received a pre-sharded database (shards=None above
+        # only avoids re-partitioning *this* database).
+        session._shards = self._shards
+        session._partitioner = self._partitioner
+        return session
 
     # ------------------------------------------------------------------
     # Delegation
@@ -245,6 +451,8 @@ class Session:
     def evaluate(self, query: Any, **kwargs: Any) -> QueryResult:
         if self._caching(kwargs):
             kwargs.setdefault("database_fp", self._fingerprint())
+        if self._executor is not None:
+            kwargs.setdefault("executor", self._executor)
         return self.engine.evaluate(query, self.database, **kwargs)
 
     def evaluate_batch(self, queries: Iterable[Any], **kwargs: Any) -> list[QueryResult]:
@@ -253,6 +461,8 @@ class Session:
     def compare(self, query: Any, **kwargs: Any) -> dict[str, QueryResult]:
         if self._caching(kwargs):
             kwargs.setdefault("database_fp", self._fingerprint())
+        if self._executor is not None:
+            kwargs.setdefault("executor", self._executor)
         return self.engine.compare(query, self.database, **kwargs)
 
     # Small conveniences mirroring the paper's vocabulary.

@@ -1,0 +1,288 @@
+"""``ShardedDatabase``: a database split into horizontal fragments.
+
+A :class:`ShardedDatabase` *is a* :class:`~repro.datamodel.database.Database`
+— the base class holds the coalesced (union) view, so every strategy,
+fingerprint and exact-answer routine that takes a database keeps working
+unchanged.  On top of that it maintains, per relation, a tuple of
+``shard_count`` fragment relations whose bag union is the coalesced
+relation, plus a cache of per-fragment content fingerprints so that
+mutating one shard invalidates only that shard's cached partial results.
+
+Shard views
+-----------
+
+The shard planner rewrites a distributable plan so that the partitioned
+lineage reads ``R::shard`` while broadcast subtrees keep reading ``R``.
+:meth:`shard_view` materialises the matching database for shard ``i``:
+every relation under its own name (full, for broadcast) plus every
+fragment under the mangled ``::shard`` name.  Views share the underlying
+:class:`Relation` objects, so they are cheap.
+
+Instances are immutable in the same sense as ``Database``: the mutators
+(:meth:`with_relation`, :meth:`add_rows`, :meth:`with_fragment`) return
+new instances, carrying over the fingerprint cache entries of untouched
+fragments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..engine.cache import relation_fingerprint
+from .partition import HashPartitioner, Partitioner
+
+__all__ = ["SHARD_SUFFIX", "ShardedDatabase", "shard_relation_name"]
+
+#: Suffix appended to a relation name to address its per-shard fragment
+#: inside a shard view.  Base relation names must not contain it.
+SHARD_SUFFIX = "::shard"
+
+
+def shard_relation_name(name: str) -> str:
+    """The shard-view name of the fragment of relation ``name``."""
+    return name + SHARD_SUFFIX
+
+
+class ShardedDatabase(Database):
+    """A database whose relations are horizontally partitioned."""
+
+    def __init__(
+        self,
+        relations: Mapping[str, Relation] | None = None,
+        *,
+        shards: int,
+        partitioner: Partitioner | None = None,
+        fragments: Mapping[str, Sequence[Relation]] | None = None,
+    ):
+        super().__init__(relations)
+        if shards < 1:
+            raise ValueError("a sharded database needs at least 1 shard")
+        self._shards = shards
+        self.partitioner = partitioner or HashPartitioner()
+        for name in self._relations:
+            if SHARD_SUFFIX in name:
+                raise ValueError(
+                    f"relation name {name!r} contains the reserved shard "
+                    f"suffix {SHARD_SUFFIX!r}"
+                )
+        if fragments is None:
+            fragments = {
+                name: self.partitioner.partition(relation, shards)
+                for name, relation in self._relations.items()
+            }
+        self._fragments: dict[str, tuple[Relation, ...]] = {}
+        for name, parts in fragments.items():
+            parts = tuple(parts)
+            if name not in self._relations:
+                raise ValueError(f"fragments given for unknown relation {name!r}")
+            if len(parts) != shards:
+                raise ValueError(
+                    f"relation {name!r} has {len(parts)} fragments, expected {shards}"
+                )
+            self._fragments[name] = parts
+        missing = set(self._relations) - set(self._fragments)
+        if missing:
+            raise ValueError(f"missing fragments for relations {sorted(missing)}")
+        self._fragment_fps: dict[tuple[str, int], str] = {}
+        self._relation_fps: dict[str, str] = {}
+        self._views: dict[int, Database] = {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_database(
+        cls,
+        database: Database,
+        shards: int,
+        partitioner: Partitioner | None = None,
+    ) -> "ShardedDatabase":
+        """Partition an existing database into ``shards`` fragments."""
+        return cls(
+            dict(database.relations()), shards=shards, partitioner=partitioner
+        )
+
+    # ------------------------------------------------------------------
+    # Shard access
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        return self._shards
+
+    def fragment(self, name: str, shard: int) -> Relation:
+        """The fragment of relation ``name`` held by ``shard``."""
+        return self._fragments[name][shard]
+
+    def fragments(self, name: str) -> tuple[Relation, ...]:
+        return self._fragments[name]
+
+    def shard_database(self, shard: int) -> Database:
+        """A plain database of shard ``shard``'s fragments (for inspection)."""
+        return Database(
+            {name: parts[shard] for name, parts in self._fragments.items()}
+        )
+
+    def shard_view(self, shard: int) -> Database:
+        """The database a shard plan runs on: full relations + fragments."""
+        view = self._views.get(shard)
+        if view is None:
+            relations = dict(self._relations)
+            for name, parts in self._fragments.items():
+                relations[shard_relation_name(name)] = parts[shard]
+            view = Database(relations)
+            self._views[shard] = view
+        return view
+
+    def verify_fragments(self) -> None:
+        """Check the invariant: fragments bag-partition every relation."""
+        for name, relation in self._relations.items():
+            combined: Counter = Counter()
+            for part in self._fragments[name]:
+                if part.attributes != relation.attributes:
+                    raise AssertionError(
+                        f"fragment of {name!r} has attributes {part.attributes}, "
+                        f"expected {relation.attributes}"
+                    )
+                combined.update(part.rows_bag())
+            if combined != relation.rows_bag():
+                raise AssertionError(
+                    f"fragments of {name!r} do not union to the coalesced relation"
+                )
+
+    # ------------------------------------------------------------------
+    # Fingerprints
+    # ------------------------------------------------------------------
+    def fragment_fingerprint(self, name: str, shard: int) -> str:
+        """Content hash of one fragment (cached; keys partial results)."""
+        key = (name, shard)
+        fingerprint = self._fragment_fps.get(key)
+        if fingerprint is None:
+            fingerprint = relation_fingerprint(self._fragments[name][shard])
+            self._fragment_fps[key] = fingerprint
+        return fingerprint
+
+    def relation_fingerprint(self, name: str) -> str:
+        """Content hash of the coalesced relation ``name`` (cached)."""
+        fingerprint = self._relation_fps.get(name)
+        if fingerprint is None:
+            fingerprint = relation_fingerprint(self._relations[name])
+            self._relation_fps[name] = fingerprint
+        return fingerprint
+
+    # ------------------------------------------------------------------
+    # Mutators (immutable style; fingerprint caches carried over)
+    # ------------------------------------------------------------------
+    def _derive(
+        self,
+        relations: Mapping[str, Relation],
+        fragments: Mapping[str, Sequence[Relation]],
+        *,
+        touched: str | None,
+        touched_shards: Iterable[int] | None = None,
+    ) -> "ShardedDatabase":
+        """A new instance; fingerprints survive except for ``touched``.
+
+        With ``touched_shards`` given, only those fragments of the
+        touched relation are invalidated (the incremental append path);
+        otherwise every fragment of the touched relation is dropped.
+        """
+        new = ShardedDatabase(
+            relations,
+            shards=self._shards,
+            partitioner=self.partitioner,
+            fragments=fragments,
+        )
+        dropped = None if touched_shards is None else set(touched_shards)
+        for (name, shard), fingerprint in self._fragment_fps.items():
+            if name == touched and (dropped is None or shard in dropped):
+                continue
+            if name in new._fragments:
+                new._fragment_fps[(name, shard)] = fingerprint
+        for name, fingerprint in self._relation_fps.items():
+            if name != touched and name in new._relations:
+                new._relation_fps[name] = fingerprint
+        return new
+
+    def with_relation(self, name: str, relation: Relation) -> "ShardedDatabase":
+        """Replace (or add) a relation, repartitioning it across shards."""
+        relations = dict(self._relations)
+        relations[name] = relation
+        fragments = dict(self._fragments)
+        fragments[name] = self.partitioner.partition(relation, self._shards)
+        return self._derive(relations, fragments, touched=name)
+
+    def without_relation(self, name: str) -> "ShardedDatabase":
+        relations = dict(self._relations)
+        relations.pop(name, None)
+        fragments = dict(self._fragments)
+        fragments.pop(name, None)
+        return self._derive(relations, fragments, touched=name)
+
+    def copy(self) -> "ShardedDatabase":
+        return self._derive(dict(self._relations), dict(self._fragments), touched=None)
+
+    def add_rows(self, name: str, rows: Iterable[Sequence]) -> "ShardedDatabase":
+        """Append rows to relation ``name``.
+
+        With an incremental partitioner (hash), only the fragments that
+        receive rows are rebuilt, so the untouched shards keep their
+        fingerprints — and hence their cached partial results.
+        """
+        relation = self[name]
+        rows = [tuple(row) for row in rows]
+        if not self.partitioner.supports_incremental:
+            return self.with_relation(name, relation.add_rows(rows))
+        per_shard: dict[int, list[tuple]] = {}
+        for row in rows:
+            shard = self.partitioner.shard_of(
+                row, self._shards, relation.attributes
+            )
+            per_shard.setdefault(shard, []).append(row)
+        fragments = list(self._fragments[name])
+        for shard, extra in per_shard.items():
+            fragments[shard] = fragments[shard].add_rows(extra)
+        relations = dict(self._relations)
+        relations[name] = relation.add_rows(rows)
+        all_fragments = dict(self._fragments)
+        all_fragments[name] = tuple(fragments)
+        return self._derive(
+            relations, all_fragments, touched=name, touched_shards=per_shard
+        )
+
+    def with_fragment(
+        self, name: str, shard: int, fragment: Relation
+    ) -> "ShardedDatabase":
+        """Replace one fragment directly; the coalesced relation follows."""
+        current = self._fragments[name]
+        if fragment.attributes != current[shard].attributes:
+            raise ValueError(
+                f"fragment attributes {fragment.attributes} do not match "
+                f"{current[shard].attributes}"
+            )
+        parts = list(current)
+        parts[shard] = fragment
+        combined: Counter = Counter()
+        for part in parts:
+            combined.update(part.rows_bag())
+        relations = dict(self._relations)
+        relations[name] = Relation.from_counter(fragment.attributes, combined)
+        fragments = dict(self._fragments)
+        fragments[name] = tuple(parts)
+        return self._derive(
+            relations, fragments, touched=name, touched_shards=(shard,)
+        )
+
+    # ------------------------------------------------------------------
+    # Display
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{name}[{len(rel)}]" for name, rel in self._relations.items()
+        )
+        return (
+            f"ShardedDatabase({parts}; shards={self._shards}, "
+            f"partitioner={self.partitioner.name})"
+        )

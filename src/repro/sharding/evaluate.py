@@ -1,0 +1,319 @@
+"""Sharded evaluation: orchestrate shard plans, caching and merging.
+
+This is the piece the engine calls when a query targets a
+:class:`~repro.sharding.database.ShardedDatabase` (or ``shards=`` is
+passed).  The flow:
+
+1. look up the strategy in :data:`SHARDABLE_STRATEGIES`; strategies
+   whose correctness argument does not survive horizontal partitioning
+   (``sql-3vl`` has no algebra reading, ``exact-certain`` and
+   ``ctables`` intersect over valuations — a union of per-fragment
+   intersections under-approximates — and Figure 2a builds ``Dom^k``
+   complements whose per-fragment union over-approximates ``Qf``) are
+   evaluated **coalesced**: monolithically on the union view, which the
+   sharded database *is*;
+2. rewrite the plan via :func:`repro.sharding.planner.shard_plan` with
+   the strategy's allowed lineage operators, falling back to coalesced
+   evaluation for non-distributive plans (difference, division, ...);
+3. per shard, probe the engine's result cache under a key built from the
+   rewritten-plan fingerprint and the *fragment* fingerprints of the
+   sharded relations (plus the full fingerprints of broadcast
+   relations), so mutating one shard invalidates only its partial;
+4. evaluate the cache misses through the shard executor and merge the
+   partials with the strategy-specific merge function, reproducing
+   exactly what the monolithic strategy would have returned.
+
+The merged :class:`~repro.engine.result.QueryResult` is result-identical
+to monolithic evaluation — the randomized harness in
+``tests/test_sharding_equivalence.py`` enforces this for every
+registered strategy — and differs only in its ``metadata["sharding"]``
+entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Callable, Mapping, Sequence
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..engine.cache import ResultCache, database_fingerprint
+from ..engine.frontend import NormalizedQuery, query_fingerprint
+from ..engine.registry import EvaluationStrategy, StrategyOutcome, annotate
+from ..engine.result import AnnotatedTuple, Certainty, QueryResult
+from .database import ShardedDatabase, shard_relation_name
+from .executor import ShardExecutor, ShardPartial, ShardTask
+from .planner import (
+    NAIVE_BAG_LINEAGE_OPS,
+    NAIVE_LINEAGE_OPS,
+    TRANSLATION_LINEAGE_OPS,
+    NonDistributableError,
+    ShardPlan,
+    shard_plan,
+)
+
+__all__ = ["ShardableSpec", "SHARDABLE_STRATEGIES", "evaluate_sharded"]
+
+MergeFn = Callable[..., StrategyOutcome]
+
+
+@dataclass(frozen=True)
+class ShardableSpec:
+    """How one strategy distributes over shards."""
+
+    lineage_ops: frozenset
+    merge: MergeFn
+    bag_lineage_ops: frozenset | None = None
+
+    def ops_for(self, semantics: str) -> frozenset:
+        if semantics == "bag" and self.bag_lineage_ops is not None:
+            return self.bag_lineage_ops
+        return self.lineage_ops
+
+
+# ----------------------------------------------------------------------
+# Merging partial results (must mirror the strategies' own outcomes)
+# ----------------------------------------------------------------------
+def _union_relations(relations: Sequence[Relation], *, bag: bool) -> Relation:
+    attributes = relations[0].attributes
+    if bag:
+        combined: Counter = Counter()
+        for relation in relations:
+            combined.update(relation.rows_bag())
+        return Relation.from_counter(attributes, combined)
+    rows: set = set()
+    for relation in relations:
+        rows |= relation.rows_set()
+    return Relation(attributes, rows)
+
+
+def merge_naive(
+    partials: Sequence[ShardPartial], *, semantics: str, database: Database
+) -> StrategyOutcome:
+    """Union of per-shard naïve answers (bag-additive under bags).
+
+    Mirrors :class:`repro.engine.strategies.NaiveStrategy` for plans on
+    the algebra path (where the fragment classification is ``None``):
+    exactness holds exactly when the coalesced database is complete.
+    """
+    bag = semantics == "bag"
+    answer = _union_relations([p.answer for p in partials], bag=bag)
+    exact = database.is_complete()
+    status = Certainty.CERTAIN if exact else Certainty.POSSIBLE
+    return StrategyOutcome(
+        answer=answer,
+        annotated=annotate(answer, status, bag=bag),
+        certain=answer if exact else None,
+        metadata={"fragment": None, "exact": exact},
+    )
+
+
+def merge_guagliardo16(
+    partials: Sequence[ShardPartial], *, semantics: str, database: Database
+) -> StrategyOutcome:
+    """Union the per-shard (Q+, Q?) pairs.
+
+    Both translations are compositional along σ/π/ρ/×/∪, so the union of
+    the per-fragment certain (resp. possible) answers is exactly the
+    monolithic ``Q+`` (resp. ``Q?``) answer.
+    """
+    certain = _union_relations([p.certain for p in partials], bag=False)
+    possible = _union_relations([p.possible for p in partials], bag=False)
+    annotated = annotate(certain, Certainty.CERTAIN) + tuple(
+        AnnotatedTuple(row, Certainty.POSSIBLE)
+        for row in possible.sorted_rows()
+        if row not in certain
+    )
+    return StrategyOutcome(
+        answer=certain,
+        annotated=annotated,
+        certain=certain,
+        possible=possible,
+        metadata={"scheme": "figure-2b"},
+    )
+
+
+#: Strategies whose evaluation distributes over horizontal fragments.
+#: Everything else is sound under sharding too — via coalesced
+#: evaluation on the union view (see the module docstring for why each
+#: exclusion is necessary, not just unimplemented).
+SHARDABLE_STRATEGIES: dict[str, ShardableSpec] = {
+    "naive": ShardableSpec(
+        lineage_ops=NAIVE_LINEAGE_OPS,
+        bag_lineage_ops=NAIVE_BAG_LINEAGE_OPS,
+        merge=merge_naive,
+    ),
+    "approx-guagliardo16": ShardableSpec(
+        lineage_ops=TRANSLATION_LINEAGE_OPS,
+        merge=merge_guagliardo16,
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Cache keys
+# ----------------------------------------------------------------------
+def _shard_data_fingerprint(
+    database: ShardedDatabase,
+    shard: int,
+    plan: ShardPlan,
+    full_fp: str | None,
+) -> str:
+    """Hash of exactly the data this shard's partial result depends on."""
+    hasher = hashlib.sha1()
+    for name in plan.sharded_relations:
+        hasher.update(
+            f"fragment:{name!r}@{shard}:"
+            f"{database.fragment_fingerprint(name, shard)}\n".encode("utf-8")
+        )
+    for name in plan.broadcast_relations:
+        hasher.update(
+            f"broadcast:{name!r}:{database.relation_fingerprint(name)}\n".encode(
+                "utf-8"
+            )
+        )
+    if plan.uses_domain:
+        # Dom^k ranges over the whole active domain: key conservatively
+        # on the full database content.
+        hasher.update(f"domain:{full_fp}\n".encode("utf-8"))
+    return hasher.hexdigest()
+
+
+def _task_database(
+    database: ShardedDatabase, shard: int, plan: ShardPlan
+) -> Database:
+    """The smallest database a shard task needs (cheap to pickle).
+
+    Plans containing ``Dom^k`` get the complete shard view so the active
+    domain matches the monolithic one; everything else gets only the
+    relations the rewritten plan actually reads.
+    """
+    if plan.uses_domain:
+        return database.shard_view(shard)
+    relations = {
+        name: database[name] for name in plan.broadcast_relations
+    }
+    for name in plan.sharded_relations:
+        relations[shard_relation_name(name)] = database.fragment(name, shard)
+    return Database(relations)
+
+
+# ----------------------------------------------------------------------
+# Orchestration
+# ----------------------------------------------------------------------
+def evaluate_sharded(
+    normalized: NormalizedQuery,
+    database: ShardedDatabase,
+    strategy: EvaluationStrategy,
+    *,
+    semantics: str,
+    options: Mapping[str, Any],
+    executor: ShardExecutor,
+    cache: ResultCache | None,
+    database_fp: str | None = None,
+    evaluate_coalesced: Callable[[], QueryResult],
+) -> QueryResult:
+    """Evaluate on a sharded database, falling back to coalesced evaluation.
+
+    ``evaluate_coalesced`` is the engine's monolithic path (already
+    closed over the query, database and caching arguments); it is used
+    whenever the (strategy, plan, semantics) combination does not
+    distribute.
+    """
+    spec = SHARDABLE_STRATEGIES.get(strategy.name)
+    plan: ShardPlan | None = None
+    reason: str | None = None
+    if spec is None:
+        reason = f"strategy {strategy.name!r} is not shard-aware"
+    elif normalized.algebra is None:
+        reason = (
+            "no relational algebra plan to distribute "
+            f"({'; '.join(normalized.notes) or normalized.frontend + ' frontend'})"
+        )
+    else:
+        try:
+            plan = shard_plan(normalized.algebra, spec.ops_for(semantics))
+        except NonDistributableError as exc:
+            reason = str(exc)
+
+    if plan is None:
+        result = evaluate_coalesced()
+        sharding_meta = {
+            "mode": "coalesced",
+            "shards": database.shard_count,
+            "reason": reason,
+        }
+        return replace(
+            result, metadata={**result.metadata, "sharding": sharding_meta}
+        )
+
+    start = time.perf_counter()
+    count = database.shard_count
+    options_key = tuple(sorted((k, repr(v)) for k, v in options.items()))
+    rewritten_fp = query_fingerprint(plan.plan)
+    full_fp = None
+    if plan.uses_domain and cache is not None:
+        full_fp = database_fp or database_fingerprint(database)
+
+    partials: list[ShardPartial | None] = [None] * count
+    tasks: list[ShardTask] = []
+    hits = 0
+    for shard in range(count):
+        key = None
+        if cache is not None:
+            key = (
+                "shard-partial",
+                rewritten_fp,
+                strategy.name,
+                semantics,
+                options_key,
+                _shard_data_fingerprint(database, shard, plan, full_fp),
+            )
+            cached = cache.get(key)
+            if cached is not None:
+                partials[shard] = cached
+                hits += 1
+                continue
+        tasks.append(
+            ShardTask(
+                shard=shard,
+                plan=plan.plan,
+                database=_task_database(database, shard, plan),
+                strategy=strategy.name,
+                semantics=semantics,
+                options=tuple(options.items()),
+                cache_key=key,
+            )
+        )
+    if tasks:
+        for task, partial in zip(tasks, executor.run(tasks)):
+            partials[task.shard] = partial
+            if cache is not None and task.cache_key is not None:
+                cache.put(task.cache_key, partial)
+
+    outcome = spec.merge(partials, semantics=semantics, database=database)
+    elapsed = time.perf_counter() - start
+    sharding_meta = {
+        "mode": "distributed",
+        "shards": count,
+        "executor": executor.kind,
+        "partial_cache_hits": hits,
+        "sharded_relations": list(plan.sharded_relations),
+        "broadcast_relations": list(plan.broadcast_relations),
+    }
+    return QueryResult(
+        strategy=strategy.name,
+        semantics=semantics,
+        relation=outcome.answer,
+        tuples=outcome.annotated,
+        certain=outcome.certain,
+        possible=outcome.possible,
+        certainly_false=outcome.certainly_false,
+        elapsed=elapsed,
+        from_cache=not tasks and count > 0,
+        fingerprint=normalized.fingerprint,
+        metadata={**outcome.metadata, "sharding": sharding_meta},
+    )

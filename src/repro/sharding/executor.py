@@ -1,0 +1,193 @@
+"""Shard executors: run per-shard evaluation tasks serially or in parallel.
+
+A :class:`ShardTask` is a self-contained unit of work — a rewritten
+plan, the (trimmed) database it runs on, and the strategy to apply — so
+it can be shipped to a worker process.  Three executors are provided:
+
+* ``serial`` — evaluate shards one after another in-process (the
+  default; also what the per-shard cache tests use);
+* ``thread`` — a :class:`concurrent.futures.ThreadPoolExecutor`.  The
+  evaluators are pure Python, so threads mostly help when strategies
+  release the GIL (they rarely do) — provided for completeness and for
+  I/O-bound cache backends;
+* ``process`` — a :class:`concurrent.futures.ProcessPoolExecutor`; the
+  strategies are pure functions of (plan, database), so fragments
+  evaluate in parallel across cores.  The pool is created lazily and
+  reused across calls.
+
+Everything a task carries (plans, conditions, relations, nulls) is a
+frozen dataclass or a ``__slots__`` value class, hence picklable.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Mapping, Sequence
+
+from ..algebra import ast as ra
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+
+__all__ = [
+    "ShardTask",
+    "ShardPartial",
+    "ShardExecutor",
+    "SerialShardExecutor",
+    "ThreadShardExecutor",
+    "ProcessShardExecutor",
+    "resolve_executor",
+    "run_shard_task",
+]
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's evaluation: (plan, database, strategy, options)."""
+
+    shard: int
+    plan: ra.Query
+    database: Database
+    strategy: str
+    semantics: str
+    options: tuple[tuple[str, Any], ...] = ()
+    #: Cache key the orchestrator stores the partial under (opaque here).
+    cache_key: Hashable = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class ShardPartial:
+    """What one shard's evaluation produced."""
+
+    shard: int
+    answer: Relation
+    certain: Relation | None = None
+    possible: Relation | None = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+
+def run_shard_task(task: ShardTask) -> ShardPartial:
+    """Evaluate one shard task; also the worker-process entry point."""
+    # Imported here so a spawned (rather than forked) worker process
+    # registers the built-in strategies before resolving by name.
+    from ..engine.frontend import normalize_query
+    from ..engine.registry import get_strategy
+
+    strategy = get_strategy(task.strategy)
+    normalized = normalize_query(task.plan, task.database.schema())
+    outcome = strategy.run(
+        normalized,
+        task.database,
+        semantics=task.semantics,
+        **dict(task.options),
+    )
+    return ShardPartial(
+        shard=task.shard,
+        answer=outcome.answer,
+        certain=outcome.certain,
+        possible=outcome.possible,
+        metadata=dict(outcome.metadata),
+    )
+
+
+class ShardExecutor:
+    """Base class: maps shard tasks to partial results, order-preserving."""
+
+    kind: str = "abstract"
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardPartial]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any worker pool (no-op for in-process executors)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class SerialShardExecutor(ShardExecutor):
+    """Evaluate shards one after another in the calling process."""
+
+    kind = "serial"
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardPartial]:
+        return [run_shard_task(task) for task in tasks]
+
+
+class ThreadShardExecutor(ShardExecutor):
+    """Evaluate shards on a thread pool."""
+
+    kind = "thread"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self.max_workers or (os.cpu_count() or 1)
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardPartial]:
+        if len(tasks) <= 1:
+            return [run_shard_task(task) for task in tasks]
+        return list(self._ensure_pool().map(run_shard_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ProcessShardExecutor(ShardExecutor):
+    """Evaluate shards on a process pool (true parallelism)."""
+
+    kind = "process"
+
+    def __init__(self, max_workers: int | None = None):
+        self.max_workers = max_workers
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers or (os.cpu_count() or 1)
+            )
+        return self._pool
+
+    def run(self, tasks: Sequence[ShardTask]) -> list[ShardPartial]:
+        if len(tasks) <= 1:
+            return [run_shard_task(task) for task in tasks]
+        return list(self._ensure_pool().map(run_shard_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+_EXECUTOR_KINDS = {
+    "serial": SerialShardExecutor,
+    "thread": ThreadShardExecutor,
+    "threads": ThreadShardExecutor,
+    "process": ProcessShardExecutor,
+    "processes": ProcessShardExecutor,
+}
+
+
+def resolve_executor(spec: "str | ShardExecutor | None") -> ShardExecutor:
+    """Turn an executor spec (name or instance) into an executor."""
+    if spec is None:
+        return SerialShardExecutor()
+    if isinstance(spec, ShardExecutor):
+        return spec
+    cls = _EXECUTOR_KINDS.get(spec)
+    if cls is None:
+        raise ValueError(
+            f"unknown shard executor {spec!r}; expected one of "
+            f"{sorted(set(_EXECUTOR_KINDS))} or a ShardExecutor instance"
+        )
+    return cls()

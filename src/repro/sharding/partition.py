@@ -1,0 +1,161 @@
+"""Row partitioners: how a relation is split into horizontal fragments.
+
+A partitioner assigns every row of a relation to one of ``num_shards``
+fragments.  The assignment must be deterministic across processes and
+runs — the shard executor may evaluate fragments in worker processes,
+and the per-shard result cache keys on fragment content — so the hash
+partitioner hashes a canonical rendering of the values rather than
+relying on Python's per-interpreter salted ``hash()``.
+
+Two partitioners are provided:
+
+* :class:`HashPartitioner` — each row goes to the shard named by a
+  stable hash of the whole row (or of a configured key-attribute
+  subset).  Supports incremental placement: appending rows touches only
+  the fragments the new rows land in.
+* :class:`RoundRobinPartitioner` — rows are dealt out cyclically in the
+  relation's canonical sort order, giving near-perfectly balanced
+  fragments.  Placement is a function of the whole relation, so
+  appending rows repartitions it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+from ..datamodel.relation import Relation
+from ..engine.cache import canonical_value
+
+__all__ = ["Partitioner", "HashPartitioner", "RoundRobinPartitioner"]
+
+
+def _stable_row_hash(values: Sequence) -> int:
+    """A process-stable 64-bit hash of a tuple of database values."""
+    hasher = hashlib.blake2b(digest_size=8)
+    for value in values:
+        hasher.update(canonical_value(value).encode("utf-8", "replace"))
+        hasher.update(b"\x1f")
+    return int.from_bytes(hasher.digest(), "big")
+
+
+class Partitioner:
+    """Base class: assigns rows of a relation to shard indices."""
+
+    #: Short name used in reprs, fingerprints and benchmark tables.
+    name: str = "abstract"
+    #: True when :meth:`shard_of` places a row independently of the rest
+    #: of the relation, so appended rows can be routed without
+    #: repartitioning everything.
+    supports_incremental: bool = False
+
+    def shard_of(
+        self, row: tuple, num_shards: int, attributes: Sequence[str]
+    ) -> int:
+        raise NotImplementedError
+
+    def partition(self, relation: Relation, num_shards: int) -> tuple[Relation, ...]:
+        """Split ``relation`` into ``num_shards`` fragments.
+
+        The fragments form a bag partition: summing multiplicities over
+        the fragments reproduces the original relation exactly.
+        """
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        counters: list[dict] = [{} for _ in range(num_shards)]
+        for row, count in relation.iter_rows(with_multiplicity=True):
+            shard = self.shard_of(row, num_shards, relation.attributes)
+            counters[shard][row] = counters[shard].get(row, 0) + count
+        return tuple(
+            Relation.from_counter(relation.attributes, counter) for counter in counters
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class HashPartitioner(Partitioner):
+    """Stable hash partitioning, optionally keyed on a subset of attributes.
+
+    Without ``attributes`` the whole row is hashed, so equal rows (and
+    all their bag copies) always land in the same shard.  With
+    ``attributes`` only the named columns are hashed, co-locating rows
+    that share a key; attributes missing from a relation fall back to
+    hashing the whole row for that relation.
+    """
+
+    name = "hash"
+    supports_incremental = True
+
+    def __init__(self, attributes: Sequence[str] | None = None):
+        self.attributes = tuple(attributes) if attributes is not None else None
+        # attribute tuple → key column indexes (None: hash the whole row)
+        self._index_cache: dict[tuple[str, ...], tuple[int, ...] | None] = {}
+
+    def _key_indexes(
+        self, attributes: Sequence[str]
+    ) -> tuple[int, ...] | None:
+        if self.attributes is None:
+            return None
+        attributes = tuple(attributes)
+        try:
+            return self._index_cache[attributes]
+        except KeyError:
+            pass
+        try:
+            indexes: tuple[int, ...] | None = tuple(
+                attributes.index(a) for a in self.attributes
+            )
+        except ValueError:
+            indexes = None
+        self._index_cache[attributes] = indexes
+        return indexes
+
+    def shard_of(
+        self, row: tuple, num_shards: int, attributes: Sequence[str]
+    ) -> int:
+        indexes = self._key_indexes(attributes)
+        values = row if indexes is None else tuple(row[i] for i in indexes)
+        return _stable_row_hash(values) % num_shards
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.attributes is None:
+            return "HashPartitioner()"
+        return f"HashPartitioner(attributes={self.attributes!r})"
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deal rows out cyclically in canonical sort order.
+
+    Bag copies of the same row are dealt out individually, so a row with
+    multiplicity 5 spreads over 5 (cyclic) fragments.  Fragment sizes
+    differ by at most one row, which makes this the best choice for the
+    balanced-work benchmarks; the price is that placement depends on the
+    whole relation, so appends repartition (``supports_incremental`` is
+    False).
+    """
+
+    name = "round-robin"
+    supports_incremental = False
+
+    def shard_of(
+        self, row: tuple, num_shards: int, attributes: Sequence[str]
+    ) -> int:
+        raise TypeError(
+            "round-robin placement is a function of the whole relation; "
+            "use partition()"
+        )
+
+    def partition(self, relation: Relation, num_shards: int) -> tuple[Relation, ...]:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        counters: list[dict] = [{} for _ in range(num_shards)]
+        index = 0
+        for row in relation.sorted_rows():
+            for _ in range(relation.multiplicity(row)):
+                shard = index % num_shards
+                counters[shard][row] = counters[shard].get(row, 0) + 1
+                index += 1
+        return tuple(
+            Relation.from_counter(relation.attributes, counter) for counter in counters
+        )

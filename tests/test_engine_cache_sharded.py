@@ -1,0 +1,219 @@
+"""Per-shard fingerprints, cache invalidation, and the fingerprint fix.
+
+The sharded evaluation path keys each shard's partial result on the
+content fingerprint of exactly the data it read: its own fragments of
+the sharded relations plus the full broadcast relations.  These tests
+pin the invalidation contract — mutate one shard and only that shard's
+partial recomputes — and the hit-rate arithmetic behind it.
+
+They also pin the fingerprint-collision fix these tests surfaced:
+:func:`repro.engine.cache.database_fingerprint` used to hash raw
+relation names, so a crafted name containing newlines could forge the
+boundary between two relations and make different databases collide.
+Names are now ``repr``-escaped and every relation is digested
+separately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Engine, Null, Relation, Session
+from repro.algebra import builder as rb
+from repro.algebra.conditions import Attr, Eq
+from repro.engine import database_fingerprint
+from repro.engine.cache import relation_fingerprint
+from repro.sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
+
+
+# ----------------------------------------------------------------------
+# Fingerprint fundamentals
+# ----------------------------------------------------------------------
+class TestFingerprints:
+    def test_relation_fingerprint_ignores_insertion_order(self):
+        a = Relation(("x", "y"), [(1, 2), (3, 4)])
+        b = Relation(("x", "y"), [(3, 4), (1, 2)])
+        assert relation_fingerprint(a) == relation_fingerprint(b)
+
+    def test_relation_fingerprint_sees_multiplicities_and_nulls(self):
+        once = Relation(("x",), [(1,)])
+        twice = Relation(("x",), [(1,), (1,)])
+        assert relation_fingerprint(once) != relation_fingerprint(twice)
+        null_a = Relation(("x",), [(Null("a"),)])
+        null_b = Relation(("x",), [(Null("b"),)])
+        assert relation_fingerprint(null_a) != relation_fingerprint(null_b)
+
+    def test_forged_relation_boundary_does_not_collide(self):
+        """Regression: a crafted relation name used to replay another
+        database's byte stream (names were hashed unescaped)."""
+        honest = Database(
+            {
+                "A": Relation(("a",), [("x",)]),
+                "B": Relation(("b",), [("y",)]),
+            }
+        )
+        forged_name = "A:('a',)\n(\"str:'x'\",)*1\nrelation:B"
+        forged = Database({forged_name: Relation(("b",), [("y",)])})
+        assert database_fingerprint(honest) != database_fingerprint(forged)
+
+    def test_database_fingerprint_unchanged_by_sharding(self):
+        db = Database({"R": Relation(("a", "b"), [(1, 2), (3, 4), (5, 6)])})
+        sharded = ShardedDatabase.from_database(db, 3)
+        assert database_fingerprint(db) == database_fingerprint(sharded)
+
+
+# ----------------------------------------------------------------------
+# Fragment fingerprint caching on ShardedDatabase
+# ----------------------------------------------------------------------
+def _rs_database() -> Database:
+    return Database(
+        {
+            "R": Relation(("a", "b"), [(i, f"v{i % 3}") for i in range(8)]),
+            "S": Relation(("c", "d"), [(f"v{i}", i) for i in range(3)]),
+        }
+    )
+
+
+class TestShardedFingerprints:
+    def test_fragments_partition_and_fingerprint_distinct_placement(self):
+        db = _rs_database()
+        sharded = ShardedDatabase.from_database(db, 3, HashPartitioner())
+        sharded.verify_fragments()
+        fps = [sharded.fragment_fingerprint("R", s) for s in range(3)]
+        assert len(set(fps)) == len([f for f in fps])  # placement-sensitive
+
+    def test_add_rows_touches_only_target_shards(self):
+        db = _rs_database()
+        partitioner = HashPartitioner()
+        sharded = ShardedDatabase.from_database(db, 4, partitioner)
+        before = {
+            (name, s): sharded.fragment_fingerprint(name, s)
+            for name in ("R", "S")
+            for s in range(4)
+        }
+        new_row = (99, "v99")
+        target = partitioner.shard_of(new_row, 4, ("a", "b"))
+        mutated = sharded.add_rows("R", [new_row])
+        mutated.verify_fragments()
+        for (name, s), fingerprint in before.items():
+            if (name, s) == ("R", target):
+                assert mutated.fragment_fingerprint(name, s) != fingerprint
+            else:
+                assert mutated.fragment_fingerprint(name, s) == fingerprint
+
+    def test_with_fragment_rebuilds_coalesced_view(self):
+        db = _rs_database()
+        sharded = ShardedDatabase.from_database(db, 2, RoundRobinPartitioner())
+        fragment = sharded.fragment("S", 0).add_rows([("v9", 9)])
+        mutated = sharded.with_fragment("S", 0, fragment)
+        mutated.verify_fragments()
+        assert ("v9", 9) in mutated["S"]
+        assert mutated.fragment_fingerprint("S", 1) == sharded.fragment_fingerprint("S", 1)
+        assert mutated.fragment_fingerprint("S", 0) != sharded.fragment_fingerprint("S", 0)
+
+    def test_round_robin_append_repartitions(self):
+        db = _rs_database()
+        sharded = ShardedDatabase.from_database(db, 3, RoundRobinPartitioner())
+        mutated = sharded.add_rows("R", [(50, "v50")])
+        mutated.verify_fragments()
+        sizes = [len(mutated.fragment("R", s)) for s in range(3)]
+        assert max(sizes) - min(sizes) <= 1  # still balanced
+
+    def test_reserved_suffix_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            ShardedDatabase(
+                {"R::shard": Relation(("a",), [(1,)])}, shards=2
+            )
+
+
+# ----------------------------------------------------------------------
+# Engine-level per-shard cache invalidation
+# ----------------------------------------------------------------------
+JOIN = rb.project(
+    rb.select(
+        rb.product(rb.relation("R"), rb.relation("S")),
+        Eq(Attr("b"), Attr("c")),
+    ),
+    ["a", "d"],
+)
+
+
+class TestPartialResultCache:
+    def _session(self, shards: int = 4) -> Session:
+        return Session(_rs_database(), shards=shards)
+
+    def test_cold_then_warm(self):
+        session = self._session()
+        first = session.evaluate(JOIN, strategy="naive")
+        assert first.metadata["sharding"]["mode"] == "distributed"
+        assert first.metadata["sharding"]["partial_cache_hits"] == 0
+        assert not first.from_cache
+        second = session.evaluate(JOIN, strategy="naive")
+        assert second.metadata["sharding"]["partial_cache_hits"] == 4
+        assert second.from_cache
+        assert second.relation.rows_bag() == first.relation.rows_bag()
+
+    def test_single_shard_mutation_recomputes_one_partial(self):
+        session = self._session()
+        session.evaluate(JOIN, strategy="naive")
+        sharded = session.database
+        assert isinstance(sharded, ShardedDatabase)
+        new_row = (41, "v1")
+        target = sharded.partitioner.shard_of(new_row, 4, ("a", "b"))
+        mutated_session = session.with_database(sharded.add_rows("R", [new_row]))
+
+        hits_before = mutated_session.cache_stats.hits
+        result = mutated_session.evaluate(JOIN, strategy="naive")
+        assert result.metadata["sharding"]["partial_cache_hits"] == 3
+        assert mutated_session.cache_stats.hits == hits_before + 3
+        # and the answer reflects the mutation
+        assert any(row[0] == 41 for row in result.relation.rows_set())
+        del target  # placement detail; asserted via the hit count above
+
+    def test_broadcast_mutation_invalidates_every_partial(self):
+        session = self._session()
+        session.evaluate(JOIN, strategy="naive")
+        sharded = session.database
+        # S is broadcast in JOIN's shard plan: every partial depends on it.
+        mutated_session = session.with_database(
+            sharded.add_rows("S", [("v0", 77)])
+        )
+        result = mutated_session.evaluate(JOIN, strategy="naive")
+        assert result.metadata["sharding"]["partial_cache_hits"] == 0
+
+    def test_hit_rate_accounting_across_strategies(self):
+        session = self._session(shards=2)
+        for _ in range(3):
+            session.evaluate(JOIN, strategy="naive")
+            session.evaluate(JOIN, strategy="approx-guagliardo16")
+        stats = session.cache_stats
+        # 2 strategies × 2 shards: 4 cold misses, then 2 warm rounds × 4 hits.
+        assert stats.misses == 4
+        assert stats.hits == 8
+        assert stats.hit_rate == pytest.approx(8 / 12)
+
+    def test_partials_keyed_per_strategy_and_semantics(self):
+        session = self._session(shards=2)
+        set_result = session.evaluate(JOIN, strategy="naive")
+        bag_result = session.evaluate(JOIN, strategy="naive", semantics="bag")
+        assert bag_result.metadata["sharding"]["partial_cache_hits"] == 0
+        assert set_result.relation.rows_set() == bag_result.relation.rows_set()
+
+    def test_use_cache_false_bypasses_partials(self):
+        session = self._session(shards=2)
+        session.evaluate(JOIN, strategy="naive")
+        result = session.evaluate(JOIN, strategy="naive", use_cache=False)
+        assert result.metadata["sharding"]["partial_cache_hits"] == 0
+        assert not result.from_cache
+
+    def test_shards_zero_forces_monolithic(self):
+        session = self._session(shards=3)
+        result = session.evaluate(JOIN, strategy="naive", shards=0)
+        assert "sharding" not in result.metadata
+
+    def test_engine_level_sharding_of_plain_database(self):
+        engine = Engine(shards=3)
+        result = engine.evaluate(JOIN, _rs_database(), strategy="naive")
+        assert result.metadata["sharding"]["shards"] == 3
+        mono = Engine().evaluate(JOIN, _rs_database(), strategy="naive")
+        assert result.relation.rows_bag() == mono.relation.rows_bag()
