@@ -64,104 +64,104 @@ def _cpu_count() -> int:
 def run_scaling(config: TpchLiteConfig, *, smoke: bool, repeat: int = 1) -> None:
     database = generate_tpch_lite(config)
     queries = tpch_lite_queries()
-    engine = Engine()
-    table = ResultTable(
-        "E13: shard-count scaling on TPC-H-lite (naïve strategy)",
-        ["query", "shards", "serial (ms)", "process (ms)", "speedup vs 1 shard"],
-    )
-    parallel_wins: list[tuple[str, float, float]] = []
-    for name in QUERIES:
-        query = queries[name]
-        mono = engine.evaluate(query, database, strategy="naive", use_cache=False)
-        single_shard_seconds = None
-        for shards in SHARD_COUNTS:
-            sharded = ShardedDatabase.from_database(database, shards, PARTITIONER())
-            timings = {}
-            for executor in ("serial", "process"):
-                seconds, result = time_call(
-                    lambda: engine.evaluate(
-                        query,
-                        sharded,
-                        strategy="naive",
-                        use_cache=False,
-                        executor=executor,
-                    ),
-                    repeat=repeat,
+    with Engine() as engine:
+        table = ResultTable(
+            "E13: shard-count scaling on TPC-H-lite (naïve strategy)",
+            ["query", "shards", "serial (ms)", "process (ms)", "speedup vs 1 shard"],
+        )
+        parallel_wins: list[tuple[str, float, float]] = []
+        for name in QUERIES:
+            query = queries[name]
+            mono = engine.evaluate(query, database, strategy="naive", use_cache=False)
+            single_shard_seconds = None
+            for shards in SHARD_COUNTS:
+                sharded = ShardedDatabase.from_database(database, shards, PARTITIONER())
+                timings = {}
+                for executor in ("serial", "process"):
+                    seconds, result = time_call(
+                        lambda: engine.evaluate(
+                            query,
+                            sharded,
+                            strategy="naive",
+                            use_cache=False,
+                            executor=executor,
+                        ),
+                        repeat=repeat,
+                    )
+                    assert result.metadata["sharding"]["mode"] == "distributed"
+                    assert result.relation.rows_bag() == mono.relation.rows_bag(), (
+                        f"{name} @ {shards} shards ({executor}): sharded result "
+                        "differs from monolithic"
+                    )
+                    timings[executor] = seconds
+                if shards == 1:
+                    single_shard_seconds = timings["serial"]
+                speedup = single_shard_seconds / timings["process"]
+                table.add_row(
+                    name,
+                    shards,
+                    timings["serial"] * 1e3,
+                    timings["process"] * 1e3,
+                    f"{speedup:.2f}x",
                 )
-                assert result.metadata["sharding"]["mode"] == "distributed"
-                assert result.relation.rows_bag() == mono.relation.rows_bag(), (
-                    f"{name} @ {shards} shards ({executor}): sharded result "
-                    "differs from monolithic"
-                )
-                timings[executor] = seconds
-            if shards == 1:
-                single_shard_seconds = timings["serial"]
-            speedup = single_shard_seconds / timings["process"]
-            table.add_row(
-                name,
-                shards,
-                timings["serial"] * 1e3,
-                timings["process"] * 1e3,
-                f"{speedup:.2f}x",
-            )
-            if shards == max(SHARD_COUNTS):
-                parallel_wins.append((name, single_shard_seconds, timings["process"]))
-    table.print()
+                if shards == max(SHARD_COUNTS):
+                    parallel_wins.append((name, single_shard_seconds, timings["process"]))
+        table.print()
 
-    cpus = _cpu_count()
-    print(f"\ncpus available: {cpus}")
-    if smoke or cpus < 2:
-        print("(parallel speedup assertion skipped: smoke mode or single core)")
-        return
-    # Acceptance: parallel shard execution beats single-shard wall-clock
-    # on the big product query.
-    name, single, parallel = next(w for w in parallel_wins if w[0] == "q_localsupp")
-    assert parallel < single, (
-        f"{name}: process executor at {max(SHARD_COUNTS)} shards "
-        f"({parallel * 1e3:.0f} ms) did not beat single-shard "
-        f"({single * 1e3:.0f} ms) on {cpus} cpus"
-    )
+        cpus = _cpu_count()
+        print(f"\ncpus available: {cpus}")
+        if smoke or cpus < 2:
+            print("(parallel speedup assertion skipped: smoke mode or single core)")
+            return
+        # Acceptance: parallel shard execution beats single-shard wall-clock
+        # on the big product query.
+        name, single, parallel = next(w for w in parallel_wins if w[0] == "q_localsupp")
+        assert parallel < single, (
+            f"{name}: process executor at {max(SHARD_COUNTS)} shards "
+            f"({parallel * 1e3:.0f} ms) did not beat single-shard "
+            f"({single * 1e3:.0f} ms) on {cpus} cpus"
+        )
 
 
 def run_incremental(config: TpchLiteConfig, *, smoke: bool) -> None:
     database = generate_tpch_lite(config)
     query = tpch_lite_queries()["q_localsupp"]
     shards = 4
-    engine = Engine()
-    sharded = ShardedDatabase.from_database(database, shards)
-    warm = engine.evaluate(query, sharded, strategy="naive")
-    assert warm.metadata["sharding"]["partial_cache_hits"] == 0
+    with Engine() as engine:
+        sharded = ShardedDatabase.from_database(database, shards)
+        warm = engine.evaluate(query, sharded, strategy="naive")
+        assert warm.metadata["sharding"]["partial_cache_hits"] == 0
 
-    mutated = sharded.add_rows(
-        "customer", [("c9999", "Customer#9999", "n1", 42.0)]
-    )
-    incremental_seconds, result = time_call(
-        lambda: engine.evaluate(query, mutated, strategy="naive"), repeat=1
-    )
-    hits = result.metadata["sharding"]["partial_cache_hits"]
-    monolithic_seconds, mono = time_call(
-        lambda: engine.evaluate(
-            query, mutated, strategy="naive", shards=0, use_cache=False
-        ),
-        repeat=1,
-    )
-    assert result.relation.rows_bag() == mono.relation.rows_bag()
-
-    table = ResultTable(
-        "E13: per-shard cache invalidation after a one-shard append",
-        ["evaluation", "wall (ms)", "partials recomputed"],
-    )
-    table.add_row("monolithic re-eval", monolithic_seconds * 1e3, shards)
-    table.add_row("sharded re-eval", incremental_seconds * 1e3, shards - hits)
-    table.print()
-    assert hits == shards - 1, f"expected {shards - 1} cached partials, got {hits}"
-    if not smoke:
-        # Recomputing 1/N of the work must beat recomputing all of it,
-        # single core or not.
-        assert incremental_seconds < monolithic_seconds, (
-            f"incremental re-eval ({incremental_seconds * 1e3:.0f} ms) "
-            f"not faster than monolithic ({monolithic_seconds * 1e3:.0f} ms)"
+        mutated = sharded.add_rows(
+            "customer", [("c9999", "Customer#9999", "n1", 42.0)]
         )
+        incremental_seconds, result = time_call(
+            lambda: engine.evaluate(query, mutated, strategy="naive"), repeat=1
+        )
+        hits = result.metadata["sharding"]["partial_cache_hits"]
+        monolithic_seconds, mono = time_call(
+            lambda: engine.evaluate(
+                query, mutated, strategy="naive", shards=0, use_cache=False
+            ),
+            repeat=1,
+        )
+        assert result.relation.rows_bag() == mono.relation.rows_bag()
+
+        table = ResultTable(
+            "E13: per-shard cache invalidation after a one-shard append",
+            ["evaluation", "wall (ms)", "partials recomputed"],
+        )
+        table.add_row("monolithic re-eval", monolithic_seconds * 1e3, shards)
+        table.add_row("sharded re-eval", incremental_seconds * 1e3, shards - hits)
+        table.print()
+        assert hits == shards - 1, f"expected {shards - 1} cached partials, got {hits}"
+        if not smoke:
+            # Recomputing 1/N of the work must beat recomputing all of it,
+            # single core or not.
+            assert incremental_seconds < monolithic_seconds, (
+                f"incremental re-eval ({incremental_seconds * 1e3:.0f} ms) "
+                f"not faster than monolithic ({monolithic_seconds * 1e3:.0f} ms)"
+            )
 
 
 # ----------------------------------------------------------------------

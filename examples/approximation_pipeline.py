@@ -28,45 +28,45 @@ def main() -> None:
     config = TpchLiteConfig(
         customers=8, orders=14, lineitems=20, suppliers=4, parts=8, null_rate=0.04
     )
-    session = Session(generate_tpch_lite(config))
-    db = session.database
-    print(
-        f"TPC-H-lite database: {db.total_rows()} rows, "
-        f"{len(db.nulls())} marked nulls (rate {config.null_rate:.0%})."
-    )
-
-    # The Figure 2a (Qt, Qf) rewriting is deliberately left out here: on the
-    # difference queries its Qf side materialises Dom^k for the wide lineitem
-    # relation (k = 6), which is exactly the infeasibility the paper reports —
-    # see benchmarks/bench_blowup_qtqf.py (experiment E5) for that comparison
-    # on narrow relations where it can still be evaluated.
-    table = ResultTable(
-        "Answer-set sizes per procedure (sound procedures can only shrink)",
-        ["query", "naive", "Q+ (2b)", "Eval_eager", "Eval_aware", "Q? (possible)"],
-    )
-    for name, query in sorted(tpch_lite_queries().items()):
-        results = session.compare(
-            query,
-            strategies=["naive", "approx-guagliardo16", "ctables"],
-            options={"ctables": {"variant": "eager"}},
+    with Session(generate_tpch_lite(config)) as session:
+        db = session.database
+        print(
+            f"TPC-H-lite database: {db.total_rows()} rows, "
+            f"{len(db.nulls())} marked nulls (rate {config.null_rate:.0%})."
         )
-        aware = session.evaluate(query, strategy="ctables", variant="aware")
-        plus = results["approx-guagliardo16"]
-        table.add_row(
-            name,
-            len(results["naive"]),
-            len(plus.certain_rows()),
-            len(results["ctables"].certain_rows()),
-            len(aware.certain_rows()),
-            len(plus.possible),
-        )
-    table.print()
 
-    print(
-        "\nEvery sound procedure reports a subset of the naïve answers; the"
-        "\ndifference-heavy queries lose the most answers because a single null"
-        "\nin the subtracted relation can unify with everything."
-    )
+        # The Figure 2a (Qt, Qf) rewriting is deliberately left out here: on the
+        # difference queries its Qf side materialises Dom^k for the wide lineitem
+        # relation (k = 6), which is exactly the infeasibility the paper reports —
+        # see benchmarks/bench_blowup_qtqf.py (experiment E5) for that comparison
+        # on narrow relations where it can still be evaluated.
+        table = ResultTable(
+            "Answer-set sizes per procedure (sound procedures can only shrink)",
+            ["query", "naive", "Q+ (2b)", "Eval_eager", "Eval_aware", "Q? (possible)"],
+        )
+        for name, query in sorted(tpch_lite_queries().items()):
+            results = session.compare(
+                query,
+                strategies=["naive", "approx-guagliardo16", "ctables"],
+                options={"ctables": {"variant": "eager"}},
+            )
+            aware = session.evaluate(query, strategy="ctables", variant="aware")
+            plus = results["approx-guagliardo16"]
+            table.add_row(
+                name,
+                len(results["naive"]),
+                len(plus.certain_rows()),
+                len(results["ctables"].certain_rows()),
+                len(aware.certain_rows()),
+                len(plus.possible),
+            )
+        table.print()
+
+        print(
+            "\nEvery sound procedure reports a subset of the naïve answers; the"
+            "\ndifference-heavy queries lose the most answers because a single null"
+            "\nin the subtracted relation can unify with everything."
+        )
 
 
 if __name__ == "__main__":

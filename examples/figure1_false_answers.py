@@ -22,36 +22,36 @@ from repro.workloads import figure1_cases, figure1_database, figure1_database_wi
 
 
 def main() -> None:
-    complete = Session(figure1_database())
-    incomplete = complete.with_database(figure1_database_with_null())
-    print("Figure 1 database, with the second payment's oid replaced by a null:")
-    print(incomplete.database.to_text())
+    with Session(figure1_database()) as complete:
+        incomplete = complete.with_database(figure1_database_with_null())
+        print("Figure 1 database, with the second payment's oid replaced by a null:")
+        print(incomplete.database.to_text())
 
-    table = ResultTable(
-        "SQL vs certainty on Figure 1 (single NULL in Payments)",
-        ["query", "SQL on complete D", "SQL with NULL", "certain answers", "Q+", "Q+ quality"],
-    )
-    for case in figure1_cases():
-        sql_complete = complete.sql(case.sql)
-        sql_null = incomplete.sql(case.sql)
-        certain = incomplete.certain(case.algebra)
-        plus = incomplete.evaluate(case.algebra, strategy="approx-guagliardo16")
-        quality = compare_answers(plus.relation, certain.relation)
-        table.add_row(
-            case.name,
-            sorted(sql_complete.rows_set()),
-            sorted(sql_null.rows_set()),
-            sorted(map(str, certain.rows_set())),
-            sorted(map(str, plus.certain_rows())),
-            f"P={quality.precision:.0%} R={quality.recall:.0%}",
+        table = ResultTable(
+            "SQL vs certainty on Figure 1 (single NULL in Payments)",
+            ["query", "SQL on complete D", "SQL with NULL", "certain answers", "Q+", "Q+ quality"],
         )
-    table.print()
+        for case in figure1_cases():
+            sql_complete = complete.sql(case.sql)
+            sql_null = incomplete.sql(case.sql)
+            certain = incomplete.certain(case.algebra)
+            plus = incomplete.evaluate(case.algebra, strategy="approx-guagliardo16")
+            quality = compare_answers(plus.relation, certain.relation)
+            table.add_row(
+                case.name,
+                sorted(sql_complete.rows_set()),
+                sorted(sql_null.rows_set()),
+                sorted(map(str, certain.rows_set())),
+                sorted(map(str, plus.certain_rows())),
+                f"P={quality.precision:.0%} R={quality.recall:.0%}",
+            )
+        table.print()
 
-    print(
-        "\nReading the table: the NULL makes SQL drop the certain-looking answer"
-        "\no3 (false negative), invent c2 (false positive), and miss the certain"
-        "\nanswer c2 of the tautology-like query — exactly the paper's Section 1."
-    )
+        print(
+            "\nReading the table: the NULL makes SQL drop the certain-looking answer"
+            "\no3 (false negative), invent c2 (false positive), and miss the certain"
+            "\nanswer c2 of the tautology-like query — exactly the paper's Section 1."
+        )
 
 
 if __name__ == "__main__":

@@ -27,32 +27,32 @@ def main() -> None:
     db = Database.from_dict(
         {"T": (("A",), [(1,), (2,)]), "S": (("A",), [(unknown,)])}
     )
-    session = Session(db)
-    query = rb.difference(rb.relation("T"), rb.relation("S"))
-    print("Database: T = {1, 2}, S = {⊥};  query: T − S, candidate answer (1,).")
+    with Session(db) as session:
+        query = rb.difference(rb.relation("T"), rb.relation("S"))
+        print("Database: T = {1, 2}, S = {⊥};  query: T − S, candidate answer (1,).")
 
-    table = ResultTable("µ_k for the candidate answer (1,)", ["k", "µ_k"])
-    for k, value in mu_k_profile(query, db, (1,), [3, 4, 6, 10, 20]):
-        table.add_row(k, f"{value} ≈ {float(value):.3f}")
-    table.print()
-    print(f"\nLimit by the 0–1 law: µ = {mu_limit(query, db, (1,))}")
-    certain = session.certain(query)
-    print(f"Exact certain answers: {sorted(certain.rows_set())}")
-    print("So (1,) is almost certainly true, yet not certain.")
+        table = ResultTable("µ_k for the candidate answer (1,)", ["k", "µ_k"])
+        for k, value in mu_k_profile(query, db, (1,), [3, 4, 6, 10, 20]):
+            table.add_row(k, f"{value} ≈ {float(value):.3f}")
+        table.print()
+        print(f"\nLimit by the 0–1 law: µ = {mu_limit(query, db, (1,))}")
+        certain = session.certain(query)
+        print(f"Exact certain answers: {sorted(certain.rows_set())}")
+        print("So (1,) is almost certainly true, yet not certain.")
 
-    ind = InclusionDependency("S", ["A"], "T", ["A"])
-    print(
-        f"\nConditioning on S ⊆ T (the null must be 1 or 2): "
-        f"µ(Q | Σ, D, (1,)) = {conditional_mu(query, [ind], db, (1,))}"
-    )
+        ind = InclusionDependency("S", ["A"], "T", ["A"])
+        print(
+            f"\nConditioning on S ⊆ T (the null must be 1 or 2): "
+            f"µ(Q | Σ, D, (1,)) = {conditional_mu(query, [ind], db, (1,))}"
+        )
 
-    fd_db = Database.from_dict({"R": (("A", "B"), [(1, Null("b")), (1, 5)])})
-    fd = FunctionalDependency("R", ["A"], ["B"])
-    projection = rb.project(rb.relation("R"), ["B"])
-    print(
-        "With only functional dependencies the limit is 0 or 1 via the chase: "
-        f"µ(π_B R | A→B, D, (5,)) = {conditional_mu(projection, [fd], fd_db, (5,))}"
-    )
+        fd_db = Database.from_dict({"R": (("A", "B"), [(1, Null("b")), (1, 5)])})
+        fd = FunctionalDependency("R", ["A"], ["B"])
+        projection = rb.project(rb.relation("R"), ["B"])
+        print(
+            "With only functional dependencies the limit is 0 or 1 via the chase: "
+            f"µ(π_B R | A→B, D, (5,)) = {conditional_mu(projection, [fd], fd_db, (5,))}"
+        )
 
 
 if __name__ == "__main__":

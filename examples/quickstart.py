@@ -52,43 +52,43 @@ def main() -> None:
     print(" ", to_text(query))
 
     # One session, one API — the strategy name picks the evaluation regime.
-    session = Session(db)
+    with Session(db) as session:
 
-    print("\n1. SQL-style evaluation (what a DBMS would return):")
-    sql = session.evaluate(
-        "SELECT oid FROM orders WHERE city NOT IN (SELECT city FROM hubs)",
-        strategy="sql-3vl",
-    )
-    print(sql.to_text())
+        print("\n1. SQL-style evaluation (what a DBMS would return):")
+        sql = session.evaluate(
+            "SELECT oid FROM orders WHERE city NOT IN (SELECT city FROM hubs)",
+            strategy="sql-3vl",
+        )
+        print(sql.to_text())
 
-    print("\n2. Naïve evaluation (nulls as plain values):")
-    naive = session.evaluate(query, strategy="naive")
-    print(naive.to_text())
+        print("\n2. Naïve evaluation (nulls as plain values):")
+        naive = session.evaluate(query, strategy="naive")
+        print(naive.to_text())
 
-    print("\n3. Sound approximation Q+ (never returns a non-certain tuple):")
-    approx = session.evaluate(query, strategy="approx-guagliardo16")
-    print(approx.to_text())
-    print("\n   ...and the possible answers Q?:")
-    print(approx.possible.to_text())
+        print("\n3. Sound approximation Q+ (never returns a non-certain tuple):")
+        approx = session.evaluate(query, strategy="approx-guagliardo16")
+        print(approx.to_text())
+        print("\n   ...and the possible answers Q?:")
+        print(approx.possible.to_text())
 
-    print("\n4. Exact certain answers (exponential reference algorithm):")
-    exact = session.evaluate(query, strategy="exact-certain")
-    print(exact.to_text())
+        print("\n4. Exact certain answers (exponential reference algorithm):")
+        exact = session.evaluate(query, strategy="exact-certain")
+        print(exact.to_text())
 
-    print("\nAsking again is free — the session cache remembers:")
-    again = session.evaluate(query, strategy="exact-certain")
-    print(f"  from_cache={again.from_cache}  ({session.cache_stats})")
+        print("\nAsking again is free — the session cache remembers:")
+        again = session.evaluate(query, strategy="exact-certain")
+        print(f"  from_cache={again.from_cache}  ({session.cache_stats})")
 
-    # Or ask for everything at once: session.compare runs every strategy
-    # that can consume this frontend and strategy_table renders the map.
-    strategy_table(
-        "All certainty-aware strategies on the same query", session.compare(query)
-    ).print()
+        # Or ask for everything at once: session.compare runs every strategy
+        # that can consume this frontend and strategy_table renders the map.
+        strategy_table(
+            "All certainty-aware strategies on the same query", session.compare(query)
+        ).print()
 
-    print(
-        "\nTakeaway: o2's city is unknown, so o2 is not a certain answer; the"
-        "\nsound procedures leave it out, while naïve/SQL evaluation guesses."
-    )
+        print(
+            "\nTakeaway: o2's city is unknown, so o2 is not a certain answer; the"
+            "\nsound procedures leave it out, while naïve/SQL evaluation guesses."
+        )
 
 
 if __name__ == "__main__":

@@ -67,24 +67,24 @@ def main() -> None:
         "SELECT R.A FROM R WHERE R.A NOT IN "
         "( SELECT S.A FROM S WHERE S.A NOT IN ( SELECT T.A FROM T ) )"
     )
-    session = Session(db)
-    print("\n2. R − (S − T) with R = S = {1}, T = {⊥}:")
-    print("   certain answers:        ", sorted(session.certain(FoQuery(plain, free=[x])).rows_set()))
-    print("   FO(L3v, unif) answers:  ", sorted(fo_unif().answers(plain, db, [x]).rows_set()))
-    print("   FOSQL answers:          ", sorted(session.sql(FoQuery(plain, free=[x])).rows_set()))
-    print("   FO↑SQL answers:         ", sorted(fo_sql_assert().answers(asserted, db, [x]).rows_set()))
-    print("   real SQL engine:        ", sorted(session.sql(sql_text).rows_set()))
-    print(
-        "   → the assertion operator ↑ (SQL's WHERE keeping only 'true') is what"
-        " lets SQL return the almost-certainly-false answer 1."
-    )
+    with Session(db) as session:
+        print("\n2. R − (S − T) with R = S = {1}, T = {⊥}:")
+        print("   certain answers:        ", sorted(session.certain(FoQuery(plain, free=[x])).rows_set()))
+        print("   FO(L3v, unif) answers:  ", sorted(fo_unif().answers(plain, db, [x]).rows_set()))
+        print("   FOSQL answers:          ", sorted(session.sql(FoQuery(plain, free=[x])).rows_set()))
+        print("   FO↑SQL answers:         ", sorted(fo_sql_assert().answers(asserted, db, [x]).rows_set()))
+        print("   real SQL engine:        ", sorted(session.sql(sql_text).rows_set()))
+        print(
+            "   → the assertion operator ↑ (SQL's WHERE keeping only 'true') is what"
+            " lets SQL return the almost-certainly-false answer 1."
+        )
 
-    # 3. Capture in Boolean FO (Theorems 5.4 / 5.5).
-    pair = capture(plain)
-    captured = FoQuery(pair.when_true, free=[x]).answers(db).rows_set()
-    print("\n3. Boolean FO capture of the three-valued semantics:")
-    print("   ψ_t answers:", sorted(captured), "— identical to the FOSQL t-answers,")
-    print("   so SQL's three-valued logic adds no expressive power over Boolean FO.")
+        # 3. Capture in Boolean FO (Theorems 5.4 / 5.5).
+        pair = capture(plain)
+        captured = FoQuery(pair.when_true, free=[x]).answers(db).rows_set()
+        print("\n3. Boolean FO capture of the three-valued semantics:")
+        print("   ψ_t answers:", sorted(captured), "— identical to the FOSQL t-answers,")
+        print("   so SQL's three-valued logic adds no expressive power over Boolean FO.")
 
 
 if __name__ == "__main__":

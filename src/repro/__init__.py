@@ -25,7 +25,10 @@ The package is organised in layers:
 * :mod:`repro.workloads` and :mod:`repro.bench` — data generators and the
   benchmark harness used to regenerate the paper's experiments;
 * :mod:`repro.engine` — the unified Session/Engine façade dispatching
-  every evaluation strategy above through one ``evaluate()`` call;
+  every evaluation strategy above through one ``evaluate()`` call, and
+  its awaitable twins :class:`~repro.engine.AsyncEngine` /
+  :class:`~repro.engine.AsyncSession` fanning batch/compare out over a
+  worker pool;
 * :mod:`repro.sharding` — horizontally sharded databases with parallel
   per-fragment evaluation behind the same façade
   (``Session(db, shards=4, executor="process")``).
@@ -52,6 +55,8 @@ from .datamodel import (
 )
 from .engine import (
     AnnotatedTuple,
+    AsyncEngine,
+    AsyncSession,
     Certainty,
     Engine,
     EngineError,
@@ -70,7 +75,7 @@ from .calculus import FoQuery
 from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # Data model
@@ -87,6 +92,8 @@ __all__ = [
     # Engine façade
     "Engine",
     "Session",
+    "AsyncEngine",
+    "AsyncSession",
     "QueryResult",
     "AnnotatedTuple",
     "Certainty",

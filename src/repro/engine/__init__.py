@@ -23,11 +23,22 @@ Layers:
   per-tuple certainty annotations;
 * :mod:`repro.engine.cache` — the per-session result cache keyed on
   (query fingerprint, database fingerprint, strategy);
-* :mod:`repro.engine.core` — :class:`Engine` and :class:`Session`.
+* :mod:`repro.engine.core` — :class:`Engine` and :class:`Session`;
+* :mod:`repro.engine.aio` — :class:`AsyncEngine` and
+  :class:`AsyncSession`, the awaitable twins with concurrent
+  batch/compare fan-out over a worker pool.
 """
 
-from .cache import CacheStats, ResultCache, database_fingerprint
+from .cache import (
+    CacheStats,
+    ResultCache,
+    canonical_option_value,
+    canonical_options,
+    database_fingerprint,
+    evaluation_cache_key,
+)
 from .core import Engine, Session, default_engine, evaluate
+from .aio import AsyncEngine, AsyncSession, EngineTask, run_engine_task
 from .errors import (
     EngineError,
     NormalizationError,
@@ -56,6 +67,11 @@ __all__ = [
     "Session",
     "default_engine",
     "evaluate",
+    # Async façade
+    "AsyncEngine",
+    "AsyncSession",
+    "EngineTask",
+    "run_engine_task",
     # Results
     "QueryResult",
     "AnnotatedTuple",
@@ -77,6 +93,9 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "database_fingerprint",
+    "evaluation_cache_key",
+    "canonical_options",
+    "canonical_option_value",
     # Errors
     "EngineError",
     "UnknownStrategyError",

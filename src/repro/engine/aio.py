@@ -1,0 +1,648 @@
+"""The async twin of the engine façade: concurrent batch/compare fan-out.
+
+The paper's central workload is *comparison*: run six evaluation regimes
+(``sql-3vl``, ``naive``, ``exact-certain``, ``approx-libkin16``,
+``approx-guagliardo16``, ``ctables``) on the same (query, database)
+pairs.  Every strategy is a pure function of its inputs, so the shape is
+embarrassingly parallel — :class:`AsyncEngine` exploits that::
+
+    from repro.engine import AsyncSession
+
+    async with AsyncSession(database) as session:
+        results = await session.compare(query)          # strategies overlap
+        batch = await session.evaluate_batch(queries)   # queries overlap
+
+Design:
+
+* **Shared frontend and cache.**  ``AsyncEngine`` composes a sync
+  :class:`~repro.engine.core.Engine` (pass one in to share it, or let
+  the async engine create and own a private one).  Normalization, the
+  strategy registry, sharding resolution and the (thread-safe)
+  :class:`~repro.engine.cache.ResultCache` are the sync engine's —
+  results computed by either twin are cache hits for the other, under
+  the same :func:`~repro.engine.cache.evaluation_cache_key`.
+* **Worker dispatch.**  Strategy runs are shipped to a
+  ``concurrent.futures`` pool through ``loop.run_in_executor`` over the
+  picklable :func:`run_engine_task` entry point — the same pattern as
+  :func:`repro.sharding.executor.run_shard_task`.  ``pool="process"``
+  (the default) gives true parallelism across cores; ``"thread"`` keeps
+  everything in-process (useful when results are large or workers are
+  expensive to fork); ``"serial"`` computes inline on the event loop
+  (deterministic debugging); an existing ``concurrent.futures.Executor``
+  instance is used as-is and never shut down by the engine.
+* **Bounded fan-out.**  ``max_concurrency`` caps in-flight dispatches
+  with an :class:`asyncio.Semaphore`.  The semaphore is held only
+  around the executor hop (never while awaiting another engine call),
+  so nested paths — e.g. a sharded evaluation falling back to the
+  monolithic one — cannot deadlock on it.
+* **Single-flight.**  Concurrent evaluations of the same cache key
+  coalesce onto one computation; followers get the shared result marked
+  ``from_cache=True``.
+* **Sharding.**  A :class:`~repro.sharding.ShardedDatabase` (or
+  ``shards=N``) takes the async sharded path —
+  :func:`repro.sharding.evaluate.evaluate_sharded_async` — reusing the
+  sync engine's :class:`~repro.sharding.executor.ShardExecutor`s through
+  their awaitable ``run_async`` surface, so per-shard partial caching
+  and invalidation behave exactly as in the sync engine.
+
+Custom strategies registered at runtime exist only in the parent
+process; with the default ``fork`` start method on Linux they are
+inherited by pool workers created *after* registration, otherwise use
+``pool="thread"`` or make the strategy importable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import contextlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterable, Mapping, Sequence
+
+from ..datamodel.database import Database
+from .cache import CacheStats, database_fingerprint, evaluation_cache_key
+from .core import Engine, _presharded_database
+from .errors import EngineError, StrategyNotApplicableError
+from .registry import StrategyOutcome, get_strategy
+from .result import QueryResult
+
+__all__ = ["AsyncEngine", "AsyncSession", "EngineTask", "run_engine_task"]
+
+_POOL_KINDS = ("process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class EngineTask:
+    """One monolithic evaluation, self-contained and picklable.
+
+    Everything a worker needs: the normalized query (frozen dataclasses
+    all the way down), the database, and the strategy resolved by name
+    inside the worker — mirroring
+    :class:`~repro.sharding.executor.ShardTask`.
+    """
+
+    normalized: Any
+    database: Database
+    strategy: str
+    semantics: str
+    options: tuple[tuple[str, Any], ...] = ()
+
+
+@dataclass(frozen=True)
+class EngineTaskResult:
+    """A strategy outcome plus the worker-side wall-clock time."""
+
+    outcome: StrategyOutcome
+    elapsed: float
+
+
+def run_engine_task(task: EngineTask) -> EngineTaskResult:
+    """Evaluate one engine task; also the worker-process entry point.
+
+    Unpickling the task in a spawned worker imports this module, which
+    runs ``repro.engine.__init__`` and thereby registers the built-in
+    strategies before the lookup by name (the ``run_shard_task``
+    pattern).
+    """
+    strategy = get_strategy(task.strategy)
+    start = time.perf_counter()
+    outcome = strategy.run(
+        task.normalized,
+        task.database,
+        semantics=task.semantics,
+        **dict(task.options),
+    )
+    return EngineTaskResult(outcome=outcome, elapsed=time.perf_counter() - start)
+
+
+class AsyncEngine:
+    """Evaluates queries concurrently on an asyncio event loop.
+
+    Accepts every argument :class:`~repro.engine.core.Engine` does, plus
+    the async-specific ``pool``/``max_workers``/``max_concurrency``.
+    Pass ``engine=`` to share an existing sync engine (and its cache);
+    otherwise a private engine is created and closed with this one.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: Engine | None = None,
+        pool: Any = "process",
+        max_workers: int | None = None,
+        max_concurrency: int | None = None,
+        cache_size: int = 256,
+        default_semantics: str = "set",
+        shards: int | None = None,
+        executor: Any = "serial",
+        partitioner: Any = None,
+    ):
+        self._owns_engine = engine is None
+        self._engine = engine or Engine(
+            cache_size=cache_size,
+            default_semantics=default_semantics,
+            shards=shards,
+            executor=executor,
+            partitioner=partitioner,
+        )
+        if isinstance(pool, concurrent.futures.Executor):
+            self._pool: concurrent.futures.Executor | None = pool
+            self._owns_pool = False
+            self._pool_kind = type(pool).__name__
+        elif pool in _POOL_KINDS:
+            self._pool = None
+            self._owns_pool = True
+            self._pool_kind = pool
+        else:
+            raise EngineError(
+                f"unknown worker pool {pool!r}; expected one of {_POOL_KINDS} "
+                "or a concurrent.futures.Executor instance"
+            )
+        if max_concurrency is not None and max_concurrency < 1:
+            raise EngineError("max_concurrency must be a positive integer or None")
+        self.max_workers = max_workers
+        self.max_concurrency = max_concurrency
+        # Loop-bound state, (re)created by _bind_loop so one AsyncEngine
+        # survives successive asyncio.run() invocations.
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._semaphore: asyncio.Semaphore | None = None
+        self._pending: dict[Hashable, asyncio.Task] = {}
+
+    # ------------------------------------------------------------------
+    # Introspection and delegation to the sync twin
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> Engine:
+        """The sync twin this engine shares its cache and config with."""
+        return self._engine
+
+    @staticmethod
+    def strategies() -> tuple[str, ...]:
+        return Engine.strategies()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self._engine.cache_stats
+
+    @property
+    def cache_enabled(self) -> bool:
+        return self._engine.cache_enabled
+
+    def clear_cache(self) -> None:
+        self._engine.clear_cache()
+
+    @property
+    def default_semantics(self) -> str:
+        return self._engine.default_semantics
+
+    @property
+    def pool_kind(self) -> str:
+        return self._pool_kind
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool and, if owned, the inner engine."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        if self._owns_engine:
+            self._engine.close()
+
+    async def aclose(self) -> None:
+        """Awaitable ``close``: pool shutdown happens off the event loop."""
+        await asyncio.get_running_loop().run_in_executor(None, self.close)
+
+    async def __aenter__(self) -> "AsyncEngine":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Loop-bound plumbing
+    # ------------------------------------------------------------------
+    def _bind_loop(self) -> asyncio.AbstractEventLoop:
+        loop = asyncio.get_running_loop()
+        if self._loop is not loop:
+            self._loop = loop
+            self._semaphore = (
+                asyncio.Semaphore(self.max_concurrency)
+                if self.max_concurrency is not None
+                else None
+            )
+            self._pending = {}
+        return loop
+
+    def _limit(self):
+        """The dispatch limiter: the semaphore, or a reusable no-op."""
+        if self._semaphore is not None:
+            return self._semaphore
+        return contextlib.nullcontext()
+
+    def _pool_executor(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            workers = self.max_workers or (os.cpu_count() or 1)
+            if self._pool_kind == "process":
+                self._pool = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=workers
+                )
+            else:  # "thread"
+                self._pool = concurrent.futures.ThreadPoolExecutor(
+                    max_workers=workers
+                )
+        return self._pool
+
+    async def _dispatch(self, task: EngineTask) -> EngineTaskResult:
+        """Run one task on the pool, holding a semaphore slot meanwhile."""
+        async with self._limit():
+            if self._pool_kind == "serial":
+                return run_engine_task(task)
+            loop = asyncio.get_running_loop()
+            return await loop.run_in_executor(
+                self._pool_executor(), run_engine_task, task
+            )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    async def evaluate(
+        self,
+        query: Any,
+        database: Database,
+        *,
+        strategy: str = "naive",
+        semantics: str | None = None,
+        use_cache: bool = True,
+        database_fp: str | None = None,
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
+        **options: Any,
+    ) -> QueryResult:
+        """Awaitable :meth:`repro.engine.Engine.evaluate`, same contract.
+
+        The result is identical to the sync engine's (worker-measured
+        ``elapsed`` aside); concurrent calls overlap up to
+        ``max_concurrency`` and the pool's worker count.
+        """
+        self._bind_loop()
+        engine = self._engine
+        strat, semantics, normalized = engine._prepare_call(
+            query, database, strategy, semantics
+        )
+        sharded = engine._sharded_database(database, shards, partitioner)
+        if sharded is not None:
+            from ..sharding.evaluate import evaluate_sharded_async
+
+            cache = (
+                engine._cache if use_cache and engine._cache.enabled else None
+            )
+
+            async def coalesced() -> QueryResult:
+                return await self._evaluate_monolithic(
+                    normalized,
+                    sharded,
+                    strat,
+                    semantics,
+                    use_cache=use_cache,
+                    database_fp=database_fp,
+                    options=options,
+                )
+
+            return await evaluate_sharded_async(
+                normalized,
+                sharded,
+                strat,
+                semantics=semantics,
+                options=options,
+                executor=engine._shard_executor(executor),
+                cache=cache,
+                database_fp=database_fp,
+                evaluate_coalesced=coalesced,
+                limiter=self._limit(),
+            )
+        return await self._evaluate_monolithic(
+            normalized,
+            database,
+            strat,
+            semantics,
+            use_cache=use_cache,
+            database_fp=database_fp,
+            options=options,
+        )
+
+    async def _evaluate_monolithic(
+        self,
+        normalized: Any,
+        database: Database,
+        strat: Any,
+        semantics: str,
+        *,
+        use_cache: bool,
+        database_fp: str | None,
+        options: Mapping[str, Any],
+    ) -> QueryResult:
+        key = None
+        if use_cache and self._engine._cache.enabled:
+            if database_fp is None:
+                database_fp = database_fingerprint(database)
+            key = evaluation_cache_key(
+                normalized.fingerprint, database_fp, strat.name, semantics, options
+            )
+            cached = self._engine._cache.get(key)
+            if cached is not None:
+                return cached.as_cached()
+
+        if key is None:
+            return await self._compute(normalized, database, strat, semantics, options, None)
+
+        # Single-flight: concurrent evaluations of one key share one
+        # computation.  The shared computation runs in its own task, so
+        # a cancelled awaiter does not kill it for the others.
+        created = False
+        pending = self._pending.get(key)
+        if pending is None:
+            created = True
+            pending = asyncio.get_running_loop().create_task(
+                self._compute(normalized, database, strat, semantics, options, key)
+            )
+            self._pending[key] = pending
+            pending.add_done_callback(
+                lambda _task, _key=key: self._pending.pop(_key, None)
+            )
+        result = await asyncio.shield(pending)
+        return result if created else result.as_cached()
+
+    async def _compute(
+        self,
+        normalized: Any,
+        database: Database,
+        strat: Any,
+        semantics: str,
+        options: Mapping[str, Any],
+        key: Hashable,
+    ) -> QueryResult:
+        task = EngineTask(
+            normalized=normalized,
+            database=database,
+            strategy=strat.name,
+            semantics=semantics,
+            options=tuple(options.items()),
+        )
+        computed = await self._dispatch(task)
+        outcome = computed.outcome
+        result = QueryResult(
+            strategy=strat.name,
+            semantics=semantics,
+            relation=outcome.answer,
+            tuples=outcome.annotated,
+            certain=outcome.certain,
+            possible=outcome.possible,
+            certainly_false=outcome.certainly_false,
+            elapsed=computed.elapsed,
+            from_cache=False,
+            fingerprint=normalized.fingerprint,
+            metadata=dict(outcome.metadata),
+        )
+        if key is not None:
+            self._engine._cache.put(key, result)
+        return result
+
+    async def evaluate_batch(
+        self,
+        queries: Iterable[Any],
+        database: Database,
+        *,
+        strategy: str = "naive",
+        semantics: str | None = None,
+        use_cache: bool = True,
+        database_fp: str | None = None,
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
+        **options: Any,
+    ) -> list[QueryResult]:
+        """Evaluate many queries concurrently on one database.
+
+        The database is fingerprinted (and, with sharding, partitioned)
+        once up front; the per-query evaluations then overlap, bounded
+        by ``max_concurrency`` and the pool size.  Results come back in
+        input order.
+        """
+        self._bind_loop()
+        engine = self._engine
+        sharded = engine._sharded_database(database, shards, partitioner)
+        if sharded is not None:
+            database = sharded
+            shards = None  # already resolved; avoid re-partitioning per query
+        if database_fp is None and use_cache and engine._cache.enabled:
+            database_fp = database_fingerprint(database)
+        return list(
+            await asyncio.gather(
+                *(
+                    self.evaluate(
+                        query,
+                        database,
+                        strategy=strategy,
+                        semantics=semantics,
+                        use_cache=use_cache,
+                        database_fp=database_fp,
+                        shards=shards,
+                        executor=executor,
+                        partitioner=partitioner,
+                        **options,
+                    )
+                    for query in queries
+                )
+            )
+        )
+
+    async def compare(
+        self,
+        query: Any,
+        database: Database,
+        *,
+        strategies: Sequence[str] | None = None,
+        semantics: str | None = None,
+        use_cache: bool = True,
+        skip_inapplicable: bool = True,
+        database_fp: str | None = None,
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
+        options: Mapping[str, Mapping[str, Any]] | None = None,
+    ) -> dict[str, QueryResult]:
+        """Run every applicable strategy concurrently on one query.
+
+        Same contract as :meth:`repro.engine.Engine.compare`; the
+        strategy runs fan out together instead of one after another.
+        Inapplicable strategies (raised either before dispatch or inside
+        a worker) are silently omitted under ``skip_inapplicable``.
+        """
+        self._bind_loop()
+        engine = self._engine
+        names = tuple(strategies) if strategies is not None else self.strategies()
+        per_strategy = options or {}
+        sharded = engine._sharded_database(database, shards, partitioner)
+        if sharded is not None:
+            database = sharded
+            shards = None
+        if database_fp is None and use_cache and engine._cache.enabled:
+            database_fp = database_fingerprint(database)
+
+        async def run_one(name: str) -> tuple[str, QueryResult | None]:
+            try:
+                result = await self.evaluate(
+                    query,
+                    database,
+                    strategy=name,
+                    semantics=semantics,
+                    use_cache=use_cache,
+                    database_fp=database_fp,
+                    shards=shards,
+                    executor=executor,
+                    partitioner=partitioner,
+                    **dict(per_strategy.get(name, {})),
+                )
+            except StrategyNotApplicableError:
+                if not skip_inapplicable:
+                    raise
+                return name, None
+            return name, result
+
+        pairs = await asyncio.gather(*(run_one(name) for name in names))
+        return {name: result for name, result in pairs if result is not None}
+
+
+class AsyncSession:
+    """An :class:`AsyncEngine` bound to one database.
+
+    The async mirror of :class:`~repro.engine.core.Session`: memoises
+    the database fingerprint, carries per-session sharding config, and —
+    as an *async* context manager — closes the engine it created (a
+    shared engine survives session exit)::
+
+        async with AsyncSession(database) as session:
+            results = await session.compare(query)
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        *,
+        engine: AsyncEngine | None = None,
+        cache_size: int = 256,
+        default_semantics: str = "set",
+        shards: int | None = None,
+        executor: Any = None,
+        partitioner: Any = None,
+        pool: Any = "process",
+        max_workers: int | None = None,
+        max_concurrency: int | None = None,
+    ):
+        self.database = _presharded_database(database, shards, partitioner)
+        self._owns_engine = engine is None
+        self.engine = engine or AsyncEngine(
+            cache_size=cache_size,
+            default_semantics=default_semantics,
+            executor=executor or "serial",
+            pool=pool,
+            max_workers=max_workers,
+            max_concurrency=max_concurrency,
+        )
+        self._executor = executor
+        self._shards = shards
+        self._partitioner = partitioner
+        self._database_fp: str | None = None
+
+    def _fingerprint(self) -> str:
+        if self._database_fp is None:
+            self._database_fp = database_fingerprint(self.database)
+        return self._database_fp
+
+    def with_database(self, database: Database) -> "AsyncSession":
+        """A new session on another database, sharing this session's engine."""
+        from ..sharding.database import ShardedDatabase
+
+        shards = None if isinstance(database, ShardedDatabase) else self._shards
+        session = AsyncSession(
+            database,
+            engine=self.engine,
+            shards=shards,
+            executor=self._executor,
+            partitioner=self._partitioner,
+        )
+        session._shards = self._shards
+        session._partitioner = self._partitioner
+        return session
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the engine this session created (shared engines survive)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    async def aclose(self) -> None:
+        if self._owns_engine:
+            await self.engine.aclose()
+
+    async def __aenter__(self) -> "AsyncSession":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    # ------------------------------------------------------------------
+    # Delegation
+    # ------------------------------------------------------------------
+    def _caching(self, kwargs: Mapping[str, Any]) -> bool:
+        return bool(kwargs.get("use_cache", True)) and self.engine.cache_enabled
+
+    async def evaluate(self, query: Any, **kwargs: Any) -> QueryResult:
+        if self._caching(kwargs):
+            kwargs.setdefault("database_fp", self._fingerprint())
+        if self._executor is not None:
+            kwargs.setdefault("executor", self._executor)
+        return await self.engine.evaluate(query, self.database, **kwargs)
+
+    async def evaluate_batch(
+        self, queries: Iterable[Any], **kwargs: Any
+    ) -> list[QueryResult]:
+        if self._caching(kwargs):
+            kwargs.setdefault("database_fp", self._fingerprint())
+        if self._executor is not None:
+            kwargs.setdefault("executor", self._executor)
+        return await self.engine.evaluate_batch(queries, self.database, **kwargs)
+
+    async def compare(self, query: Any, **kwargs: Any) -> dict[str, QueryResult]:
+        if self._caching(kwargs):
+            kwargs.setdefault("database_fp", self._fingerprint())
+        if self._executor is not None:
+            kwargs.setdefault("executor", self._executor)
+        return await self.engine.compare(query, self.database, **kwargs)
+
+    # Small conveniences mirroring the sync session's vocabulary.
+    async def sql(self, query: Any, **kwargs: Any) -> QueryResult:
+        return await self.evaluate(query, strategy="sql-3vl", **kwargs)
+
+    async def naive(self, query: Any, **kwargs: Any) -> QueryResult:
+        return await self.evaluate(query, strategy="naive", **kwargs)
+
+    async def certain(self, query: Any, **kwargs: Any) -> QueryResult:
+        return await self.evaluate(query, strategy="exact-certain", **kwargs)
+
+    def strategies(self) -> tuple[str, ...]:
+        return self.engine.strategies()
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        return self.engine.cache_stats
+
+    def clear_cache(self) -> None:
+        self.engine.clear_cache()

@@ -15,19 +15,26 @@ only need to supply a different :class:`ResultCache`-shaped object.
 
 from __future__ import annotations
 
+import enum
 import hashlib
+import threading
 from collections import OrderedDict
+from collections.abc import Mapping
 from dataclasses import dataclass
 from typing import Any, Hashable
 
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..datamodel.values import Null
+from .errors import EngineError
 
 __all__ = [
     "CacheStats",
     "ResultCache",
     "canonical_value",
+    "canonical_option_value",
+    "canonical_options",
+    "evaluation_cache_key",
     "relation_fingerprint",
     "database_fingerprint",
 ]
@@ -49,7 +56,15 @@ class CacheStats:
 
 
 class ResultCache:
-    """A small LRU cache mapping evaluation keys to results."""
+    """A small LRU cache mapping evaluation keys to results.
+
+    The cache is thread-safe: ``get``/``put``/``clear`` and the stats
+    views take an internal lock, so it can be shared by the thread shard
+    executor and by :class:`~repro.engine.aio.AsyncEngine` worker
+    callbacks without corrupting the LRU order or losing counter
+    updates.  ``stats`` covers the current epoch (reset by ``clear``);
+    ``lifetime_stats`` accumulates across clears.
+    """
 
     def __init__(self, max_size: int = 256):
         if max_size < 0:
@@ -58,42 +73,71 @@ class ResultCache:
         self._entries: OrderedDict[Hashable, Any] = OrderedDict()
         self._hits = 0
         self._misses = 0
+        self._lifetime_hits = 0
+        self._lifetime_misses = 0
+        self._lock = threading.Lock()
 
     @property
     def enabled(self) -> bool:
         return self.max_size > 0
 
     def get(self, key: Hashable) -> Any | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self._misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self._hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
 
     def put(self, key: Hashable, value: Any) -> None:
         if not self.enabled:
             return
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_size:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        """Drop every entry and reset the current-epoch counters.
+
+        ``hit_rate`` after a clear describes the new workload, not the
+        previous one; the pre-clear counters stay visible through
+        ``lifetime_stats``.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._lifetime_hits += self._hits
+            self._lifetime_misses += self._misses
+            self._hits = 0
+            self._misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            size=len(self._entries),
-            max_size=self.max_size,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )
+
+    @property
+    def lifetime_stats(self) -> CacheStats:
+        """Counters accumulated across every ``clear()`` since creation."""
+        with self._lock:
+            return CacheStats(
+                hits=self._lifetime_hits + self._hits,
+                misses=self._lifetime_misses + self._misses,
+                size=len(self._entries),
+                max_size=self.max_size,
+            )
 
 
 def canonical_value(value: Any) -> str:
@@ -106,6 +150,69 @@ def canonical_value(value: Any) -> str:
     if isinstance(value, Null):
         return f"null:{value.label!r}"
     return f"{type(value).__name__}:{value!r}"
+
+
+def canonical_option_value(value: Any) -> str:
+    """A stable rendering of one strategy-option value for cache keys.
+
+    ``repr`` is not stable for arbitrary objects — the default
+    ``<Foo object at 0x7f...>`` form renders the *address*, so identical
+    calls never hit the cache, and once the address is reused two
+    different objects can collide into a false hit.  This renderer walks
+    the allowlisted shapes (scalars, nulls, enums, sequences, sets,
+    mappings) through :func:`canonical_value` and refuses anything else.
+
+    Raises :class:`~repro.engine.errors.EngineError` for values it
+    cannot render stably; pass primitives/containers, or disable caching
+    with ``use_cache=False`` for exotic option objects.
+    """
+    if value is None:
+        return "none"
+    if isinstance(value, (Null, bool, int, float, complex, str, bytes)):
+        return canonical_value(value)
+    if isinstance(value, enum.Enum):
+        return f"enum:{type(value).__qualname__}.{value.name}"
+    if isinstance(value, (list, tuple)):
+        rendered = ",".join(canonical_option_value(item) for item in value)
+        return f"seq:[{rendered}]"
+    if isinstance(value, (set, frozenset)):
+        rendered = ",".join(sorted(canonical_option_value(item) for item in value))
+        return f"set:{{{rendered}}}"
+    if isinstance(value, Mapping):
+        items = sorted(
+            (canonical_option_value(k), canonical_option_value(v))
+            for k, v in value.items()
+        )
+        rendered = ",".join(f"{k}={v}" for k, v in items)
+        return f"map:{{{rendered}}}"
+    raise EngineError(
+        f"cannot build a stable cache key from option value {value!r} of type "
+        f"{type(value).__name__}; pass a primitive/container value or disable "
+        "caching with use_cache=False"
+    )
+
+
+def canonical_options(options: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Strategy options as a sorted, canonically rendered, hashable tuple."""
+    return tuple(
+        sorted((name, canonical_option_value(value)) for name, value in options.items())
+    )
+
+
+def evaluation_cache_key(
+    query_fp: str,
+    database_fp: str,
+    strategy: str,
+    semantics: str,
+    options: Mapping[str, Any],
+) -> Hashable:
+    """The result-cache key of one monolithic evaluation.
+
+    Shared by :class:`~repro.engine.core.Engine` and
+    :class:`~repro.engine.aio.AsyncEngine`, so the sync and async twins
+    interoperate on one cache.
+    """
+    return (query_fp, database_fp, strategy, semantics, canonical_options(options))
 
 
 def relation_fingerprint(relation: Relation) -> str:

@@ -30,7 +30,12 @@ import time
 from typing import Any, Iterable, Mapping, Sequence
 
 from ..datamodel.database import Database
-from .cache import CacheStats, ResultCache, database_fingerprint
+from .cache import (
+    CacheStats,
+    ResultCache,
+    database_fingerprint,
+    evaluation_cache_key,
+)
 from .errors import EngineError, StrategyNotApplicableError
 from .frontend import NormalizedQuery, normalize_query
 from .registry import available_strategies, get_strategy
@@ -133,19 +138,9 @@ class Engine:
         shards=N)`` to partition once), ``shards=0`` forces monolithic
         evaluation even on a sharded database.
         """
-        semantics = semantics or self.default_semantics
-        if semantics not in _SEMANTICS:
-            raise EngineError(
-                f"unknown semantics {semantics!r}; expected 'set' or 'bag'"
-            )
-        strat = get_strategy(strategy)
-        if semantics not in strat.supported_semantics:
-            raise StrategyNotApplicableError(
-                f"strategy {strat.name!r} supports {strat.supported_semantics} "
-                f"semantics, not {semantics!r}"
-            )
-        normalized = normalize_query(query, database.schema())
-
+        strat, semantics, normalized = self._prepare_call(
+            query, database, strategy, semantics
+        )
         sharded = self._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded
@@ -178,6 +173,32 @@ class Engine:
             database_fp=database_fp,
             options=options,
         )
+
+    def _prepare_call(
+        self,
+        query: Any,
+        database: Database,
+        strategy: str,
+        semantics: str | None,
+    ):
+        """The shared evaluate prologue: validate and normalize.
+
+        Used by both this engine and :class:`~repro.engine.aio.AsyncEngine`
+        so the twins cannot drift on validation or error wording.
+        """
+        semantics = semantics or self.default_semantics
+        if semantics not in _SEMANTICS:
+            raise EngineError(
+                f"unknown semantics {semantics!r}; expected 'set' or 'bag'"
+            )
+        strat = get_strategy(strategy)
+        if semantics not in strat.supported_semantics:
+            raise StrategyNotApplicableError(
+                f"strategy {strat.name!r} supports {strat.supported_semantics} "
+                f"semantics, not {semantics!r}"
+            )
+        normalized = normalize_query(query, database.schema())
+        return strat, semantics, normalized
 
     def _sharded_database(
         self, database: Database, shards: int | None, partitioner: Any
@@ -240,12 +261,8 @@ class Engine:
         if use_cache and self._cache.enabled:
             if database_fp is None:
                 database_fp = database_fingerprint(database)
-            key = (
-                normalized.fingerprint,
-                database_fp,
-                strat.name,
-                semantics,
-                tuple(sorted((name, repr(value)) for name, value in options.items())),
+            key = evaluation_cache_key(
+                normalized.fingerprint, database_fp, strat.name, semantics, options
             )
             cached = self._cache.get(key)
             if cached is not None:
@@ -365,6 +382,26 @@ class Engine:
         return results
 
 
+def _presharded_database(
+    database: Database, shards: int | None, partitioner: Any
+) -> Database:
+    """Partition a session's database up front when ``shards`` asks for it."""
+    if shards is None or shards <= 0:
+        return database
+    from ..sharding.database import ShardedDatabase
+
+    already_matching = (
+        isinstance(database, ShardedDatabase)
+        and database.shard_count == shards
+        and (partitioner is None or partitioner is database.partitioner)
+    )
+    if already_matching:
+        return database
+    if partitioner is None and isinstance(database, ShardedDatabase):
+        partitioner = database.partitioner
+    return ShardedDatabase.from_database(database, shards, partitioner)
+
+
 class Session:
     """An :class:`Engine` bound to one database.
 
@@ -372,6 +409,11 @@ class Session:
     one is shared explicitly) and memoises the database fingerprint, so
     repeated evaluations of the same query are answered from the cache
     without re-hashing the data.
+
+    A session is a context manager: ``with Session(db) as session:``
+    closes the private engine (and hence any worker pools it spawned)
+    on exit.  An engine passed in explicitly is *shared* — the session
+    never closes it.
     """
 
     def __init__(
@@ -385,21 +427,8 @@ class Session:
         executor: Any = None,
         partitioner: Any = None,
     ):
-        if shards is not None and shards > 0:
-            from ..sharding.database import ShardedDatabase
-
-            already_matching = (
-                isinstance(database, ShardedDatabase)
-                and database.shard_count == shards
-                and (partitioner is None or partitioner is database.partitioner)
-            )
-            if not already_matching:
-                if partitioner is None and isinstance(database, ShardedDatabase):
-                    partitioner = database.partitioner
-                database = ShardedDatabase.from_database(
-                    database, shards, partitioner
-                )
-        self.database = database
+        self.database = _presharded_database(database, shards, partitioner)
+        self._owns_engine = engine is None
         self.engine = engine or Engine(
             cache_size=cache_size,
             default_semantics=default_semantics,
@@ -416,6 +445,20 @@ class Session:
         if self._database_fp is None:
             self._database_fp = database_fingerprint(self.database)
         return self._database_fp
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Close the engine this session created (shared engines survive)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def with_database(self, database: Database) -> "Session":
         """A new session on another database, sharing this session's engine.

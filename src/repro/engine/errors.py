@@ -25,6 +25,14 @@ class UnknownStrategyError(EngineError):
             f"registered strategies: {', '.join(available)}"
         )
 
+    def __reduce__(self):
+        # BaseException pickles via ``args`` (here: the formatted
+        # message), which does not round-trip through this two-argument
+        # __init__.  The error must survive a worker-process boundary —
+        # run_engine_task/run_shard_task resolve strategies by name in
+        # the worker — or the unpickle failure breaks the whole pool.
+        return (type(self), (self.name, self.available))
+
 
 class StrategyNotApplicableError(EngineError):
     """Raised when a strategy cannot evaluate the given query form.

@@ -40,7 +40,7 @@ from typing import Any, Callable, Mapping, Sequence
 
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
-from ..engine.cache import ResultCache, database_fingerprint
+from ..engine.cache import ResultCache, canonical_options, database_fingerprint
 from ..engine.frontend import NormalizedQuery, query_fingerprint
 from ..engine.registry import EvaluationStrategy, StrategyOutcome, annotate
 from ..engine.result import AnnotatedTuple, Certainty, QueryResult
@@ -55,7 +55,12 @@ from .planner import (
     shard_plan,
 )
 
-__all__ = ["ShardableSpec", "SHARDABLE_STRATEGIES", "evaluate_sharded"]
+__all__ = [
+    "ShardableSpec",
+    "SHARDABLE_STRATEGIES",
+    "evaluate_sharded",
+    "evaluate_sharded_async",
+]
 
 MergeFn = Callable[..., StrategyOutcome]
 
@@ -204,55 +209,50 @@ def _task_database(
 # ----------------------------------------------------------------------
 # Orchestration
 # ----------------------------------------------------------------------
-def evaluate_sharded(
+@dataclass
+class _PlannedShardedCall:
+    """A distributable call, cache-probed and ready for its executor."""
+
+    spec: ShardableSpec
+    plan: ShardPlan
+    partials: list  # ShardPartial | None per shard; cached ones filled in
+    tasks: list[ShardTask]
+    hits: int
+    start: float
+
+
+def _plan_sharded_call(
     normalized: NormalizedQuery,
     database: ShardedDatabase,
     strategy: EvaluationStrategy,
     *,
     semantics: str,
     options: Mapping[str, Any],
-    executor: ShardExecutor,
     cache: ResultCache | None,
-    database_fp: str | None = None,
-    evaluate_coalesced: Callable[[], QueryResult],
-) -> QueryResult:
-    """Evaluate on a sharded database, falling back to coalesced evaluation.
-
-    ``evaluate_coalesced`` is the engine's monolithic path (already
-    closed over the query, database and caching arguments); it is used
-    whenever the (strategy, plan, semantics) combination does not
-    distribute.
-    """
+    database_fp: str | None,
+) -> "tuple[str, None] | tuple[None, _PlannedShardedCall]":
+    """Plan one sharded call: ``(reason, None)`` means coalesced fallback."""
     spec = SHARDABLE_STRATEGIES.get(strategy.name)
     plan: ShardPlan | None = None
-    reason: str | None = None
     if spec is None:
-        reason = f"strategy {strategy.name!r} is not shard-aware"
-    elif normalized.algebra is None:
-        reason = (
+        return f"strategy {strategy.name!r} is not shard-aware", None
+    if normalized.algebra is None:
+        return (
             "no relational algebra plan to distribute "
-            f"({'; '.join(normalized.notes) or normalized.frontend + ' frontend'})"
+            f"({'; '.join(normalized.notes) or normalized.frontend + ' frontend'})",
+            None,
         )
-    else:
-        try:
-            plan = shard_plan(normalized.algebra, spec.ops_for(semantics))
-        except NonDistributableError as exc:
-            reason = str(exc)
-
-    if plan is None:
-        result = evaluate_coalesced()
-        sharding_meta = {
-            "mode": "coalesced",
-            "shards": database.shard_count,
-            "reason": reason,
-        }
-        return replace(
-            result, metadata={**result.metadata, "sharding": sharding_meta}
-        )
+    try:
+        plan = shard_plan(normalized.algebra, spec.ops_for(semantics))
+    except NonDistributableError as exc:
+        return str(exc), None
 
     start = time.perf_counter()
     count = database.shard_count
-    options_key = tuple(sorted((k, repr(v)) for k, v in options.items()))
+    # Only cache keys need the canonical rendering; with caching off,
+    # exotic option values stay usable (the use_cache=False escape
+    # hatch canonical_option_value's error message recommends).
+    options_key = canonical_options(options) if cache is not None else ()
     rewritten_fp = query_fingerprint(plan.plan)
     full_fp = None
     if plan.uses_domain and cache is not None:
@@ -288,21 +288,53 @@ def evaluate_sharded(
                 cache_key=key,
             )
         )
-    if tasks:
-        for task, partial in zip(tasks, executor.run(tasks)):
-            partials[task.shard] = partial
-            if cache is not None and task.cache_key is not None:
-                cache.put(task.cache_key, partial)
+    return None, _PlannedShardedCall(
+        spec=spec, plan=plan, partials=partials, tasks=tasks, hits=hits, start=start
+    )
 
-    outcome = spec.merge(partials, semantics=semantics, database=database)
-    elapsed = time.perf_counter() - start
+
+def _coalesced_result(
+    result: QueryResult, database: ShardedDatabase, reason: str | None
+) -> QueryResult:
+    sharding_meta = {
+        "mode": "coalesced",
+        "shards": database.shard_count,
+        "reason": reason,
+    }
+    return replace(result, metadata={**result.metadata, "sharding": sharding_meta})
+
+
+def _absorb_partials(
+    planned: _PlannedShardedCall,
+    computed: Sequence[ShardPartial],
+    cache: ResultCache | None,
+) -> None:
+    for task, partial in zip(planned.tasks, computed):
+        planned.partials[task.shard] = partial
+        if cache is not None and task.cache_key is not None:
+            cache.put(task.cache_key, partial)
+
+
+def _finish_sharded(
+    planned: _PlannedShardedCall,
+    normalized: NormalizedQuery,
+    database: ShardedDatabase,
+    strategy: EvaluationStrategy,
+    semantics: str,
+    executor_kind: str,
+) -> QueryResult:
+    count = database.shard_count
+    outcome = planned.spec.merge(
+        planned.partials, semantics=semantics, database=database
+    )
+    elapsed = time.perf_counter() - planned.start
     sharding_meta = {
         "mode": "distributed",
         "shards": count,
-        "executor": executor.kind,
-        "partial_cache_hits": hits,
-        "sharded_relations": list(plan.sharded_relations),
-        "broadcast_relations": list(plan.broadcast_relations),
+        "executor": executor_kind,
+        "partial_cache_hits": planned.hits,
+        "sharded_relations": list(planned.plan.sharded_relations),
+        "broadcast_relations": list(planned.plan.broadcast_relations),
     }
     return QueryResult(
         strategy=strategy.name,
@@ -313,7 +345,91 @@ def evaluate_sharded(
         possible=outcome.possible,
         certainly_false=outcome.certainly_false,
         elapsed=elapsed,
-        from_cache=not tasks and count > 0,
+        from_cache=not planned.tasks and count > 0,
         fingerprint=normalized.fingerprint,
         metadata={**outcome.metadata, "sharding": sharding_meta},
+    )
+
+
+def evaluate_sharded(
+    normalized: NormalizedQuery,
+    database: ShardedDatabase,
+    strategy: EvaluationStrategy,
+    *,
+    semantics: str,
+    options: Mapping[str, Any],
+    executor: ShardExecutor,
+    cache: ResultCache | None,
+    database_fp: str | None = None,
+    evaluate_coalesced: Callable[[], QueryResult],
+) -> QueryResult:
+    """Evaluate on a sharded database, falling back to coalesced evaluation.
+
+    ``evaluate_coalesced`` is the engine's monolithic path (already
+    closed over the query, database and caching arguments); it is used
+    whenever the (strategy, plan, semantics) combination does not
+    distribute.
+    """
+    reason, planned = _plan_sharded_call(
+        normalized,
+        database,
+        strategy,
+        semantics=semantics,
+        options=options,
+        cache=cache,
+        database_fp=database_fp,
+    )
+    if planned is None:
+        return _coalesced_result(evaluate_coalesced(), database, reason)
+    if planned.tasks:
+        _absorb_partials(planned, executor.run(planned.tasks), cache)
+    return _finish_sharded(
+        planned, normalized, database, strategy, semantics, executor.kind
+    )
+
+
+async def evaluate_sharded_async(
+    normalized: NormalizedQuery,
+    database: ShardedDatabase,
+    strategy: EvaluationStrategy,
+    *,
+    semantics: str,
+    options: Mapping[str, Any],
+    executor: ShardExecutor,
+    cache: ResultCache | None,
+    database_fp: str | None = None,
+    evaluate_coalesced: Callable[[], Any],
+    limiter: Any = None,
+) -> QueryResult:
+    """Awaitable twin of :func:`evaluate_sharded`.
+
+    Planning, cache probing and merging are shared with the sync path;
+    only the executor hop differs — cache misses go through the
+    executor's :meth:`~repro.sharding.executor.ShardExecutor.run_async`
+    submit surface so several sharded evaluations can overlap on one
+    event loop.  ``evaluate_coalesced`` is awaited (the async engine's
+    monolithic path); ``limiter`` is an optional async context manager
+    (the engine's ``max_concurrency`` semaphore) held around the
+    executor hop only, so the fallback path cannot deadlock on it.
+    """
+    reason, planned = _plan_sharded_call(
+        normalized,
+        database,
+        strategy,
+        semantics=semantics,
+        options=options,
+        cache=cache,
+        database_fp=database_fp,
+    )
+    if planned is None:
+        return _coalesced_result(await evaluate_coalesced(), database, reason)
+    if planned.tasks:
+        if limiter is not None:
+            async with limiter:
+                computed = await executor.run_async(planned.tasks)
+        else:
+            computed = await executor.run_async(planned.tasks)
+        _absorb_partials(planned, computed, cache)
+    return _finish_sharded(
+        planned, normalized, database, strategy, semantics, executor.kind
     )

@@ -21,6 +21,7 @@ frozen dataclass or a ``__slots__`` value class, hence picklable.
 
 from __future__ import annotations
 
+import asyncio
 import concurrent.futures
 import os
 from dataclasses import dataclass, field
@@ -92,12 +93,39 @@ def run_shard_task(task: ShardTask) -> ShardPartial:
 
 
 class ShardExecutor:
-    """Base class: maps shard tasks to partial results, order-preserving."""
+    """Base class: maps shard tasks to partial results, order-preserving.
+
+    Besides the blocking ``run``, every executor exposes an awaitable
+    submit surface for :class:`~repro.engine.aio.AsyncEngine`:
+    ``submit`` hands back a :class:`concurrent.futures.Future` per task
+    and ``run_async`` awaits a whole batch without blocking the event
+    loop (pooled executors park the work on their pools; the serial
+    executor computes at submit time, which is the documented trade-off
+    of choosing it).
+    """
 
     kind: str = "abstract"
 
     def run(self, tasks: Sequence[ShardTask]) -> list[ShardPartial]:
         raise NotImplementedError
+
+    def submit(self, task: ShardTask) -> "concurrent.futures.Future[ShardPartial]":
+        """Start one task, returning its future (base: compute inline)."""
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(run_shard_task(task))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
+    async def run_async(self, tasks: Sequence[ShardTask]) -> list[ShardPartial]:
+        """Awaitable twin of ``run``: submit everything, gather in order."""
+        if not tasks:
+            return []
+        futures = [self.submit(task) for task in tasks]
+        return list(
+            await asyncio.gather(*(asyncio.wrap_future(f) for f in futures))
+        )
 
     def close(self) -> None:
         """Release any worker pool (no-op for in-process executors)."""
@@ -136,6 +164,9 @@ class ThreadShardExecutor(ShardExecutor):
             return [run_shard_task(task) for task in tasks]
         return list(self._ensure_pool().map(run_shard_task, tasks))
 
+    def submit(self, task: ShardTask) -> "concurrent.futures.Future[ShardPartial]":
+        return self._ensure_pool().submit(run_shard_task, task)
+
     def close(self) -> None:
         if self._pool is not None:
             self._pool.shutdown()
@@ -162,6 +193,9 @@ class ProcessShardExecutor(ShardExecutor):
         if len(tasks) <= 1:
             return [run_shard_task(task) for task in tasks]
         return list(self._ensure_pool().map(run_shard_task, tasks))
+
+    def submit(self, task: ShardTask) -> "concurrent.futures.Future[ShardPartial]":
+        return self._ensure_pool().submit(run_shard_task, task)
 
     def close(self) -> None:
         if self._pool is not None:

@@ -7,6 +7,7 @@ in the unit tests.
 
 from __future__ import annotations
 
+import asyncio
 import importlib.util
 import sys
 from pathlib import Path
@@ -24,6 +25,7 @@ FAST_EXAMPLES = [
         "figure1_false_answers.py",
         "probabilistic_answers.py",
         "sql_three_valued_logic.py",
+        "async_compare.py",
     }
 ]
 
@@ -58,7 +60,9 @@ class TestExamples:
         sys.modules[spec.name] = module
         try:
             spec.loader.exec_module(module)
-            module.main()
+            outcome = module.main()
+            if asyncio.iscoroutine(outcome):
+                asyncio.run(outcome)
         finally:
             sys.modules.pop(spec.name, None)
         output = capsys.readouterr().out
