@@ -70,12 +70,17 @@ from .engine import (
     normalize_query,
     register_strategy,
 )
-from .algebra import builder, evaluate as evaluate_algebra, to_text as algebra_to_text
+from .algebra import (
+    builder,
+    evaluate as evaluate_algebra,
+    optimize_plan,
+    to_text as algebra_to_text,
+)
 from .calculus import FoQuery
 from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # Data model
@@ -112,6 +117,7 @@ __all__ = [
     # Algebra / calculus / SQL entry points
     "builder",
     "evaluate_algebra",
+    "optimize_plan",
     "algebra_to_text",
     "FoQuery",
     "compile_sql",

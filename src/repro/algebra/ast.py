@@ -42,6 +42,8 @@ __all__ = [
     "NaturalJoin",
     "SemiJoin",
     "AntiSemiJoin",
+    "EquiJoin",
+    "ConstrainedDomainRelation",
     "walk",
     "operator_count",
 ]
@@ -352,6 +354,90 @@ class AntiSemiJoin(Query):
 
     def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
         return self.left.output_attributes(schema)
+
+
+@dataclass(frozen=True)
+class EquiJoin(Query):
+    """Physical hash equi-join: ``σ_{a₁=b₁ ∧ …}(Q1 × Q2)`` without the product.
+
+    Not part of the paper's algebra — introduced by the optimizer
+    (:mod:`repro.algebra.optimize`) when a selection over a Cartesian
+    product carries attribute-to-attribute equality conditions.  The
+    output attributes and multiplicities are exactly those of the
+    selected product; how null join keys behave follows the evaluator's
+    ``condition_mode`` (a null equals only itself under naïve
+    evaluation, while under 3VL a comparison with a null is unknown and
+    the row is dropped), so the node itself is mode-agnostic.
+
+    ``pairs`` lists ``(left_attribute, right_attribute)`` equalities.
+    """
+
+    left: Query
+    right: Query
+    pairs: tuple[tuple[str, str], ...]
+
+    def __init__(self, left: Query, right: Query, pairs: Iterable[Sequence[str]]):
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+        object.__setattr__(self, "pairs", tuple((a, b) for a, b in pairs))
+
+    def children(self) -> tuple[Query, ...]:
+        return (self.left, self.right)
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        left_attrs = self.left.output_attributes(schema)
+        right_attrs = self.right.output_attributes(schema)
+        overlap = set(left_attrs) & set(right_attrs)
+        if overlap:
+            raise ValueError(
+                f"equi-join with overlapping attributes {sorted(overlap)}; rename first"
+            )
+        return left_attrs + right_attrs
+
+
+@dataclass(frozen=True)
+class ConstrainedDomainRelation(Query):
+    """``σ_θ(Dom^k)`` enumerated directly instead of materialised then filtered.
+
+    Physical counterpart of a selection over :class:`DomainRelation`,
+    introduced by the optimizer.  The full condition is kept and
+    re-checked per enumerated tuple (in the evaluator's own condition
+    mode), so the node is sound in every mode; the derived fields only
+    *prune* the enumeration with necessary consequences of the
+    condition:
+
+    * ``groups`` — attribute classes forced equal by ``A = B`` conjuncts
+      (enumerated with one shared value per class);
+    * ``bindings`` — attributes pinned to a literal by ``A = c``;
+    * ``require_const`` / ``require_null`` — attributes guarded by
+      ``const(A)`` / ``null(A)`` conjuncts.
+    """
+
+    attributes: tuple[str, ...]
+    condition: Condition
+    groups: tuple[tuple[str, ...], ...] = ()
+    bindings: tuple[tuple[str, Any], ...] = ()
+    require_const: tuple[str, ...] = ()
+    require_null: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        condition: Condition,
+        groups: Iterable[Sequence[str]] = (),
+        bindings: Iterable[Sequence[Any]] = (),
+        require_const: Sequence[str] = (),
+        require_null: Sequence[str] = (),
+    ):
+        object.__setattr__(self, "attributes", tuple(attributes))
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "groups", tuple(tuple(g) for g in groups))
+        object.__setattr__(self, "bindings", tuple((a, v) for a, v in bindings))
+        object.__setattr__(self, "require_const", tuple(require_const))
+        object.__setattr__(self, "require_null", tuple(require_null))
+
+    def output_attributes(self, schema: DatabaseSchema) -> tuple[str, ...]:
+        return self.attributes
 
 
 def _compatible_attributes(node: Query, schema: DatabaseSchema) -> tuple[str, ...]:

@@ -27,6 +27,7 @@ mirroring an SQL WHERE clause.  The SQL frontend uses the latter.
 
 from __future__ import annotations
 
+import itertools
 from collections import Counter
 from typing import Iterable, Literal as TypingLiteral
 
@@ -34,15 +35,43 @@ from ..datamodel.database import Database
 from ..datamodel.relation import Relation, Row
 from ..datamodel.schema import DatabaseSchema
 from ..datamodel.unification import unifiable
-from ..datamodel.values import is_const, value_sort_key
+from ..datamodel.values import is_const, is_null, value_sort_key
 from ..mvl.truthvalues import TRUE
 from . import ast
 from .conditions import Condition
 
-__all__ = ["Evaluator", "SetEvaluator", "evaluate", "evaluate_boolean"]
+__all__ = [
+    "Evaluator",
+    "SetEvaluator",
+    "evaluate",
+    "evaluate_boolean",
+    "DOMAIN_ENUMERATION_LIMIT",
+]
 
 ConditionMode = TypingLiteral["naive", "3vl"]
 UnifStrategy = TypingLiteral["nested", "hashed"]
+
+#: Guard against materialising an astronomically large ``Dom^k``: raise a
+#: clear engine error instead of exhausting memory.  The optimizer's
+#: :class:`~repro.algebra.ast.ConstrainedDomainRelation` applies the same
+#: guard to its (usually far smaller) pruned enumeration space.
+DOMAIN_ENUMERATION_LIMIT = 2_000_000
+
+
+def _check_enumeration_size(total: int, what: str) -> None:
+    if total > DOMAIN_ENUMERATION_LIMIT:
+        # Deliberate upward dependency on the façade's error contract
+        # (callers catch EngineError); kept lazy so repro.algebra still
+        # imports standalone.  EngineError subclasses ValueError, so
+        # engine-unaware callers can catch that instead.
+        from ..engine.errors import EngineError
+
+        raise EngineError(
+            f"enumerating {what} would materialise {total} tuples "
+            f"(limit {DOMAIN_ENUMERATION_LIMIT}); push a selection into the "
+            "domain relation (the optimizer does this for equality conditions) "
+            "or use the Figure 2b scheme, which never builds Dom^k"
+        )
 
 
 class Evaluator:
@@ -61,6 +90,20 @@ class Evaluator:
         ``"hashed"`` separates ground rows (hash lookup for ground probes)
         from rows with nulls; ``"nested"`` is the plain nested loop.  The
         two strategies are compared in the ablation benchmarks.
+    optimize:
+        If True, plans are rewritten by :mod:`repro.algebra.optimize`
+        before evaluation (selection/projection pushdown, hash equi-joins,
+        constrained domain enumeration), with the rule set restricted to
+        the rules sound for this evaluator's ``condition_mode``.  The
+        engine façade turns this on by default; the raw evaluator keeps
+        it off so the textbook semantics stay directly observable.
+
+    The evaluator memoises sub-plan results per database: structurally
+    identical subtrees — which the Figure 2 translations share between
+    the members of their (Qt, Qf) / (Q+, Q?) pairs almost verbatim — are
+    evaluated once.  The memo is keyed on the node (all plan nodes are
+    frozen dataclasses, so equality is structural) and is dropped
+    whenever ``evaluate`` is called with a different database object.
     """
 
     def __init__(
@@ -69,10 +112,14 @@ class Evaluator:
         bag: bool = False,
         condition_mode: ConditionMode = "naive",
         unif_strategy: UnifStrategy = "hashed",
+        optimize: bool = False,
     ):
         self.bag = bag
         self.condition_mode = condition_mode
         self.unif_strategy = unif_strategy
+        self.optimize = optimize
+        self._memo: dict[ast.Query, Relation] = {}
+        self._memo_database: Database | None = None
 
     # ------------------------------------------------------------------
     # Entry points
@@ -80,6 +127,15 @@ class Evaluator:
     def evaluate(self, query: ast.Query, database: Database) -> Relation:
         """Evaluate ``query`` on ``database`` and return the result relation."""
         schema = database.schema()
+        if self.optimize:
+            from .optimize import optimize_plan
+
+            query = optimize_plan(
+                query, schema, condition_mode=self.condition_mode, bag=self.bag
+            )
+        if database is not self._memo_database:
+            self._memo_database = database
+            self._memo = {}
         result = self._eval(query, database, schema)
         return result if self.bag else result.distinct()
 
@@ -91,11 +147,17 @@ class Evaluator:
     # Dispatch
     # ------------------------------------------------------------------
     def _eval(self, query: ast.Query, database: Database, schema: DatabaseSchema) -> Relation:
+        cached = self._memo.get(query)
+        if cached is not None:
+            return cached
         method = getattr(self, f"_eval_{type(query).__name__}", None)
         if method is None:
             raise TypeError(f"no evaluation rule for {type(query).__name__}")
         result: Relation = method(query, database, schema)
-        return result if self.bag else result.distinct()
+        if not self.bag:
+            result = result.distinct()
+        self._memo[query] = result
+        return result
 
     # ------------------------------------------------------------------
     # Leaves
@@ -114,15 +176,68 @@ class Evaluator:
         arity = len(query.attributes)
         if arity == 0:
             return Relation((), [()])
-        rows: Iterable[Row] = [(v,) for v in domain]
-        result = Counter({row: 1 for row in rows})
-        for _ in range(arity - 1):
-            extended: Counter = Counter()
-            for row in result:
-                for value in domain:
-                    extended[row + (value,)] += 1
-            result = extended
-        return Relation.from_counter(query.attributes, result)
+        _check_enumeration_size(len(domain) ** arity, f"Dom^{arity}")
+        counter = Counter(
+            {row: 1 for row in itertools.product(domain, repeat=arity)}
+        )
+        return Relation.from_counter(query.attributes, counter)
+
+    def _eval_ConstrainedDomainRelation(
+        self, query: ast.ConstrainedDomainRelation, database, schema
+    ) -> Relation:
+        """``σ_θ(Dom^k)`` without materialising ``Dom^k``.
+
+        One value is enumerated per attribute *class* (attributes forced
+        equal by the pushed condition share a class), candidate sets are
+        pruned by literal bindings and const/null guards, and the full
+        condition is re-checked per tuple in this evaluator's condition
+        mode — the pruning is only ever a sound over-approximation of
+        the satisfying tuples.
+        """
+        domain = sorted(database.active_domain(), key=value_sort_key)
+        attrs = query.attributes
+        class_of: dict[str, int] = {}
+        classes: list[list[str]] = []
+        for group in query.groups:
+            index = len(classes)
+            classes.append(list(group))
+            for attribute in group:
+                class_of[attribute] = index
+        for attribute in attrs:
+            if attribute not in class_of:
+                class_of[attribute] = len(classes)
+                classes.append([attribute])
+        bound: dict[str, set] = {}
+        for attribute, value in query.bindings:
+            bound.setdefault(attribute, set()).add(value)
+        require_const = set(query.require_const)
+        require_null = set(query.require_null)
+        candidates: list[list] = []
+        total = 1
+        for members in classes:
+            values = domain
+            for attribute in members:
+                if attribute in bound:
+                    allowed = bound[attribute]
+                    values = [v for v in values if v in allowed]
+                if attribute in require_const:
+                    values = [v for v in values if is_const(v)]
+                if attribute in require_null:
+                    values = [v for v in values if is_null(v)]
+            candidates.append(values)
+            total *= len(values)
+        _check_enumeration_size(
+            total, f"the constrained Dom^{len(attrs)} of {query.condition}"
+        )
+        index = {a: i for i, a in enumerate(attrs)}
+        positions = [class_of[a] for a in attrs]
+        condition = query.condition
+        counter: Counter = Counter()
+        for combo in itertools.product(*candidates):
+            row = tuple(combo[p] for p in positions)
+            if self._condition_holds(condition, row, index):
+                counter[row] = 1
+        return Relation.from_counter(attrs, counter)
 
     # ------------------------------------------------------------------
     # Unary operators
@@ -249,6 +364,47 @@ class Evaluator:
                 continue
             keep.add(row)
         return keep
+
+    def _eval_EquiJoin(self, query: ast.EquiJoin, database, schema) -> Relation:
+        """Hash equi-join: ``σ_{a=b ∧ ...}(left × right)`` without the product.
+
+        The hash table is built on the side with fewer distinct rows.
+        Null join keys follow the condition mode: under naïve evaluation
+        a null is a value (equal only to itself) and participates in the
+        join; under 3VL any comparison with a null is unknown, so rows
+        with a null in a key column are dropped — exactly what the
+        selection the join replaces would have done.
+        """
+        left = self._eval(query.left, database, schema)
+        right = self._eval(query.right, database, schema)
+        attributes = query.output_attributes(schema)
+        left_key = [left.attribute_index(a) for a, _ in query.pairs]
+        right_key = [right.attribute_index(b) for _, b in query.pairs]
+        drop_null_keys = self.condition_mode == "3vl"
+
+        def rows_with_keys(relation: Relation, positions):
+            for row, count in relation.iter_rows(with_multiplicity=True):
+                key = tuple(row[p] for p in positions)
+                if drop_null_keys and any(is_null(v) for v in key):
+                    continue
+                yield key, row, count
+
+        counter: Counter = Counter()
+        if len(right) <= len(left):
+            buckets: dict[Row, list[tuple[Row, int]]] = {}
+            for key, row, count in rows_with_keys(right, right_key):
+                buckets.setdefault(key, []).append((row, count))
+            for key, row, count in rows_with_keys(left, left_key):
+                for other, other_count in buckets.get(key, ()):
+                    counter[row + other] += count * other_count
+        else:
+            buckets = {}
+            for key, row, count in rows_with_keys(left, left_key):
+                buckets.setdefault(key, []).append((row, count))
+            for key, row, count in rows_with_keys(right, right_key):
+                for other, other_count in buckets.get(key, ()):
+                    counter[other + row] += other_count * count
+        return Relation.from_counter(attributes, counter)
 
     def _eval_NaturalJoin(self, query: ast.NaturalJoin, database, schema) -> Relation:
         left = self._eval(query.left, database, schema)

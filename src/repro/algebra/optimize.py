@@ -1,0 +1,770 @@
+"""Rule-based optimization of relational algebra plans.
+
+Every evaluation strategy in the repro ultimately evaluates relational
+algebra trees, and the trees it evaluates are dominated by one shape:
+``Selection(Product(...))``.  The textbook evaluator materialises the
+whole Cartesian product and filters afterwards, and the Figure 2
+rewritings make that shape *worse* — the (Qt, Qf) translation
+mechanically emits Product towers guarded by θ*-selections plus eagerly
+enumerated ``Dom^k`` relations.  This module rewrites such plans into
+equivalent ones that never build the product:
+
+* **Logical rules** (applied to a fixpoint): split conjunctive
+  selections, push selections through ×/∪/∩/−/ρ/π/⋈/⋉ toward the
+  leaves, drop trivial selections, push projections through ×/ρ/π so
+  unused columns are pruned early.
+* **Physical rules** (one bottom-up pass): convert selections over a
+  Product whose conditions contain attribute-to-attribute equalities
+  into a hash :class:`~repro.algebra.ast.EquiJoin` (built on the
+  smaller side), and convert selections over ``Dom^k`` into a
+  :class:`~repro.algebra.ast.ConstrainedDomainRelation` whose
+  enumeration is pruned by the selection instead of materialising
+  ``Dom^k`` and filtering.
+
+**Per-mode soundness.**  The evaluator's two condition modes differ on
+nulls (naïve two-valued evaluation treats a null as a value equal only
+to itself; 3VL makes any comparison with a null *unknown* and keeps
+only Kleene-true rows), so each rule declares the condition modes it is
+sound in and the optimizer only applies rules sound for the requested
+mode.  Most rules are mode-agnostic because they only *move* conditions
+without changing what any condition evaluates to on any row; the
+exception is ``trivial-self-equality`` (``σ_{A=A}(Q) → Q``), which
+holds under naïve evaluation but not under 3VL, where ``σ_{A=A}``
+filters out rows with a null in ``A``.  The physical nodes re-check
+their conditions in the evaluator's own mode, so they are sound in
+both.  All rules preserve bag multiplicities, hence set and bag
+semantics alike.
+
+Equivalence is enforced by the randomized harness in
+``tests/test_optimizer_equivalence.py`` (all six engine strategies,
+set and bag semantics, both condition modes, monolithic and sharded).
+
+The optimizer is pure and memoised: optimizing the same plan against
+the same schema twice is a dictionary hit, which matters for the
+strategies that evaluate one plan per possible world (``exact-certain``)
+or per shard.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable, Mapping
+
+from ..datamodel.schema import DatabaseSchema, RelationSchema
+from ..datamodel.values import is_const
+from . import ast as ra
+from .conditions import (
+    And,
+    Attr,
+    Comparison,
+    Condition,
+    Eq,
+    FalseCondition,
+    IsConst,
+    IsNull,
+    Neq,
+    Not,
+    Or,
+    TrueCondition,
+    attrs_in_condition,
+    conjoin,
+)
+
+__all__ = [
+    "Rule",
+    "OPTIMIZER_RULES",
+    "optimize_plan",
+    "split_conjuncts",
+    "rename_condition",
+    "describe_rules",
+]
+
+#: How many node rewrites one optimization may perform before giving up
+#: and returning the plan as-is (a safety valve, not a tuning knob: the
+#: rules only move selections/projections downward, so real plans
+#: converge long before this).
+REWRITE_BUDGET = 20_000
+
+
+# ----------------------------------------------------------------------
+# Condition helpers
+# ----------------------------------------------------------------------
+def split_conjuncts(condition: Condition) -> list[Condition]:
+    """Flatten a conjunction into its list of conjuncts (itself if not ∧)."""
+    if isinstance(condition, And):
+        return split_conjuncts(condition.left) + split_conjuncts(condition.right)
+    return [condition]
+
+
+def rename_condition(condition: Condition, mapping: Mapping[str, str]) -> Condition:
+    """Rewrite every attribute reference through ``mapping`` (one pass)."""
+    if not mapping:
+        return condition
+
+    def term(t):
+        if isinstance(t, Attr) and t.name in mapping:
+            return Attr(mapping[t.name])
+        return t
+
+    if isinstance(condition, (TrueCondition, FalseCondition)):
+        return condition
+    if isinstance(condition, IsConst):
+        return IsConst(term(condition.term))
+    if isinstance(condition, IsNull):
+        return IsNull(term(condition.term))
+    if isinstance(condition, Comparison):
+        return type(condition)(term(condition.left), term(condition.right))
+    if isinstance(condition, And):
+        return And(
+            rename_condition(condition.left, mapping),
+            rename_condition(condition.right, mapping),
+        )
+    if isinstance(condition, Or):
+        return Or(
+            rename_condition(condition.left, mapping),
+            rename_condition(condition.right, mapping),
+        )
+    if isinstance(condition, Not):
+        return Not(rename_condition(condition.operand, mapping))
+    raise TypeError(f"cannot rename condition of type {type(condition).__name__}")
+
+
+# ----------------------------------------------------------------------
+# The rule table
+# ----------------------------------------------------------------------
+BOTH_MODES = frozenset({"naive", "3vl"})
+NAIVE_ONLY = frozenset({"naive"})
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One rewrite rule with its soundness declaration.
+
+    For ``phase == "logical"``, ``fn(optimizer, node)`` returns the
+    rewritten node or ``None`` when the rule does not apply; the
+    fixpoint driver calls it directly.  For ``phase == "physical"`` the
+    entry is declarative only — the transforms need the whole selection
+    stack, so :meth:`_PlanOptimizer.physical_pass` dispatches them
+    structurally by rule *name*, consulting the same per-mode gate
+    (``fn`` is a never-called placeholder there; do not invoke it).
+    ``modes`` lists the condition modes the rule is sound in; the
+    optimizer skips rules whose modes do not include the requested one.
+    """
+
+    name: str
+    description: str
+    modes: frozenset
+    phase: str
+    fn: Callable
+
+
+# -- logical rules ------------------------------------------------------
+def _rule_drop_true_selection(opt, node):
+    if isinstance(node, ra.Selection) and isinstance(node.condition, TrueCondition):
+        return node.child
+    return None
+
+
+def _rule_empty_false_selection(opt, node):
+    if isinstance(node, ra.Selection) and isinstance(node.condition, FalseCondition):
+        return ra.ConstantRelation(opt.attrs(node.child), ())
+    return None
+
+
+def _rule_trivial_self_equality(opt, node):
+    # σ_{A=A}(Q) → Q.  Naïve mode only: under 3VL the comparison is
+    # unknown on rows where A is null, so the selection filters them.
+    if not (isinstance(node, ra.Selection) and isinstance(node.condition, Eq)):
+        return None
+    left, right = node.condition.left, node.condition.right
+    if (
+        isinstance(left, Attr)
+        and isinstance(right, Attr)
+        and left.name == right.name
+        and left.name in opt.attrs(node.child)
+    ):
+        return node.child
+    return None
+
+
+def _rule_trivial_self_disequality(opt, node):
+    # σ_{A≠A}(Q) → ∅.  Sound in both modes: naïvely v ≠ v is false for
+    # every value, and under 3VL the comparison is false on constants
+    # and unknown on nulls — never Kleene-true.
+    if not (isinstance(node, ra.Selection) and isinstance(node.condition, Neq)):
+        return None
+    left, right = node.condition.left, node.condition.right
+    if (
+        isinstance(left, Attr)
+        and isinstance(right, Attr)
+        and left.name == right.name
+        and left.name in opt.attrs(node.child)
+    ):
+        return ra.ConstantRelation(opt.attrs(node.child), ())
+    return None
+
+
+def _rule_split_conjunction(opt, node):
+    if isinstance(node, ra.Selection) and isinstance(node.condition, And):
+        return ra.Selection(
+            ra.Selection(node.child, node.condition.right), node.condition.left
+        )
+    return None
+
+
+def _rule_push_selection_projection(opt, node):
+    if not (isinstance(node, ra.Selection) and isinstance(node.child, ra.Projection)):
+        return None
+    projection = node.child
+    if not attrs_in_condition(node.condition) <= set(projection.attributes):
+        return None
+    return ra.Projection(
+        ra.Selection(projection.child, node.condition), projection.attributes
+    )
+
+
+def _rule_push_selection_rename(opt, node):
+    if not (isinstance(node, ra.Selection) and isinstance(node.child, ra.Rename)):
+        return None
+    rename = node.child
+    # The condition must reference only the rename's *output* attributes;
+    # pushing an invalid reference below the rename would resolve it
+    # against the pre-rename names and silently repair a malformed plan.
+    if not attrs_in_condition(node.condition) <= set(opt.attrs(rename)):
+        return None
+    mapping = rename.mapping_dict()
+    # A mapping entry whose old name is absent from the child is a no-op
+    # for Rename (``mapping.get(a, a)``); inverting it would rewrite the
+    # condition to reference an attribute the child does not have.
+    child_attrs = set(opt.attrs(rename.child))
+    effective = {old: new for old, new in mapping.items() if old in child_attrs}
+    inverse = {new: old for old, new in effective.items()}
+    if len(inverse) != len(effective):  # non-invertible rename: leave alone
+        return None
+    return ra.Rename(
+        ra.Selection(rename.child, rename_condition(node.condition, inverse)), mapping
+    )
+
+
+def _rule_push_selection_setop(opt, node):
+    # σ_θ(A ∪ B) → σ_θ(A) ∪ σ_θ'(B); same for ∩ (both sides) and − (the
+    # left side only: filtering the subtrahend changes what survives).
+    # The right child may use different attribute names (set operations
+    # are positional, names come from the left), so θ is renamed
+    # positionally for the right side.
+    if not (
+        isinstance(node, ra.Selection)
+        and isinstance(node.child, (ra.Union, ra.Intersection, ra.Difference))
+    ):
+        return None
+    child = node.child
+    left_attrs = opt.attrs(child.left)
+    if not attrs_in_condition(node.condition) <= set(left_attrs):
+        return None
+    left_selected = ra.Selection(child.left, node.condition)
+    if isinstance(child, ra.Difference):
+        return ra.Difference(left_selected, child.right)
+    right_attrs = opt.attrs(child.right)
+    mapping = {l: r for l, r in zip(left_attrs, right_attrs) if l != r}
+    right_condition = rename_condition(node.condition, mapping)
+    return type(child)(left_selected, ra.Selection(child.right, right_condition))
+
+
+def _rule_push_selection_product(opt, node):
+    # σ_θ(A × B) → σ_θ(A) × B when θ only reads A's attributes (and
+    # symmetrically); also the left side of ⋈/⋉/▷, whose outputs keep
+    # every left attribute.
+    if not isinstance(node, ra.Selection):
+        return None
+    child = node.child
+    condition_attrs = attrs_in_condition(node.condition)
+    if isinstance(child, (ra.Product, ra.EquiJoin)):
+        left_attrs = set(opt.attrs(child.left))
+        right_attrs = set(opt.attrs(child.right))
+        if condition_attrs <= left_attrs:
+            return opt.with_children(
+                child, (ra.Selection(child.left, node.condition), child.right)
+            )
+        if condition_attrs <= right_attrs:
+            return opt.with_children(
+                child, (child.left, ra.Selection(child.right, node.condition))
+            )
+        return None
+    if isinstance(child, (ra.NaturalJoin, ra.SemiJoin, ra.AntiSemiJoin)):
+        if condition_attrs <= set(opt.attrs(child.left)):
+            return type(child)(ra.Selection(child.left, node.condition), child.right)
+    return None
+
+
+def _rule_collapse_projection(opt, node):
+    if (
+        isinstance(node, ra.Projection)
+        and isinstance(node.child, ra.Projection)
+        and set(node.attributes) <= set(node.child.attributes)
+        # The inner projection must itself be valid: collapsing an inner
+        # π that references attributes missing from its child would
+        # swallow the KeyError the plan is due to raise.
+        and set(node.child.attributes) <= set(opt.attrs(node.child.child))
+    ):
+        return ra.Projection(node.child.child, node.attributes)
+    return None
+
+
+def _rule_identity_projection(opt, node):
+    if isinstance(node, ra.Projection) and node.attributes == opt.attrs(node.child):
+        return node.child
+    return None
+
+
+def _rule_push_projection_rename(opt, node):
+    if not (isinstance(node, ra.Projection) and isinstance(node.child, ra.Rename)):
+        return None
+    rename = node.child
+    # Only push projections that reference the rename's actual output —
+    # see the matching guard in _rule_push_selection_rename.
+    if not set(node.attributes) <= set(opt.attrs(rename)):
+        return None
+    mapping = rename.mapping_dict()
+    # Ignore no-op mapping entries (old name absent from the child), as
+    # in _rule_push_selection_rename: inverting one would project a
+    # nonexistent attribute.
+    child_attrs = set(opt.attrs(rename.child))
+    effective = {old: new for old, new in mapping.items() if old in child_attrs}
+    inverse = {new: old for old, new in effective.items()}
+    if len(inverse) != len(effective):
+        return None
+    kept = set(node.attributes)
+    inner_attrs = tuple(inverse.get(a, a) for a in node.attributes)
+    restricted = {old: new for old, new in effective.items() if new in kept}
+    inner = ra.Projection(rename.child, inner_attrs)
+    return ra.Rename(inner, restricted) if restricted else inner
+
+
+def _rule_split_projection_product(opt, node):
+    # π_α(A × B) → π_α(π_{α∩A}(A) × π_{α∩B}(B)): prune the columns a
+    # product carries before it multiplies them out.
+    if not (isinstance(node, ra.Projection) and isinstance(node.child, ra.Product)):
+        return None
+    product = node.child
+    kept = set(node.attributes)
+    left_attrs = opt.attrs(product.left)
+    right_attrs = opt.attrs(product.right)
+    left_kept = tuple(a for a in left_attrs if a in kept)
+    right_kept = tuple(a for a in right_attrs if a in kept)
+    if left_kept == left_attrs and right_kept == right_attrs:
+        return None  # nothing to prune (also the fixpoint guard)
+    return ra.Projection(
+        ra.Product(
+            ra.Projection(product.left, left_kept),
+            ra.Projection(product.right, right_kept),
+        ),
+        node.attributes,
+    )
+
+
+# -- physical rules ----------------------------------------------------
+# Declarative placeholders: the actual transforms live in
+# _PlanOptimizer.physical_pass (they consume whole σ-stacks, which the
+# per-node fn contract cannot express) and are gated there by rule name
+# through the same modes filter as the logical rules.
+def _rule_hash_equijoin(opt, node):  # pragma: no cover - see physical_pass
+    return None
+
+
+def _rule_constrain_domain(opt, node):  # pragma: no cover - see physical_pass
+    return None
+
+
+OPTIMIZER_RULES: tuple[Rule, ...] = (
+    Rule(
+        "drop-true-selection",
+        "σ_true(Q) → Q",
+        BOTH_MODES,
+        "logical",
+        _rule_drop_true_selection,
+    ),
+    Rule(
+        "empty-false-selection",
+        "σ_false(Q) → ∅ (a rowless constant table over Q's attributes)",
+        BOTH_MODES,
+        "logical",
+        _rule_empty_false_selection,
+    ),
+    Rule(
+        "trivial-self-equality",
+        "σ_{A=A}(Q) → Q — naïve mode only (3VL filters null A)",
+        NAIVE_ONLY,
+        "logical",
+        _rule_trivial_self_equality,
+    ),
+    Rule(
+        "trivial-self-disequality",
+        "σ_{A≠A}(Q) → ∅",
+        BOTH_MODES,
+        "logical",
+        _rule_trivial_self_disequality,
+    ),
+    Rule(
+        "split-conjunction",
+        "σ_{θ₁∧θ₂}(Q) → σ_{θ₁}(σ_{θ₂}(Q))",
+        BOTH_MODES,
+        "logical",
+        _rule_split_conjunction,
+    ),
+    Rule(
+        "push-selection-projection",
+        "σ_θ(π_α(Q)) → π_α(σ_θ(Q))",
+        BOTH_MODES,
+        "logical",
+        _rule_push_selection_projection,
+    ),
+    Rule(
+        "push-selection-rename",
+        "σ_θ(ρ_m(Q)) → ρ_m(σ_{m⁻¹(θ)}(Q))",
+        BOTH_MODES,
+        "logical",
+        _rule_push_selection_rename,
+    ),
+    Rule(
+        "push-selection-setop",
+        "σ_θ(A ∪/∩ B) → σ_θ(A) ∪/∩ σ_θ(B);  σ_θ(A − B) → σ_θ(A) − B",
+        BOTH_MODES,
+        "logical",
+        _rule_push_selection_setop,
+    ),
+    Rule(
+        "push-selection-product",
+        "σ_θ(A × B) → σ_θ(A) × B when attrs(θ) ⊆ attrs(A) (and symmetric; "
+        "left side of ⋈/⋉/▷)",
+        BOTH_MODES,
+        "logical",
+        _rule_push_selection_product,
+    ),
+    Rule(
+        "collapse-projection",
+        "π_α(π_β(Q)) → π_α(Q) when α ⊆ β",
+        BOTH_MODES,
+        "logical",
+        _rule_collapse_projection,
+    ),
+    Rule(
+        "identity-projection",
+        "π_α(Q) → Q when α is exactly Q's attribute list",
+        BOTH_MODES,
+        "logical",
+        _rule_identity_projection,
+    ),
+    Rule(
+        "push-projection-rename",
+        "π_α(ρ_m(Q)) → ρ_{m|α}(π_{m⁻¹(α)}(Q))",
+        BOTH_MODES,
+        "logical",
+        _rule_push_projection_rename,
+    ),
+    Rule(
+        "split-projection-product",
+        "π_α(A × B) → π_α(π_{α∩A}(A) × π_{α∩B}(B))",
+        BOTH_MODES,
+        "logical",
+        _rule_split_projection_product,
+    ),
+    Rule(
+        "hash-equijoin",
+        "σ-stack over A × B with A.x = B.y conjuncts → EquiJoin(A, B) "
+        "(hash build on the smaller side) plus residual selections",
+        BOTH_MODES,
+        "physical",
+        _rule_hash_equijoin,
+    ),
+    Rule(
+        "constrain-domain",
+        "σ-stack over Dom^k → ConstrainedDomainRelation (enumeration pruned "
+        "by bindings/equality groups/const-null guards, condition re-checked "
+        "per tuple)",
+        BOTH_MODES,
+        "physical",
+        _rule_constrain_domain,
+    ),
+)
+
+
+def describe_rules() -> str:
+    """A plain-text rule table (used by DESIGN.md and the examples)."""
+    lines = []
+    for rule in OPTIMIZER_RULES:
+        modes = "+".join(sorted(rule.modes))
+        lines.append(f"{rule.name:28s} [{rule.phase}, {modes}]  {rule.description}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The optimizer
+# ----------------------------------------------------------------------
+class _PlanOptimizer:
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        condition_mode: str,
+        bag: bool,
+        physical: bool,
+    ):
+        self.schema = schema
+        self.condition_mode = condition_mode
+        self.bag = bag
+        self.physical = physical
+        self._attrs_cache: dict[ra.Query, tuple[str, ...]] = {}
+        self._budget = REWRITE_BUDGET
+        self._logical_rules = [
+            rule
+            for rule in OPTIMIZER_RULES
+            if rule.phase == "logical" and condition_mode in rule.modes
+        ]
+        # Physical rules go through the same per-mode gate as logical
+        # ones: physical_pass checks membership here before applying a
+        # transform, so a future mode-restricted physical rule cannot
+        # silently run in a mode it did not declare.
+        self._physical_rules = {
+            rule.name
+            for rule in OPTIMIZER_RULES
+            if rule.phase == "physical" and condition_mode in rule.modes
+        }
+
+    # -- helpers -------------------------------------------------------
+    def attrs(self, node: ra.Query) -> tuple[str, ...]:
+        cached = self._attrs_cache.get(node)
+        if cached is None:
+            cached = tuple(node.output_attributes(self.schema))
+            self._attrs_cache[node] = cached
+        return cached
+
+    @staticmethod
+    def with_children(node: ra.Query, children) -> ra.Query:
+        """Rebuild ``node`` with the given children (same operator)."""
+        if isinstance(node, ra.Selection):
+            return ra.Selection(children[0], node.condition)
+        if isinstance(node, ra.Projection):
+            return ra.Projection(children[0], node.attributes)
+        if isinstance(node, ra.Rename):
+            return ra.Rename(children[0], node.mapping_dict())
+        if isinstance(node, ra.EquiJoin):
+            return ra.EquiJoin(children[0], children[1], node.pairs)
+        if isinstance(
+            node,
+            (
+                ra.Product,
+                ra.Union,
+                ra.Difference,
+                ra.Intersection,
+                ra.Division,
+                ra.UnifAntiSemiJoin,
+                ra.NaturalJoin,
+                ra.SemiJoin,
+                ra.AntiSemiJoin,
+            ),
+        ):
+            return type(node)(children[0], children[1])
+        return node  # leaves
+
+    # -- logical fixpoint ----------------------------------------------
+    def rewrite(self, node: ra.Query) -> ra.Query:
+        children = node.children()
+        if children:
+            new_children = [self.rewrite(child) for child in children]
+            if tuple(new_children) != children:
+                node = self.with_children(node, new_children)
+        if self._budget <= 0:
+            return node
+        for rule in self._logical_rules:
+            rewritten = rule.fn(self, node)
+            if rewritten is not None and rewritten != node:
+                self._budget -= 1
+                return self.rewrite(rewritten)
+        return node
+
+    # -- physical pass -------------------------------------------------
+    def physical_pass(self, node: ra.Query) -> ra.Query:
+        children = node.children()
+        if children:
+            new_children = [self.physical_pass(child) for child in children]
+            if tuple(new_children) != children:
+                node = self.with_children(node, new_children)
+        if not isinstance(node, ra.Selection):
+            return node
+        # Gather the maximal selection stack above the base operator.
+        conjuncts: list[Condition] = []
+        base: ra.Query = node
+        while isinstance(base, ra.Selection):
+            conjuncts.extend(split_conjuncts(base.condition))
+            base = base.child
+        if isinstance(base, (ra.Product, ra.EquiJoin)):
+            if "hash-equijoin" not in self._physical_rules:
+                return node
+            return self._to_equijoin(base, conjuncts) or node
+        if "constrain-domain" in self._physical_rules:
+            if isinstance(base, ra.DomainRelation) and base.attributes:
+                return self._to_constrained_domain(base.attributes, conjuncts)
+            if isinstance(base, ra.ConstrainedDomainRelation):
+                return self._to_constrained_domain(
+                    base.attributes, split_conjuncts(base.condition) + conjuncts
+                )
+        return node
+
+    def _to_equijoin(self, base, conjuncts) -> ra.Query | None:
+        """Turn a σ-stack over × (or an existing equi-join) into EquiJoin."""
+        left_attrs = set(self.attrs(base.left))
+        right_attrs = set(self.attrs(base.right))
+        pairs: list[tuple[str, str]] = (
+            list(base.pairs) if isinstance(base, ra.EquiJoin) else []
+        )
+        found_new = False
+        residual: list[Condition] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, Eq):
+                a, b = conjunct.left, conjunct.right
+                if isinstance(a, Attr) and isinstance(b, Attr):
+                    if a.name in left_attrs and b.name in right_attrs:
+                        pairs.append((a.name, b.name))
+                        found_new = True
+                        continue
+                    if a.name in right_attrs and b.name in left_attrs:
+                        pairs.append((b.name, a.name))
+                        found_new = True
+                        continue
+            residual.append(conjunct)
+        if not found_new:
+            return None
+        plan: ra.Query = ra.EquiJoin(base.left, base.right, pairs)
+        for conjunct in residual:
+            plan = ra.Selection(plan, conjunct)
+        return plan
+
+    def _to_constrained_domain(self, attrs: tuple[str, ...], conjuncts) -> ra.Query:
+        attr_set = set(attrs)
+        parent = {a: a for a in attrs}
+
+        def find(a: str) -> str:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        bindings: list[tuple[str, object]] = []
+        require_const: list[str] = []
+        require_null: list[str] = []
+        for conjunct in conjuncts:
+            if isinstance(conjunct, Eq):
+                a, b = conjunct.left, conjunct.right
+                if (
+                    isinstance(a, Attr)
+                    and isinstance(b, Attr)
+                    and a.name in attr_set
+                    and b.name in attr_set
+                ):
+                    parent[find(a.name)] = find(b.name)
+                    continue
+                for attr_term, lit_term in ((a, b), (b, a)):
+                    if (
+                        isinstance(attr_term, Attr)
+                        and attr_term.name in attr_set
+                        and lit_term.is_literal()
+                        and is_const(lit_term.value)
+                    ):
+                        bindings.append((attr_term.name, lit_term.value))
+                        break
+            elif isinstance(conjunct, IsConst) and isinstance(conjunct.term, Attr):
+                if conjunct.term.name in attr_set:
+                    require_const.append(conjunct.term.name)
+            elif isinstance(conjunct, IsNull) and isinstance(conjunct.term, Attr):
+                if conjunct.term.name in attr_set:
+                    require_null.append(conjunct.term.name)
+        classes: dict[str, list[str]] = {}
+        for a in attrs:
+            classes.setdefault(find(a), []).append(a)
+        groups = tuple(
+            tuple(members) for members in classes.values() if len(members) > 1
+        )
+        return ra.ConstrainedDomainRelation(
+            attrs,
+            conjoin(conjuncts),
+            groups=groups,
+            bindings=bindings,
+            require_const=tuple(require_const),
+            require_null=tuple(require_null),
+        )
+
+    def run(self, query: ra.Query) -> ra.Query:
+        query = self.rewrite(query)
+        if self.physical:
+            query = self.physical_pass(query)
+        return query
+
+
+def _schema_key(schema: DatabaseSchema) -> tuple:
+    return tuple(sorted((rs.name, rs.attributes) for rs in schema))
+
+
+def _plan_is_well_formed(query: ra.Query, schema: DatabaseSchema) -> bool:
+    """Can every node's output attributes be computed under ``schema``?"""
+    try:
+        for node in ra.walk(query):
+            node.output_attributes(schema)
+    except (ValueError, KeyError, TypeError):
+        return False
+    return True
+
+
+@lru_cache(maxsize=2048)
+def _optimize_cached(
+    query: ra.Query,
+    schema_key: tuple,
+    condition_mode: str,
+    bag: bool,
+    physical: bool,
+) -> ra.Query:
+    schema = DatabaseSchema(RelationSchema(name, attrs) for name, attrs in schema_key)
+    if not _plan_is_well_formed(query, schema):
+        # Malformed plans (overlapping product attributes, unknown
+        # relations, ...) are returned untouched so evaluation raises
+        # exactly the error it would have raised without the optimizer.
+        return query
+    optimizer = _PlanOptimizer(schema, condition_mode, bag, physical)
+    try:
+        return optimizer.run(query)
+    except (ValueError, KeyError, TypeError) as exc:
+        # A failure on a *well-formed* plan is an optimizer bug, not a
+        # user error: fall back to the unoptimized plan (results stay
+        # correct) but say so, lest the speedups silently vanish.
+        warnings.warn(
+            f"plan optimizer failed on a well-formed plan ({exc!r}); "
+            "evaluating unoptimized",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return query
+
+
+def optimize_plan(
+    query: ra.Query,
+    schema: DatabaseSchema,
+    *,
+    condition_mode: str = "naive",
+    bag: bool = False,
+    physical: bool = True,
+) -> ra.Query:
+    """Optimize a relational algebra plan for evaluation on ``schema``.
+
+    ``condition_mode`` selects which rules are sound (see the module
+    docstring); ``bag`` is carried for future bag-only rules (every
+    current rule preserves multiplicities); ``physical=False`` restricts
+    the rewrite to the logical rules, for consumers — like the c-table
+    evaluator — that cannot execute the physical operator nodes.
+
+    The result is memoised on ``(plan, schema, mode, bag, physical)``,
+    so repeated optimization of one plan (per possible world, per shard,
+    per Qt/Qf pair member) costs one dictionary lookup.
+    """
+    return _optimize_cached(
+        query, _schema_key(schema), condition_mode, bool(bag), bool(physical)
+    )

@@ -46,6 +46,11 @@ def to_text(query: ast.Query) -> str:
         return f"({to_text(query.left)} ⋉ {to_text(query.right)})"
     if isinstance(query, ast.AntiSemiJoin):
         return f"({to_text(query.left)} ▷ {to_text(query.right)})"
+    if isinstance(query, ast.EquiJoin):
+        pairs = ", ".join(f"{a}={b}" for a, b in query.pairs)
+        return f"({to_text(query.left)} ⋈ₕ[{pairs}] {to_text(query.right)})"
+    if isinstance(query, ast.ConstrainedDomainRelation):
+        return f"Dom^{len(query.attributes)}[{query.condition}]"
     return f"<{type(query).__name__}>"
 
 
@@ -72,6 +77,10 @@ def _node_label(query: ast.Query) -> str:
         return f"π {', '.join(query.attributes)}"
     if isinstance(query, ast.Rename):
         return "ρ " + ", ".join(f"{old}→{new}" for old, new in query.mapping)
+    if isinstance(query, ast.EquiJoin):
+        return "⋈ₕ " + ", ".join(f"{a}={b}" for a, b in query.pairs)
+    if isinstance(query, ast.ConstrainedDomainRelation):
+        return f"Dom^{len(query.attributes)} σ {query.condition}"
     return {
         ast.Product: "×",
         ast.Union: "∪",

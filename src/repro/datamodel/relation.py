@@ -28,7 +28,7 @@ class Relation:
     new relation.  Equality compares attributes and row multiplicities.
     """
 
-    __slots__ = ("attributes", "_rows")
+    __slots__ = ("attributes", "_rows", "_index", "_all_unit")
 
     def __init__(
         self,
@@ -39,6 +39,10 @@ class Relation:
         self.attributes: tuple[str, ...] = tuple(attributes)
         if len(set(self.attributes)) != len(self.attributes):
             raise ValueError(f"duplicate attribute names: {self.attributes}")
+        self._index: dict[str, int] = {a: i for i, a in enumerate(self.attributes)}
+        # Lazily computed: True/False once some caller asked whether every
+        # multiplicity is already 1 (makes distinct() a cheap no-op).
+        self._all_unit: bool | None = None
         counter: Counter = Counter()
         for row in rows:
             tup = tuple(row)
@@ -146,8 +150,8 @@ class Relation:
     def attribute_index(self, attribute: str) -> int:
         """Position of ``attribute``; raises ``KeyError`` if absent."""
         try:
-            return self.attributes.index(attribute)
-        except ValueError:
+            return self._index[attribute]
+        except KeyError:
             raise KeyError(
                 f"attribute {attribute!r} not in {self.attributes}"
             ) from None
@@ -182,8 +186,19 @@ class Relation:
         return Relation.from_counter(self.attributes, counter)
 
     def distinct(self) -> "Relation":
-        """Set-semantics projection of the bag: all multiplicities become 1."""
-        return Relation(self.attributes, rows=self._rows.keys())
+        """Set-semantics projection of the bag: all multiplicities become 1.
+
+        When every multiplicity is already 1 the relation itself is
+        returned — the set evaluator collapses after every operator, so
+        this no-op saves one full Counter copy per plan node.
+        """
+        if self._all_unit is None:
+            self._all_unit = all(count == 1 for count in self._rows.values())
+        if self._all_unit:
+            return self
+        collapsed = Relation(self.attributes, rows=self._rows.keys())
+        collapsed._all_unit = True
+        return collapsed
 
     def add_rows(self, rows: Iterable[Sequence[Value]]) -> "Relation":
         """Return a new relation with the given rows added (bag union)."""

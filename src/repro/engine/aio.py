@@ -138,6 +138,7 @@ class AsyncEngine:
         shards: int | None = None,
         executor: Any = "serial",
         partitioner: Any = None,
+        optimize: bool = True,
     ):
         self._owns_engine = engine is None
         self._engine = engine or Engine(
@@ -146,6 +147,7 @@ class AsyncEngine:
             shards=shards,
             executor=executor,
             partitioner=partitioner,
+            optimize=optimize,
         )
         if isinstance(pool, concurrent.futures.Executor):
             self._pool: concurrent.futures.Executor | None = pool
@@ -281,6 +283,7 @@ class AsyncEngine:
         shards: int | None = None,
         executor: Any = None,
         partitioner: Any = None,
+        optimize: bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Awaitable :meth:`repro.engine.Engine.evaluate`, same contract.
@@ -294,6 +297,7 @@ class AsyncEngine:
         strat, semantics, normalized = engine._prepare_call(
             query, database, strategy, semantics
         )
+        options = engine._resolve_options(strat, optimize, options)
         sharded = engine._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded_async
@@ -474,6 +478,7 @@ class AsyncEngine:
         shards: int | None = None,
         executor: Any = None,
         partitioner: Any = None,
+        optimize: bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run every applicable strategy concurrently on one query.
@@ -495,6 +500,10 @@ class AsyncEngine:
             database_fp = database_fingerprint(database)
 
         async def run_one(name: str) -> tuple[str, QueryResult | None]:
+            extra = dict(per_strategy.get(name, {}))
+            # A per-strategy {'optimize': ...} overrides the call-level
+            # argument instead of colliding with it.
+            resolved_optimize = extra.pop("optimize", optimize)
             try:
                 result = await self.evaluate(
                     query,
@@ -506,7 +515,8 @@ class AsyncEngine:
                     shards=shards,
                     executor=executor,
                     partitioner=partitioner,
-                    **dict(per_strategy.get(name, {})),
+                    optimize=resolved_optimize,
+                    **extra,
                 )
             except StrategyNotApplicableError:
                 if not skip_inapplicable:
@@ -524,7 +534,10 @@ class AsyncSession:
     The async mirror of :class:`~repro.engine.core.Session`: memoises
     the database fingerprint, carries per-session sharding config, and —
     as an *async* context manager — closes the engine it created (a
-    shared engine survives session exit)::
+    shared engine survives session exit; as with the sync session, a
+    shared engine also keeps its own ``cache_size``/``default_semantics``/
+    ``optimize`` configuration — use the per-call ``optimize=`` to
+    override)::
 
         async with AsyncSession(database) as session:
             results = await session.compare(query)
@@ -543,6 +556,7 @@ class AsyncSession:
         pool: Any = "process",
         max_workers: int | None = None,
         max_concurrency: int | None = None,
+        optimize: bool = True,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
@@ -553,6 +567,7 @@ class AsyncSession:
             pool=pool,
             max_workers=max_workers,
             max_concurrency=max_concurrency,
+            optimize=optimize,
         )
         self._executor = executor
         self._shards = shards

@@ -57,6 +57,7 @@ class Engine:
         shards: int | None = None,
         executor: Any = "serial",
         partitioner: Any = None,
+        optimize: bool = True,
     ):
         if default_semantics not in _SEMANTICS:
             raise EngineError(
@@ -68,6 +69,12 @@ class Engine:
         self.default_shards = shards
         self.default_executor = executor
         self.default_partitioner = partitioner
+        #: Default for the per-call ``optimize=`` option: run the plan
+        #: optimizer (:mod:`repro.algebra.optimize`) inside every
+        #: strategy that supports it.  ``Engine(optimize=False)`` or
+        #: ``evaluate(..., optimize=False)`` is the escape hatch back to
+        #: the textbook plans.
+        self.default_optimize = bool(optimize)
         self._cache = ResultCache(cache_size)
         self._executors: dict[Any, Any] = {}
 
@@ -122,6 +129,7 @@ class Engine:
         shards: int | None = None,
         executor: Any = None,
         partitioner: Any = None,
+        optimize: bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Evaluate ``query`` on ``database`` with the named strategy.
@@ -137,10 +145,17 @@ class Engine:
         :class:`~repro.sharding.ShardedDatabase` or ``Session(...,
         shards=N)`` to partition once), ``shards=0`` forces monolithic
         evaluation even on a sharded database.
+
+        ``optimize`` toggles the plan optimizer
+        (:mod:`repro.algebra.optimize`) for strategies that support it;
+        ``None`` uses the engine default (on).  The resolved value is
+        part of the result-cache key, so optimized and unoptimized
+        results never alias.
         """
         strat, semantics, normalized = self._prepare_call(
             query, database, strategy, semantics
         )
+        options = self._resolve_options(strat, optimize, options)
         sharded = self._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded
@@ -199,6 +214,27 @@ class Engine:
             )
         normalized = normalize_query(query, database.schema())
         return strat, semantics, normalized
+
+    def _resolve_options(
+        self,
+        strat: Any,
+        optimize: bool | None,
+        options: Mapping[str, Any],
+    ) -> dict[str, Any]:
+        """Fold the resolved ``optimize`` setting into the strategy options.
+
+        Only strategies declaring ``supports_optimize`` receive the
+        option (and hence carry it in their cache keys); for the others
+        the result cannot depend on it, so leaving it out keeps their
+        keys stable and their option validation strict.  Shared with
+        :class:`~repro.engine.aio.AsyncEngine` so the twins agree on
+        keys and worker-task options.
+        """
+        options = dict(options)
+        if getattr(strat, "supports_optimize", False):
+            resolved = self.default_optimize if optimize is None else bool(optimize)
+            options.setdefault("optimize", resolved)
+        return options
 
     def _sharded_database(
         self, database: Database, shards: int | None, partitioner: Any
@@ -344,6 +380,7 @@ class Engine:
         shards: int | None = None,
         executor: Any = None,
         partitioner: Any = None,
+        optimize: bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run several strategies on the same query, keyed by strategy name.
@@ -363,6 +400,10 @@ class Engine:
             database_fp = database_fingerprint(database)
         results: dict[str, QueryResult] = {}
         for name in names:
+            extra = dict(per_strategy.get(name, {}))
+            # A per-strategy {'optimize': ...} overrides the call-level
+            # argument instead of colliding with it.
+            resolved_optimize = extra.pop("optimize", optimize)
             try:
                 results[name] = self.evaluate(
                     query,
@@ -374,7 +415,8 @@ class Engine:
                     shards=shards,
                     executor=executor,
                     partitioner=partitioner,
-                    **dict(per_strategy.get(name, {})),
+                    optimize=resolved_optimize,
+                    **extra,
                 )
             except StrategyNotApplicableError:
                 if not skip_inapplicable:
@@ -413,7 +455,11 @@ class Session:
     A session is a context manager: ``with Session(db) as session:``
     closes the private engine (and hence any worker pools it spawned)
     on exit.  An engine passed in explicitly is *shared* — the session
-    never closes it.
+    never closes it, and the engine-level constructor arguments
+    (``cache_size``, ``default_semantics``, ``optimize``) are ignored
+    in favour of the shared engine's own configuration; pass
+    ``optimize=`` per ``evaluate``/``compare`` call to override it on a
+    shared engine.
     """
 
     def __init__(
@@ -426,6 +472,7 @@ class Session:
         shards: int | None = None,
         executor: Any = None,
         partitioner: Any = None,
+        optimize: bool = True,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
@@ -433,6 +480,7 @@ class Session:
             cache_size=cache_size,
             default_semantics=default_semantics,
             executor=executor or "serial",
+            optimize=optimize,
         )
         # Per-session sharding config, honoured even on a shared engine
         # and carried across with_database().

@@ -72,6 +72,12 @@ class EvaluationStrategy:
     aliases: tuple[str, ...] = ()
     #: Which of ``"set"`` / ``"bag"`` the strategy can honour.
     supported_semantics: tuple[str, ...] = ("set",)
+    #: Whether the strategy understands the engine's ``optimize=`` option
+    #: (plan optimization via :mod:`repro.algebra.optimize`).  The engine
+    #: only forwards the option — and only includes it in cache keys —
+    #: for strategies that declare support, so third-party strategies
+    #: with strict option validation keep working unchanged.
+    supports_optimize: bool = False
     #: One line for ``Engine.strategies()`` listings and docs.
     description: str = ""
 

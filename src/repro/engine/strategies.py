@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..algebra.evaluator import Evaluator, evaluate
+from ..algebra.evaluator import Evaluator
 from ..calculus.fragments import naive_evaluation_is_exact
 from ..ctables.strategies import STRATEGIES as CTABLE_VARIANTS
 from ..ctables.strategies import run_strategy as run_ctable_strategy
@@ -102,10 +102,12 @@ class NaiveStrategy(EvaluationStrategy):
     """Naïve evaluation: nulls as ordinary values (Section 4.1)."""
 
     supported_semantics = ("set", "bag")
+    supports_optimize = True
     description = "naïve evaluation; exact on the fragments of Theorem 4.4"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         textbook = bool(options.pop("textbook", False))
+        optimize = bool(options.pop("optimize", False))
         self.reject_unknown_options(options)
         target = self.require_executable(query)
         bag = semantics == "bag"
@@ -115,7 +117,7 @@ class NaiveStrategy(EvaluationStrategy):
                 "evaluator is set-based"
             )
         runner = naive_evaluate if textbook else naive_evaluate_direct
-        relation = runner(target, database, bag=bag)
+        relation = runner(target, database, bag=bag, optimize=optimize)
         exact = database.is_complete() or (
             query.fragment is not None
             and naive_evaluation_is_exact(query.fo.formula, "cwa")
@@ -134,18 +136,24 @@ class ExactCertainStrategy(EvaluationStrategy):
     """Exact certain answers by valuation enumeration (Section 3.2)."""
 
     supported_semantics = ("set",)
+    supports_optimize = True
     description = "brute-force cert⊥ / cert∩; exponential, small instances only"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         variant = options.pop("variant", "with-nulls")
         extra_fresh = options.pop("extra_fresh", None)
         with_possible = bool(options.pop("with_possible", False))
+        optimize = bool(options.pop("optimize", False))
         self.reject_unknown_options(options)
         target = self.require_executable(query)
         if variant == "with-nulls":
-            relation = certain_answers_with_nulls(target, database, extra_fresh=extra_fresh)
+            relation = certain_answers_with_nulls(
+                target, database, extra_fresh=extra_fresh, optimize=optimize
+            )
         elif variant == "intersection":
-            relation = certain_answers_intersection(target, database, extra_fresh=extra_fresh)
+            relation = certain_answers_intersection(
+                target, database, extra_fresh=extra_fresh, optimize=optimize
+            )
         else:
             raise EngineError(
                 f"unknown exact-certain variant {variant!r}; "
@@ -154,7 +162,9 @@ class ExactCertainStrategy(EvaluationStrategy):
         annotated = annotate(relation, Certainty.CERTAIN)
         possible = None
         if with_possible:
-            possible = possible_answers(target, database, extra_fresh=extra_fresh)
+            possible = possible_answers(
+                target, database, extra_fresh=extra_fresh, optimize=optimize
+            )
             annotated += tuple(
                 AnnotatedTuple(row, Certainty.POSSIBLE)
                 for row in possible.sorted_rows()
@@ -174,19 +184,25 @@ class Libkin16Strategy(EvaluationStrategy):
     """The (Qt, Qf) rewriting of Figure 2a [51]."""
 
     supported_semantics = ("set",)
+    supports_optimize = True
     description = "(Qt, Qf) rewriting; sound but materialises Dom^k products"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         annotate_false_positives = bool(options.pop("annotate_false_positives", True))
+        optimize = bool(options.pop("optimize", False))
         self.reject_unknown_options(options)
         algebra = self.require_algebra(query)
         pair = translate_libkin16(algebra, database.schema())
-        certainly_true = evaluate(pair.certainly_true, database)
-        certainly_false = evaluate(pair.certainly_false, database)
+        # One evaluator for all three plans: Qt, Qf (and the naïve check)
+        # share large subtrees almost verbatim, so the per-database
+        # sub-plan memo pays off across the pair.
+        evaluator = Evaluator(optimize=optimize)
+        certainly_true = evaluator.evaluate(pair.certainly_true, database)
+        certainly_false = evaluator.evaluate(pair.certainly_false, database)
         annotated = annotate(certainly_true, Certainty.CERTAIN)
         false_positive_count = 0
         if annotate_false_positives:
-            naive = evaluate(algebra, database)
+            naive = evaluator.evaluate(algebra, database)
             false_rows = naive.rows_set() & certainly_false.rows_set()
             false_positive_count = len(false_rows)
             annotated += tuple(
@@ -212,14 +228,17 @@ class Guagliardo16Strategy(EvaluationStrategy):
     """The (Q+, Q?) rewriting of Figure 2b [37]."""
 
     supported_semantics = ("set",)
+    supports_optimize = True
     description = "(Q+, Q?) rewriting; sound with small overhead (experiment E4)"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
+        optimize = bool(options.pop("optimize", False))
         self.reject_unknown_options(options)
         algebra = self.require_algebra(query)
         pair = translate_guagliardo16(algebra, database.schema())
-        certain = evaluate(pair.certain, database)
-        possible = evaluate(pair.possible, database)
+        evaluator = Evaluator(optimize=optimize)
+        certain = evaluator.evaluate(pair.certain, database)
+        possible = evaluator.evaluate(pair.possible, database)
         annotated = annotate(certain, Certainty.CERTAIN) + tuple(
             AnnotatedTuple(row, Certainty.POSSIBLE)
             for row in possible.sorted_rows()
@@ -239,16 +258,30 @@ class CTablesStrategy(EvaluationStrategy):
     """The grounding-based c-table strategies of [36] (Section 4.2)."""
 
     supported_semantics = ("set",)
+    supports_optimize = True
     description = "conditional evaluation over c-tables (eager/semi_eager/lazy/aware)"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         variant = options.pop("variant", "lazy")
+        optimize = bool(options.pop("optimize", False))
         self.reject_unknown_options(options)
         if variant not in CTABLE_VARIANTS:
             raise EngineError(
                 f"unknown c-table variant {variant!r}; expected one of {CTABLE_VARIANTS}"
             )
         algebra = self.require_algebra(query)
+        if optimize:
+            # Logical rules only: the conditional evaluator manipulates
+            # symbolic conditions and cannot execute the physical
+            # EquiJoin/ConstrainedDomainRelation nodes.  The naïve-only
+            # trivial-self-equality rule is excluded too — a symbolic
+            # ``x = x`` is true under every valuation, but keeping the
+            # selection keeps the produced c-table conditions identical.
+            from ..algebra.optimize import optimize_plan
+
+            algebra = optimize_plan(
+                algebra, database.schema(), condition_mode="3vl", physical=False
+            )
         result = run_ctable_strategy(variant, algebra, database)
         annotated = annotate(result.certain, Certainty.CERTAIN) + tuple(
             AnnotatedTuple(row, Certainty.POSSIBLE)

@@ -77,20 +77,25 @@ def certain_answers_with_nulls(
     database: Database,
     *,
     extra_fresh: int | None = None,
+    optimize: bool = False,
 ) -> Relation:
     """``cert⊥(Q, D)`` under CWA, by enumeration of valuations.
 
     Candidate tuples are the naïve answers (for a generic query every
     certain tuple over ``dom(D)`` is a naïve answer, because the bijective
     valuation onto fresh constants is among the valuations checked).
+
+    ``optimize`` runs the plan optimizer before evaluation; the
+    optimized plan is memoised, so the per-world loop pays the rewrite
+    once and evaluates the cheaper plan in every possible world.
     """
-    candidates = naive_evaluate_direct(query, database)
+    candidates = naive_evaluate_direct(query, database, optimize=optimize)
     pool = _checked_pool(query, database, extra_fresh)
     surviving = set(candidates.rows_set())
     for valuation, world in iterate_worlds(database, pool):
         if not surviving:
             break
-        answer = _run(query, world).rows_set()
+        answer = _run(query, world, optimize=optimize).rows_set()
         surviving = {row for row in surviving if valuation.apply_tuple(row) in answer}
     return Relation(candidates.attributes, sorted(surviving, key=str))
 
@@ -100,12 +105,15 @@ def certain_answers_intersection(
     database: Database,
     *,
     extra_fresh: int | None = None,
+    optimize: bool = False,
 ) -> Relation:
     """``cert∩(Q, D)`` under CWA: the null-free certain answers.
 
     By Proposition 3.10, ``cert∩(Q, D) = cert⊥(Q, D) ∩ Const^m``.
     """
-    with_nulls = certain_answers_with_nulls(query, database, extra_fresh=extra_fresh)
+    with_nulls = certain_answers_with_nulls(
+        query, database, extra_fresh=extra_fresh, optimize=optimize
+    )
     constant_rows = [row for row in with_nulls if all(is_const(v) for v in row)]
     return Relation(with_nulls.attributes, constant_rows)
 
@@ -124,6 +132,7 @@ def possible_answers(
     database: Database,
     *,
     extra_fresh: int | None = None,
+    optimize: bool = False,
 ) -> Relation:
     """Tuples that are an answer in at least one possible world (CWA).
 
@@ -136,7 +145,7 @@ def possible_answers(
     pool = _checked_pool(query, database, extra_fresh)
     possible: set = set()
     for valuation, world in iterate_worlds(database, pool):
-        answer = _run(query, world).rows_set()
+        answer = _run(query, world, optimize=optimize).rows_set()
         for row in candidates:
             if row not in possible and valuation.apply_tuple(row) in answer:
                 possible.add(row)

@@ -35,10 +35,15 @@ __all__ = ["naive_evaluate", "naive_evaluate_direct", "naive_boolean"]
 AnyQuery = "ra.Query | FoQuery"
 
 
-def _run(query, database: Database, *, bag: bool = False) -> Relation:
-    """Dispatch on the query kind: relational algebra tree or FO query."""
+def _run(query, database: Database, *, bag: bool = False, optimize: bool = False) -> Relation:
+    """Dispatch on the query kind: relational algebra tree or FO query.
+
+    ``optimize`` turns on the plan optimizer of
+    :mod:`repro.algebra.optimize` for algebra input (the FO evaluator
+    has no plan to optimize; the flag is ignored there).
+    """
     if isinstance(query, ra.Query):
-        return Evaluator(bag=bag).evaluate(query, database)
+        return Evaluator(bag=bag, optimize=optimize).evaluate(query, database)
     if isinstance(query, FoQuery):
         return query.answers(database)
     raise TypeError(f"cannot evaluate object of type {type(query).__name__}")
@@ -68,12 +73,16 @@ def _query_constants(query) -> set:
     return constants
 
 
-def naive_evaluate_direct(query, database: Database, *, bag: bool = False) -> Relation:
+def naive_evaluate_direct(
+    query, database: Database, *, bag: bool = False, optimize: bool = False
+) -> Relation:
     """Naïve evaluation by running the evaluator with nulls as values."""
-    return _run(query, database, bag=bag)
+    return _run(query, database, bag=bag, optimize=optimize)
 
 
-def naive_evaluate(query, database: Database, *, bag: bool = False) -> Relation:
+def naive_evaluate(
+    query, database: Database, *, bag: bool = False, optimize: bool = False
+) -> Relation:
     """Naïve evaluation through the textbook definition ``v⁻¹(Q(v(D)))``.
 
     A bijective valuation ``v`` maps the nulls of ``D`` to fresh constants
@@ -83,7 +92,7 @@ def naive_evaluate(query, database: Database, *, bag: bool = False) -> Relation:
     """
     valuation = bijective_valuation(database, avoid=_query_constants(query))
     complete = valuation.apply_database(database)
-    answer = _run(query, complete, bag=bag)
+    answer = _run(query, complete, bag=bag, optimize=optimize)
     inverse = valuation.inverse()
     return answer.map_values(inverse.apply_value)
 

@@ -23,6 +23,12 @@ passed).  The flow:
    partials with the strategy-specific merge function, reproducing
    exactly what the monolithic strategy would have returned.
 
+The engine's ``optimize=`` setting rides along in the task options, so
+each fragment's rewritten plan is optimized *inside* the strategy call
+(:mod:`repro.algebra.optimize` memoises the rewrite, which all fragments
+share), and — because the per-shard partial cache keys include the
+canonical options — optimized and unoptimized partials never alias.
+
 The merged :class:`~repro.engine.result.QueryResult` is result-identical
 to monolithic evaluation — the randomized harness in
 ``tests/test_sharding_equivalence.py`` enforces this for every

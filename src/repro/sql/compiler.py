@@ -81,7 +81,14 @@ def _compile_select(query: ast.SelectQuery, schema: DatabaseSchema) -> ra.Query:
         raise SqlCompilationError("a SELECT needs at least one table")
 
     if query.where is not None:
-        plan = ra.Selection(plan, _compile_condition(query.where, column_map))
+        # One selection per top-level conjunct rather than one big ∧: the
+        # split shape is what the plan optimizer's pushdown rules start
+        # from, and even unoptimized evaluation filters earlier this way.
+        condition = _compile_condition(query.where, column_map)
+        from ..algebra.optimize import split_conjuncts
+
+        for conjunct in reversed(split_conjuncts(condition)):
+            plan = ra.Selection(plan, conjunct)
 
     if query.select_star:
         output_columns = [column for (_alias, _attr), column in sorted(column_map.items()) if _alias]
