@@ -1,0 +1,217 @@
+"""E16 — The ``strategy="auto"`` planner and the persistent disk cache.
+
+Two questions about the capability-driven front door:
+
+1. **Planner quality** — on a mixed workload (Theorem 4.4 fragments and
+   negation-bearing queries), is ``auto`` ever slower than the *worst*
+   explicit certainty-bounded choice for the same query?  It must not
+   be: auto picks naïve exactly where naïve is exact and the polynomial
+   sound approximation otherwise, so per query it should track the
+   best-or-near-best explicit strategy, while a caller guessing a fixed
+   strategy pays the worst case somewhere in the mix.  (Planning
+   overhead itself is microseconds of capability-table lookups.)
+2. **Cross-session persistence** — with ``cache="disk:..."`` a *fresh
+   process* re-running the workload gets cache hits (demonstrated by
+   spawning a subprocess), turning repeat evaluation into file reads.
+
+Run under pytest (``python -m pytest benchmarks/bench_auto.py``) or
+directly as a script::
+
+    python benchmarks/bench_auto.py            # full sweep
+    python benchmarks/bench_auto.py --smoke    # tiny config for CI
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+import textwrap
+
+# Script mode (`python benchmarks/bench_auto.py --smoke`) runs without
+# the conftest path hook; mirror it so `import repro` works.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import ResultTable, time_call
+from repro.engine import Engine, StrategyNotApplicableError
+from repro.workloads import GeneratorConfig, RelationSpec, generate_database
+from repro.algebra import builder as rb
+from repro.algebra.conditions import Attr, Eq, Literal
+
+#: Certainty-bounded strategies a caller might plausibly hardcode; the
+#: planner must never lose to the worst of the applicable ones.
+EXPLICIT_CANDIDATES = ("naive", "approx-guagliardo16", "exact-certain")
+
+
+def _database(rows: int) -> "Database":
+    config = GeneratorConfig(
+        relations=(
+            RelationSpec("R", ("a", "b"), rows),
+            RelationSpec("S", ("b", "c"), rows),
+            RelationSpec("T", ("c",), max(2, rows // 4)),
+        ),
+        domain_size=max(4, rows // 2),
+        null_rate=0.08,
+        seed=20260728,
+    )
+    return generate_database(config)
+
+
+def _queries() -> dict[str, "ra.Query"]:
+    """A mixed workload: Theorem 4.4 fragments and negation."""
+    r, s = rb.relation("R"), rb.relation("S")
+    join = rb.select(
+        rb.product(r, rb.rename(s, {"b": "b2", "c": "c2"})),
+        Eq(Attr("b"), Attr("b2")),
+    )
+    return {
+        "cq_select": rb.select(r, Eq(Attr("b"), Literal("v1"))),
+        "cq_join": rb.project(join, ["a", "c2"]),
+        "ucq_union": rb.union(rb.project(r, ["b"]), rb.project(s, ["b"])),
+        "neg_difference": rb.difference(
+            rb.project(r, ["b"]), rb.project(s, ["b"])
+        ),
+    }
+
+
+def run_planner_quality(rows: int, *, smoke: bool) -> None:
+    database = _database(rows)
+    queries = _queries()
+    table = ResultTable(
+        "E16: auto vs explicit strategies (wall-clock per query)",
+        ["query", "auto chose", "auto (ms)", "worst explicit (ms)", "best explicit (ms)"],
+    )
+    with Engine() as engine:
+        for name, query in queries.items():
+            auto_seconds, auto_result = time_call(
+                lambda: engine.evaluate(query, database, strategy="auto", use_cache=False),
+                repeat=1,
+            )
+            plan = auto_result.metadata["plan"]
+            explicit: dict[str, float] = {}
+            for strategy in EXPLICIT_CANDIDATES:
+                try:
+                    seconds, result = time_call(
+                        lambda: engine.evaluate(
+                            query, database, strategy=strategy, use_cache=False
+                        ),
+                        repeat=1,
+                    )
+                except (StrategyNotApplicableError, ValueError):
+                    # Not applicable, or (exact-certain on the full-size
+                    # config) refusing the valuation blow-up outright —
+                    # exactly the guess the planner saves callers from.
+                    continue
+                explicit[strategy] = seconds
+                if strategy == plan["strategy"]:
+                    assert result.relation.rows_bag() == auto_result.relation.rows_bag(), (
+                        f"{name}: auto differs from its reported choice {strategy}"
+                    )
+            worst = max(explicit.values())
+            best = min(explicit.values())
+            table.add_row(
+                name,
+                plan["strategy"],
+                auto_seconds * 1e3,
+                worst * 1e3,
+                best * 1e3,
+            )
+            # Acceptance: auto never slower than the worst explicit
+            # choice (with slack for timer noise on the tiny smoke
+            # config, where every evaluation is sub-millisecond).
+            slack = 2.0 if smoke else 1.2
+            assert auto_seconds <= worst * slack + 1e-3, (
+                f"{name}: auto ({auto_seconds * 1e3:.2f} ms, chose "
+                f"{plan['strategy']}) slower than the worst explicit "
+                f"choice ({worst * 1e3:.2f} ms)"
+            )
+    table.print()
+
+
+_SUBPROCESS_SCRIPT = textwrap.dedent(
+    """
+    import pathlib, sys
+    sys.path.insert(0, sys.argv[2])
+    from bench_auto import _database, _queries
+    from repro.engine import Engine
+
+    database = _database(int(sys.argv[3]))
+    hits = 0
+    with Engine(cache="disk:" + sys.argv[1]) as engine:
+        for query in _queries().values():
+            result = engine.evaluate(query, database, strategy="auto")
+            hits += result.from_cache
+    print("hits=" + str(hits))
+    """
+)
+
+
+def run_cross_session_cache(rows: int, *, smoke: bool) -> None:
+    cache_dir = tempfile.mkdtemp(prefix="repro-e16-cache-")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC) + os.pathsep + env.get("PYTHONPATH", "")
+    here = str(pathlib.Path(__file__).resolve().parent)
+
+    def spawn() -> tuple[float, int]:
+        def call() -> int:
+            proc = subprocess.run(
+                [sys.executable, "-c", _SUBPROCESS_SCRIPT, cache_dir, here, str(rows)],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            return int(proc.stdout.strip().split("=", 1)[1])
+
+        return time_call(call, repeat=1)
+
+    cold_seconds, cold_hits = spawn()
+    warm_seconds, warm_hits = spawn()
+    table = ResultTable(
+        "E16: cross-process disk-cache hits (fresh interpreter each run)",
+        ["run", "wall (s)", "cache hits"],
+    )
+    table.add_row("first process (cold)", cold_seconds, cold_hits)
+    table.add_row("second process (warm)", warm_seconds, warm_hits)
+    table.print()
+    query_count = len(_queries())
+    assert cold_hits == 0, f"cold process unexpectedly hit: {cold_hits}"
+    assert warm_hits == query_count, (
+        f"expected {query_count} cross-process hits, got {warm_hits}"
+    )
+    if not smoke:
+        assert warm_seconds < cold_seconds, (
+            "warm process (all cache hits) not faster than cold "
+            f"({warm_seconds:.2f}s vs {cold_seconds:.2f}s)"
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_auto_never_slower_than_worst_explicit():
+    run_planner_quality(40, smoke=False)
+
+
+def test_cross_process_cache_hits():
+    run_cross_session_cache(12, smoke=True)  # subprocess spawn dominates
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E16 auto-planner benchmark")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness checks only (CI wiring)",
+    )
+    args = parser.parse_args()
+    rows = 12 if args.smoke else 40
+    run_planner_quality(rows, smoke=args.smoke)
+    run_cross_session_cache(rows, smoke=args.smoke)
+    print("\nE16 ok" + (" (smoke)" if args.smoke else ""))

@@ -1,0 +1,101 @@
+"""``strategy="auto"``: let the engine pick the evaluation regime.
+
+Theorem 4.4 makes naïve evaluation *exact* on CQ/UCQ/Pos∀G queries, so
+the engine can choose it there and fall back to the sound Figure 2b
+approximation (or exact certain answers, under a size budget) elsewhere
+— instead of making the caller guess.  This example runs three queries
+through ``session.auto(...)``, prints the recorded
+``metadata["plan"]`` decision for each, shows the capability table that
+drives the planner, and finishes with a persistent disk cache that
+survives into a second session.
+
+Run with:  python examples/auto_strategy.py
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import Database, Null, Session, builder as rb
+from repro.algebra import to_text
+
+
+def main() -> None:
+    # A tiny orders database where one delivery destination is unknown.
+    unknown_city = Null("city_of_o2")
+    db = Database.from_dict(
+        {
+            "orders": (
+                ("oid", "city"),
+                [("o1", "Lyon"), ("o2", unknown_city), ("o3", "Paris")],
+            ),
+            "hubs": (("city",), [("Lyon",), ("Paris",)]),
+        }
+    )
+    print("The database:")
+    print(db.to_text())
+
+    # A conjunctive query (orders delivered to a hub city), and a
+    # negation-bearing one (orders delivered outside every hub city).
+    hub_orders = rb.project(
+        rb.select(
+            rb.product(
+                rb.relation("orders"),
+                rb.rename(rb.relation("hubs"), {"city": "hub_city"}),
+            ),
+            rb.eq("city", "hub_city"),
+        ),
+        ["oid"],
+    )
+    off_hub_orders = rb.difference(
+        rb.project(rb.relation("orders"), ["oid"]), hub_orders
+    )
+
+    with Session(db) as session:
+        for label, query in (
+            ("CQ: orders delivered to a hub city", hub_orders),
+            ("with negation: orders outside every hub city", off_hub_orders),
+        ):
+            print(f"\n{label}")
+            print(" ", to_text(query))
+            result = session.auto(query)
+            plan = result.metadata["plan"]
+            print(f"  chosen:    {plan['strategy']}  (guarantee: {plan['guarantee']})")
+            print(f"  fragment:  {plan['fragment']}")
+            print(f"  reason:    {plan['reason']}")
+            print(f"  answer:    {sorted(result.relation.rows_set())}")
+
+        # Why did auto choose that?  The capability table says.
+        print("\nThe capability table the planner consults:")
+        for name, caps in session.describe()["strategies"].items():
+            exact_on = ",".join(caps["exact_on"]) or "-"
+            bounds = (
+                "exact"
+                if caps["sound"] and caps["complete"]
+                else "sound" if caps["sound"] else "none"
+            )
+            print(
+                f"  {name:<20} semantics={'/'.join(caps['semantics']):<7} "
+                f"exact_on={exact_on:<12} bounds={bounds:<6} cost={caps['cost']}"
+            )
+
+    # A disk cache backend makes results survive the session (and the
+    # process): the second session hits without re-evaluating.
+    cache_dir = tempfile.mkdtemp(prefix="repro-cache-")
+    print(f"\nPersistent cache at {cache_dir}:")
+    with Session(db, cache=f"disk:{cache_dir}") as first:
+        cold = first.auto(hub_orders)
+        print(f"  first session:  from_cache={cold.from_cache}")
+    with Session(db, cache=f"disk:{cache_dir}") as second:
+        warm = second.auto(hub_orders)
+        print(f"  second session: from_cache={warm.from_cache}")
+        assert warm.from_cache
+        assert warm.relation.rows_set() == cold.relation.rows_set()
+
+
+if __name__ == "__main__":
+    main()

@@ -57,16 +57,22 @@ from .engine import (
     AnnotatedTuple,
     AsyncEngine,
     AsyncSession,
+    CacheBackend,
     Certainty,
+    DiskCacheBackend,
     Engine,
     EngineError,
     EvaluationStrategy,
+    MemoryCacheBackend,
     NormalizedQuery,
+    PlanDecision,
     QueryResult,
     Session,
+    StrategyCapabilities,
     StrategyNotApplicableError,
     UnknownStrategyError,
     available_strategies,
+    choose_strategy,
     normalize_query,
     register_strategy,
 )
@@ -80,7 +86,7 @@ from .calculus import FoQuery
 from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     # Data model
@@ -103,6 +109,12 @@ __all__ = [
     "AnnotatedTuple",
     "Certainty",
     "EvaluationStrategy",
+    "StrategyCapabilities",
+    "PlanDecision",
+    "choose_strategy",
+    "CacheBackend",
+    "MemoryCacheBackend",
+    "DiskCacheBackend",
     "NormalizedQuery",
     "available_strategies",
     "normalize_query",

@@ -1,0 +1,119 @@
+"""Syntactic fragment classification of relational algebra plans.
+
+The calculus side of Theorem 4.4 is classified by
+:mod:`repro.calculus.fragments`; this module is its algebra twin, so the
+``strategy="auto"`` planner can recognise the exact-for-naïve fragments
+on plans built with :mod:`repro.algebra.builder` (and on SQL queries
+compiled through :mod:`repro.sql.compiler`) too.
+
+The mapping to the paper's fragments is the textbook correspondence:
+
+* **CQ** — select-project-join plans: base relations, constant tables of
+  constants, σ with (conjunctions of) equalities, π, ρ, ×, ⋈, ⋉ and ∩
+  (an intersection of equal-arity queries is a join);
+* **UCQ** — CQ plus ∪ anywhere and ∨ inside selection conditions (the
+  existential positive fragment);
+* **Pos∀G** — UCQ plus division by a base relation: ``Q ÷ S`` is
+  ``π(Q) ∧ ∀ȳ (S(ȳ) → Q(x̄, ȳ))``, a universally *guarded* implication
+  because the divisor atom ``S(ȳ)`` has pairwise distinct variables (a
+  relation's attributes).  A renamed base relation is still an atom, so
+  ``Rename``-wrapped divisors qualify; any other divisor subquery is not
+  an atomic guard and falls outside the fragment;
+* **FO** — everything else: difference, anti-semijoins, ``Dom^k``,
+  non-equality comparisons (<, ≤, ≠, …), ``¬``/``is null``/``is const``
+  conditions, and the physical operators the optimizer emits.
+
+The classification is deliberately conservative (sufficient, never
+necessary): a plan classified CQ/UCQ/Pos∀G is guaranteed to be in the
+fragment, so naïve evaluation of it computes the certain answers under
+CWA (Theorem 4.4); a plan classified FO merely gets no guarantee.
+"""
+
+from __future__ import annotations
+
+from . import ast as ra
+from . import conditions as rc
+
+__all__ = ["classify_plan", "condition_level"]
+
+# Fragment lattice positions; higher absorbs lower.
+_CQ, _UCQ, _POS_FORALL_G, _FO = 0, 1, 2, 3
+_NAMES = {_CQ: "CQ", _UCQ: "UCQ", _POS_FORALL_G: "Pos∀G", _FO: "FO"}
+
+
+def _term_has_null(term: rc.Term) -> bool:
+    from ..datamodel.values import is_null
+
+    return isinstance(term, rc.Literal) and is_null(term.value)
+
+
+def condition_level(condition: rc.Condition) -> int:
+    """The fragment level a selection condition contributes.
+
+    Equalities and ``true`` are conjunctive atoms; ``∨`` lifts to UCQ;
+    anything else (negation, ≠, order comparisons, null/const tests) is
+    outside the positive grammar.  An equality against a *null literal*
+    is outside it too: Theorem 4.4 speaks of constants, and naïve
+    evaluation of ``σ_{a=⊥}`` matches the null by label while no
+    valuation-quantified semantics does, so claiming exactness there
+    would be unsound.
+    """
+    if isinstance(condition, rc.TrueCondition):
+        return _CQ
+    if isinstance(condition, rc.Eq):
+        if _term_has_null(condition.left) or _term_has_null(condition.right):
+            return _FO
+        return _CQ
+    if isinstance(condition, rc.And):
+        return max(condition_level(condition.left), condition_level(condition.right))
+    if isinstance(condition, rc.Or):
+        return max(
+            _UCQ, condition_level(condition.left), condition_level(condition.right)
+        )
+    return _FO
+
+
+def _is_atomic_divisor(node: ra.Query) -> bool:
+    """A base relation, possibly renamed — an atomic guard α(ȳ)."""
+    while isinstance(node, ra.Rename):
+        node = node.child
+    return isinstance(node, ra.RelationRef)
+
+
+def _level(node: ra.Query) -> int:
+    if isinstance(node, ra.RelationRef):
+        return _CQ
+    if isinstance(node, ra.ConstantRelation):
+        # A literal table of constants is a disjunction of equality CQs;
+        # one row stays conjunctive, several need the union.  Nulls in a
+        # literal table have no naïve-evaluation guarantee.
+        from ..datamodel.values import is_null
+
+        if any(is_null(value) for row in node.rows for value in row):
+            return _FO
+        return _CQ if len(node.rows) <= 1 else _UCQ
+    if isinstance(node, ra.Selection):
+        return max(_level(node.child), condition_level(node.condition))
+    if isinstance(node, (ra.Projection, ra.Rename)):
+        return _level(node.child)
+    if isinstance(node, (ra.Product, ra.NaturalJoin, ra.SemiJoin, ra.Intersection)):
+        return max(_level(node.left), _level(node.right))
+    if isinstance(node, ra.Union):
+        return max(_UCQ, _level(node.left), _level(node.right))
+    if isinstance(node, ra.Division):
+        if _is_atomic_divisor(node.right):
+            return max(_POS_FORALL_G, _level(node.left))
+        return _FO
+    # Difference, AntiSemiJoin, UnifAntiSemiJoin, DomainRelation and the
+    # physical EquiJoin/ConstrainedDomainRelation nodes: no guarantee.
+    return _FO
+
+
+def classify_plan(query: ra.Query) -> str:
+    """The most specific fragment name for an algebra plan.
+
+    One of ``"CQ"``, ``"UCQ"``, ``"Pos∀G"``, ``"FO"`` — the same
+    vocabulary as :func:`repro.calculus.fragments.classify` (the algebra
+    grammar has no unguarded ∀, so ``"positive"`` never arises here).
+    """
+    return _NAMES[_level(query)]

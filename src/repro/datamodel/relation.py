@@ -144,8 +144,14 @@ class Relation:
         return {v for row in self._rows for v in row}
 
     def is_complete(self) -> bool:
-        """True iff the relation contains no nulls."""
-        return not self.nulls()
+        """True iff the relation contains no nulls.
+
+        Short-circuits at the first null rather than materialising the
+        full null set — callers like the ``strategy="auto"`` planner
+        probe completeness on every call, and incomplete relations are
+        this library's common case.
+        """
+        return not any(is_null(v) for row in self._rows for v in row)
 
     def attribute_index(self, attribute: str) -> int:
         """Position of ``attribute``; raises ``KeyError`` if absent."""

@@ -15,13 +15,23 @@ package exposes all of them behind a single façade::
 Layers:
 
 * :mod:`repro.engine.frontend` — normalization of SQL / algebra /
-  calculus inputs into one internal representation;
+  calculus inputs into one internal representation (with the Theorem
+  4.4 fragment classification of whichever form is richest);
 * :mod:`repro.engine.registry` — the ``@register_strategy`` registry and
   the :class:`EvaluationStrategy` extension point;
+* :mod:`repro.engine.capabilities` — the declarative
+  :class:`StrategyCapabilities` record every strategy describes itself
+  with (semantics, consumed forms, exactness/soundness, shardability,
+  cost);
+* :mod:`repro.engine.planner` — the ``strategy="auto"`` planner picking
+  a strategy from the capability table and recording a
+  :class:`PlanDecision` in the result metadata;
 * :mod:`repro.engine.strategies` — the six built-in strategies;
 * :mod:`repro.engine.result` — the unified :class:`QueryResult` with
   per-tuple certainty annotations;
-* :mod:`repro.engine.cache` — the per-session result cache keyed on
+* :mod:`repro.engine.cache` — pluggable result-cache backends
+  (:class:`CacheBackend`: the in-memory LRU, or a persistent
+  ``cache="disk:/path"`` backend surviving across processes) keyed on
   (query fingerprint, database fingerprint, strategy);
 * :mod:`repro.engine.core` — :class:`Engine` and :class:`Session`;
 * :mod:`repro.engine.aio` — :class:`AsyncEngine` and
@@ -30,13 +40,18 @@ Layers:
 """
 
 from .cache import (
+    CacheBackend,
     CacheStats,
+    DiskCacheBackend,
+    MemoryCacheBackend,
     ResultCache,
     canonical_option_value,
     canonical_options,
     database_fingerprint,
     evaluation_cache_key,
+    resolve_cache_backend,
 )
+from .capabilities import EXACT_FRAGMENTS_CWA, StrategyCapabilities
 from .core import Engine, Session, default_engine, evaluate
 from .aio import AsyncEngine, AsyncSession, EngineTask, run_engine_task
 from .errors import (
@@ -46,6 +61,7 @@ from .errors import (
     UnknownStrategyError,
 )
 from .frontend import NormalizedQuery, normalize_query, query_fingerprint
+from .planner import DEFAULT_EXACT_BUDGET, PlanDecision, choose_strategy
 from .registry import (
     EvaluationStrategy,
     StrategyOutcome,
@@ -54,6 +70,7 @@ from .registry import (
     get_strategy,
     register_strategy,
     strategy_aliases,
+    strategy_capabilities,
     unregister_strategy,
 )
 from .result import AnnotatedTuple, Certainty, QueryResult
@@ -76,22 +93,33 @@ __all__ = [
     "QueryResult",
     "AnnotatedTuple",
     "Certainty",
-    # Registry
+    # Registry and capabilities
     "EvaluationStrategy",
     "StrategyOutcome",
+    "StrategyCapabilities",
+    "EXACT_FRAGMENTS_CWA",
     "register_strategy",
     "unregister_strategy",
     "get_strategy",
     "available_strategies",
+    "strategy_capabilities",
     "strategy_aliases",
     "annotate",
+    # Planner
+    "PlanDecision",
+    "choose_strategy",
+    "DEFAULT_EXACT_BUDGET",
     # Normalization
     "NormalizedQuery",
     "normalize_query",
     "query_fingerprint",
-    # Cache
+    # Cache backends
+    "CacheBackend",
+    "MemoryCacheBackend",
+    "DiskCacheBackend",
     "ResultCache",
     "CacheStats",
+    "resolve_cache_backend",
     "database_fingerprint",
     "evaluation_cache_key",
     "canonical_options",

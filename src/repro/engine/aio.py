@@ -63,7 +63,7 @@ from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..datamodel.database import Database
 from .cache import CacheStats, database_fingerprint, evaluation_cache_key
-from .core import Engine, _presharded_database
+from .core import Engine, _presharded_database, _with_plan_metadata
 from .errors import EngineError, StrategyNotApplicableError
 from .registry import StrategyOutcome, get_strategy
 from .result import QueryResult
@@ -134,20 +134,24 @@ class AsyncEngine:
         max_workers: int | None = None,
         max_concurrency: int | None = None,
         cache_size: int = 256,
+        cache: Any = None,
         default_semantics: str = "set",
         shards: int | None = None,
         executor: Any = "serial",
         partitioner: Any = None,
         optimize: bool = True,
+        auto_exact_budget: int | None = None,
     ):
         self._owns_engine = engine is None
         self._engine = engine or Engine(
             cache_size=cache_size,
+            cache=cache,
             default_semantics=default_semantics,
             shards=shards,
             executor=executor,
             partitioner=partitioner,
             optimize=optimize,
+            auto_exact_budget=auto_exact_budget,
         )
         if isinstance(pool, concurrent.futures.Executor):
             self._pool: concurrent.futures.Executor | None = pool
@@ -183,6 +187,10 @@ class AsyncEngine:
     @staticmethod
     def strategies() -> tuple[str, ...]:
         return Engine.strategies()
+
+    def describe(self) -> dict[str, Any]:
+        """The capability table and configuration of the sync twin."""
+        return self._engine.describe()
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -294,7 +302,7 @@ class AsyncEngine:
         """
         self._bind_loop()
         engine = self._engine
-        strat, semantics, normalized = engine._prepare_call(
+        strat, semantics, normalized, decision = engine._prepare_call(
             query, database, strategy, semantics
         )
         options = engine._resolve_options(strat, optimize, options)
@@ -317,7 +325,7 @@ class AsyncEngine:
                     options=options,
                 )
 
-            return await evaluate_sharded_async(
+            result = await evaluate_sharded_async(
                 normalized,
                 sharded,
                 strat,
@@ -329,15 +337,17 @@ class AsyncEngine:
                 evaluate_coalesced=coalesced,
                 limiter=self._limit(),
             )
-        return await self._evaluate_monolithic(
-            normalized,
-            database,
-            strat,
-            semantics,
-            use_cache=use_cache,
-            database_fp=database_fp,
-            options=options,
-        )
+        else:
+            result = await self._evaluate_monolithic(
+                normalized,
+                database,
+                strat,
+                semantics,
+                use_cache=use_cache,
+                database_fp=database_fp,
+                options=options,
+            )
+        return _with_plan_metadata(result, decision)
 
     async def _evaluate_monolithic(
         self,
@@ -549,6 +559,7 @@ class AsyncSession:
         *,
         engine: AsyncEngine | None = None,
         cache_size: int = 256,
+        cache: Any = None,
         default_semantics: str = "set",
         shards: int | None = None,
         executor: Any = None,
@@ -557,17 +568,20 @@ class AsyncSession:
         max_workers: int | None = None,
         max_concurrency: int | None = None,
         optimize: bool = True,
+        auto_exact_budget: int | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
         self.engine = engine or AsyncEngine(
             cache_size=cache_size,
+            cache=cache,
             default_semantics=default_semantics,
             executor=executor or "serial",
             pool=pool,
             max_workers=max_workers,
             max_concurrency=max_concurrency,
             optimize=optimize,
+            auto_exact_budget=auto_exact_budget,
         )
         self._executor = executor
         self._shards = shards
@@ -651,6 +665,10 @@ class AsyncSession:
 
     async def certain(self, query: Any, **kwargs: Any) -> QueryResult:
         return await self.evaluate(query, strategy="exact-certain", **kwargs)
+
+    async def auto(self, query: Any, **kwargs: Any) -> QueryResult:
+        """Planner-chosen evaluation (``strategy="auto"``)."""
+        return await self.evaluate(query, strategy="auto", **kwargs)
 
     def strategies(self) -> tuple[str, ...]:
         return self.engine.strategies()

@@ -1,4 +1,4 @@
-"""The per-session result cache and the database fingerprint.
+"""Result-cache backends and the database fingerprint.
 
 Results are cached under ``(query fingerprint, database fingerprint,
 strategy, semantics, options)``.  Databases carry no version counter, so
@@ -8,19 +8,34 @@ label).  Hashing is linear in the data but orders of magnitude cheaper
 than any of the evaluation strategies; sessions additionally memoise the
 fingerprint of their bound database so repeated calls pay it once.
 
-This cache is the designated hook for the scaling work on the ROADMAP
-(shared backends, cross-session memoisation, async prefetching): those
-only need to supply a different :class:`ResultCache`-shaped object.
+Storage is pluggable behind the :class:`CacheBackend` protocol
+(``get``/``put``/``clear``/``stats``):
+
+* :class:`MemoryCacheBackend` (the historical :class:`ResultCache`,
+  which remains as an alias) — a thread-safe in-process LRU;
+* :class:`DiskCacheBackend` — one pickle file per entry under a
+  directory, so results survive across sessions *and processes*.  Keys
+  are the same content fingerprints, so no invalidation semantics
+  change: mutating the database changes its fingerprint and simply
+  misses.
+
+Engines accept a backend spec anywhere a cache is configured:
+``Engine(cache="disk:/path/to/dir")``, ``Session(db, cache=backend)``;
+see :func:`resolve_cache_backend`.
 """
 
 from __future__ import annotations
 
 import enum
 import hashlib
+import os
+import pickle
+import tempfile
 import threading
 from collections import OrderedDict
 from collections.abc import Mapping
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Hashable
 
 from ..datamodel.database import Database
@@ -30,7 +45,11 @@ from .errors import EngineError
 
 __all__ = [
     "CacheStats",
+    "CacheBackend",
+    "MemoryCacheBackend",
+    "DiskCacheBackend",
     "ResultCache",
+    "resolve_cache_backend",
     "canonical_value",
     "canonical_option_value",
     "canonical_options",
@@ -55,8 +74,54 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-class ResultCache:
-    """A small LRU cache mapping evaluation keys to results.
+class CacheBackend:
+    """The storage protocol every result cache implements.
+
+    The engine (sync and async twins, and the sharded evaluator's
+    partial-result cache) only ever calls this surface:
+
+    * ``get(key) -> value | None`` — ``None`` is a miss;
+    * ``put(key, value)`` — best-effort store (a disabled or full
+      backend may drop the entry);
+    * ``clear()`` — drop every entry, reset the stats epoch;
+    * ``stats`` / ``lifetime_stats`` — :class:`CacheStats` counters;
+    * ``enabled`` — a disabled backend is skipped entirely;
+    * ``__len__`` — current entry count.
+
+    Implementations must be thread-safe: the thread shard executor and
+    :class:`~repro.engine.aio.AsyncEngine` worker callbacks share one
+    backend.  Values must be treated as opaque (the engine stores
+    :class:`~repro.engine.result.QueryResult` objects and shard
+    partials under distinct key shapes).
+    """
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def get(self, key: Hashable) -> Any | None:
+        raise NotImplementedError
+
+    def put(self, key: Hashable, value: Any) -> None:
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def stats(self) -> CacheStats:
+        raise NotImplementedError
+
+    @property
+    def lifetime_stats(self) -> CacheStats:
+        raise NotImplementedError
+
+
+class MemoryCacheBackend(CacheBackend):
+    """A small in-process LRU cache mapping evaluation keys to results.
 
     The cache is thread-safe: ``get``/``put``/``clear`` and the stats
     views take an internal lock, so it can be shared by the thread shard
@@ -138,6 +203,231 @@ class ResultCache:
                 size=len(self._entries),
                 max_size=self.max_size,
             )
+
+
+#: Historical name of the in-memory backend; kept as the default and for
+#: the many call sites (and third-party code) created before the
+#: :class:`CacheBackend` split.
+ResultCache = MemoryCacheBackend
+
+
+class DiskCacheBackend(CacheBackend):
+    """A persistent result cache: one pickle file per entry.
+
+    Results survive across sessions and *processes* — two engines (or
+    two interpreter runs) pointed at the same directory share entries,
+    which is safe because keys are content fingerprints: the same key
+    can only ever name the same (query, database, strategy, semantics,
+    options) evaluation, so no invalidation semantics change relative to
+    the in-memory backend.
+
+    Layout: ``<path>/<sha256 of the canonical key>.pkl``.  Writes go
+    through a temporary file and ``os.replace`` so concurrent readers
+    (other processes included) never observe a torn entry.  Eviction is
+    LRU by file modification time, enforced at ``put`` when the entry
+    count exceeds ``max_entries``; ``get`` touches the file's mtime.
+
+    Hit/miss counters are in-process (two processes each see their own
+    ``stats``); sizes are read from the directory, so they reflect other
+    writers.
+    """
+
+    def __init__(self, path: str | os.PathLike, max_entries: int = 4096):
+        if max_entries < 0:
+            raise ValueError("cache size must be non-negative")
+        self.path = Path(path)
+        self.max_entries = max_entries
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._hits = 0
+        self._misses = 0
+        self._lifetime_hits = 0
+        self._lifetime_misses = 0
+        self._lock = threading.Lock()
+        # Approximate entry count, so the common put() stays O(1): the
+        # directory is only listed when this estimate crosses the cap
+        # (other processes writing concurrently make any count
+        # approximate anyway; eviction re-counts exactly when it runs).
+        self._approx_count: int | None = None
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
+    # ------------------------------------------------------------------
+    # Key → file mapping
+    # ------------------------------------------------------------------
+    def _entry_path(self, key: Hashable) -> Path:
+        # Engine keys are nested tuples of canonical strings (query and
+        # database fingerprints, strategy/semantics names, rendered
+        # options), so their repr is stable across processes.
+        digest = hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+        return self.path / f"{digest}.pkl"
+
+    def _entry_files(self) -> list[Path]:
+        try:
+            return [p for p in self.path.iterdir() if p.suffix == ".pkl"]
+        except OSError:
+            return []
+
+    # ------------------------------------------------------------------
+    # CacheBackend surface
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable) -> Any | None:
+        entry = self._entry_path(key)
+        try:
+            payload = entry.read_bytes()
+            value = pickle.loads(payload)
+        except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
+            # Missing, torn, or written by an incompatible version
+            # (including classes whose module has moved or vanished):
+            # every one of these is a miss, never an error.
+            with self._lock:
+                self._misses += 1
+            return None
+        try:
+            os.utime(entry)  # LRU touch; best-effort
+        except OSError:
+            pass
+        with self._lock:
+            self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.enabled:
+            return
+        entry = self._entry_path(key)
+        try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PickleError, TypeError, AttributeError):
+            return  # unpicklable results simply stay uncached
+        tmp_name = None
+        try:
+            fd, tmp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
+            with os.fdopen(fd, "wb") as tmp:
+                tmp.write(payload)
+            fresh = not entry.exists()
+            os.replace(tmp_name, entry)
+            tmp_name = None
+        except OSError:
+            return
+        finally:
+            if tmp_name is not None:  # replace failed: don't leak the temp
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+        with self._lock:
+            if self._approx_count is None:
+                self._approx_count = len(self._entry_files())
+            elif fresh:
+                self._approx_count += 1
+            over = self._approx_count > self.max_entries
+        if over:
+            self._evict()
+
+    def _evict(self) -> None:
+        files = self._entry_files()
+        excess = len(files) - self.max_entries
+        if excess > 0:
+            def mtime(path: Path) -> float:
+                try:
+                    return path.stat().st_mtime
+                except OSError:
+                    return 0.0
+
+            for stale in sorted(files, key=mtime)[:excess]:
+                try:
+                    stale.unlink()
+                except OSError:
+                    pass
+        with self._lock:
+            self._approx_count = min(len(files), self.max_entries)
+
+    def clear(self) -> None:
+        for entry in self._entry_files():
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        # Sweep temp files orphaned by writers that died mid-put.
+        for stale in self.path.glob("*.tmp"):
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self._approx_count = 0
+            self._lifetime_hits += self._hits
+            self._lifetime_misses += self._misses
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entry_files())
+
+    def _stats(self, hits: int, misses: int) -> CacheStats:
+        return CacheStats(
+            hits=hits,
+            misses=misses,
+            size=len(self._entry_files()),
+            max_size=self.max_entries,
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return self._stats(self._hits, self._misses)
+
+    @property
+    def lifetime_stats(self) -> CacheStats:
+        with self._lock:
+            return self._stats(
+                self._lifetime_hits + self._hits,
+                self._lifetime_misses + self._misses,
+            )
+
+
+def resolve_cache_backend(cache: Any, *, cache_size: int = 256) -> CacheBackend:
+    """Turn an engine's ``cache=`` argument into a backend instance.
+
+    * ``None`` or ``"memory"`` — a fresh :class:`MemoryCacheBackend`
+      holding ``cache_size`` entries;
+    * ``"disk:<path>"`` — a :class:`DiskCacheBackend` on that directory;
+    * an object implementing the :class:`CacheBackend` surface — used
+      as-is.  Duck typing is fine (no subclassing required), but the
+      engine touches more than ``get``/``put``, so the full surface is
+      validated here: a missing method fails now, with a message naming
+      it, instead of as an ``AttributeError`` mid-evaluation.
+    """
+    if cache is None or cache == "memory":
+        return MemoryCacheBackend(cache_size)
+    if isinstance(cache, str):
+        if cache.startswith("disk:"):
+            path = cache[len("disk:"):]
+            if not path:
+                raise EngineError(
+                    "cache='disk:' needs a directory, e.g. 'disk:/tmp/repro-cache'"
+                )
+            return DiskCacheBackend(path)
+        raise EngineError(
+            f"unknown cache spec {cache!r}; expected 'memory', 'disk:<path>', "
+            "or a CacheBackend instance"
+        )
+    required = ("get", "put", "clear", "enabled", "stats")
+    if hasattr(cache, "get") and hasattr(cache, "put"):
+        missing = [attr for attr in required if not hasattr(cache, attr)]
+        if missing:
+            raise EngineError(
+                f"cache backend {type(cache).__name__} is missing "
+                f"{'/'.join(missing)}; implement the full "
+                "repro.engine.CacheBackend surface (get/put/clear/"
+                "enabled/stats), e.g. by subclassing it"
+            )
+        return cache
+    raise EngineError(
+        f"cannot use {cache!r} as a result cache; expected 'memory', "
+        "'disk:<path>', or an object with get/put/clear/enabled/stats"
+    )
 
 
 def canonical_value(value: Any) -> str:

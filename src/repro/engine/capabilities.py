@@ -1,0 +1,228 @@
+"""The declarative capability contract of an evaluation strategy.
+
+One :class:`StrategyCapabilities` record replaces the per-strategy
+booleans that used to be scattered across the engine (the
+``supported_semantics`` tuple, the ``supports_optimize`` flag) and the
+sharding planner's hardcoded operator allowlists.  Everything the engine
+needs to *decide* on behalf of a strategy — which semantics it honours,
+which query forms it consumes, on which fragments its answer is exact,
+whether its answers are sound/complete bounds on the certain answers,
+how it distributes over shards, how expensive it is — lives in this one
+frozen record, so the ``strategy="auto"`` planner
+(:mod:`repro.engine.planner`), the sharded evaluator
+(:mod:`repro.sharding.evaluate`) and the introspection surface
+(``available_strategies(verbose=True)``, ``Engine.describe()``) all read
+the same declaration instead of each keeping their own table.
+
+The record is *declarative*: plain strings and frozensets only, no
+callables and no references to strategy code.  Shardable operators are
+named by their :mod:`repro.algebra.ast` class names and merge functions
+by their registered names (see
+:func:`repro.sharding.evaluate.register_shard_merge`), which keeps a
+capability record printable, picklable, and comparable in tests.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, fields
+from typing import Any
+
+__all__ = [
+    "StrategyCapabilities",
+    "EXACT_FRAGMENTS_CWA",
+    "synthesize_capabilities",
+]
+
+#: The fragments of Theorem 4.4 on which naïve evaluation computes the
+#: certain answers exactly (under the closed-world assumption): unions of
+#: conjunctive queries and positive formulae with universally guarded
+#: quantification.  ``CQ ⊆ UCQ ⊆ Pos∀G`` as classified by
+#: :func:`repro.calculus.fragments.classify` and
+#: :func:`repro.algebra.fragments.classify_plan`.
+EXACT_FRAGMENTS_CWA = frozenset({"CQ", "UCQ", "Pos∀G"})
+
+
+@dataclass(frozen=True)
+class StrategyCapabilities:
+    """What one evaluation strategy declares about itself.
+
+    * ``semantics`` — which of ``"set"`` / ``"bag"`` the strategy honours.
+    * ``requires`` — the lowered query forms it can consume, any-of
+      (``"sql"`` / ``"algebra"`` / ``"calculus"``; see
+      :meth:`repro.engine.frontend.NormalizedQuery.forms`).  Empty means
+      "unknown", which the planner treats as not auto-selectable.
+    * ``bag_requires`` — override of ``requires`` under bag semantics
+      (e.g. naïve bag evaluation needs an algebra plan; ``None`` means
+      the same forms as ``requires``).
+    * ``exact_on`` — fragment names on which the primary answer *is* the
+      set of certain answers (Theorem 4.4 fragments for naïve
+      evaluation; the engine treats a complete database as exact for
+      every strategy separately).
+    * ``sound`` / ``complete`` — bounds on incomplete data everywhere
+      (not just on ``exact_on``): sound means every returned tuple is a
+      certain answer; complete means every certain answer is returned.
+      ``exact-certain`` declares both; the Figure 2 approximations are
+      sound; SQL's three-valued evaluation is neither (Section 1).
+    * ``plan_ops`` — when not ``None``, the algebra operator class names
+      the strategy can consume in a plan (the Figure 2 translations are
+      defined on the core operators only); the ``auto`` planner skips
+      the strategy for plans using anything else.  ``None`` declares no
+      restriction (a literal evaluator).
+    * ``optimize`` — understands the engine's ``optimize=`` option
+      (plan optimization via :mod:`repro.algebra.optimize`).  The engine
+      only forwards the option — and only includes it in cache keys —
+      for strategies that declare it.
+    * ``shardable_ops`` / ``shardable_bag_ops`` — operator class names
+      allowed on the partitioned lineage of a shard plan
+      (:func:`repro.sharding.planner.shard_plan`); empty means the
+      strategy always evaluates coalesced on a sharded database.
+    * ``shard_merge`` — registered name of the function merging per-shard
+      partial outcomes (:data:`repro.sharding.evaluate.SHARD_MERGES`).
+    * ``cost`` — a coarse hint ordering strategies for the planner:
+      ``"polynomial"`` or ``"exponential"`` (data complexity of a single
+      evaluation; ``"unknown"`` sorts last).
+    """
+
+    semantics: tuple[str, ...] = ("set",)
+    requires: tuple[str, ...] = ()
+    bag_requires: tuple[str, ...] | None = None
+    exact_on: frozenset[str] = frozenset()
+    sound: bool = False
+    complete: bool = False
+    plan_ops: frozenset[str] | None = None
+    optimize: bool = False
+    shardable_ops: frozenset[str] = frozenset()
+    shardable_bag_ops: frozenset[str] | None = None
+    shard_merge: str | None = None
+    cost: str = "unknown"
+
+    def __post_init__(self) -> None:
+        # Normalise mutable/iterable inputs so records compare by value.
+        object.__setattr__(self, "semantics", tuple(self.semantics))
+        object.__setattr__(self, "requires", tuple(self.requires))
+        if self.bag_requires is not None:
+            object.__setattr__(self, "bag_requires", tuple(self.bag_requires))
+        object.__setattr__(self, "exact_on", frozenset(self.exact_on))
+        if self.plan_ops is not None:
+            object.__setattr__(self, "plan_ops", _op_names(self.plan_ops))
+        object.__setattr__(self, "shardable_ops", _op_names(self.shardable_ops))
+        if self.shardable_bag_ops is not None:
+            object.__setattr__(
+                self, "shardable_bag_ops", _op_names(self.shardable_bag_ops)
+            )
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    @property
+    def exact_everywhere(self) -> bool:
+        """Sound and complete: the answer is exactly the certain answers."""
+        return self.sound and self.complete
+
+    def requires_for(self, semantics: str) -> tuple[str, ...]:
+        """The query forms needed under the given semantics."""
+        if semantics == "bag" and self.bag_requires is not None:
+            return self.bag_requires
+        return self.requires
+
+    def applicable(self, forms: tuple[str, ...], semantics: str) -> bool:
+        """Can the strategy consume a query offering ``forms``?
+
+        Conservative: an empty ``requires`` declaration (a synthesized
+        legacy record) answers False — the planner never auto-selects a
+        strategy whose input contract it does not know.
+        """
+        if semantics not in self.semantics:
+            return False
+        needed = self.requires_for(semantics)
+        return bool(needed) and any(form in forms for form in needed)
+
+    def exact_on_fragment(self, fragment: str | None) -> bool:
+        """Is the answer exactly the certain answers on this fragment?"""
+        if self.exact_everywhere:
+            return True
+        return fragment is not None and fragment in self.exact_on
+
+    def ops_for(self, semantics: str) -> frozenset[str]:
+        """Shard-lineage operator names under the given semantics."""
+        if semantics == "bag" and self.shardable_bag_ops is not None:
+            return self.shardable_bag_ops
+        return self.shardable_ops
+
+    def as_dict(self) -> dict[str, Any]:
+        """A plain-data rendering for ``Engine.describe()`` and docs."""
+        return {
+            "semantics": list(self.semantics),
+            "requires": list(self.requires),
+            "bag_requires": (
+                None if self.bag_requires is None else list(self.bag_requires)
+            ),
+            "exact_on": sorted(self.exact_on),
+            "sound": self.sound,
+            "complete": self.complete,
+            "plan_ops": None if self.plan_ops is None else sorted(self.plan_ops),
+            "optimize": self.optimize,
+            "shardable_ops": sorted(self.shardable_ops),
+            "shardable_bag_ops": (
+                None
+                if self.shardable_bag_ops is None
+                else sorted(self.shardable_bag_ops)
+            ),
+            "shard_merge": self.shard_merge,
+            "cost": self.cost,
+        }
+
+
+def _op_names(ops) -> frozenset[str]:
+    """Normalise operator classes or names to a frozenset of names."""
+    return frozenset(op if isinstance(op, str) else op.__name__ for op in ops)
+
+
+#: Capability fields a legacy strategy class may still declare as plain
+#: class attributes; found ones are folded into the synthesized record.
+_LEGACY_ATTRS = ("supported_semantics", "supports_optimize")
+
+
+def synthesize_capabilities(cls: type) -> StrategyCapabilities:
+    """Build a capability record for a strategy without one.
+
+    Third-party strategies written against the pre-capability contract
+    declare ``supported_semantics`` / ``supports_optimize`` as class
+    attributes.  Registration keeps accepting them: the legacy attributes
+    are folded into a synthesized :class:`StrategyCapabilities` (with a
+    :class:`DeprecationWarning` pointing at the new contract).  The
+    synthesized record is deliberately minimal — no ``requires``
+    declaration, no exactness, no shardability — so the ``auto`` planner
+    never guesses on behalf of a strategy that has not described itself.
+    """
+    values = {}
+    for attr in _LEGACY_ATTRS:
+        for ancestor in cls.__mro__:
+            # The base class carries properties of these names (reading
+            # from ``capabilities``); only plain attributes declared by
+            # subclasses count as legacy declarations.
+            if ancestor.__name__ == "EvaluationStrategy" or ancestor is object:
+                continue
+            if attr in ancestor.__dict__:
+                values[attr] = ancestor.__dict__[attr]
+                break
+    declared = sorted(values)
+    if declared:
+        warnings.warn(
+            f"strategy class {cls.__name__} declares legacy "
+            f"{'/'.join(declared)} attributes; declare a "
+            "StrategyCapabilities record via the 'capabilities' class "
+            "attribute instead (the legacy attributes keep working but "
+            "will be removed)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    semantics = tuple(values.get("supported_semantics", ("set",)))
+    optimize = bool(values.get("supports_optimize", False))
+    return StrategyCapabilities(semantics=semantics, optimize=optimize)
+
+
+def capability_fields() -> tuple[str, ...]:
+    """The record's field names, in declaration order (for table docs)."""
+    return tuple(f.name for f in fields(StrategyCapabilities))

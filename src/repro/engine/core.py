@@ -29,15 +29,19 @@ from __future__ import annotations
 import time
 from typing import Any, Iterable, Mapping, Sequence
 
+from dataclasses import replace
+
 from ..datamodel.database import Database
 from .cache import (
+    CacheBackend,
     CacheStats,
-    ResultCache,
     database_fingerprint,
     evaluation_cache_key,
+    resolve_cache_backend,
 )
 from .errors import EngineError, StrategyNotApplicableError
 from .frontend import NormalizedQuery, normalize_query
+from .planner import AUTO, PlanDecision, choose_strategy, default_exact_budget
 from .registry import available_strategies, get_strategy
 from .result import QueryResult
 
@@ -53,11 +57,13 @@ class Engine:
         self,
         *,
         cache_size: int = 256,
+        cache: Any = None,
         default_semantics: str = "set",
         shards: int | None = None,
         executor: Any = "serial",
         partitioner: Any = None,
         optimize: bool = True,
+        auto_exact_budget: int | None = None,
     ):
         if default_semantics not in _SEMANTICS:
             raise EngineError(
@@ -75,7 +81,14 @@ class Engine:
         #: ``evaluate(..., optimize=False)`` is the escape hatch back to
         #: the textbook plans.
         self.default_optimize = bool(optimize)
-        self._cache = ResultCache(cache_size)
+        #: Valuation-space budget under which ``strategy="auto"`` may
+        #: pick ``exact-certain``; ``None`` uses the planner default
+        #: (:data:`repro.engine.planner.DEFAULT_EXACT_BUDGET`).
+        self.auto_exact_budget = auto_exact_budget
+        #: The result-cache backend: the in-memory LRU by default, a
+        #: persistent one with ``cache="disk:/path"`` or a
+        #: :class:`~repro.engine.cache.CacheBackend` instance.
+        self._cache = resolve_cache_backend(cache, cache_size=cache_size)
         self._executors: dict[Any, Any] = {}
 
     # ------------------------------------------------------------------
@@ -85,6 +98,48 @@ class Engine:
     def strategies() -> tuple[str, ...]:
         """Canonical names of every registered strategy."""
         return available_strategies()
+
+    def describe(self) -> dict[str, Any]:
+        """The engine's introspection surface, as plain data.
+
+        Includes the full capability table (what ``strategy="auto"``
+        consults — see :mod:`repro.engine.planner` for the decision
+        rules), the cache backend, and the engine defaults, so "why did
+        auto choose that?" is answerable without reading engine code.
+        """
+        table = available_strategies(verbose=True)
+        strategies = {}
+        for name, caps in table.items():
+            strat = get_strategy(name)
+            strategies[name] = {
+                "description": strat.description,
+                "aliases": list(strat.aliases),
+                **caps.as_dict(),
+            }
+        return {
+            "strategies": strategies,
+            "cache": {
+                "backend": type(self._cache).__name__,
+                "enabled": self.cache_enabled,
+                "stats": self.cache_stats,
+            },
+            "defaults": {
+                "semantics": self.default_semantics,
+                "optimize": self.default_optimize,
+                "shards": self.default_shards,
+                "executor": self.default_executor,
+                "auto_exact_budget": (
+                    default_exact_budget()
+                    if self.auto_exact_budget is None
+                    else self.auto_exact_budget
+                ),
+            },
+        }
+
+    @property
+    def cache(self) -> CacheBackend:
+        """The result-cache backend this engine stores into."""
+        return self._cache
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -151,8 +206,15 @@ class Engine:
         ``None`` uses the engine default (on).  The resolved value is
         part of the result-cache key, so optimized and unoptimized
         results never alias.
+
+        ``strategy="auto"`` lets the engine pick: naïve where Theorem
+        4.4 makes it exact, the sound Figure 2b approximation otherwise,
+        exact certain answers under a size budget — see
+        :mod:`repro.engine.planner`.  The chosen strategy evaluates
+        through the ordinary path (cache keys included), and the
+        decision is recorded under ``result.metadata["plan"]``.
         """
-        strat, semantics, normalized = self._prepare_call(
+        strat, semantics, normalized, decision = self._prepare_call(
             query, database, strategy, semantics
         )
         options = self._resolve_options(strat, optimize, options)
@@ -160,7 +222,7 @@ class Engine:
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded
 
-            return evaluate_sharded(
+            result = evaluate_sharded(
                 normalized,
                 sharded,
                 strat,
@@ -179,15 +241,17 @@ class Engine:
                     options=options,
                 ),
             )
-        return self._evaluate_monolithic(
-            normalized,
-            database,
-            strat,
-            semantics,
-            use_cache=use_cache,
-            database_fp=database_fp,
-            options=options,
-        )
+        else:
+            result = self._evaluate_monolithic(
+                normalized,
+                database,
+                strat,
+                semantics,
+                use_cache=use_cache,
+                database_fp=database_fp,
+                options=options,
+            )
+        return _with_plan_metadata(result, decision)
 
     def _prepare_call(
         self,
@@ -196,24 +260,36 @@ class Engine:
         strategy: str,
         semantics: str | None,
     ):
-        """The shared evaluate prologue: validate and normalize.
+        """The shared evaluate prologue: validate, normalize, plan.
 
         Used by both this engine and :class:`~repro.engine.aio.AsyncEngine`
-        so the twins cannot drift on validation or error wording.
+        so the twins cannot drift on validation, planning, or error
+        wording.  Returns ``(strategy, semantics, normalized, decision)``
+        where ``decision`` is the :class:`~repro.engine.planner.PlanDecision`
+        for ``strategy="auto"`` calls and ``None`` for explicit ones.
         """
         semantics = semantics or self.default_semantics
         if semantics not in _SEMANTICS:
             raise EngineError(
                 f"unknown semantics {semantics!r}; expected 'set' or 'bag'"
             )
+        normalized = normalize_query(query, database.schema())
+        decision: PlanDecision | None = None
+        if strategy == AUTO:
+            decision = choose_strategy(
+                normalized,
+                database,
+                semantics=semantics,
+                exact_budget=self.auto_exact_budget,
+            )
+            strategy = decision.strategy
         strat = get_strategy(strategy)
         if semantics not in strat.supported_semantics:
             raise StrategyNotApplicableError(
                 f"strategy {strat.name!r} supports {strat.supported_semantics} "
                 f"semantics, not {semantics!r}"
             )
-        normalized = normalize_query(query, database.schema())
-        return strat, semantics, normalized
+        return strat, semantics, normalized, decision
 
     def _resolve_options(
         self,
@@ -424,6 +500,20 @@ class Engine:
         return results
 
 
+def _with_plan_metadata(
+    result: QueryResult, decision: PlanDecision | None
+) -> QueryResult:
+    """Record an ``auto`` plan decision on the result it produced.
+
+    Attached *after* evaluation (and after any cache hit), so auto and
+    explicit calls share cache entries — the stored result carries no
+    plan, the returned copy does.
+    """
+    if decision is None:
+        return result
+    return replace(result, metadata={**result.metadata, "plan": decision.as_metadata()})
+
+
 def _presharded_database(
     database: Database, shards: int | None, partitioner: Any
 ) -> Database:
@@ -456,10 +546,16 @@ class Session:
     closes the private engine (and hence any worker pools it spawned)
     on exit.  An engine passed in explicitly is *shared* — the session
     never closes it, and the engine-level constructor arguments
-    (``cache_size``, ``default_semantics``, ``optimize``) are ignored
-    in favour of the shared engine's own configuration; pass
-    ``optimize=`` per ``evaluate``/``compare`` call to override it on a
-    shared engine.
+    (``cache_size``, ``cache``, ``default_semantics``, ``optimize``,
+    ``auto_exact_budget``) are ignored in favour of the shared engine's
+    own configuration; pass ``optimize=`` per ``evaluate``/``compare``
+    call to override it on a shared engine.
+
+    ``cache="disk:/path"`` (or a
+    :class:`~repro.engine.cache.CacheBackend` instance) makes results
+    survive this session: a later session — or another process — on the
+    same directory gets cache hits for unchanged (query, database)
+    pairs.
     """
 
     def __init__(
@@ -468,19 +564,23 @@ class Session:
         *,
         engine: Engine | None = None,
         cache_size: int = 256,
+        cache: Any = None,
         default_semantics: str = "set",
         shards: int | None = None,
         executor: Any = None,
         partitioner: Any = None,
         optimize: bool = True,
+        auto_exact_budget: int | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
         self.engine = engine or Engine(
             cache_size=cache_size,
+            cache=cache,
             default_semantics=default_semantics,
             executor=executor or "serial",
             optimize=optimize,
+            auto_exact_budget=auto_exact_budget,
         )
         # Per-session sharding config, honoured even on a shared engine
         # and carried across with_database().
@@ -568,8 +668,17 @@ class Session:
         """Exact certain answers (strategy ``exact-certain``)."""
         return self.evaluate(query, strategy="exact-certain", **kwargs)
 
+    def auto(self, query: Any, **kwargs: Any) -> QueryResult:
+        """Planner-chosen evaluation (``strategy="auto"``);
+        ``result.metadata["plan"]`` says what was picked and why."""
+        return self.evaluate(query, strategy="auto", **kwargs)
+
     def strategies(self) -> tuple[str, ...]:
         return self.engine.strategies()
+
+    def describe(self) -> dict[str, Any]:
+        """The engine's capability table and configuration."""
+        return self.engine.describe()
 
     @property
     def cache_stats(self) -> CacheStats:

@@ -16,8 +16,14 @@ the strategies can consume:
   :func:`repro.sql.compiler.compile_sql` when it falls in the
   subquery-free fragment; otherwise ``algebra`` is ``None`` and
   ``notes`` records why;
-* ``fo`` — an :class:`FoQuery` (calculus frontend only), classified into
-  the fragments of Theorem 4.4 via :mod:`repro.calculus.fragments`.
+* ``fo`` — an :class:`FoQuery` (calculus frontend only).
+
+Whatever the frontend, ``fragment`` records the Theorem 4.4
+classification of the richest available form — calculus formulae through
+:mod:`repro.calculus.fragments`, algebra plans (including SQL compiled
+to algebra) through :mod:`repro.algebra.fragments` — so the
+``strategy="auto"`` planner and the naïve strategy's exactness claim
+read one field regardless of how the query was written.
 
 Strategies pick the richest form they support and raise
 :class:`~repro.engine.errors.StrategyNotApplicableError` with a precise
@@ -33,6 +39,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ..algebra import ast as ra
+from ..algebra.fragments import classify_plan
 from ..calculus import ast as fo
 from ..calculus.evaluation import FoQuery
 from ..calculus.fragments import classify
@@ -125,6 +132,7 @@ def normalize_query(
             sql_ast=sql_tree,
             sql_text=sql_text,
             algebra=algebra,
+            fragment=classify_plan(algebra) if algebra is not None else None,
             notes=notes,
         )
 
@@ -134,6 +142,7 @@ def normalize_query(
             frontend="algebra",
             fingerprint=fingerprint,
             algebra=query,
+            fragment=classify_plan(query),
         )
 
     if isinstance(query, FoQuery):

@@ -5,17 +5,28 @@ contract: consume a :class:`~repro.engine.frontend.NormalizedQuery` and
 a database, produce a :class:`StrategyOutcome` (the engine wraps it into
 a timed, cache-aware :class:`~repro.engine.result.QueryResult`).
 
-Registration is by decorator::
+Registration is by decorator; a strategy describes itself through one
+declarative :class:`~repro.engine.capabilities.StrategyCapabilities`
+record::
 
     @register_strategy("naive", aliases=("direct",))
     class NaiveStrategy(EvaluationStrategy):
-        supported_semantics = ("set", "bag")
+        capabilities = StrategyCapabilities(
+            semantics=("set", "bag"),
+            requires=("algebra", "calculus"),
+            optimize=True,
+        )
 
         def run(self, query, database, *, semantics, **options):
             ...
 
 Third-party backends (sharded, cached, async — see ROADMAP) register the
 same way; nothing in the engine core knows the built-in strategy names.
+Classes written against the pre-capability contract (plain
+``supported_semantics`` / ``supports_optimize`` class attributes) still
+register: a capability record is synthesized for them, with a
+:class:`DeprecationWarning` (see
+:func:`~repro.engine.capabilities.synthesize_capabilities`).
 """
 
 from __future__ import annotations
@@ -25,6 +36,7 @@ from typing import Any, Iterable, Mapping
 
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
+from .capabilities import StrategyCapabilities, synthesize_capabilities
 from .errors import EngineError, StrategyNotApplicableError, UnknownStrategyError
 from .frontend import NormalizedQuery
 from .result import AnnotatedTuple, Certainty
@@ -36,6 +48,7 @@ __all__ = [
     "unregister_strategy",
     "get_strategy",
     "available_strategies",
+    "strategy_capabilities",
     "strategy_aliases",
     "annotate",
 ]
@@ -70,16 +83,32 @@ class EvaluationStrategy:
     name: str = ""
     #: Alternative lookup names.
     aliases: tuple[str, ...] = ()
-    #: Which of ``"set"`` / ``"bag"`` the strategy can honour.
-    supported_semantics: tuple[str, ...] = ("set",)
-    #: Whether the strategy understands the engine's ``optimize=`` option
-    #: (plan optimization via :mod:`repro.algebra.optimize`).  The engine
-    #: only forwards the option — and only includes it in cache keys —
-    #: for strategies that declare support, so third-party strategies
-    #: with strict option validation keep working unchanged.
-    supports_optimize: bool = False
+    #: The strategy's declarative self-description — semantics, consumed
+    #: query forms, exactness/soundness bounds, optimizer support, shard
+    #: lineage operators, cost hint.  Subclasses declare one; classes
+    #: that do not get a record synthesized from their legacy attributes
+    #: at registration time.
+    capabilities: StrategyCapabilities | None = None
     #: One line for ``Engine.strategies()`` listings and docs.
     description: str = ""
+
+    # Legacy views of the capability record.  Subclasses written against
+    # the pre-capability contract shadow these with plain class
+    # attributes, which registration folds back into ``capabilities``.
+    @property
+    def supported_semantics(self) -> tuple[str, ...]:
+        """Which of ``"set"`` / ``"bag"`` the strategy can honour."""
+        caps = self.capabilities
+        return caps.semantics if caps is not None else ("set",)
+
+    @property
+    def supports_optimize(self) -> bool:
+        """Whether the strategy understands the engine's ``optimize=``
+        option (plan optimization via :mod:`repro.algebra.optimize`).
+        The engine only forwards the option — and only includes it in
+        cache keys — for strategies that declare it."""
+        caps = self.capabilities
+        return bool(caps is not None and caps.optimize)
 
     def run(
         self,
@@ -159,6 +188,11 @@ def register_strategy(name: str, *, aliases: Iterable[str] = ()):
         instance = cls()
         instance.name = name
         instance.aliases = aliases
+        if instance.capabilities is None:
+            # Back-compat shim: synthesize a record from the legacy
+            # supported_semantics/supports_optimize attributes (with a
+            # DeprecationWarning when any are declared).
+            instance.capabilities = synthesize_capabilities(cls)
         unregister_strategy(name)
         _REGISTRY[name] = instance
         for alias in aliases:
@@ -191,9 +225,26 @@ def get_strategy(name: str) -> EvaluationStrategy:
     raise UnknownStrategyError(name, available_strategies())
 
 
-def available_strategies() -> tuple[str, ...]:
-    """The registered canonical strategy names, sorted."""
+def available_strategies(
+    verbose: bool = False,
+) -> tuple[str, ...] | dict[str, StrategyCapabilities]:
+    """The registered canonical strategy names, sorted.
+
+    With ``verbose=True``, returns the full capability table instead — a
+    ``{name: StrategyCapabilities}`` mapping, which is what the
+    ``strategy="auto"`` planner consults and what ``Engine.describe()``
+    renders, so users can see *why* auto chose what it chose.
+    """
+    if verbose:
+        return {
+            name: _REGISTRY[name].capabilities for name in sorted(_REGISTRY)
+        }
     return tuple(sorted(_REGISTRY))
+
+
+def strategy_capabilities(name: str) -> StrategyCapabilities:
+    """The capability record of one strategy (by name or alias)."""
+    return get_strategy(name).capabilities
 
 
 def strategy_aliases() -> dict[str, str]:

@@ -26,7 +26,6 @@ from __future__ import annotations
 from typing import Any
 
 from ..algebra.evaluator import Evaluator
-from ..calculus.fragments import naive_evaluation_is_exact
 from ..ctables.strategies import STRATEGIES as CTABLE_VARIANTS
 from ..ctables.strategies import run_strategy as run_ctable_strategy
 from ..datamodel.database import Database
@@ -40,6 +39,7 @@ from ..approx.guagliardo16 import translate_guagliardo16
 from ..approx.libkin16 import translate_libkin16
 from ..mvl.fo_eval import fo_sql
 from ..sql.evaluator import SqlEvaluator
+from .capabilities import EXACT_FRAGMENTS_CWA, StrategyCapabilities
 from .errors import EngineError, StrategyNotApplicableError
 from .frontend import NormalizedQuery
 from .registry import (
@@ -49,6 +49,49 @@ from .registry import (
     register_strategy,
 )
 from .result import AnnotatedTuple, Certainty
+
+#: Operators the shard planner may keep on the partitioned lineage for a
+#: literal (naïve) evaluator under set semantics; see
+#: :mod:`repro.sharding.planner` for the distribution argument per rule.
+_NAIVE_SHARD_OPS = frozenset(
+    {
+        "Selection",
+        "Projection",
+        "Rename",
+        "Product",
+        "Union",
+        "Intersection",
+        "NaturalJoin",
+        "SemiJoin",
+    }
+)
+
+#: Under bag semantics ``min``-intersection does not distribute.
+_NAIVE_BAG_SHARD_OPS = _NAIVE_SHARD_OPS - {"Intersection"}
+
+#: Operators preserved one-to-one by the Figure 2 translations.
+_TRANSLATION_SHARD_OPS = frozenset(
+    {"Selection", "Projection", "Rename", "Product", "Union"}
+)
+
+#: Plan operators the Figure 2 translations are defined on: the core
+#: algebra plus what :func:`repro.approx.normalize.normalize_for_translation`
+#: rewrites into it (∩ → −).  Division and the join conveniences raise
+#: there, so the ``auto`` planner must not route such plans here.
+_TRANSLATION_PLAN_OPS = frozenset(
+    {
+        "RelationRef",
+        "ConstantRelation",
+        "DomainRelation",
+        "Selection",
+        "Projection",
+        "Rename",
+        "Product",
+        "Union",
+        "Difference",
+        "Intersection",
+    }
+)
 
 __all__ = [
     "SqlThreeValuedStrategy",
@@ -64,7 +107,14 @@ __all__ = [
 class SqlThreeValuedStrategy(EvaluationStrategy):
     """What a real SQL engine returns: three-valued WHERE, bag semantics."""
 
-    supported_semantics = ("set", "bag")
+    capabilities = StrategyCapabilities(
+        semantics=("set", "bag"),
+        requires=("sql", "calculus"),
+        bag_requires=("sql",),  # the FO evaluator is set-based
+        cost="polynomial",
+        # No certainty bounds: SQL answers may miss certain answers and
+        # include certainly-false ones (Section 1).
+    )
     description = "SQL three-valued evaluation (the paper's Section 1 baseline)"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
@@ -101,8 +151,17 @@ class SqlThreeValuedStrategy(EvaluationStrategy):
 class NaiveStrategy(EvaluationStrategy):
     """Naïve evaluation: nulls as ordinary values (Section 4.1)."""
 
-    supported_semantics = ("set", "bag")
-    supports_optimize = True
+    capabilities = StrategyCapabilities(
+        semantics=("set", "bag"),
+        requires=("algebra", "calculus"),
+        bag_requires=("algebra",),  # the FO evaluator is set-based
+        exact_on=EXACT_FRAGMENTS_CWA,
+        optimize=True,
+        shardable_ops=_NAIVE_SHARD_OPS,
+        shardable_bag_ops=_NAIVE_BAG_SHARD_OPS,
+        shard_merge="naive-union",
+        cost="polynomial",
+    )
     description = "naïve evaluation; exact on the fragments of Theorem 4.4"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
@@ -118,9 +177,11 @@ class NaiveStrategy(EvaluationStrategy):
             )
         runner = naive_evaluate if textbook else naive_evaluate_direct
         relation = runner(target, database, bag=bag, optimize=optimize)
-        exact = database.is_complete() or (
-            query.fragment is not None
-            and naive_evaluation_is_exact(query.fo.formula, "cwa")
+        # Theorem 4.4 (CWA): on the declared fragments — classified for
+        # calculus and algebra/SQL frontends alike by normalize_query —
+        # the naïve answer is exactly the set of certain answers.
+        exact = database.is_complete() or self.capabilities.exact_on_fragment(
+            query.fragment
         )
         status = Certainty.CERTAIN if exact else Certainty.POSSIBLE
         return StrategyOutcome(
@@ -135,8 +196,14 @@ class NaiveStrategy(EvaluationStrategy):
 class ExactCertainStrategy(EvaluationStrategy):
     """Exact certain answers by valuation enumeration (Section 3.2)."""
 
-    supported_semantics = ("set",)
-    supports_optimize = True
+    capabilities = StrategyCapabilities(
+        semantics=("set",),
+        requires=("algebra", "calculus"),
+        sound=True,
+        complete=True,
+        optimize=True,
+        cost="exponential",
+    )
     description = "brute-force cert⊥ / cert∩; exponential, small instances only"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
@@ -183,8 +250,14 @@ class ExactCertainStrategy(EvaluationStrategy):
 class Libkin16Strategy(EvaluationStrategy):
     """The (Qt, Qf) rewriting of Figure 2a [51]."""
 
-    supported_semantics = ("set",)
-    supports_optimize = True
+    capabilities = StrategyCapabilities(
+        semantics=("set",),
+        requires=("algebra",),
+        sound=True,
+        plan_ops=_TRANSLATION_PLAN_OPS,
+        optimize=True,
+        cost="exponential",  # Qf materialises Dom^k complements
+    )
     description = "(Qt, Qf) rewriting; sound but materialises Dom^k products"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
@@ -227,8 +300,16 @@ class Libkin16Strategy(EvaluationStrategy):
 class Guagliardo16Strategy(EvaluationStrategy):
     """The (Q+, Q?) rewriting of Figure 2b [37]."""
 
-    supported_semantics = ("set",)
-    supports_optimize = True
+    capabilities = StrategyCapabilities(
+        semantics=("set",),
+        requires=("algebra",),
+        sound=True,
+        plan_ops=_TRANSLATION_PLAN_OPS,
+        optimize=True,
+        shardable_ops=_TRANSLATION_SHARD_OPS,
+        shard_merge="certain-possible-union",
+        cost="polynomial",
+    )
     description = "(Q+, Q?) rewriting; sound with small overhead (experiment E4)"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
@@ -257,8 +338,13 @@ class Guagliardo16Strategy(EvaluationStrategy):
 class CTablesStrategy(EvaluationStrategy):
     """The grounding-based c-table strategies of [36] (Section 4.2)."""
 
-    supported_semantics = ("set",)
-    supports_optimize = True
+    capabilities = StrategyCapabilities(
+        semantics=("set",),
+        requires=("algebra",),
+        sound=True,
+        optimize=True,
+        cost="exponential",  # grounding enumerates condition valuations
+    )
     description = "conditional evaluation over c-tables (eager/semi_eager/lazy/aware)"
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):

@@ -38,7 +38,13 @@ Layers:
 """
 
 from .database import SHARD_SUFFIX, ShardedDatabase, shard_relation_name
-from .evaluate import SHARDABLE_STRATEGIES, ShardableSpec, evaluate_sharded
+from .evaluate import (
+    SHARD_MERGES,
+    SHARDABLE_STRATEGIES,
+    ShardableSpec,
+    evaluate_sharded,
+    register_shard_merge,
+)
 from .executor import (
     ProcessShardExecutor,
     SerialShardExecutor,
@@ -70,5 +76,7 @@ __all__ = [
     "resolve_executor",
     "ShardableSpec",
     "SHARDABLE_STRATEGIES",
+    "SHARD_MERGES",
+    "register_shard_merge",
     "evaluate_sharded",
 ]

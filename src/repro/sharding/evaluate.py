@@ -4,14 +4,20 @@ This is the piece the engine calls when a query targets a
 :class:`~repro.sharding.database.ShardedDatabase` (or ``shards=`` is
 passed).  The flow:
 
-1. look up the strategy in :data:`SHARDABLE_STRATEGIES`; strategies
-   whose correctness argument does not survive horizontal partitioning
-   (``sql-3vl`` has no algebra reading, ``exact-certain`` and
-   ``ctables`` intersect over valuations — a union of per-fragment
-   intersections under-approximates — and Figure 2a builds ``Dom^k``
-   complements whose per-fragment union over-approximates ``Qf``) are
-   evaluated **coalesced**: monolithically on the union view, which the
-   sharded database *is*;
+1. read the strategy's shard-distribution declaration from its
+   :class:`~repro.engine.capabilities.StrategyCapabilities` record
+   (``shardable_ops``/``shardable_bag_ops`` + the ``shard_merge`` name
+   resolved through :data:`SHARD_MERGES`); strategies that declare no
+   lineage operators — because their correctness argument does not
+   survive horizontal partitioning (``sql-3vl`` has no algebra reading,
+   ``exact-certain`` and ``ctables`` intersect over valuations — a
+   union of per-fragment intersections under-approximates — and Figure
+   2a builds ``Dom^k`` complements whose per-fragment union
+   over-approximates ``Qf``) — are evaluated **coalesced**:
+   monolithically on the union view, which the sharded database *is*.
+   (:data:`SHARDABLE_STRATEGIES` remains as an explicit override table
+   consulted first, so tests and downstream packages can attach a
+   :class:`ShardableSpec` without touching a strategy's capabilities.)
 2. rewrite the plan via :func:`repro.sharding.planner.shard_plan` with
    the strategy's allowed lineage operators, falling back to coalesced
    evaluation for non-distributive plans (difference, division, ...);
@@ -39,6 +45,7 @@ entry.
 from __future__ import annotations
 
 import hashlib
+import inspect
 import time
 from collections import Counter
 from dataclasses import dataclass, replace
@@ -64,6 +71,8 @@ from .planner import (
 __all__ = [
     "ShardableSpec",
     "SHARDABLE_STRATEGIES",
+    "SHARD_MERGES",
+    "register_shard_merge",
     "evaluate_sharded",
     "evaluate_sharded_async",
 ]
@@ -102,28 +111,46 @@ def _union_relations(relations: Sequence[Relation], *, bag: bool) -> Relation:
 
 
 def merge_naive(
-    partials: Sequence[ShardPartial], *, semantics: str, database: Database
+    partials: Sequence[ShardPartial],
+    *,
+    semantics: str,
+    database: Database,
+    normalized: NormalizedQuery | None = None,
+    strategy: EvaluationStrategy | None = None,
 ) -> StrategyOutcome:
     """Union of per-shard naïve answers (bag-additive under bags).
 
-    Mirrors :class:`repro.engine.strategies.NaiveStrategy` for plans on
-    the algebra path (where the fragment classification is ``None``):
-    exactness holds exactly when the coalesced database is complete.
+    Mirrors :class:`repro.engine.strategies.NaiveStrategy`, including
+    the Theorem 4.4 exactness claim: the merged answer is exact when the
+    coalesced database is complete or the query's fragment is one the
+    strategy declares ``exact_on`` — the same capability record the
+    monolithic path consults, so distributed and monolithic results stay
+    tuple-for-tuple identical (annotations and side relations included).
     """
     bag = semantics == "bag"
     answer = _union_relations([p.answer for p in partials], bag=bag)
-    exact = database.is_complete()
+    fragment = normalized.fragment if normalized is not None else None
+    exact = database.is_complete() or (
+        strategy is not None
+        and strategy.capabilities is not None
+        and strategy.capabilities.exact_on_fragment(fragment)
+    )
     status = Certainty.CERTAIN if exact else Certainty.POSSIBLE
     return StrategyOutcome(
         answer=answer,
         annotated=annotate(answer, status, bag=bag),
         certain=answer if exact else None,
-        metadata={"fragment": None, "exact": exact},
+        metadata={"fragment": fragment, "exact": exact},
     )
 
 
 def merge_guagliardo16(
-    partials: Sequence[ShardPartial], *, semantics: str, database: Database
+    partials: Sequence[ShardPartial],
+    *,
+    semantics: str,
+    database: Database,
+    normalized: NormalizedQuery | None = None,
+    strategy: EvaluationStrategy | None = None,
 ) -> StrategyOutcome:
     """Union the per-shard (Q+, Q?) pairs.
 
@@ -147,21 +174,55 @@ def merge_guagliardo16(
     )
 
 
-#: Strategies whose evaluation distributes over horizontal fragments.
-#: Everything else is sound under sharding too — via coalesced
-#: evaluation on the union view (see the module docstring for why each
-#: exclusion is necessary, not just unimplemented).
-SHARDABLE_STRATEGIES: dict[str, ShardableSpec] = {
-    "naive": ShardableSpec(
-        lineage_ops=NAIVE_LINEAGE_OPS,
-        bag_lineage_ops=NAIVE_BAG_LINEAGE_OPS,
-        merge=merge_naive,
-    ),
-    "approx-guagliardo16": ShardableSpec(
-        lineage_ops=TRANSLATION_LINEAGE_OPS,
-        merge=merge_guagliardo16,
-    ),
+#: Named merge functions resolvable from a strategy's declarative
+#: ``capabilities.shard_merge`` entry (capability records carry names,
+#: never callables).  Third-party strategies register theirs through
+#: :func:`register_shard_merge`.
+SHARD_MERGES: dict[str, MergeFn] = {
+    "naive-union": merge_naive,
+    "certain-possible-union": merge_guagliardo16,
 }
+
+
+def register_shard_merge(name: str, merge: MergeFn) -> None:
+    """Register a merge function under a capability-referencable name.
+
+    The function receives ``(partials, *, semantics, database,
+    normalized, strategy)`` and must return a
+    :class:`~repro.engine.registry.StrategyOutcome` mirroring what the
+    monolithic strategy would have produced.
+    """
+    SHARD_MERGES[name] = merge
+
+
+#: Explicit per-strategy overrides of the capability-declared
+#: distribution, consulted before the capability record.  Built-in
+#: strategies declare shardability in their capabilities
+#: (``shardable_ops`` + ``shard_merge``); this table exists for tests
+#: and downstream packages that attach a :class:`ShardableSpec` with a
+#: bespoke merge callable.  Strategies with neither declaration are
+#: sound under sharding too — via coalesced evaluation on the union
+#: view (see the module docstring for why each built-in exclusion is
+#: necessary, not just unimplemented).
+SHARDABLE_STRATEGIES: dict[str, ShardableSpec] = {}
+
+
+def _shardable_spec(strategy: EvaluationStrategy) -> ShardableSpec | None:
+    """Resolve how a strategy distributes: override table, then capabilities."""
+    spec = SHARDABLE_STRATEGIES.get(strategy.name)
+    if spec is not None:
+        return spec
+    caps = strategy.capabilities
+    if caps is None or not caps.shardable_ops or caps.shard_merge is None:
+        return None
+    merge = SHARD_MERGES.get(caps.shard_merge)
+    if merge is None:
+        return None
+    return ShardableSpec(
+        lineage_ops=caps.shardable_ops,
+        bag_lineage_ops=caps.shardable_bag_ops,
+        merge=merge,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -238,7 +299,7 @@ def _plan_sharded_call(
     database_fp: str | None,
 ) -> "tuple[str, None] | tuple[None, _PlannedShardedCall]":
     """Plan one sharded call: ``(reason, None)`` means coalesced fallback."""
-    spec = SHARDABLE_STRATEGIES.get(strategy.name)
+    spec = _shardable_spec(strategy)
     plan: ShardPlan | None = None
     if spec is None:
         return f"strategy {strategy.name!r} is not shard-aware", None
@@ -299,6 +360,25 @@ def _plan_sharded_call(
     )
 
 
+def _call_merge(merge: MergeFn, partials, **kwargs) -> StrategyOutcome:
+    """Invoke a merge function, tolerating the pre-capability signature.
+
+    Merges written before the capability redesign take ``(partials, *,
+    semantics, database)``; the new contract adds ``normalized`` and
+    ``strategy``.  The signature is inspected (rather than retried on
+    ``TypeError``, which would mask genuine errors inside the merge) and
+    unknown keywords are dropped for legacy callables.
+    """
+    try:
+        parameters = inspect.signature(merge).parameters
+    except (TypeError, ValueError):  # builtins/C callables: pass everything
+        return merge(partials, **kwargs)
+    if any(p.kind is p.VAR_KEYWORD for p in parameters.values()):
+        return merge(partials, **kwargs)
+    accepted = {name: value for name, value in kwargs.items() if name in parameters}
+    return merge(partials, **accepted)
+
+
 def _coalesced_result(
     result: QueryResult, database: ShardedDatabase, reason: str | None
 ) -> QueryResult:
@@ -330,8 +410,13 @@ def _finish_sharded(
     executor_kind: str,
 ) -> QueryResult:
     count = database.shard_count
-    outcome = planned.spec.merge(
-        planned.partials, semantics=semantics, database=database
+    outcome = _call_merge(
+        planned.spec.merge,
+        planned.partials,
+        semantics=semantics,
+        database=database,
+        normalized=normalized,
+        strategy=strategy,
     )
     elapsed = time.perf_counter() - planned.start
     sharding_meta = {

@@ -35,12 +35,16 @@ Everything else is non-distributive and raises
 * ``Dom^k`` and constant relations on the lineage — they are not
   horizontally partitioned data.
 
-Which operators are allowed on the lineage is **strategy-specific**
-(``allowed_ops``): naïve evaluation is a literal evaluator so every
-distributive operator qualifies, while the Figure 2b translation
-rewrites ``∩`` into ``−`` and only supports the core operators, so its
-lineage is restricted to σ/π/ρ/×/∪ (see
-:data:`repro.sharding.evaluate.SHARDABLE_STRATEGIES`).
+Which operators are allowed on the lineage is **strategy-specific**:
+each strategy declares its lineage allowlist in its
+:class:`~repro.engine.capabilities.StrategyCapabilities` record
+(``shardable_ops`` / ``shardable_bag_ops``, operator class names) —
+naïve evaluation is a literal evaluator so every distributive operator
+qualifies, while the Figure 2b translation rewrites ``∩`` into ``−`` and
+only supports the core operators, so its lineage is restricted to
+σ/π/ρ/×/∪.  ``allowed_ops`` accepts either operator classes or their
+names; the legacy class-set constants below remain as aliases of the
+capability declarations.
 """
 
 from __future__ import annotations
@@ -60,6 +64,7 @@ __all__ = [
 ]
 
 #: Lineage operators sound for a literal (naïve) evaluator, set semantics.
+#: (Legacy class-set alias of ``NaiveStrategy.capabilities.shardable_ops``.)
 NAIVE_LINEAGE_OPS = frozenset(
     {
         ra.Selection,
@@ -80,6 +85,13 @@ NAIVE_BAG_LINEAGE_OPS = NAIVE_LINEAGE_OPS - {ra.Intersection}
 TRANSLATION_LINEAGE_OPS = frozenset(
     {ra.Selection, ra.Projection, ra.Rename, ra.Product, ra.Union}
 )
+
+
+def _allowed_names(allowed_ops) -> frozenset[str]:
+    """Normalise an allowlist of classes and/or names to names."""
+    return frozenset(
+        op if isinstance(op, str) else op.__name__ for op in allowed_ops
+    )
 
 
 class NonDistributableError(Exception):
@@ -104,11 +116,14 @@ class ShardPlan:
 def shard_plan(query: ra.Query, allowed_ops: frozenset) -> ShardPlan:
     """Rewrite ``query`` for per-shard evaluation.
 
-    Raises :class:`NonDistributableError` when any lineage operator is
-    outside ``allowed_ops`` (or a lineage leaf is not a base relation).
+    ``allowed_ops`` may contain operator classes, operator class names,
+    or a mix (capability records declare names; the legacy constants are
+    class sets).  Raises :class:`NonDistributableError` when any lineage
+    operator is outside ``allowed_ops`` (or a lineage leaf is not a base
+    relation).
     """
     sharded: set[str] = set()
-    rewritten = _rewrite(query, allowed_ops, sharded)
+    rewritten = _rewrite(query, _allowed_names(allowed_ops), sharded)
     broadcast: set[str] = set()
     uses_domain = False
     for node in ra.walk(rewritten):
@@ -140,7 +155,7 @@ def _rewrite(node: ra.Query, allowed: frozenset, sharded: set[str]) -> ra.Query:
             "a constant relation on the partitioned lineage would be "
             "replicated into every shard"
         )
-    if type(node) not in allowed:
+    if type(node).__name__ not in allowed:
         raise NonDistributableError(
             f"operator {type(node).__name__} does not distribute over "
             "horizontal partitioning"

@@ -24,6 +24,7 @@ from repro import AsyncEngine, AsyncSession, Database, Engine, Relation, Session
 from repro.engine import (
     EngineError,
     EvaluationStrategy,
+    StrategyCapabilities,
     StrategyNotApplicableError,
     StrategyOutcome,
     register_strategy,
@@ -111,7 +112,7 @@ def test_compare_runs_strategies_concurrently(tiny_db):
 
         @register_strategy(name)
         class _BarrierStrategy(EvaluationStrategy):
-            supported_semantics = ("set",)
+            capabilities = StrategyCapabilities(semantics=("set",))
 
             def run(self, query, database, *, semantics, **options):
                 barrier.wait()
@@ -141,7 +142,7 @@ def test_max_concurrency_bounds_in_flight_dispatches(tiny_db):
 
     @register_strategy("test-gauge")
     class _GaugeStrategy(EvaluationStrategy):
-        supported_semantics = ("set",)
+        capabilities = StrategyCapabilities(semantics=("set",))
 
         def run(self, query, database, *, semantics, **options):
             nonlocal in_flight, high_water
@@ -179,7 +180,7 @@ def test_identical_inflight_evaluations_coalesce(tiny_db):
 
     @register_strategy("test-slow")
     class _SlowStrategy(EvaluationStrategy):
-        supported_semantics = ("set",)
+        capabilities = StrategyCapabilities(semantics=("set",))
 
         def run(self, query, database, *, semantics, **options):
             calls.append(1)

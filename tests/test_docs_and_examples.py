@@ -26,6 +26,7 @@ FAST_EXAMPLES = [
         "probabilistic_answers.py",
         "sql_three_valued_logic.py",
         "async_compare.py",
+        "auto_strategy.py",
     }
 ]
 

@@ -28,6 +28,7 @@ from repro.engine import (
     EngineError,
     EvaluationStrategy,
     ResultCache,
+    StrategyCapabilities,
     StrategyOutcome,
     canonical_option_value,
     canonical_options,
@@ -49,7 +50,7 @@ def option_strategy():
 
     @register_strategy("test-options")
     class _OptionStrategy(EvaluationStrategy):
-        supported_semantics = ("set",)
+        capabilities = StrategyCapabilities(semantics=("set",))
 
         def run(self, query, database, *, semantics, **options):
             calls.append(dict(options))
@@ -127,7 +128,7 @@ def test_cache_bypass_escape_hatch_works_on_the_sharded_path(tiny_db):
 
     @register_strategy("test-shard-options")
     class _ShardOptionStrategy(EvaluationStrategy):
-        supported_semantics = ("set",)
+        capabilities = StrategyCapabilities(semantics=("set",))
 
         def run(self, query, database, *, semantics, **options):
             calls.append(dict(options))

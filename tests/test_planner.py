@@ -1,0 +1,591 @@
+"""The ``strategy="auto"`` planner and the capability contract.
+
+Three layers of guarantees:
+
+1. **Pins** — the Theorem 4.4 fragments (CQ/UCQ/Pos∀G, on the calculus,
+   algebra *and* SQL frontends) select naïve evaluation; anything with
+   negation does not.
+2. **Randomized identity** — auto's answer is tuple-for-tuple equal to
+   explicitly naming the strategy it reports choosing, across set/bag
+   semantics and monolithic/sharded databases (fixed seed, overridable
+   via ``REPRO_PLANNER_SEED`` / ``REPRO_PLANNER_CASES``).  On top of
+   identity, every decision claiming ``guarantee="exact"`` is audited
+   against ``exact-certain`` — so the algebra fragment classifier can
+   never silently over-claim Theorem 4.4.
+3. **Contract** — the back-compat shim for legacy strategy classes, the
+   capability introspection surface (``available_strategies(verbose=True)``,
+   ``Engine.describe()``), and cache-key sharing between auto and
+   explicit calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import warnings
+from collections import Counter
+
+import pytest
+
+from repro import Database, Engine, Null, Relation, Session, available_strategies
+from repro.algebra import builder as rb
+from repro.algebra.conditions import Attr, Eq, IsNull, Literal, Neq, Or
+from repro.algebra.fragments import classify_plan
+from repro.calculus import ast as fo
+from repro.calculus.evaluation import FoQuery
+from repro.engine import (
+    EngineError,
+    EvaluationStrategy,
+    StrategyCapabilities,
+    StrategyNotApplicableError,
+    StrategyOutcome,
+    choose_strategy,
+    get_strategy,
+    normalize_query,
+    register_strategy,
+    strategy_capabilities,
+    unregister_strategy,
+)
+from repro.engine.capabilities import EXACT_FRAGMENTS_CWA
+from repro.sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
+from repro.workloads import GeneratorConfig, RelationSpec, generate_database
+
+SEED = int(os.environ.get("REPRO_PLANNER_SEED", "20260728"))
+CASES = int(os.environ.get("REPRO_PLANNER_CASES", "120"))
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database.from_dict(
+        {
+            "R": (("a", "b"), [(1, 2), (Null("x"), 3)]),
+            "S": (("c",), [(2,), (3,)]),
+        }
+    )
+
+
+def _plan(result) -> dict:
+    plan = result.metadata.get("plan")
+    assert plan is not None, "auto evaluation must record metadata['plan']"
+    return plan
+
+
+# ----------------------------------------------------------------------
+# Fragment pins: Theorem 4.4 inputs select naïve
+# ----------------------------------------------------------------------
+class TestFragmentPins:
+    def _auto(self, engine, query, db, **kwargs):
+        return engine.evaluate(query, db, strategy="auto", use_cache=False, **kwargs)
+
+    def test_cq_calculus_selects_naive(self, db):
+        formula = fo.Exists(
+            ["y"], fo.RelAtom("R", [fo.Var("x"), fo.Var("y")])
+        )
+        result = self._auto(Engine(), FoQuery(formula, free=("x",)), db)
+        plan = _plan(result)
+        assert plan["strategy"] == "naive"
+        assert plan["fragment"] == "CQ"
+        assert plan["guarantee"] == "exact"
+
+    def test_ucq_calculus_selects_naive(self, db):
+        formula = fo.Or(
+            fo.Exists(["y"], fo.RelAtom("R", [fo.Var("x"), fo.Var("y")])),
+            fo.RelAtom("S", [fo.Var("x")]),
+        )
+        plan = _plan(self._auto(Engine(), FoQuery(formula, free=("x",)), db))
+        assert plan["strategy"] == "naive"
+        assert plan["fragment"] == "UCQ"
+
+    def test_pos_forall_g_calculus_selects_naive(self, db):
+        # ∀c (S(c) → ∃a R(a, c)): guarded universal quantification.
+        formula = fo.Forall(
+            ["c"],
+            fo.Implies(
+                fo.RelAtom("S", [fo.Var("c")]),
+                fo.Exists(["a"], fo.RelAtom("R", [fo.Var("a"), fo.Var("c")])),
+            ),
+        )
+        plan = _plan(self._auto(Engine(), FoQuery(formula, free=()), db))
+        assert plan["strategy"] == "naive"
+        assert plan["fragment"] == "Pos∀G"
+
+    def test_negated_calculus_does_not_select_naive(self, db):
+        formula = fo.Exists(
+            ["y"],
+            fo.And(
+                fo.RelAtom("R", [fo.Var("x"), fo.Var("y")]),
+                fo.Not(fo.RelAtom("S", [fo.Var("y")])),
+            ),
+        )
+        plan = _plan(self._auto(Engine(), FoQuery(formula, free=("x",)), db))
+        assert plan["strategy"] != "naive"
+        # No algebra plan for Figure 2b; the database is tiny, so the
+        # planner affords the exact enumeration.
+        assert plan["strategy"] == "exact-certain"
+        assert plan["guarantee"] == "exact"
+
+    def test_spju_algebra_selects_naive(self, db):
+        query = rb.project(
+            rb.select(rb.relation("R"), Eq(Attr("b"), Literal(3))), ["a"]
+        )
+        plan = _plan(self._auto(Engine(), query, db))
+        assert plan["strategy"] == "naive"
+        assert plan["fragment"] == "CQ"
+
+    def test_negation_bearing_algebra_selects_sound_approximation(self, db):
+        query = rb.difference(rb.project(rb.relation("R"), ["b"]), rb.relation("S"))
+        plan = _plan(self._auto(Engine(), query, db))
+        assert plan["strategy"] == "approx-guagliardo16"
+        assert plan["guarantee"] == "sound"
+        assert plan["fragment"] == "FO"
+
+    def test_compiled_sql_cq_selects_naive(self, db):
+        plan = _plan(self._auto(Engine(), "SELECT a FROM R WHERE b = 3", db))
+        assert plan["strategy"] == "naive"
+        assert plan["fragment"] == "CQ"
+
+    def test_bag_semantics_falls_back_to_naive_without_guarantee(self, db):
+        query = rb.difference(rb.project(rb.relation("R"), ["b"]), rb.relation("S"))
+        plan = _plan(self._auto(Engine(), query, db, semantics="bag"))
+        assert plan["strategy"] == "naive"
+        assert plan["guarantee"] == "none"
+
+    def test_complete_database_selects_naive_even_outside_fragments(self):
+        complete = Database.from_dict(
+            {"R": (("a", "b"), [(1, 2)]), "S": (("c",), [(2,)])}
+        )
+        query = rb.difference(rb.project(rb.relation("R"), ["b"]), rb.relation("S"))
+        plan = _plan(self._auto(Engine(), query, complete))
+        assert plan["strategy"] == "naive"
+        assert plan["guarantee"] == "exact"
+
+    def test_exact_budget_zero_pushes_calculus_negation_to_best_effort(self, db):
+        formula = fo.Not(fo.RelAtom("S", [fo.Var("x")]))
+        engine = Engine(auto_exact_budget=0)
+        plan = _plan(self._auto(engine, FoQuery(formula, free=("x",)), db))
+        assert plan["strategy"] != "exact-certain"
+        assert plan["guarantee"] == "none"
+        assert any("budget" in why for _, why in [tuple(c) for c in plan["considered"]])
+
+    def test_decision_records_considered_candidates(self, db):
+        formula = fo.Not(fo.RelAtom("S", [fo.Var("x")]))
+        plan = _plan(self._auto(Engine(), FoQuery(formula, free=("x",)), db))
+        rejected = {name for name, _ in (tuple(c) for c in plan["considered"])}
+        assert "approx-guagliardo16" in rejected  # needs an algebra plan
+
+
+# ----------------------------------------------------------------------
+# The algebra fragment classifier
+# ----------------------------------------------------------------------
+class TestClassifyPlan:
+    def test_levels(self):
+        r = rb.relation("R")
+        assert classify_plan(r) == "CQ"
+        assert classify_plan(rb.select(r, Eq(Attr("a"), Attr("b")))) == "CQ"
+        assert (
+            classify_plan(
+                rb.select(r, Or(Eq(Attr("a"), Literal(1)), Eq(Attr("b"), Literal(2))))
+            )
+            == "UCQ"
+        )
+        assert classify_plan(rb.union(r, rb.relation("R"))) == "UCQ"
+        assert classify_plan(rb.select(r, Neq(Attr("a"), Attr("b")))) == "FO"
+        assert classify_plan(rb.select(r, IsNull(Attr("a")))) == "FO"
+        assert classify_plan(rb.difference(r, rb.relation("R"))) == "FO"
+
+    def test_division_by_base_relation_is_guarded(self):
+        dividend = rb.relation("R")
+        assert classify_plan(rb.division(dividend, rb.relation("T"))) == "Pos∀G"
+        renamed = rb.rename(rb.relation("T"), {"e": "b"})
+        assert classify_plan(rb.division(dividend, renamed)) == "Pos∀G"
+        # A projected divisor is an ∃-quantified guard — not atomic.
+        projected = rb.project(rb.relation("R"), ["b"])
+        assert classify_plan(rb.division(dividend, projected)) == "FO"
+
+    def test_matches_normalized_query_fragment(self, db):
+        query = rb.select(rb.relation("R"), Eq(Attr("b"), Literal(3)))
+        normalized = normalize_query(query, db.schema())
+        assert normalized.fragment == classify_plan(query) == "CQ"
+
+    def test_null_literal_equality_is_not_conjunctive(self):
+        # σ_{a=⊥}(R) matches the null by *label* under naïve evaluation,
+        # while no valuation-quantified semantics does — claiming
+        # Theorem 4.4 exactness there would be unsound (regression:
+        # naive used to return CERTAIN rows that exact-certain refutes).
+        query = rb.select(rb.relation("R"), Eq(Attr("a"), Literal(Null("1"))))
+        assert classify_plan(query) == "FO"
+        db = Database.from_dict({"R": (("a", "b"), [("x", Null("1"))])})
+        bynull = rb.select(rb.relation("R"), Eq(Attr("b"), Literal(Null("1"))))
+        engine = Engine()
+        naive = engine.evaluate(bynull, db, strategy="naive", use_cache=False)
+        cert = engine.evaluate(bynull, db, strategy="exact-certain", use_cache=False)
+        assert naive.metadata["exact"] is False
+        assert naive.certain is None
+        assert cert.relation.rows_set() == frozenset()
+
+    def test_constant_relation_with_null_is_not_conjunctive(self):
+        from repro.algebra import ast as ra
+
+        table = ra.ConstantRelation(("a",), [(Null("n"),)])
+        assert classify_plan(table) == "FO"
+
+
+# ----------------------------------------------------------------------
+# Randomized auto-vs-explicit identity (+ exactness audit)
+# ----------------------------------------------------------------------
+def _build_database(rng: random.Random) -> Database:
+    config = GeneratorConfig(
+        relations=(
+            RelationSpec("R", ("a", "b"), rng.randint(2, 4)),
+            RelationSpec("S", ("c", "d"), rng.randint(2, 4)),
+            RelationSpec("T", ("e",), rng.randint(1, 3)),
+        ),
+        domain_size=4,
+        null_rate=0.0,
+        seed=rng.randrange(1_000_000),
+    )
+    db = generate_database(config)
+    # Bias toward incomplete databases: complete ones short-circuit the
+    # planner to naïve, and the interesting decisions need nulls.
+    k = rng.choice([0, 1, 1, 2, 2])
+    if k == 0:
+        return db
+    rows = {name: list(rel.iter_rows_bag()) for name, rel in db.relations()}
+    positions = [
+        (name, i, j)
+        for name, rs in rows.items()
+        for i, row in enumerate(rs)
+        for j in range(len(row))
+    ]
+    shared = Null(f"h{rng.randrange(1_000_000)}")
+    for index, (name, i, j) in enumerate(rng.sample(positions, min(k, len(positions)))):
+        null = shared if rng.random() < 0.5 else Null(f"h{rng.randrange(1_000_000)}_{index}")
+        row = list(rows[name][i])
+        row[j] = null
+        rows[name][i] = tuple(row)
+    return Database(
+        {name: Relation(db[name].attributes, rs) for name, rs in rows.items()}
+    )
+
+
+class _QueryGen:
+    """Random plans mixing positive operators with negation-bearing ones."""
+
+    def __init__(self, rng: random.Random, schema):
+        self.rng = rng
+        self.schema = schema
+        self._fresh = itertools.count()
+
+    def fresh_attr(self) -> str:
+        return f"x{next(self._fresh)}"
+
+    def condition(self, attrs):
+        rng = self.rng
+        left = Attr(rng.choice(attrs))
+        if len(attrs) > 1 and rng.random() < 0.4:
+            right = Attr(rng.choice(attrs))
+        else:
+            right = Literal(f"v{rng.randrange(4)}")
+        return (Eq if rng.random() < 0.7 else Neq)(left, right)
+
+    def with_arity(self, arity: int):
+        rng = self.rng
+        name = rng.choice(["R", "S"] if arity == 2 else ["R", "S", "T"])
+        plan = rb.relation(name)
+        attrs = list(plan.output_attributes(self.schema))
+        if len(attrs) > arity:
+            keep = rng.sample(attrs, arity)
+            plan = rb.project(plan, keep)
+        return plan
+
+    def query(self, depth: int):
+        rng = self.rng
+        if depth <= 0 or rng.random() < 0.25:
+            return rb.relation(rng.choice(["R", "S", "T"]))
+        child = self.query(depth - 1)
+        attrs = list(child.output_attributes(self.schema))
+        op = rng.choices(
+            ["select", "project", "rename", "product", "union", "difference",
+             "intersection", "division", "semijoin"],
+            weights=[22, 14, 8, 14, 12, 10, 8, 6, 6],
+        )[0]
+        if op == "select":
+            return rb.select(child, self.condition(attrs))
+        if op == "project":
+            return rb.project(child, rng.sample(attrs, rng.randint(1, len(attrs))))
+        if op == "rename":
+            renamed = rng.sample(attrs, rng.randint(1, len(attrs)))
+            return rb.rename(child, {a: self.fresh_attr() for a in renamed})
+        if op == "product":
+            right = self.with_arity(rng.choice([1, 2]))
+            right_attrs = right.output_attributes(self.schema)
+            return rb.product(
+                child, rb.rename(right, {a: self.fresh_attr() for a in right_attrs})
+            )
+        if op in ("union", "difference", "intersection"):
+            right = self.with_arity(len(attrs))
+            build = {"union": rb.union, "difference": rb.difference,
+                     "intersection": rb.intersection}[op]
+            return build(child, right)
+        if op == "division" and len(attrs) >= 2:
+            divisor = self.with_arity(1)
+            divisor_attr = divisor.output_attributes(self.schema)[0]
+            return rb.division(child, rb.rename(divisor, {divisor_attr: attrs[-1]}))
+        if op == "semijoin":
+            right = self.with_arity(1)
+            right_attr = right.output_attributes(self.schema)[0]
+            return rb.semijoin(
+                child, rb.rename(right, {right_attr: rng.choice(attrs)})
+            )
+        return child
+
+
+def _assert_identical(auto, explicit, label: str) -> None:
+    assert auto.strategy == explicit.strategy, label
+    assert auto.relation.attributes == explicit.relation.attributes, label
+    assert auto.relation.rows_bag() == explicit.relation.rows_bag(), (
+        f"{label}: primary answers differ\nauto:     {auto.relation.sorted_rows()}"
+        f"\nexplicit: {explicit.relation.sorted_rows()}"
+    )
+    for side in ("certain", "possible", "certainly_false"):
+        a, b = getattr(auto, side), getattr(explicit, side)
+        assert (a is None) == (b is None), f"{label}: {side} presence differs"
+        if a is not None:
+            assert a.rows_set() == b.rows_set(), f"{label}: {side} rows differ"
+    auto_annotated = Counter((t.row, t.status, t.multiplicity) for t in auto.tuples)
+    explicit_annotated = Counter(
+        (t.row, t.status, t.multiplicity) for t in explicit.tuples
+    )
+    assert auto_annotated == explicit_annotated, f"{label}: annotations differ"
+
+
+def test_auto_equals_reported_strategy_randomized():
+    engine = Engine()
+    chosen = Counter()
+    exact_audits = 0
+    for case in range(CASES):
+        rng = random.Random(SEED * 1_000_003 + case)
+        db = _build_database(rng)
+        gen = _QueryGen(rng, db.schema())
+        query = gen.query(rng.randint(1, 3))
+        semantics = "bag" if rng.random() < 0.25 else "set"
+        sharded = rng.random() < 0.4
+        target = (
+            ShardedDatabase.from_database(
+                db,
+                rng.choice([2, 3]),
+                rng.choice([HashPartitioner, RoundRobinPartitioner])(),
+            )
+            if sharded
+            else db
+        )
+        label = f"case {case} (seed {SEED}, semantics {semantics}, sharded {sharded})"
+        try:
+            auto = engine.evaluate(
+                query, target, strategy="auto", semantics=semantics, use_cache=False
+            )
+        except (StrategyNotApplicableError, EngineError, ValueError, TypeError):
+            continue
+        plan = _plan(auto)
+        chosen[plan["strategy"]] += 1
+        explicit = engine.evaluate(
+            query,
+            target,
+            strategy=plan["strategy"],
+            semantics=semantics,
+            use_cache=False,
+        )
+        _assert_identical(auto, explicit, label)
+
+        # Exactness audit: a decision claiming "exact" must actually
+        # return the certain answers (checked against the brute-force
+        # enumeration; the generator keeps databases tiny).
+        if (
+            plan["guarantee"] == "exact"
+            and semantics == "set"
+            and plan["strategy"] == "naive"
+        ):
+            cert = engine.evaluate(
+                query, db, strategy="exact-certain", use_cache=False
+            )
+            assert auto.relation.rows_set() == cert.relation.rows_set(), (
+                f"{label}: planner claimed exactness on fragment "
+                f"{plan['fragment']} but naïve != cert⊥"
+            )
+            exact_audits += 1
+    # The generator must exercise a genuine mix of decisions, otherwise
+    # the harness silently stops guarding the planner.
+    assert len(chosen) >= 2, chosen
+    assert chosen["naive"] >= CASES // 10, chosen
+    assert chosen["approx-guagliardo16"] >= CASES // 20, chosen
+    assert exact_audits >= CASES // 10, exact_audits
+
+
+def test_auto_shares_cache_entries_with_explicit_calls(db):
+    engine = Engine()
+    query = rb.select(rb.relation("R"), Eq(Attr("b"), Literal(3)))
+    explicit = engine.evaluate(query, db, strategy="naive")
+    assert not explicit.from_cache
+    auto = engine.evaluate(query, db, strategy="auto")
+    assert auto.from_cache, "auto must hit the entry the explicit call stored"
+    assert _plan(auto)["strategy"] == "naive"
+    assert "plan" not in explicit.metadata
+
+
+# ----------------------------------------------------------------------
+# Contract: shim, introspection, errors
+# ----------------------------------------------------------------------
+class TestCapabilityContract:
+    def test_legacy_attributes_synthesize_capabilities_with_warning(self, db):
+        with pytest.warns(DeprecationWarning, match="legacy"):
+
+            @register_strategy("test-legacy")
+            class _Legacy(EvaluationStrategy):
+                supported_semantics = ("set", "bag")
+                supports_optimize = True
+
+                def run(self, query, database, *, semantics, **options):
+                    options.pop("optimize", None)
+                    return StrategyOutcome(answer=Relation(("a",), [(1,)]))
+
+        try:
+            caps = strategy_capabilities("test-legacy")
+            assert caps.semantics == ("set", "bag")
+            assert caps.optimize is True
+            assert caps.requires == ()  # unknown: never auto-selected
+            strat = get_strategy("test-legacy")
+            assert strat.supported_semantics == ("set", "bag")
+            assert strat.supports_optimize is True
+            result = Engine().evaluate(
+                rb.relation("R"), db, strategy="test-legacy", use_cache=False
+            )
+            assert result.sorted_rows() == [(1,)]
+        finally:
+            unregister_strategy("test-legacy")
+
+    def test_capability_declaring_class_registers_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+
+            @register_strategy("test-modern")
+            class _Modern(EvaluationStrategy):
+                capabilities = StrategyCapabilities(
+                    semantics=("set",), requires=("algebra",)
+                )
+
+                def run(self, query, database, *, semantics, **options):
+                    return StrategyOutcome(answer=Relation(("a",), ()))
+
+        unregister_strategy("test-modern")
+
+    def test_verbose_table_and_describe(self):
+        table = available_strategies(verbose=True)
+        assert set(table) == set(available_strategies())
+        assert table["naive"].exact_on == EXACT_FRAGMENTS_CWA
+        assert table["exact-certain"].exact_everywhere
+        assert table["approx-guagliardo16"].sound
+        assert not table["sql-3vl"].sound
+        assert "Selection" in table["naive"].shardable_ops
+        assert "Intersection" not in table["naive"].ops_for("bag")
+
+        description = Engine().describe()
+        assert set(description["strategies"]) == set(available_strategies())
+        naive = description["strategies"]["naive"]
+        assert naive["exact_on"] == sorted(EXACT_FRAGMENTS_CWA)
+        assert naive["cost"] == "polynomial"
+        assert description["cache"]["backend"] == "MemoryCacheBackend"
+        assert description["defaults"]["auto_exact_budget"] > 0
+
+    def test_legacy_supported_semantics_still_gates_evaluation(self, db):
+        # The engine reads semantics through the capability record; the
+        # legacy property view must agree.
+        assert get_strategy("exact-certain").supported_semantics == ("set",)
+        with pytest.raises(StrategyNotApplicableError):
+            Engine().evaluate(
+                rb.relation("R"), db, strategy="exact-certain", semantics="bag"
+            )
+
+    def test_choose_strategy_rejects_hopeless_queries(self, db):
+        # An SQL query that does not compile to algebra offers only the
+        # "sql" form; with bag semantics only sql-3vl can take it.
+        normalized = normalize_query("SELECT a FROM R WHERE b = 3", None)
+        decision = choose_strategy(normalized, db, semantics="bag")
+        assert decision.strategy == "sql-3vl"
+
+    def test_auto_is_reserved_and_planned_per_call(self, db):
+        session = Session(db)
+        result = session.auto(rb.relation("R"), use_cache=False)
+        assert _plan(result)["strategy"] == "naive"
+        assert session.describe()["strategies"]
+
+    def test_auto_skips_translations_on_plans_outside_their_operators(self, db):
+        # Division (and the join conveniences) raise inside the Figure 2
+        # translations; the planner must respect plan_ops and fall
+        # through to a strategy that can evaluate the plan (regression:
+        # auto used to crash with a raw ValueError here).
+        divided = rb.division(
+            rb.relation("R"), rb.rename(rb.relation("S"), {"c": "b"})
+        )
+        query = rb.difference(divided, rb.project(rb.relation("R"), ["a"]))
+        assert classify_plan(query) == "FO"
+        result = Engine().evaluate(query, db, strategy="auto", use_cache=False)
+        plan = _plan(result)
+        assert plan["strategy"] not in ("approx-guagliardo16", "approx-libkin16")
+        rejected = dict(tuple(c) for c in plan["considered"])
+        assert "unsupported operators" in rejected["approx-guagliardo16"]
+
+    def test_exact_budget_env_var_is_read_at_call_time(self, db, monkeypatch):
+        formula = fo.Not(fo.RelAtom("S", [fo.Var("x")]))
+        query = FoQuery(formula, free=("x",))
+        monkeypatch.setenv("REPRO_AUTO_EXACT_BUDGET", "0")
+        plan = _plan(Engine().evaluate(query, db, strategy="auto", use_cache=False))
+        assert plan["strategy"] != "exact-certain"
+        monkeypatch.setenv("REPRO_AUTO_EXACT_BUDGET", "1000000")
+        plan = _plan(Engine().evaluate(query, db, strategy="auto", use_cache=False))
+        assert plan["strategy"] == "exact-certain"
+
+    def test_legacy_merge_signature_still_works_when_sharded(self, db):
+        # Pre-capability ShardableSpec merges take (partials, *,
+        # semantics, database); the orchestrator must not force the new
+        # normalized/strategy kwargs on them.
+        from repro.engine.registry import StrategyOutcome, annotate
+        from repro.engine.result import Certainty
+        from repro.sharding import ShardedDatabase
+        from repro.sharding.evaluate import SHARDABLE_STRATEGIES, ShardableSpec
+        from repro.sharding.planner import NAIVE_LINEAGE_OPS
+        from repro import evaluate_algebra
+
+        def old_style_merge(partials, *, semantics, database):
+            rows = set()
+            for partial in partials:
+                rows |= partial.answer.rows_set()
+            answer = Relation(partials[0].answer.attributes, rows)
+            return StrategyOutcome(
+                answer=answer, annotated=annotate(answer, Certainty.POSSIBLE)
+            )
+
+        @register_strategy("test-old-merge")
+        class _OldMerge(EvaluationStrategy):
+            capabilities = StrategyCapabilities(
+                semantics=("set",), requires=("algebra",)
+            )
+
+            def run(self, query, database, *, semantics, **options):
+                return StrategyOutcome(
+                    answer=evaluate_algebra(query.algebra, database)
+                )
+
+        SHARDABLE_STRATEGIES["test-old-merge"] = ShardableSpec(
+            lineage_ops=NAIVE_LINEAGE_OPS, merge=old_style_merge
+        )
+        try:
+            sharded = ShardedDatabase.from_database(db, 2)
+            result = Engine().evaluate(
+                rb.relation("R"), sharded, strategy="test-old-merge", use_cache=False
+            )
+            assert result.metadata["sharding"]["mode"] == "distributed"
+            assert result.relation.rows_set() == db["R"].rows_set()
+        finally:
+            SHARDABLE_STRATEGIES.pop("test-old-merge", None)
+            unregister_strategy("test-old-merge")
