@@ -1,0 +1,172 @@
+"""E17 — Sustained server QPS under a zipf-skewed multi-tenant mix.
+
+The server's pitch (see ``DESIGN.md``) is that one long-running process
+amortises engine start-up and shares a result cache across many
+concurrent clients.  E17 measures exactly that: an
+:class:`~repro.server.EvalServer` on an ephemeral port, ≥ 4 concurrent
+client connections replaying a zipf-skewed mix of the TPC-H-lite
+queries (a few hot queries dominate, the tail stays cold — the shape
+that makes result caching pay), reporting:
+
+* sustained throughput (QPS over the whole run),
+* client-observed latency p50 / p99 (and the server's own `/stats`
+  percentiles for queue wait and execution),
+* the cache hit rate of the run (must be non-zero: the hot queries
+  repeat, so a working per-tenant cache turns them into hits),
+* a leak check — after ``close()`` no worker process survives.
+
+Run under pytest (``python -m pytest benchmarks/bench_server.py``) or
+directly::
+
+    python benchmarks/bench_server.py            # full sweep
+    python benchmarks/bench_server.py --smoke    # tiny run for CI
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pathlib
+import random
+import sys
+import threading
+import time
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import ResultTable
+from repro.server import EvalServer, ServerBusyError, ServerClient, ServerConfig
+from repro.server.metrics import percentile
+from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
+
+#: Full-size run: a non-trivial database and enough requests per client
+#: for the percentiles to mean something.
+CONFIG = TpchLiteConfig(
+    customers=20, orders=40, lineitems=60, suppliers=8, null_rate=0.05
+)
+REQUESTS_PER_CLIENT = 40
+#: Smoke run: seed-scale database, a handful of requests (CI wiring).
+SMOKE_CONFIG = TpchLiteConfig(null_rate=0.05)
+SMOKE_REQUESTS = 10
+
+CLIENTS = 4
+TENANTS = ("acme", "acme", "globex", "globex")  # two tenants, two conns each
+ZIPF_S = 1.1
+
+
+def zipf_choices(names: list[str], count: int, *, seed: int) -> list[str]:
+    """``count`` draws from ``names`` with zipf(s) rank weights."""
+    rng = random.Random(seed)
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(names))]
+    return rng.choices(names, weights=weights, k=count)
+
+
+def run_server_load(config: TpchLiteConfig, requests_per_client: int, *, smoke: bool) -> None:
+    database = generate_tpch_lite(config)
+    queries = tpch_lite_queries()
+    names = sorted(queries)
+    with EvalServer(
+        ServerConfig(
+            pool="thread",
+            max_workers=2,
+            max_concurrency=4,
+            queue_limit=64,
+            datasets={"tpch": database},
+            queries=queries,
+        )
+    ) as server:
+        host, port = server.address
+        latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+        failures: list[str] = []
+        busy = [0] * CLIENTS
+        start_barrier = threading.Barrier(CLIENTS + 1)
+
+        def client_loop(index: int) -> None:
+            mix = zipf_choices(names, requests_per_client, seed=1000 + index)
+            with ServerClient(host, port, tenant=TENANTS[index]) as client:
+                start_barrier.wait()
+                for ref in mix:
+                    begin = time.perf_counter()
+                    try:
+                        answer = client.query(query_ref=ref, db="tpch", strategy="auto")
+                    except ServerBusyError:
+                        busy[index] += 1
+                        continue
+                    except Exception as exc:  # noqa: BLE001 - recorded, asserted below
+                        failures.append(f"client {index} ({ref}): {exc}")
+                        return
+                    latencies[index].append(time.perf_counter() - begin)
+                    if not answer["result"]["attributes"]:
+                        failures.append(f"client {index} ({ref}): empty schema")
+                        return
+
+        threads = [
+            threading.Thread(target=client_loop, args=(i,), name=f"e17-client-{i}")
+            for i in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        stats = server.stats()
+
+    assert not failures, "client failures:\n" + "\n".join(failures)
+    all_latencies = [sample for per_client in latencies for sample in per_client]
+    completed = len(all_latencies)
+    qps = completed / wall if wall > 0 else 0.0
+    hit_rate = stats["cache"]["hit_rate"]
+
+    table = ResultTable(
+        f"E17: {CLIENTS} concurrent clients, zipf(s={ZIPF_S}) TPC-H-lite mix",
+        ["metric", "value"],
+    )
+    table.add_row("requests completed", completed)
+    table.add_row("wall clock (s)", f"{wall:.2f}")
+    table.add_row("sustained QPS", f"{qps:.1f}")
+    table.add_row("client p50 (ms)", f"{percentile(all_latencies, 50) * 1e3:.1f}")
+    table.add_row("client p99 (ms)", f"{percentile(all_latencies, 99) * 1e3:.1f}")
+    table.add_row("server queue-wait p99 (ms)", f"{stats['queue_wait']['p99'] * 1e3:.1f}")
+    table.add_row("server execution p50 (ms)", f"{stats['execution']['p50'] * 1e3:.1f}")
+    table.add_row("cache hit rate", f"{hit_rate:.2%}")
+    table.add_row("429 rejections", sum(busy))
+    table.print()
+    print(f"strategies chosen: {stats['strategies']}")
+    print(f"per-tenant cache: {stats['tenant_caches']}")
+
+    # Acceptance: every client completed its mix, the server stayed up
+    # for the whole run, and the hot queries actually hit the cache.
+    assert completed == CLIENTS * requests_per_client - sum(busy)
+    assert qps > 0.0
+    assert hit_rate > 0.0, "zipf-skewed mix produced no cache hits"
+    assert stats["requests"].get("error", 0) == 0
+    # Leak check: `with` closed the server; nothing may survive it.
+    assert multiprocessing.active_children() == [], "leaked worker processes"
+    print("clean shutdown: no leaked workers")
+
+
+# ----------------------------------------------------------------------
+# pytest entry point
+# ----------------------------------------------------------------------
+def test_server_sustained_load_smoke():
+    run_server_load(SMOKE_CONFIG, SMOKE_REQUESTS, smoke=True)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E17 server load benchmark")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness checks only (CI wiring)",
+    )
+    args = parser.parse_args()
+    if args.smoke:
+        run_server_load(SMOKE_CONFIG, SMOKE_REQUESTS, smoke=True)
+    else:
+        run_server_load(CONFIG, REQUESTS_PER_CLIENT, smoke=False)
+    print("\nE17 ok" + (" (smoke)" if args.smoke else ""))

@@ -44,6 +44,7 @@ from .cache import (
     CacheStats,
     DiskCacheBackend,
     MemoryCacheBackend,
+    NamespacedCacheBackend,
     ResultCache,
     canonical_option_value,
     canonical_options,
@@ -52,6 +53,7 @@ from .cache import (
     resolve_cache_backend,
 )
 from .capabilities import EXACT_FRAGMENTS_CWA, StrategyCapabilities
+from .shm_cache import SharedMemoryCacheBackend
 from .core import Engine, Session, default_engine, evaluate
 from .aio import AsyncEngine, AsyncSession, EngineTask, run_engine_task
 from .errors import (
@@ -117,6 +119,8 @@ __all__ = [
     "CacheBackend",
     "MemoryCacheBackend",
     "DiskCacheBackend",
+    "SharedMemoryCacheBackend",
+    "NamespacedCacheBackend",
     "ResultCache",
     "CacheStats",
     "resolve_cache_backend",

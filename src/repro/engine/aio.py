@@ -37,7 +37,15 @@ Design:
   monolithic one — cannot deadlock on it.
 * **Single-flight.**  Concurrent evaluations of the same cache key
   coalesce onto one computation; followers get the shared result marked
-  ``from_cache=True``.
+  ``from_cache=True``.  The in-flight group is reference-counted:
+  cancelling one awaiter (the leader included) leaves the computation
+  running for the remaining awaiters, while cancelling the *last*
+  awaiter cancels the shared computation itself — the cancellation
+  reaches the dispatch future (and, with an executor whose futures
+  support running-cancel such as
+  :class:`repro.server.pool.CancellableProcessExecutor`, the worker
+  process), and the abandoned result is **never** inserted into the
+  result cache.
 * **Sharding.**  A :class:`~repro.sharding.ShardedDatabase` (or
   ``shards=N``) takes the async sharded path —
   :func:`repro.sharding.evaluate.evaluate_sharded_async` — reusing the
@@ -71,6 +79,25 @@ from .result import QueryResult
 __all__ = ["AsyncEngine", "AsyncSession", "EngineTask", "run_engine_task"]
 
 _POOL_KINDS = ("process", "thread", "serial")
+
+
+class _InFlight:
+    """One coalesced in-flight computation plus its awaiter refcount.
+
+    ``waiters`` counts the evaluations currently awaiting ``task``
+    through :func:`asyncio.shield`.  A cancelled awaiter decrements the
+    count and leaves the computation running for the others; when the
+    count reaches zero with the task still pending, nobody wants the
+    result any more, so the task itself is cancelled — which unwinds
+    :meth:`AsyncEngine._compute` *before* its cache insert, closing the
+    "cancelled await still populates the cache" gap.
+    """
+
+    __slots__ = ("task", "waiters")
+
+    def __init__(self, task: asyncio.Task):
+        self.task = task
+        self.waiters = 0
 
 
 @dataclass(frozen=True)
@@ -174,7 +201,7 @@ class AsyncEngine:
         # survives successive asyncio.run() invocations.
         self._loop: asyncio.AbstractEventLoop | None = None
         self._semaphore: asyncio.Semaphore | None = None
-        self._pending: dict[Hashable, asyncio.Task] = {}
+        self._pending: dict[Hashable, _InFlight] = {}
 
     # ------------------------------------------------------------------
     # Introspection and delegation to the sync twin
@@ -375,21 +402,44 @@ class AsyncEngine:
             return await self._compute(normalized, database, strat, semantics, options, None)
 
         # Single-flight: concurrent evaluations of one key share one
-        # computation.  The shared computation runs in its own task, so
-        # a cancelled awaiter does not kill it for the others.
+        # computation.  The shared computation runs in its own task
+        # behind asyncio.shield, so a cancelled awaiter does not kill it
+        # for the others; the _InFlight refcount cancels the shared task
+        # only when the *last* awaiter is gone, so an abandoned worker
+        # result is never inserted into the cache.
         created = False
-        pending = self._pending.get(key)
-        if pending is None:
+        flight = self._pending.get(key)
+        if flight is None or flight.task.cancelled():
             created = True
-            pending = asyncio.get_running_loop().create_task(
-                self._compute(normalized, database, strat, semantics, options, key)
+            flight = _InFlight(
+                asyncio.get_running_loop().create_task(
+                    self._compute(normalized, database, strat, semantics, options, key)
+                )
             )
-            self._pending[key] = pending
-            pending.add_done_callback(
-                lambda _task, _key=key: self._pending.pop(_key, None)
+            self._pending[key] = flight
+            flight.task.add_done_callback(
+                lambda _task, _key=key, _flight=flight: self._discard_flight(
+                    _key, _flight
+                )
             )
-        result = await asyncio.shield(pending)
+        flight.waiters += 1
+        try:
+            result = await asyncio.shield(flight.task)
+        finally:
+            flight.waiters -= 1
+            if flight.waiters == 0 and not flight.task.done():
+                # Every awaiter has been cancelled: abandon the shared
+                # computation.  Discarding the flight first keeps a new
+                # arrival (in the same event-loop step) from joining a
+                # task that is about to unwind.
+                self._discard_flight(key, flight)
+                flight.task.cancel()
         return result if created else result.as_cached()
+
+    def _discard_flight(self, key: Hashable, flight: "_InFlight") -> None:
+        """Drop one in-flight entry, never clobbering a newer one."""
+        if self._pending.get(key) is flight:
+            del self._pending[key]
 
     async def _compute(
         self,

@@ -18,6 +18,13 @@ Storage is pluggable behind the :class:`CacheBackend` protocol
   are the same content fingerprints, so no invalidation semantics
   change: mutating the database changes its fingerprint and simply
   misses.
+* :class:`~repro.engine.shm_cache.SharedMemoryCacheBackend`
+  (``cache="shm:<name>"``) — one ``multiprocessing.shared_memory``
+  segment per entry, crossing process boundaries without the
+  pickle-to-disk round trip (used by :mod:`repro.server` for per-shard
+  partials).
+* :class:`NamespacedCacheBackend` — a per-namespace view over any of
+  the above, isolating tenants that share one physical backend.
 
 Engines accept a backend spec anywhere a cache is configured:
 ``Engine(cache="disk:/path/to/dir")``, ``Session(db, cache=backend)``;
@@ -48,6 +55,7 @@ __all__ = [
     "CacheBackend",
     "MemoryCacheBackend",
     "DiskCacheBackend",
+    "NamespacedCacheBackend",
     "ResultCache",
     "resolve_cache_backend",
     "canonical_value",
@@ -387,12 +395,95 @@ class DiskCacheBackend(CacheBackend):
             )
 
 
+class NamespacedCacheBackend(CacheBackend):
+    """A namespaced *view* of another backend, for multi-tenant isolation.
+
+    Every key is wrapped as ``("ns", namespace, key)`` before it reaches
+    the underlying backend, so two views with different namespaces can
+    never observe each other's entries — even for identical (query,
+    database, strategy, semantics, options) fingerprints.  This is how
+    :mod:`repro.server` gives each tenant a private slice of one shared
+    backend (memory, disk, or shared-memory alike: the wrapped key's
+    ``repr`` is what keyed-by-digest backends hash, so the namespace
+    lands in the digest).
+
+    Hit/miss counters are kept per view, so a tenant's ``stats`` reflect
+    that tenant's workload only; ``size``/``max_size`` mirror the shared
+    underlying backend.  ``clear()`` clears the **whole** underlying
+    backend (per-namespace deletion is not expressible through the
+    ``CacheBackend`` surface) — servers should therefore not expose it
+    to tenants.
+    """
+
+    def __init__(self, backend: CacheBackend, namespace: str):
+        self.backend = backend
+        self.namespace = str(namespace)
+        self._hits = 0
+        self._misses = 0
+        self._lifetime_hits = 0
+        self._lifetime_misses = 0
+        self._lock = threading.Lock()
+
+    def _wrap(self, key: Hashable) -> Hashable:
+        return ("ns", self.namespace, key)
+
+    @property
+    def enabled(self) -> bool:
+        return self.backend.enabled
+
+    def get(self, key: Hashable) -> Any | None:
+        value = self.backend.get(self._wrap(key))
+        with self._lock:
+            if value is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self.backend.put(self._wrap(key), value)
+
+    def clear(self) -> None:
+        self.backend.clear()
+        with self._lock:
+            self._lifetime_hits += self._hits
+            self._lifetime_misses += self._misses
+            self._hits = 0
+            self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self.backend)
+
+    def _stats(self, hits: int, misses: int) -> CacheStats:
+        underlying = self.backend.stats
+        return CacheStats(
+            hits=hits, misses=misses, size=underlying.size, max_size=underlying.max_size
+        )
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return self._stats(self._hits, self._misses)
+
+    @property
+    def lifetime_stats(self) -> CacheStats:
+        with self._lock:
+            return self._stats(
+                self._lifetime_hits + self._hits,
+                self._lifetime_misses + self._misses,
+            )
+
+
 def resolve_cache_backend(cache: Any, *, cache_size: int = 256) -> CacheBackend:
     """Turn an engine's ``cache=`` argument into a backend instance.
 
     * ``None`` or ``"memory"`` — a fresh :class:`MemoryCacheBackend`
       holding ``cache_size`` entries;
     * ``"disk:<path>"`` — a :class:`DiskCacheBackend` on that directory;
+    * ``"shm:<name>"`` — a
+      :class:`~repro.engine.shm_cache.SharedMemoryCacheBackend` whose
+      segments share the ``<name>`` prefix, so results cross process
+      boundaries without touching disk;
     * an object implementing the :class:`CacheBackend` surface — used
       as-is.  Duck typing is fine (no subclassing required), but the
       engine touches more than ``get``/``put``, so the full surface is
@@ -409,9 +500,18 @@ def resolve_cache_backend(cache: Any, *, cache_size: int = 256) -> CacheBackend:
                     "cache='disk:' needs a directory, e.g. 'disk:/tmp/repro-cache'"
                 )
             return DiskCacheBackend(path)
+        if cache.startswith("shm:"):
+            name = cache[len("shm:"):]
+            if not name:
+                raise EngineError(
+                    "cache='shm:' needs a segment-name prefix, e.g. 'shm:repro'"
+                )
+            from .shm_cache import SharedMemoryCacheBackend
+
+            return SharedMemoryCacheBackend(name, max_entries=cache_size)
         raise EngineError(
             f"unknown cache spec {cache!r}; expected 'memory', 'disk:<path>', "
-            "or a CacheBackend instance"
+            "'shm:<name>', or a CacheBackend instance"
         )
     required = ("get", "put", "clear", "enabled", "stats")
     if hasattr(cache, "get") and hasattr(cache, "put"):

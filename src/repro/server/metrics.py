@@ -1,0 +1,115 @@
+"""Per-request metrics and the ``/stats`` aggregation.
+
+Every admitted request records one :class:`RequestRecord` — queue wait
+(time between admission and winning an execution slot), execution time,
+whether the result came from the tenant's cache slice, and the strategy
+that actually ran (for ``strategy="auto"`` that is the planner's
+:class:`~repro.engine.planner.PlanDecision` choice, read off the result
+metadata).  The aggregator keeps bounded reservoirs of the recent
+latencies, so ``/stats`` can serve p50/p99 in O(window log window)
+without unbounded memory on a long-running server.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["RequestRecord", "ServerMetrics", "percentile"]
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """The q-th percentile (0..100) of ``samples``, 0.0 when empty."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """What one finished request contributes to the aggregates."""
+
+    tenant: str
+    outcome: str  # "ok" | "error" | "cancelled" | "rejected"
+    queue_wait: float = 0.0
+    execution: float = 0.0
+    total: float = 0.0
+    cache_hit: bool | None = None
+    strategy: str | None = None
+
+
+class ServerMetrics:
+    """Thread-safe aggregation of request records for ``/stats``."""
+
+    def __init__(self, window: int = 4096):
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._outcomes: Counter = Counter()
+        self._tenants: Counter = Counter()
+        self._strategies: Counter = Counter()
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._latency: deque[float] = deque(maxlen=window)
+        self._queue_wait: deque[float] = deque(maxlen=window)
+        self._execution: deque[float] = deque(maxlen=window)
+
+    def record(self, record: RequestRecord) -> None:
+        with self._lock:
+            self._outcomes[record.outcome] += 1
+            self._tenants[record.tenant] += 1
+            if record.strategy:
+                self._strategies[record.strategy] += 1
+            if record.cache_hit is not None:
+                if record.cache_hit:
+                    self._cache_hits += 1
+                else:
+                    self._cache_misses += 1
+            if record.outcome == "ok":
+                self._latency.append(record.total)
+                self._queue_wait.append(record.queue_wait)
+                self._execution.append(record.execution)
+
+    @staticmethod
+    def _summary(samples: deque[float]) -> dict[str, float]:
+        data = list(samples)
+        return {
+            "count": len(data),
+            "mean": sum(data) / len(data) if data else 0.0,
+            "p50": percentile(data, 50),
+            "p99": percentile(data, 99),
+            "max": max(data) if data else 0.0,
+        }
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            completed = self._outcomes.get("ok", 0)
+            total_cache = self._cache_hits + self._cache_misses
+            uptime = time.time() - self._started
+            return {
+                "uptime": uptime,
+                "requests": dict(self._outcomes),
+                "completed": completed,
+                "qps": completed / uptime if uptime > 0 else 0.0,
+                "tenants": dict(self._tenants),
+                "strategies": dict(self._strategies),
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": (
+                        self._cache_hits / total_cache if total_cache else 0.0
+                    ),
+                },
+                "latency": self._summary(self._latency),
+                "queue_wait": self._summary(self._queue_wait),
+                "execution": self._summary(self._execution),
+            }

@@ -1,0 +1,292 @@
+"""A process pool whose in-flight tasks can actually be cancelled.
+
+``concurrent.futures.ProcessPoolExecutor`` cannot cancel a running
+task: ``Future.cancel()`` returns ``False`` once a worker has picked the
+task up, so a cancelled client request leaves the worker grinding
+through an evaluation nobody wants — on a saturated server that is a
+stolen execution slot, not a cosmetic leak.
+
+:class:`CancellableProcessExecutor` closes that gap with a deliberately
+different state machine: futures are never moved to RUNNING, so the
+*base* ``cancel()`` transition (PENDING → CANCELLED, waiters notified)
+always succeeds, and the override additionally **terminates the worker
+process** that was executing the task, then respawns it for the next
+one.  Combined with asyncio's executor-future chaining
+(``loop.run_in_executor`` propagates task cancellation into
+``Future.cancel()``), cancelling an ``await`` inside
+:class:`~repro.engine.aio.AsyncEngine` reaches all the way into the
+worker process — the behaviour :mod:`repro.server` needs for client
+disconnects and cancel RPCs.
+
+Design: one dispatcher *thread* per worker *process*, joined by a shared
+deque of jobs.  Each dispatcher sends one pickled ``(fn, args, kwargs)``
+triple down its pipe, blocks on the reply, and resolves the future.  A
+terminated worker surfaces as ``EOFError`` on the pipe; the dispatcher
+respawns the process and moves on (expected after a cancel, a
+``BrokenWorkerError`` on the future otherwise).  Workers are forked
+lazily on first submit, so strategies registered at runtime are
+inherited on platforms whose default start method is ``fork``.
+"""
+
+from __future__ import annotations
+
+import collections
+import concurrent.futures
+import itertools
+import multiprocessing
+import os
+import threading
+from typing import Any, Callable
+
+__all__ = ["BrokenWorkerError", "CancellableFuture", "CancellableProcessExecutor"]
+
+
+class BrokenWorkerError(RuntimeError):
+    """A worker process died while running a task that was not cancelled."""
+
+
+def _worker_main(conn) -> None:
+    """Worker-process loop: receive ``(fn, args, kwargs)``, reply once each."""
+    while True:
+        try:
+            item = conn.recv()
+        except (EOFError, OSError):
+            return
+        if item is None:
+            return
+        fn, args, kwargs = item
+        try:
+            reply = (True, fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 - shipped to the parent
+            reply = (False, exc)
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):
+            return
+        except Exception as exc:  # unpicklable result/exception
+            try:
+                conn.send((False, RuntimeError(f"unpicklable worker reply: {exc}")))
+            except (OSError, BrokenPipeError):
+                return
+
+
+class _Job:
+    __slots__ = ("future", "fn", "args", "kwargs", "dispatcher")
+
+    def __init__(self, future, fn, args, kwargs):
+        self.future = future
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        #: The dispatcher currently running this job (None while queued).
+        self.dispatcher: "_Dispatcher | None" = None
+
+
+class CancellableFuture(concurrent.futures.Future):
+    """A future whose ``cancel()`` also works while the task is running.
+
+    The executor never calls ``set_running_or_notify_cancel``, so the
+    base-class transition succeeds at any point before completion; when
+    the job is already on a worker, the worker process is terminated
+    (and respawned by its dispatcher).
+    """
+
+    def __init__(self, executor: "CancellableProcessExecutor", job_factory):
+        super().__init__()
+        self._executor = executor
+        self._job: _Job = job_factory(self)
+
+    def cancel(self) -> bool:
+        executor = self._executor
+        with executor._lock:
+            cancelled = super().cancel()
+            if not cancelled:
+                return False
+            job = self._job
+            try:
+                executor._queue.remove(job)
+            except ValueError:
+                # Not queued: a dispatcher owns it — kill its worker.
+                if job.dispatcher is not None:
+                    job.dispatcher.terminate_worker()
+        return True
+
+
+class _Dispatcher:
+    """One parent-side thread driving one reusable worker process."""
+
+    def __init__(self, executor: "CancellableProcessExecutor", index: int):
+        self.executor = executor
+        self.index = index
+        self.conn = None
+        self.process = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"repro-pool-{index}", daemon=True
+        )
+        self.thread.start()
+
+    # Called with the executor lock held (from cancel / shutdown).
+    def terminate_worker(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.terminate()
+
+    def _spawn(self) -> None:
+        ctx = self.executor._ctx
+        parent_conn, child_conn = ctx.Pipe()
+        process = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True,
+            name=f"repro-pool-worker-{self.index}",
+        )
+        process.start()
+        child_conn.close()
+        with self.executor._lock:
+            self.conn, self.process = parent_conn, process
+
+    def _retire(self) -> None:
+        with self.executor._lock:
+            conn, process = self.conn, self.process
+            self.conn = self.process = None
+        if conn is not None:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if process is not None:
+            if process.is_alive():
+                process.terminate()
+            process.join()
+
+    def _run(self) -> None:
+        executor = self.executor
+        try:
+            while True:
+                job = executor._next_job(self)
+                if job is None:
+                    return
+                self._execute(job)
+        finally:
+            self._retire()
+
+    def _execute(self, job: _Job) -> None:
+        executor = self.executor
+        if self.process is None or not self.process.is_alive():
+            self._retire()
+            self._spawn()
+        try:
+            self.conn.send((job.fn, job.args, job.kwargs))
+            ok, payload = self.conn.recv()
+        except (EOFError, OSError, BrokenPipeError):
+            # The worker died mid-task: expected when the job (or the
+            # whole executor) was cancelled, a broken worker otherwise.
+            self._retire()
+            if not job.future.cancelled() and not executor._shutdown:
+                job.future.set_exception(
+                    BrokenWorkerError(
+                        f"worker process died while running {job.fn!r}"
+                    )
+                )
+            return
+        except Exception as exc:  # the job itself would not pickle
+            if not job.future.cancelled():
+                job.future.set_exception(exc)
+            return
+        finally:
+            with executor._lock:
+                job.dispatcher = None
+        try:
+            if ok:
+                job.future.set_result(payload)
+            else:
+                job.future.set_exception(payload)
+        except concurrent.futures.InvalidStateError:
+            # Cancelled in the race window after the reply arrived; the
+            # cancel path also terminated the (already idle) worker, so
+            # the next _execute respawns it.
+            pass
+
+
+class CancellableProcessExecutor(concurrent.futures.Executor):
+    """A ``concurrent.futures.Executor`` with running-task cancellation.
+
+    Drop-in for the ``pool=`` argument of
+    :class:`~repro.engine.aio.AsyncEngine`; the extra guarantee is that
+    ``future.cancel()`` succeeds (and kills the worker) even after the
+    task started.  ``max_workers`` defaults to the CPU count.
+    """
+
+    def __init__(self, max_workers: int | None = None, mp_context=None):
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be a positive integer or None")
+        self._max_workers = max_workers or os.cpu_count() or 1
+        self._ctx = mp_context or multiprocessing.get_context()
+        self._lock = threading.Lock()
+        self._have_work = threading.Condition(self._lock)
+        self._queue: collections.deque[_Job] = collections.deque()
+        self._dispatchers: list[_Dispatcher] = []
+        self._counter = itertools.count()
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    # Executor surface
+    # ------------------------------------------------------------------
+    def submit(self, fn: Callable, /, *args: Any, **kwargs: Any) -> CancellableFuture:
+        with self._lock:
+            if self._shutdown:
+                raise RuntimeError("cannot schedule new futures after shutdown")
+            future = CancellableFuture(
+                self, lambda f: _Job(f, fn, args, kwargs)
+            )
+            self._queue.append(future._job)
+            if len(self._dispatchers) < self._max_workers:
+                self._dispatchers.append(_Dispatcher(self, next(self._counter)))
+            self._have_work.notify()
+        return future
+
+    def _next_job(self, dispatcher: _Dispatcher) -> _Job | None:
+        with self._lock:
+            while True:
+                if self._shutdown and not self._queue:
+                    return None
+                if self._queue:
+                    job = self._queue.popleft()
+                    job.dispatcher = dispatcher
+                    return job
+                self._have_work.wait()
+
+    def shutdown(self, wait: bool = True, *, cancel_futures: bool = False) -> None:
+        with self._lock:
+            self._shutdown = True
+            if cancel_futures:
+                queued, self._queue = list(self._queue), collections.deque()
+            else:
+                queued = []
+            dispatchers = list(self._dispatchers)
+            self._have_work.notify_all()
+        for job in queued:
+            job.future.cancel()
+        if wait:
+            for dispatcher in dispatchers:
+                dispatcher.thread.join()
+        else:
+            # Dispatchers drain the remaining queue; just unblock them.
+            pass
+
+    # ------------------------------------------------------------------
+    # Introspection (for tests and /stats)
+    # ------------------------------------------------------------------
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the currently live worker processes."""
+        with self._lock:
+            return [
+                d.process.pid
+                for d in self._dispatchers
+                if d.process is not None and d.process.is_alive()
+            ]
+
+    def queued(self) -> int:
+        with self._lock:
+            return len(self._queue)

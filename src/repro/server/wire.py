@@ -1,0 +1,128 @@
+"""JSON wire encoding for the evaluation service.
+
+The engine's values are JSON-friendly scalars plus one special case: the
+marked null ⊥ₗ (:class:`~repro.datamodel.values.Null`).  A null crosses
+the wire as the one-key object ``{"⊥": <label>}`` — unambiguous because
+no workload uses that key as a string value, and symmetric
+(:func:`decode_value` restores a ``Null`` with the same label, which is
+exactly the paper's semantics: nulls are equal iff their labels are).
+
+Relations travel as ``{"attributes": [...], "rows": [[...], ...]}`` with
+bag multiplicities spelled out by repetition; databases as a
+``{"relations": {...}}`` object; results as a flat JSON object carrying
+the answer rows, the per-tuple certainty annotations, the timings and
+the (sanitised) strategy metadata — including the ``PlanDecision`` that
+``strategy="auto"`` records, which the server's ``/stats`` aggregates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Null
+from ..engine.result import QueryResult
+
+__all__ = [
+    "NULL_KEY",
+    "encode_value",
+    "decode_value",
+    "encode_relation",
+    "decode_relation",
+    "encode_database",
+    "decode_database",
+    "encode_result",
+    "json_safe",
+]
+
+NULL_KEY = "⊥"
+
+
+def encode_value(value: Any) -> Any:
+    if isinstance(value, Null):
+        label = value.label
+        if not isinstance(label, (str, int, float, bool)) and label is not None:
+            label = str(label)
+        return {NULL_KEY: label}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value.keys()) == {NULL_KEY}:
+        return Null(value[NULL_KEY])
+    return value
+
+
+def encode_relation(relation: Relation) -> dict[str, Any]:
+    return {
+        "attributes": list(relation.attributes),
+        "rows": [
+            [encode_value(v) for v in row] for row in relation.iter_rows_bag()
+        ],
+    }
+
+
+def decode_relation(payload: Mapping[str, Any]) -> Relation:
+    attributes = tuple(payload["attributes"])
+    rows = [tuple(decode_value(v) for v in row) for row in payload["rows"]]
+    return Relation(attributes, rows)
+
+
+def encode_database(database: Database) -> dict[str, Any]:
+    return {
+        "relations": {
+            name: encode_relation(database[name])
+            for name in database.relation_names()
+        }
+    }
+
+
+def decode_database(payload: Mapping[str, Any]) -> Database:
+    relations = payload.get("relations")
+    if not isinstance(relations, Mapping):
+        raise ValueError("dataset payload needs a 'relations' object")
+    return Database(
+        {name: decode_relation(spec) for name, spec in relations.items()}
+    )
+
+
+def json_safe(value: Any) -> Any:
+    """Best-effort projection of metadata onto JSON types (fallback: str)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, Null):
+        return {NULL_KEY: json_safe(value.label)}
+    return str(value)
+
+
+def encode_result(result: QueryResult) -> dict[str, Any]:
+    """One evaluation result as a flat JSON object."""
+    return {
+        "strategy": result.strategy,
+        "semantics": result.semantics,
+        "attributes": list(result.relation.attributes),
+        "rows": [
+            [encode_value(v) for v in row] for row in result.relation.sorted_rows()
+        ],
+        "annotated": [
+            {
+                "row": [encode_value(v) for v in t.row],
+                "status": t.status.value,
+                "multiplicity": t.multiplicity,
+            }
+            for t in result.tuples
+        ],
+        "certain_count": len(result.certain) if result.certain is not None else None,
+        "possible_count": len(result.possible) if result.possible is not None else None,
+        "elapsed": result.elapsed,
+        "from_cache": result.from_cache,
+        "fingerprint": result.fingerprint,
+        "metadata": json_safe(result.metadata),
+    }

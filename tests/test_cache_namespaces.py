@@ -1,0 +1,176 @@
+"""Tenant cache namespaces and the shared-memory backend.
+
+Multi-tenant isolation contract: two
+:class:`~repro.engine.cache.NamespacedCacheBackend` views with different
+namespaces over ONE shared backend never see each other's entries —
+across every backend kind (memory, disk, shared-memory).  Plus the
+shared-memory backend's own contract: pickle round-trip, LRU eviction,
+cross-instance visibility by segment name, torn/absent reads are misses,
+``clear``/``close`` unlink, and the ``"shm:<name>"`` resolver spec.
+"""
+
+from __future__ import annotations
+
+import uuid
+
+import pytest
+
+from repro.datamodel.database import Database
+from repro.engine import Engine, SharedMemoryCacheBackend, resolve_cache_backend
+from repro.engine.cache import (
+    DiskCacheBackend,
+    MemoryCacheBackend,
+    NamespacedCacheBackend,
+)
+
+
+def _shm_name() -> str:
+    # Unique per test: segments are host-global, parallel test runs must
+    # not collide.
+    return f"t{uuid.uuid4().hex[:7]}"
+
+
+@pytest.fixture(params=["memory", "disk", "shm"])
+def backend(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryCacheBackend(max_size=64)
+    elif request.param == "disk":
+        yield DiskCacheBackend(tmp_path / "cache", max_entries=64)
+    else:
+        shm = SharedMemoryCacheBackend(_shm_name(), max_entries=64)
+        yield shm
+        shm.close()
+
+
+# ----------------------------------------------------------------------
+# Namespace isolation, over every backend kind
+# ----------------------------------------------------------------------
+def test_namespaces_do_not_share_entries(backend):
+    alice = NamespacedCacheBackend(backend, "alice")
+    bob = NamespacedCacheBackend(backend, "bob")
+    alice.put(("q", "db"), {"rows": [1, 2]})
+    assert alice.get(("q", "db")) == {"rows": [1, 2]}
+    assert bob.get(("q", "db")) is None  # same key, other tenant: miss
+    bob.put(("q", "db"), {"rows": [3]})
+    assert alice.get(("q", "db")) == {"rows": [1, 2]}  # unclobbered
+    assert bob.get(("q", "db")) == {"rows": [3]}
+
+
+def test_namespace_views_track_their_own_hits_and_misses(backend):
+    alice = NamespacedCacheBackend(backend, "alice")
+    bob = NamespacedCacheBackend(backend, "bob")
+    alice.put("k", "v")
+    alice.get("k")
+    bob.get("k")
+    assert alice.stats.hits == 1 and alice.stats.misses == 0
+    assert bob.stats.hits == 0 and bob.stats.misses == 1
+
+
+def test_engines_sharing_backend_stay_isolated(backend):
+    """Identical (query, db) under different tenants: both compute."""
+    db = Database.from_dict({"R": (("a",), [(1,), (2,)])})
+    alice = Engine(cache=NamespacedCacheBackend(backend, "alice"))
+    bob = Engine(cache=NamespacedCacheBackend(backend, "bob"))
+    try:
+        first = alice.evaluate("SELECT a FROM R", db)
+        again = alice.evaluate("SELECT a FROM R", db)
+        other = bob.evaluate("SELECT a FROM R", db)
+        assert first.from_cache is False
+        assert again.from_cache is True  # same tenant: hit
+        assert other.from_cache is False  # other tenant: isolated
+        assert other.relation.sorted_rows() == first.relation.sorted_rows()
+    finally:
+        alice.close()
+        bob.close()
+
+
+# ----------------------------------------------------------------------
+# SharedMemoryCacheBackend specifics
+# ----------------------------------------------------------------------
+def test_shm_roundtrip_and_len():
+    shm = SharedMemoryCacheBackend(_shm_name(), max_entries=8)
+    try:
+        assert shm.get("missing") is None
+        shm.put(("k", 1), {"answer": [(1,), (2,)]})
+        assert shm.get(("k", 1)) == {"answer": [(1,), (2,)]}
+        assert len(shm) == 1
+        assert shm.stats.hits == 1 and shm.stats.misses == 1
+    finally:
+        shm.close()
+
+
+def test_shm_lru_eviction_bounds_owned_segments():
+    shm = SharedMemoryCacheBackend(_shm_name(), max_entries=2)
+    try:
+        shm.put("a", 1)
+        shm.put("b", 2)
+        assert shm.get("a") == 1  # refresh: "b" is now the LRU entry
+        shm.put("c", 3)
+        assert len(shm) == 2
+        assert shm.get("b") is None  # evicted and unlinked
+        assert shm.get("a") == 1
+        assert shm.get("c") == 3
+    finally:
+        shm.close()
+
+
+def test_shm_cross_instance_visibility_same_prefix():
+    name = _shm_name()
+    writer = SharedMemoryCacheBackend(name, max_entries=8)
+    reader = SharedMemoryCacheBackend(name, max_entries=8)
+    try:
+        writer.put("shared-key", ("payload", 42))
+        # The reader never stored anything, but attaches by segment name.
+        assert reader.get("shared-key") == ("payload", 42)
+        assert len(reader) == 0  # ownership stays with the writer
+    finally:
+        reader.close()
+        writer.close()
+
+
+def test_shm_clear_unlinks_everything():
+    shm = SharedMemoryCacheBackend(_shm_name(), max_entries=8)
+    try:
+        shm.put("a", 1)
+        shm.put("b", 2)
+        shm.clear()
+        assert len(shm) == 0
+        assert shm.get("a") is None and shm.get("b") is None
+        assert shm.lifetime_stats.misses >= 1
+    finally:
+        shm.close()
+
+
+def test_shm_close_disables_backend():
+    shm = SharedMemoryCacheBackend(_shm_name(), max_entries=8)
+    shm.put("a", 1)
+    shm.close()
+    assert shm.enabled is False
+    shm.put("b", 2)  # silently ignored, no resurrection
+    assert len(shm) == 0
+
+
+def test_shm_unpicklable_values_stay_uncached():
+    shm = SharedMemoryCacheBackend(_shm_name(), max_entries=8)
+    try:
+        shm.put("fn", lambda x: x)  # lambdas don't pickle
+        assert shm.get("fn") is None
+        assert len(shm) == 0
+    finally:
+        shm.close()
+
+
+def test_resolver_accepts_shm_spec():
+    resolved = resolve_cache_backend(f"shm:{_shm_name()}", cache_size=16)
+    try:
+        assert isinstance(resolved, SharedMemoryCacheBackend)
+        assert resolved.max_entries == 16
+        resolved.put("k", "v")
+        assert resolved.get("k") == "v"
+    finally:
+        resolved.close()
+
+
+def test_resolver_rejects_unusable_shm_name():
+    with pytest.raises(Exception):
+        resolve_cache_backend("shm:///", cache_size=16)
