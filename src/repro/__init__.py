@@ -86,7 +86,7 @@ from .calculus import FoQuery
 from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # Data model

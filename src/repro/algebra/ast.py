@@ -370,16 +370,35 @@ class EquiJoin(Query):
     the row is dropped), so the node itself is mode-agnostic.
 
     ``pairs`` lists ``(left_attribute, right_attribute)`` equalities.
+
+    ``build`` optionally pins which side the hash table is built on
+    (``"left"`` / ``"right"``), chosen by the optimizer from estimated
+    cardinalities (:mod:`repro.algebra.stats`) so sharded fragments can
+    plan before materialising; ``None`` lets the evaluator fall back to
+    comparing the actual input sizes.  The choice affects cost only —
+    both orders produce identical rows and multiplicities.
     """
 
     left: Query
     right: Query
     pairs: tuple[tuple[str, str], ...]
+    build: str | None
 
-    def __init__(self, left: Query, right: Query, pairs: Iterable[Sequence[str]]):
+    def __init__(
+        self,
+        left: Query,
+        right: Query,
+        pairs: Iterable[Sequence[str]],
+        build: str | None = None,
+    ):
+        if build not in (None, "left", "right"):
+            raise ValueError(
+                f"EquiJoin build side must be 'left', 'right' or None, not {build!r}"
+            )
         object.__setattr__(self, "left", left)
         object.__setattr__(self, "right", right)
         object.__setattr__(self, "pairs", tuple((a, b) for a, b in pairs))
+        object.__setattr__(self, "build", build)
 
     def children(self) -> tuple[Query, ...]:
         return (self.left, self.right)

@@ -97,6 +97,14 @@ class Evaluator:
         the rules sound for this evaluator's ``condition_mode``.  The
         engine façade turns this on by default; the raw evaluator keeps
         it off so the textbook semantics stay directly observable.
+    stats:
+        If True (and ``optimize`` is on), a :class:`~repro.algebra.stats.Stats`
+        provider is built over each database passed to :meth:`evaluate`
+        and handed to the optimizer, enabling the estimate-driven
+        physical rules (join reordering across Product towers, hash
+        build-side choice).  Statistics are content-addressed, so the
+        provider is cheap to rebuild and mutation invalidates estimates
+        for free.  Stats change plan *cost* only, never answers.
 
     The evaluator memoises sub-plan results per database: structurally
     identical subtrees — which the Figure 2 translations share between
@@ -113,11 +121,13 @@ class Evaluator:
         condition_mode: ConditionMode = "naive",
         unif_strategy: UnifStrategy = "hashed",
         optimize: bool = False,
+        stats: bool = False,
     ):
         self.bag = bag
         self.condition_mode = condition_mode
         self.unif_strategy = unif_strategy
         self.optimize = optimize
+        self.stats = stats
         self._memo: dict[ast.Query, Relation] = {}
         self._memo_database: Database | None = None
 
@@ -130,8 +140,17 @@ class Evaluator:
         if self.optimize:
             from .optimize import optimize_plan
 
+            stats_provider = None
+            if self.stats:
+                from .stats import Stats
+
+                stats_provider = Stats(database)
             query = optimize_plan(
-                query, schema, condition_mode=self.condition_mode, bag=self.bag
+                query,
+                schema,
+                condition_mode=self.condition_mode,
+                bag=self.bag,
+                stats=stats_provider,
             )
         if database is not self._memo_database:
             self._memo_database = database
@@ -368,7 +387,12 @@ class Evaluator:
     def _eval_EquiJoin(self, query: ast.EquiJoin, database, schema) -> Relation:
         """Hash equi-join: ``σ_{a=b ∧ ...}(left × right)`` without the product.
 
-        The hash table is built on the side with fewer distinct rows.
+        The hash table is built on the side named by ``query.build`` when
+        the optimizer pinned one from estimates; otherwise — the plan was
+        produced without statistics — it falls back to the side with
+        fewer distinct *actual* rows.  The fallback requires both inputs
+        materialised; the estimate-driven choice is what lets sharded
+        fragments plan before coalescing.
         Null join keys follow the condition mode: under naïve evaluation
         a null is a value (equal only to itself) and participates in the
         join; under 3VL any comparison with a null is unknown, so rows
@@ -389,8 +413,12 @@ class Evaluator:
                     continue
                 yield key, row, count
 
+        if query.build is not None:
+            build_right = query.build == "right"
+        else:
+            build_right = len(right) <= len(left)
         counter: Counter = Counter()
-        if len(right) <= len(left):
+        if build_right:
             buckets: dict[Row, list[tuple[Row, int]]] = {}
             for key, row, count in rows_with_keys(right, right_key):
                 buckets.setdefault(key, []).append((row, count))

@@ -15,11 +15,18 @@ equivalent ones that never build the product:
   unused columns are pruned early.
 * **Physical rules** (one bottom-up pass): convert selections over a
   Product whose conditions contain attribute-to-attribute equalities
-  into a hash :class:`~repro.algebra.ast.EquiJoin` (built on the
-  smaller side), and convert selections over ``Dom^k`` into a
+  into a hash :class:`~repro.algebra.ast.EquiJoin`, and convert
+  selections over ``Dom^k`` into a
   :class:`~repro.algebra.ast.ConstrainedDomainRelation` whose
   enumeration is pruned by the selection instead of materialising
-  ``Dom^k`` and filtering.
+  ``Dom^k`` and filtering.  With a :class:`~repro.algebra.stats.Stats`
+  provider (``optimize_plan(..., stats=...)``), the pass additionally
+  *reorders joins across whole Product towers* greedily by estimated
+  output cardinality and pins each ``EquiJoin``'s hash build side from
+  the estimates (``build="left"``/``"right"``), so plans are chosen
+  before anything materialises; without stats the pass keeps the PR 4
+  behaviour (adjacent pairs, build side decided from actual input sizes
+  at evaluation time).
 
 **Per-mode soundness.**  The evaluator's two condition modes differ on
 nulls (naïve two-valued evaluation treats a null as a value equal only
@@ -42,14 +49,19 @@ set and bag semantics, both condition modes, monolithic and sharded).
 The optimizer is pure and memoised: optimizing the same plan against
 the same schema twice is a dictionary hit, which matters for the
 strategies that evaluate one plan per possible world (``exact-certain``)
-or per shard.
+or per shard.  Once plans depend on statistics the memo key must too —
+``optimize_plan`` folds ``stats.key()`` (a stable summary of every
+relation's statistics) into the key, so a mutated database replans
+instead of being served the stale physical plan its old statistics
+chose.
 """
 
 from __future__ import annotations
 
+import threading
 import warnings
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Callable, Mapping
 
 from ..datamodel.schema import DatabaseSchema, RelationSchema
@@ -71,11 +83,13 @@ from .conditions import (
     attrs_in_condition,
     conjoin,
 )
+from .stats import PlanEstimator, Stats
 
 __all__ = [
     "Rule",
     "OPTIMIZER_RULES",
     "optimize_plan",
+    "clear_optimize_memo",
     "split_conjuncts",
     "rename_condition",
     "describe_rules",
@@ -274,8 +288,15 @@ def _rule_push_selection_setop(opt, node):
 
 def _rule_push_selection_product(opt, node):
     # σ_θ(A × B) → σ_θ(A) × B when θ only reads A's attributes (and
-    # symmetrically); also the left side of ⋈/⋉/▷, whose outputs keep
-    # every left attribute.
+    # symmetrically); also the left side of ⋈/⋉/▷ and of the unification
+    # anti-semijoin, whose outputs keep every left attribute.  For the
+    # Figure 2a translation the last case is the one that pays: its base
+    # case is ``UnifAntiSemiJoin(Dom^k, R)``, so pushing θ* selections
+    # into the Dom side lets the physical constrain-domain rule prune
+    # the ``Dom^k`` enumeration instead of materialising it.  (The
+    # anti-semijoin keeps a left row based only on that row and the
+    # right side, so filtering the left first commutes in both condition
+    # modes and preserves multiplicities.)
     if not isinstance(node, ra.Selection):
         return None
     child = node.child
@@ -292,7 +313,9 @@ def _rule_push_selection_product(opt, node):
                 child, (child.left, ra.Selection(child.right, node.condition))
             )
         return None
-    if isinstance(child, (ra.NaturalJoin, ra.SemiJoin, ra.AntiSemiJoin)):
+    if isinstance(
+        child, (ra.NaturalJoin, ra.SemiJoin, ra.AntiSemiJoin, ra.UnifAntiSemiJoin)
+    ):
         if condition_attrs <= set(opt.attrs(child.left)):
             return type(child)(ra.Selection(child.left, node.condition), child.right)
     return None
@@ -373,6 +396,10 @@ def _rule_hash_equijoin(opt, node):  # pragma: no cover - see physical_pass
     return None
 
 
+def _rule_reorder_joins(opt, node):  # pragma: no cover - see physical_pass
+    return None
+
+
 def _rule_constrain_domain(opt, node):  # pragma: no cover - see physical_pass
     return None
 
@@ -437,7 +464,8 @@ OPTIMIZER_RULES: tuple[Rule, ...] = (
     Rule(
         "push-selection-product",
         "σ_θ(A × B) → σ_θ(A) × B when attrs(θ) ⊆ attrs(A) (and symmetric; "
-        "left side of ⋈/⋉/▷)",
+        "left side of ⋈/⋉/▷ and of the unification anti-semijoin — which "
+        "routes Figure 2a's θ* selections into the Dom^k side)",
         BOTH_MODES,
         "logical",
         _rule_push_selection_product,
@@ -473,10 +501,20 @@ OPTIMIZER_RULES: tuple[Rule, ...] = (
     Rule(
         "hash-equijoin",
         "σ-stack over A × B with A.x = B.y conjuncts → EquiJoin(A, B) "
-        "(hash build on the smaller side) plus residual selections",
+        "plus residual selections (build side pinned from estimates when "
+        "stats are available, else decided from actual sizes at eval time)",
         BOTH_MODES,
         "physical",
         _rule_hash_equijoin,
+    ),
+    Rule(
+        "reorder-joins",
+        "σ-stack over a whole ×/EquiJoin tower → greedy join tree ordered "
+        "by estimated output cardinality (stats required; joins are "
+        "commutative/associative on bags, so any order is equivalent)",
+        BOTH_MODES,
+        "physical",
+        _rule_reorder_joins,
     ),
     Rule(
         "constrain-domain",
@@ -509,11 +547,16 @@ class _PlanOptimizer:
         condition_mode: str,
         bag: bool,
         physical: bool,
+        stats: Stats | None = None,
     ):
         self.schema = schema
         self.condition_mode = condition_mode
         self.bag = bag
         self.physical = physical
+        self.stats = stats
+        self._estimator = (
+            None if stats is None else PlanEstimator(schema, stats)
+        )
         self._attrs_cache: dict[ra.Query, tuple[str, ...]] = {}
         self._budget = REWRITE_BUDGET
         self._logical_rules = [
@@ -549,7 +592,7 @@ class _PlanOptimizer:
         if isinstance(node, ra.Rename):
             return ra.Rename(children[0], node.mapping_dict())
         if isinstance(node, ra.EquiJoin):
-            return ra.EquiJoin(children[0], children[1], node.pairs)
+            return ra.EquiJoin(children[0], children[1], node.pairs, build=node.build)
         if isinstance(
             node,
             (
@@ -585,31 +628,53 @@ class _PlanOptimizer:
 
     # -- physical pass -------------------------------------------------
     def physical_pass(self, node: ra.Query) -> ra.Query:
-        children = node.children()
-        if children:
-            new_children = [self.physical_pass(child) for child in children]
-            if tuple(new_children) != children:
-                node = self.with_children(node, new_children)
         if not isinstance(node, ra.Selection):
+            children = node.children()
+            if children:
+                new_children = [self.physical_pass(child) for child in children]
+                if tuple(new_children) != children:
+                    node = self.with_children(node, new_children)
             return node
-        # Gather the maximal selection stack above the base operator.
+        # A σ-stack is one unit: gather every conjunct down to the base
+        # operator *before* recursing.  Recursing into the inner
+        # selections first would let an inner rewrite (in particular the
+        # restore-order Projection that reorder-joins emits) hide the
+        # join tower from the outer conjuncts, splitting one stack's
+        # conjuncts across two half-informed rewrites.
         conjuncts: list[Condition] = []
+        stack: list[ra.Selection] = []
         base: ra.Query = node
         while isinstance(base, ra.Selection):
+            stack.append(base)
             conjuncts.extend(split_conjuncts(base.condition))
             base = base.child
-        if isinstance(base, (ra.Product, ra.EquiJoin)):
-            if "hash-equijoin" not in self._physical_rules:
-                return node
-            return self._to_equijoin(base, conjuncts) or node
-        if "constrain-domain" in self._physical_rules:
-            if isinstance(base, ra.DomainRelation) and base.attributes:
-                return self._to_constrained_domain(base.attributes, conjuncts)
-            if isinstance(base, ra.ConstrainedDomainRelation):
+        new_base = self.physical_pass(base)
+        if isinstance(new_base, (ra.Product, ra.EquiJoin)):
+            if "hash-equijoin" in self._physical_rules:
+                if (
+                    self._estimator is not None
+                    and "reorder-joins" in self._physical_rules
+                ):
+                    reordered = self._reorder_joins(node, new_base, conjuncts)
+                    if reordered is not None:
+                        return reordered
+                converted = self._to_equijoin(new_base, conjuncts)
+                if converted is not None:
+                    return converted
+        elif "constrain-domain" in self._physical_rules:
+            if isinstance(new_base, ra.DomainRelation) and new_base.attributes:
+                return self._to_constrained_domain(new_base.attributes, conjuncts)
+            if isinstance(new_base, ra.ConstrainedDomainRelation):
                 return self._to_constrained_domain(
-                    base.attributes, split_conjuncts(base.condition) + conjuncts
+                    new_base.attributes,
+                    split_conjuncts(new_base.condition) + conjuncts,
                 )
-        return node
+        if new_base is base:
+            return node
+        rebuilt = new_base
+        for selection in reversed(stack):
+            rebuilt = ra.Selection(rebuilt, selection.condition)
+        return rebuilt
 
     def _to_equijoin(self, base, conjuncts) -> ra.Query | None:
         """Turn a σ-stack over × (or an existing equi-join) into EquiJoin."""
@@ -635,10 +700,165 @@ class _PlanOptimizer:
             residual.append(conjunct)
         if not found_new:
             return None
-        plan: ra.Query = ra.EquiJoin(base.left, base.right, pairs)
+        build = self._build_side(base.left, base.right)
+        plan: ra.Query = ra.EquiJoin(base.left, base.right, pairs, build=build)
         for conjunct in residual:
             plan = ra.Selection(plan, conjunct)
         return plan
+
+    # -- estimate-driven planning (stats required) ---------------------
+    def _estimate_rows(self, node: ra.Query) -> float | None:
+        """Estimated cardinality of a subplan, or None when unavailable."""
+        if self._estimator is None:
+            return None
+        try:
+            return self._estimator.estimate(node).rows
+        except (ValueError, KeyError, TypeError):
+            return None
+
+    def _build_side(self, left: ra.Query, right: ra.Query) -> str | None:
+        """Which side to build the hash table on, from estimates.
+
+        Ties go to the right side, matching the evaluator's actuals
+        fallback (``len(right) <= len(left)`` builds right); without
+        estimates the choice is left to the evaluator entirely.
+        """
+        left_rows = self._estimate_rows(left)
+        right_rows = self._estimate_rows(right)
+        if left_rows is None or right_rows is None:
+            return None
+        return "left" if left_rows < right_rows else "right"
+
+    def _reorder_joins(self, node, base, conjuncts) -> ra.Query | None:
+        """Rebuild a whole ×/EquiJoin tower as a greedy cost-ordered join tree.
+
+        The σ-stack's conjuncts, the tower's internal residual selections
+        and the pairs of already-formed equi-joins all go into one pool;
+        leaves become singleton components; components are then merged
+        smallest-estimated-join-first (equality-connected pairs become
+        hash EquiJoins, disconnected components fall back to the
+        smallest Product), applying every pooled conjunct as soon as one
+        component covers its attributes.  Products/joins are commutative
+        and associative on bags and selections commute with both, so any
+        merge order is equivalent; a final Projection restores the
+        original column order (a pure permutation, multiplicity-safe).
+        """
+        pool: list[Condition] = []
+        leaves: list[ra.Query] = []
+        self._flatten_join_tree(base, leaves, pool)
+        pool.extend(conjuncts)
+        if len(leaves) < 2:
+            return None
+
+        components: list[tuple[ra.Query, frozenset, float]] = []
+        for leaf in leaves:
+            rows = self._estimate_rows(leaf)
+            if rows is None:
+                return None
+            components.append((leaf, frozenset(self.attrs(leaf)), rows))
+
+        def absorb(component):
+            """Apply every pooled conjunct the component now covers."""
+            plan, attrs, rows = component
+            remaining: list[Condition] = []
+            for conjunct in pool:
+                if attrs_in_condition(conjunct) <= attrs:
+                    plan = ra.Selection(plan, conjunct)
+                else:
+                    remaining.append(conjunct)
+            pool[:] = remaining
+            if plan is not component[0]:
+                rows = self._estimate_rows(plan)
+                if rows is None:
+                    return None
+            return (plan, attrs, rows)
+
+        for index, component in enumerate(components):
+            absorbed = absorb(component)
+            if absorbed is None:
+                return None
+            components[index] = absorbed
+
+        def connecting_pairs(left_attrs, right_attrs):
+            pairs = []
+            used = []
+            for conjunct in pool:
+                if isinstance(conjunct, Eq):
+                    a, b = conjunct.left, conjunct.right
+                    if isinstance(a, Attr) and isinstance(b, Attr):
+                        if a.name in left_attrs and b.name in right_attrs:
+                            pairs.append((a.name, b.name))
+                            used.append(conjunct)
+                            continue
+                        if a.name in right_attrs and b.name in left_attrs:
+                            pairs.append((b.name, a.name))
+                            used.append(conjunct)
+            return pairs, used
+
+        while len(components) > 1:
+            best = None  # (rows, i, j, pairs, used)
+            for i in range(len(components)):
+                for j in range(i + 1, len(components)):
+                    left_plan, left_attrs, left_rows = components[i]
+                    right_plan, right_attrs, right_rows = components[j]
+                    pairs, used = connecting_pairs(left_attrs, right_attrs)
+                    if not pairs:
+                        continue
+                    build = "left" if left_rows < right_rows else "right"
+                    candidate = ra.EquiJoin(
+                        left_plan, right_plan, pairs, build=build
+                    )
+                    rows = self._estimate_rows(candidate)
+                    if rows is None:
+                        return None
+                    if best is None or rows < best[0]:
+                        best = (rows, i, j, candidate, used)
+            if best is None:
+                # No equality connects any pair: cross-product the two
+                # smallest components (unavoidable; keep it cheap).
+                order = sorted(
+                    range(len(components)), key=lambda k: components[k][2]
+                )
+                i, j = sorted(order[:2])
+                left_plan, left_attrs, left_rows = components[i]
+                right_plan, right_attrs, right_rows = components[j]
+                joined: ra.Query = ra.Product(left_plan, right_plan)
+                rows = left_rows * right_rows
+            else:
+                rows, i, j, joined, used = best
+                for conjunct in used:
+                    pool.remove(conjunct)
+                left_attrs = components[i][1]
+                right_attrs = components[j][1]
+            merged = absorb((joined, left_attrs | right_attrs, rows))
+            if merged is None:
+                return None
+            components[i] = merged
+            del components[j]
+
+        plan, _attrs, _rows = components[0]
+        for conjunct in pool:  # uncovered conjuncts: keep plan behaviour
+            plan = ra.Selection(plan, conjunct)
+        original = self.attrs(node)
+        if self.attrs(plan) != original:
+            plan = ra.Projection(plan, original)
+        return plan
+
+    def _flatten_join_tree(self, node: ra.Query, leaves, pool) -> None:
+        """Decompose nested ×/EquiJoin/σ into leaves plus a conjunct pool."""
+        if isinstance(node, ra.Product):
+            self._flatten_join_tree(node.left, leaves, pool)
+            self._flatten_join_tree(node.right, leaves, pool)
+        elif isinstance(node, ra.EquiJoin):
+            for a, b in node.pairs:
+                pool.append(Eq(Attr(a), Attr(b)))
+            self._flatten_join_tree(node.left, leaves, pool)
+            self._flatten_join_tree(node.right, leaves, pool)
+        elif isinstance(node, ra.Selection):
+            pool.extend(split_conjuncts(node.condition))
+            self._flatten_join_tree(node.child, leaves, pool)
+        else:
+            leaves.append(node)
 
     def _to_constrained_domain(self, attrs: tuple[str, ...], conjuncts) -> ra.Query:
         attr_set = set(attrs)
@@ -715,13 +935,29 @@ def _plan_is_well_formed(query: ra.Query, schema: DatabaseSchema) -> bool:
     return True
 
 
-@lru_cache(maxsize=2048)
-def _optimize_cached(
+_OPTIMIZE_MEMO: OrderedDict[tuple, ra.Query] = OrderedDict()
+_OPTIMIZE_MEMO_SIZE = 2048
+_MEMO_LOCK = threading.Lock()
+
+
+def clear_optimize_memo() -> None:
+    """Drop every memoised plan (for tests that patch the rule table).
+
+    Ordinary use never needs this: the memo key carries the schema, the
+    mode flags and the stats fingerprint, so anything that should change
+    the output already misses.
+    """
+    with _MEMO_LOCK:
+        _OPTIMIZE_MEMO.clear()
+
+
+def _optimize_uncached(
     query: ra.Query,
     schema_key: tuple,
     condition_mode: str,
     bag: bool,
     physical: bool,
+    stats: Stats | None,
 ) -> ra.Query:
     schema = DatabaseSchema(RelationSchema(name, attrs) for name, attrs in schema_key)
     if not _plan_is_well_formed(query, schema):
@@ -729,7 +965,7 @@ def _optimize_cached(
         # relations, ...) are returned untouched so evaluation raises
         # exactly the error it would have raised without the optimizer.
         return query
-    optimizer = _PlanOptimizer(schema, condition_mode, bag, physical)
+    optimizer = _PlanOptimizer(schema, condition_mode, bag, physical, stats=stats)
     try:
         return optimizer.run(query)
     except (ValueError, KeyError, TypeError) as exc:
@@ -752,6 +988,7 @@ def optimize_plan(
     condition_mode: str = "naive",
     bag: bool = False,
     physical: bool = True,
+    stats: Stats | None = None,
 ) -> ra.Query:
     """Optimize a relational algebra plan for evaluation on ``schema``.
 
@@ -760,11 +997,37 @@ def optimize_plan(
     current rule preserves multiplicities); ``physical=False`` restricts
     the rewrite to the logical rules, for consumers — like the c-table
     evaluator — that cannot execute the physical operator nodes.
+    ``stats`` enables the estimate-driven physical rules (join
+    reordering, hash build sides): pass a :class:`~repro.algebra.stats.Stats`
+    provider built over the database the plan will run against.
 
-    The result is memoised on ``(plan, schema, mode, bag, physical)``,
-    so repeated optimization of one plan (per possible world, per shard,
-    per Qt/Qf pair member) costs one dictionary lookup.
+    The result is memoised on ``(plan, schema, mode, bag, physical,
+    stats fingerprint)``, so repeated optimization of one plan (per
+    possible world, per shard, per Qt/Qf pair member) costs one
+    dictionary lookup.  The stats fingerprint — ``stats.key()``, which
+    hashes every relation's content-addressed statistics — is part of
+    the key, so mutating the database yields a fresh physical plan
+    rather than a stale memo hit.
     """
-    return _optimize_cached(
-        query, _schema_key(schema), condition_mode, bool(bag), bool(physical)
+    key = (
+        query,
+        _schema_key(schema),
+        condition_mode,
+        bool(bag),
+        bool(physical),
+        None if stats is None else stats.key(),
     )
+    with _MEMO_LOCK:
+        cached = _OPTIMIZE_MEMO.get(key)
+        if cached is not None:
+            _OPTIMIZE_MEMO.move_to_end(key)
+            return cached
+    result = _optimize_uncached(
+        query, key[1], condition_mode, bool(bag), bool(physical), stats
+    )
+    with _MEMO_LOCK:
+        _OPTIMIZE_MEMO[key] = result
+        _OPTIMIZE_MEMO.move_to_end(key)
+        while len(_OPTIMIZE_MEMO) > _OPTIMIZE_MEMO_SIZE:
+            _OPTIMIZE_MEMO.popitem(last=False)
+    return result

@@ -167,6 +167,7 @@ class AsyncEngine:
         executor: Any = "serial",
         partitioner: Any = None,
         optimize: bool = True,
+        stats: bool = True,
         auto_exact_budget: int | None = None,
     ):
         self._owns_engine = engine is None
@@ -178,6 +179,7 @@ class AsyncEngine:
             executor=executor,
             partitioner=partitioner,
             optimize=optimize,
+            stats=stats,
             auto_exact_budget=auto_exact_budget,
         )
         if isinstance(pool, concurrent.futures.Executor):
@@ -319,6 +321,7 @@ class AsyncEngine:
         executor: Any = None,
         partitioner: Any = None,
         optimize: bool | None = None,
+        stats: bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Awaitable :meth:`repro.engine.Engine.evaluate`, same contract.
@@ -332,7 +335,7 @@ class AsyncEngine:
         strat, semantics, normalized, decision = engine._prepare_call(
             query, database, strategy, semantics
         )
-        options = engine._resolve_options(strat, optimize, options)
+        options = engine._resolve_options(strat, optimize, stats, options)
         sharded = engine._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded_async
@@ -539,6 +542,7 @@ class AsyncEngine:
         executor: Any = None,
         partitioner: Any = None,
         optimize: bool | None = None,
+        stats: bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run every applicable strategy concurrently on one query.
@@ -561,9 +565,10 @@ class AsyncEngine:
 
         async def run_one(name: str) -> tuple[str, QueryResult | None]:
             extra = dict(per_strategy.get(name, {}))
-            # A per-strategy {'optimize': ...} overrides the call-level
-            # argument instead of colliding with it.
+            # A per-strategy {'optimize': ...} / {'stats': ...} overrides
+            # the call-level argument instead of colliding with it.
             resolved_optimize = extra.pop("optimize", optimize)
+            resolved_stats = extra.pop("stats", stats)
             try:
                 result = await self.evaluate(
                     query,
@@ -576,6 +581,7 @@ class AsyncEngine:
                     executor=executor,
                     partitioner=partitioner,
                     optimize=resolved_optimize,
+                    stats=resolved_stats,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -596,8 +602,8 @@ class AsyncSession:
     as an *async* context manager — closes the engine it created (a
     shared engine survives session exit; as with the sync session, a
     shared engine also keeps its own ``cache_size``/``default_semantics``/
-    ``optimize`` configuration — use the per-call ``optimize=`` to
-    override)::
+    ``optimize``/``stats`` configuration — use the per-call
+    ``optimize=``/``stats=`` to override)::
 
         async with AsyncSession(database) as session:
             results = await session.compare(query)
@@ -618,6 +624,7 @@ class AsyncSession:
         max_workers: int | None = None,
         max_concurrency: int | None = None,
         optimize: bool = True,
+        stats: bool = True,
         auto_exact_budget: int | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
@@ -631,6 +638,7 @@ class AsyncSession:
             max_workers=max_workers,
             max_concurrency=max_concurrency,
             optimize=optimize,
+            stats=stats,
             auto_exact_budget=auto_exact_budget,
         )
         self._executor = executor

@@ -73,6 +73,14 @@ class StrategyCapabilities:
       (plan optimization via :mod:`repro.algebra.optimize`).  The engine
       only forwards the option — and only includes it in cache keys —
       for strategies that declare it.
+    * ``stats`` — understands the engine's ``stats=`` option
+      (statistics-driven cost-based planning via
+      :mod:`repro.algebra.stats`; implies the strategy also honours
+      ``optimize``).  Forwarded and cache-keyed on declaration, like
+      ``optimize``.  Strategies that re-plan per possible world (the
+      exact-certain expansion) deliberately do *not* declare it: each
+      world carries different statistics, so per-world stats would
+      defeat the one-plan-many-worlds memoisation.
     * ``shardable_ops`` / ``shardable_bag_ops`` — operator class names
       allowed on the partitioned lineage of a shard plan
       (:func:`repro.sharding.planner.shard_plan`); empty means the
@@ -92,6 +100,7 @@ class StrategyCapabilities:
     complete: bool = False
     plan_ops: frozenset[str] | None = None
     optimize: bool = False
+    stats: bool = False
     shardable_ops: frozenset[str] = frozenset()
     shardable_bag_ops: frozenset[str] | None = None
     shard_merge: str | None = None
@@ -163,6 +172,7 @@ class StrategyCapabilities:
             "complete": self.complete,
             "plan_ops": None if self.plan_ops is None else sorted(self.plan_ops),
             "optimize": self.optimize,
+            "stats": self.stats,
             "shardable_ops": sorted(self.shardable_ops),
             "shardable_bag_ops": (
                 None

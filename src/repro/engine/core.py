@@ -63,6 +63,7 @@ class Engine:
         executor: Any = "serial",
         partitioner: Any = None,
         optimize: bool = True,
+        stats: bool = True,
         auto_exact_budget: int | None = None,
     ):
         if default_semantics not in _SEMANTICS:
@@ -81,6 +82,13 @@ class Engine:
         #: ``evaluate(..., optimize=False)`` is the escape hatch back to
         #: the textbook plans.
         self.default_optimize = bool(optimize)
+        #: Default for the per-call ``stats=`` option: feed the optimizer
+        #: per-relation statistics (:mod:`repro.algebra.stats`) so the
+        #: physical plan — join order, hash build sides — is chosen by
+        #: estimated cost.  ``Engine(stats=False)`` or ``evaluate(...,
+        #: stats=False)`` is the escape hatch back to heuristic-only
+        #: planning; stats never change answers, only costs.
+        self.default_stats = bool(stats)
         #: Valuation-space budget under which ``strategy="auto"`` may
         #: pick ``exact-certain``; ``None`` uses the planner default
         #: (:data:`repro.engine.planner.DEFAULT_EXACT_BUDGET`).
@@ -126,6 +134,7 @@ class Engine:
             "defaults": {
                 "semantics": self.default_semantics,
                 "optimize": self.default_optimize,
+                "stats": self.default_stats,
                 "shards": self.default_shards,
                 "executor": self.default_executor,
                 "auto_exact_budget": (
@@ -185,6 +194,7 @@ class Engine:
         executor: Any = None,
         partitioner: Any = None,
         optimize: bool | None = None,
+        stats: bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Evaluate ``query`` on ``database`` with the named strategy.
@@ -205,7 +215,10 @@ class Engine:
         (:mod:`repro.algebra.optimize`) for strategies that support it;
         ``None`` uses the engine default (on).  The resolved value is
         part of the result-cache key, so optimized and unoptimized
-        results never alias.
+        results never alias.  ``stats`` likewise toggles statistics-fed
+        cost-based planning (:mod:`repro.algebra.stats`) for strategies
+        that declare the capability — estimates pick join orders and
+        hash build sides but can never change answers.
 
         ``strategy="auto"`` lets the engine pick: naïve where Theorem
         4.4 makes it exact, the sound Figure 2b approximation otherwise,
@@ -217,7 +230,7 @@ class Engine:
         strat, semantics, normalized, decision = self._prepare_call(
             query, database, strategy, semantics
         )
-        options = self._resolve_options(strat, optimize, options)
+        options = self._resolve_options(strat, optimize, stats, options)
         sharded = self._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded
@@ -295,14 +308,16 @@ class Engine:
         self,
         strat: Any,
         optimize: bool | None,
+        stats: bool | None,
         options: Mapping[str, Any],
     ) -> dict[str, Any]:
-        """Fold the resolved ``optimize`` setting into the strategy options.
+        """Fold the resolved ``optimize``/``stats`` settings into the options.
 
-        Only strategies declaring ``supports_optimize`` receive the
-        option (and hence carry it in their cache keys); for the others
-        the result cannot depend on it, so leaving it out keeps their
-        keys stable and their option validation strict.  Shared with
+        Only strategies declaring ``supports_optimize`` (respectively
+        ``supports_stats``) receive the option (and hence carry it in
+        their cache keys); for the others the result cannot depend on
+        it, so leaving it out keeps their keys stable and their option
+        validation strict.  Shared with
         :class:`~repro.engine.aio.AsyncEngine` so the twins agree on
         keys and worker-task options.
         """
@@ -310,6 +325,9 @@ class Engine:
         if getattr(strat, "supports_optimize", False):
             resolved = self.default_optimize if optimize is None else bool(optimize)
             options.setdefault("optimize", resolved)
+        if getattr(strat, "supports_stats", False):
+            resolved = self.default_stats if stats is None else bool(stats)
+            options.setdefault("stats", resolved)
         return options
 
     def _sharded_database(
@@ -457,6 +475,7 @@ class Engine:
         executor: Any = None,
         partitioner: Any = None,
         optimize: bool | None = None,
+        stats: bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run several strategies on the same query, keyed by strategy name.
@@ -477,9 +496,10 @@ class Engine:
         results: dict[str, QueryResult] = {}
         for name in names:
             extra = dict(per_strategy.get(name, {}))
-            # A per-strategy {'optimize': ...} overrides the call-level
-            # argument instead of colliding with it.
+            # A per-strategy {'optimize': ...} / {'stats': ...} overrides
+            # the call-level argument instead of colliding with it.
             resolved_optimize = extra.pop("optimize", optimize)
+            resolved_stats = extra.pop("stats", stats)
             try:
                 results[name] = self.evaluate(
                     query,
@@ -492,6 +512,7 @@ class Engine:
                     executor=executor,
                     partitioner=partitioner,
                     optimize=resolved_optimize,
+                    stats=resolved_stats,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -547,9 +568,9 @@ class Session:
     on exit.  An engine passed in explicitly is *shared* — the session
     never closes it, and the engine-level constructor arguments
     (``cache_size``, ``cache``, ``default_semantics``, ``optimize``,
-    ``auto_exact_budget``) are ignored in favour of the shared engine's
-    own configuration; pass ``optimize=`` per ``evaluate``/``compare``
-    call to override it on a shared engine.
+    ``stats``, ``auto_exact_budget``) are ignored in favour of the
+    shared engine's own configuration; pass ``optimize=``/``stats=``
+    per ``evaluate``/``compare`` call to override it on a shared engine.
 
     ``cache="disk:/path"`` (or a
     :class:`~repro.engine.cache.CacheBackend` instance) makes results
@@ -570,6 +591,7 @@ class Session:
         executor: Any = None,
         partitioner: Any = None,
         optimize: bool = True,
+        stats: bool = True,
         auto_exact_budget: int | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
@@ -580,6 +602,7 @@ class Session:
             default_semantics=default_semantics,
             executor=executor or "serial",
             optimize=optimize,
+            stats=stats,
             auto_exact_budget=auto_exact_budget,
         )
         # Per-session sharding config, honoured even on a shared engine

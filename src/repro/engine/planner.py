@@ -97,6 +97,12 @@ class PlanDecision:
     semantics: str
     guarantee: str = "none"
     considered: tuple[tuple[str, str], ...] = ()
+    #: Numeric cost estimates the decision was based on, as
+    #: ``(label, value)`` pairs — e.g. the statistics-derived C_out cost
+    #: of each Figure 2 translation pair, or the valuation-space size
+    #: behind an ``exact-certain`` (non-)choice.  Empty when the decision
+    #: needed no numbers (fragment exactness, completeness, bag fallback).
+    estimates: tuple[tuple[str, float], ...] = ()
 
     def as_metadata(self) -> dict[str, Any]:
         """The rendering stored under ``QueryResult.metadata["plan"]``."""
@@ -107,7 +113,44 @@ class PlanDecision:
             "semantics": self.semantics,
             "guarantee": self.guarantee,
             "considered": [list(pair) for pair in self.considered],
+            "estimates": {name: value for name, value in self.estimates},
         }
+
+
+def _approximation_costs(
+    normalized: NormalizedQuery, database: Database
+) -> dict[str, float] | None:
+    """Statistics-derived C_out costs of the two Figure 2 translations.
+
+    Translates the algebra plan both ways and sums
+    :func:`repro.algebra.stats.estimate_cost` over each pair's members
+    (Qt+Qf for Figure 2a, Q+ and Q? for Figure 2b).  Returns
+    ``None`` when the plan cannot be translated or estimated — the
+    caller then falls back to the static cost hints.
+    """
+    if normalized.algebra is None:
+        return None
+    try:
+        from ..algebra.stats import Stats, estimate_cost
+        from ..approx.guagliardo16 import translate_guagliardo16
+        from ..approx.libkin16 import translate_libkin16
+
+        schema = database.schema()
+        stats = Stats(database)
+        g_pair = translate_guagliardo16(normalized.algebra, schema)
+        l_pair = translate_libkin16(normalized.algebra, schema)
+        return {
+            "approx-guagliardo16": (
+                estimate_cost(g_pair.certain, schema, stats)
+                + estimate_cost(g_pair.possible, schema, stats)
+            ),
+            "approx-libkin16": (
+                estimate_cost(l_pair.certainly_true, schema, stats)
+                + estimate_cost(l_pair.certainly_false, schema, stats)
+            ),
+        }
+    except Exception:  # translation/estimation failure must never block planning
+        return None
 
 
 def _estimated_valuations(database: Database) -> int:
@@ -191,6 +234,8 @@ def choose_strategy(
                 return False
         return True
 
+    estimates: list[tuple[str, float]] = []
+
     def decision(name: str, reason: str, guarantee: str) -> PlanDecision:
         deduped = tuple(dict.fromkeys(considered))  # keep first occurrence
         return PlanDecision(
@@ -200,6 +245,7 @@ def choose_strategy(
             semantics=semantics,
             guarantee=guarantee,
             considered=deduped,
+            estimates=tuple(dict.fromkeys(estimates)),
         )
 
     # 1. The Theorem 4.4 fragments: naïve evaluation is exact.  Checked
@@ -249,18 +295,65 @@ def choose_strategy(
             f"candidates rejected: {considered}"
         )
 
-    # 4. A sound polynomial approximation (Figure 2b).
-    if applicable("approx-guagliardo16"):
-        return decision(
-            "approx-guagliardo16",
-            "no exactness guarantee for naïve evaluation on this query; "
-            "(Q+, Q?) is sound with polynomial overhead (Figure 2b)",
-            "sound",
-        )
+    # 4. A sound approximation, picked by estimated cost.  Both Figure 2
+    #    rewritings are sound; with statistics available their translated
+    #    pairs get numeric C_out estimates and the cheaper one wins.
+    #    Ties — and estimation failures — resolve to Figure 2b, whose
+    #    static cost hint is polynomial (Qf of Figure 2a materialises
+    #    Dom^k complements, so it only wins when the estimates say its
+    #    σ-pruned Dom side is genuinely smaller).
+    g_ok = applicable("approx-guagliardo16")
+    l_ok = applicable("approx-libkin16")
+    if g_ok or l_ok:
+        costs = _approximation_costs(normalized, database) if (g_ok and l_ok) else None
+        if costs is not None:
+            estimates.extend(sorted(costs.items()))
+            g_cost = costs["approx-guagliardo16"]
+            l_cost = costs["approx-libkin16"]
+            if l_cost < g_cost:
+                considered.append(
+                    (
+                        "approx-guagliardo16",
+                        f"estimated cost {g_cost:.0f} > Figure 2a's {l_cost:.0f}",
+                    )
+                )
+                return decision(
+                    "approx-libkin16",
+                    "no exactness guarantee for naïve evaluation on this "
+                    f"query; (Qt, Qf) is sound and its estimated cost "
+                    f"{l_cost:.0f} undercuts (Q+, Q?)'s {g_cost:.0f} "
+                    "(Figure 2a)",
+                    "sound",
+                )
+            if g_ok:
+                if l_ok:
+                    considered.append(
+                        (
+                            "approx-libkin16",
+                            f"estimated cost {l_cost:.0f} ≥ Figure 2b's "
+                            f"{g_cost:.0f}",
+                        )
+                    )
+                return decision(
+                    "approx-guagliardo16",
+                    "no exactness guarantee for naïve evaluation on this "
+                    f"query; (Q+, Q?) is sound and its estimated cost "
+                    f"{g_cost:.0f} is no worse than (Qt, Qf)'s "
+                    f"{l_cost:.0f} (Figure 2b)",
+                    "sound",
+                )
+        if g_ok:
+            return decision(
+                "approx-guagliardo16",
+                "no exactness guarantee for naïve evaluation on this query; "
+                "(Q+, Q?) is sound with polynomial overhead (Figure 2b)",
+                "sound",
+            )
 
     # 5. Exact certain answers, affordable only under a size budget.
     if applicable("exact-certain"):
         estimate = _estimated_valuations(database)
+        estimates.append(("exact-certain-valuations", float(estimate)))
         if estimate <= budget:
             return decision(
                 "exact-certain",

@@ -110,6 +110,15 @@ class EvaluationStrategy:
         caps = self.capabilities
         return bool(caps is not None and caps.optimize)
 
+    @property
+    def supports_stats(self) -> bool:
+        """Whether the strategy understands the engine's ``stats=`` option
+        (statistics-driven cost-based planning via
+        :mod:`repro.algebra.stats`).  Forwarded and cache-keyed on
+        declaration, like ``optimize``."""
+        caps = self.capabilities
+        return bool(caps is not None and caps.stats)
+
     def run(
         self,
         query: NormalizedQuery,

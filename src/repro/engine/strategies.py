@@ -93,6 +93,44 @@ _TRANSLATION_PLAN_OPS = frozenset(
     }
 )
 
+#: Plan operators the conditional (c-table) evaluator implements — the
+#: core algebra without ``DomainRelation`` (grounding would have to
+#: enumerate it symbolically) and without the join/semijoin
+#: conveniences.
+_CTABLES_PLAN_OPS = frozenset(
+    {
+        "RelationRef",
+        "ConstantRelation",
+        "Selection",
+        "Projection",
+        "Rename",
+        "Product",
+        "Union",
+        "Difference",
+        "Intersection",
+    }
+)
+
+def _require_plan_ops(name: str, algebra, allowed: frozenset[str], what: str):
+    """Reject plans using operators outside a strategy's implemented set.
+
+    The ``auto`` planner already skips these strategies via their
+    declared ``plan_ops``; this is the same gate for *explicitly* named
+    strategies, raising the skippable not-applicable error instead of
+    letting the pipeline crash mid-way.  (SQL-compiled
+    ``[NOT] IN``/``[NOT] EXISTS`` plans land here: their
+    semijoins/antijoins have no Figure 2 or c-table reading.)
+    """
+    from ..algebra.ast import walk
+
+    used = {type(node).__name__ for node in walk(algebra)}
+    unsupported = sorted(used - allowed)
+    if unsupported:
+        raise StrategyNotApplicableError(
+            f"strategy {name!r} {what}; this plan uses {unsupported}"
+        )
+
+
 __all__ = [
     "SqlThreeValuedStrategy",
     "NaiveStrategy",
@@ -157,6 +195,7 @@ class NaiveStrategy(EvaluationStrategy):
         bag_requires=("algebra",),  # the FO evaluator is set-based
         exact_on=EXACT_FRAGMENTS_CWA,
         optimize=True,
+        stats=True,
         shardable_ops=_NAIVE_SHARD_OPS,
         shardable_bag_ops=_NAIVE_BAG_SHARD_OPS,
         shard_merge="naive-union",
@@ -167,6 +206,7 @@ class NaiveStrategy(EvaluationStrategy):
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         textbook = bool(options.pop("textbook", False))
         optimize = bool(options.pop("optimize", False))
+        stats = bool(options.pop("stats", False))
         self.reject_unknown_options(options)
         target = self.require_executable(query)
         bag = semantics == "bag"
@@ -176,7 +216,7 @@ class NaiveStrategy(EvaluationStrategy):
                 "evaluator is set-based"
             )
         runner = naive_evaluate if textbook else naive_evaluate_direct
-        relation = runner(target, database, bag=bag, optimize=optimize)
+        relation = runner(target, database, bag=bag, optimize=optimize, stats=stats)
         # Theorem 4.4 (CWA): on the declared fragments — classified for
         # calculus and algebra/SQL frontends alike by normalize_query —
         # the naïve answer is exactly the set of certain answers.
@@ -256,6 +296,7 @@ class Libkin16Strategy(EvaluationStrategy):
         sound=True,
         plan_ops=_TRANSLATION_PLAN_OPS,
         optimize=True,
+        stats=True,
         cost="exponential",  # Qf materialises Dom^k complements
     )
     description = "(Qt, Qf) rewriting; sound but materialises Dom^k products"
@@ -263,13 +304,20 @@ class Libkin16Strategy(EvaluationStrategy):
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         annotate_false_positives = bool(options.pop("annotate_false_positives", True))
         optimize = bool(options.pop("optimize", False))
+        stats = bool(options.pop("stats", False))
         self.reject_unknown_options(options)
         algebra = self.require_algebra(query)
+        _require_plan_ops(
+            self.name,
+            algebra,
+            _TRANSLATION_PLAN_OPS,
+            "translates core-operator plans only (σ, π, ρ, ×, ∪, −, ∩)",
+        )
         pair = translate_libkin16(algebra, database.schema())
         # One evaluator for all three plans: Qt, Qf (and the naïve check)
         # share large subtrees almost verbatim, so the per-database
         # sub-plan memo pays off across the pair.
-        evaluator = Evaluator(optimize=optimize)
+        evaluator = Evaluator(optimize=optimize, stats=stats)
         certainly_true = evaluator.evaluate(pair.certainly_true, database)
         certainly_false = evaluator.evaluate(pair.certainly_false, database)
         annotated = annotate(certainly_true, Certainty.CERTAIN)
@@ -306,6 +354,7 @@ class Guagliardo16Strategy(EvaluationStrategy):
         sound=True,
         plan_ops=_TRANSLATION_PLAN_OPS,
         optimize=True,
+        stats=True,
         shardable_ops=_TRANSLATION_SHARD_OPS,
         shard_merge="certain-possible-union",
         cost="polynomial",
@@ -314,10 +363,17 @@ class Guagliardo16Strategy(EvaluationStrategy):
 
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         optimize = bool(options.pop("optimize", False))
+        stats = bool(options.pop("stats", False))
         self.reject_unknown_options(options)
         algebra = self.require_algebra(query)
+        _require_plan_ops(
+            self.name,
+            algebra,
+            _TRANSLATION_PLAN_OPS,
+            "translates core-operator plans only (σ, π, ρ, ×, ∪, −, ∩)",
+        )
         pair = translate_guagliardo16(algebra, database.schema())
-        evaluator = Evaluator(optimize=optimize)
+        evaluator = Evaluator(optimize=optimize, stats=stats)
         certain = evaluator.evaluate(pair.certain, database)
         possible = evaluator.evaluate(pair.possible, database)
         annotated = annotate(certain, Certainty.CERTAIN) + tuple(
@@ -342,6 +398,7 @@ class CTablesStrategy(EvaluationStrategy):
         semantics=("set",),
         requires=("algebra",),
         sound=True,
+        plan_ops=_CTABLES_PLAN_OPS,
         optimize=True,
         cost="exponential",  # grounding enumerates condition valuations
     )
@@ -356,6 +413,12 @@ class CTablesStrategy(EvaluationStrategy):
                 f"unknown c-table variant {variant!r}; expected one of {CTABLE_VARIANTS}"
             )
         algebra = self.require_algebra(query)
+        _require_plan_ops(
+            self.name,
+            algebra,
+            _CTABLES_PLAN_OPS,
+            "conditionally evaluates core-operator plans only",
+        )
         if optimize:
             # Logical rules only: the conditional evaluator manipulates
             # symbolic conditions and cannot execute the physical

@@ -35,15 +35,26 @@ __all__ = ["naive_evaluate", "naive_evaluate_direct", "naive_boolean"]
 AnyQuery = "ra.Query | FoQuery"
 
 
-def _run(query, database: Database, *, bag: bool = False, optimize: bool = False) -> Relation:
+def _run(
+    query,
+    database: Database,
+    *,
+    bag: bool = False,
+    optimize: bool = False,
+    stats: bool = False,
+) -> Relation:
     """Dispatch on the query kind: relational algebra tree or FO query.
 
     ``optimize`` turns on the plan optimizer of
     :mod:`repro.algebra.optimize` for algebra input (the FO evaluator
-    has no plan to optimize; the flag is ignored there).
+    has no plan to optimize; the flag is ignored there); ``stats``
+    additionally feeds it per-relation statistics so the physical plan
+    is chosen by estimated cost.
     """
     if isinstance(query, ra.Query):
-        return Evaluator(bag=bag, optimize=optimize).evaluate(query, database)
+        return Evaluator(bag=bag, optimize=optimize, stats=stats).evaluate(
+            query, database
+        )
     if isinstance(query, FoQuery):
         return query.answers(database)
     raise TypeError(f"cannot evaluate object of type {type(query).__name__}")
@@ -74,14 +85,24 @@ def _query_constants(query) -> set:
 
 
 def naive_evaluate_direct(
-    query, database: Database, *, bag: bool = False, optimize: bool = False
+    query,
+    database: Database,
+    *,
+    bag: bool = False,
+    optimize: bool = False,
+    stats: bool = False,
 ) -> Relation:
     """Naïve evaluation by running the evaluator with nulls as values."""
-    return _run(query, database, bag=bag, optimize=optimize)
+    return _run(query, database, bag=bag, optimize=optimize, stats=stats)
 
 
 def naive_evaluate(
-    query, database: Database, *, bag: bool = False, optimize: bool = False
+    query,
+    database: Database,
+    *,
+    bag: bool = False,
+    optimize: bool = False,
+    stats: bool = False,
 ) -> Relation:
     """Naïve evaluation through the textbook definition ``v⁻¹(Q(v(D)))``.
 
@@ -92,7 +113,7 @@ def naive_evaluate(
     """
     valuation = bijective_valuation(database, avoid=_query_constants(query))
     complete = valuation.apply_database(database)
-    answer = _run(query, complete, bag=bag, optimize=optimize)
+    answer = _run(query, complete, bag=bag, optimize=optimize, stats=stats)
     inverse = valuation.inverse()
     return answer.map_values(inverse.apply_value)
 

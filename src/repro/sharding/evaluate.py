@@ -29,11 +29,16 @@ passed).  The flow:
    partials with the strategy-specific merge function, reproducing
    exactly what the monolithic strategy would have returned.
 
-The engine's ``optimize=`` setting rides along in the task options, so
-each fragment's rewritten plan is optimized *inside* the strategy call
-(:mod:`repro.algebra.optimize` memoises the rewrite, which all fragments
-share), and — because the per-shard partial cache keys include the
-canonical options — optimized and unoptimized partials never alias.
+The engine's ``optimize=`` and ``stats=`` settings ride along in the
+task options, so each fragment's rewritten plan is optimized *inside*
+the strategy call (:mod:`repro.algebra.optimize` memoises the rewrite
+per stats fingerprint), and — because the per-shard partial cache keys
+include the canonical options — optimized/unoptimized and
+stats-on/stats-off partials never alias.  With ``stats`` on, each
+fragment builds its own :class:`~repro.algebra.stats.Stats` provider
+over the shard it actually sees: build sides and join orders are chosen
+from the fragment's *estimates* before anything materialises, instead
+of coalescing the sharded relation just to count its rows.
 
 The merged :class:`~repro.engine.result.QueryResult` is result-identical
 to monolithic evaluation — the randomized harness in

@@ -1,11 +1,16 @@
 """Compilation of simple SQL blocks to relational algebra.
 
-Only the subquery-free fragment is compiled — ``SELECT [DISTINCT] cols
-FROM tables WHERE comparisons`` plus the set operations — which is
-enough to push SQL-authored workload queries through the approximation
-translations of Figure 2.  Queries with (correlated) subqueries should
-either be written directly against the algebra builder API or evaluated
-with the SQL-semantics evaluator.
+The compilable fragment is ``SELECT [DISTINCT] cols FROM tables WHERE
+conjuncts`` plus the set operations, where a WHERE conjunct is a
+comparison, ``IS [NOT] NULL``, an AND/OR/NOT combination of those, or an
+*uncorrelated* ``[NOT] IN (subquery)`` / ``[NOT] EXISTS (subquery)``.
+Subquery membership compiles to a semijoin (``⋉``) and its negation to
+an antijoin (``▷``) against the independently compiled subquery — which
+is enough to push SQL-authored workload queries through the
+approximation translations of Figure 2.  *Correlated* subqueries (ones
+referencing the outer query's columns) are outside the fragment and
+raise a :class:`SqlCompilationError` saying so; evaluate those with the
+SQL-semantics evaluator or write the algebra directly.
 """
 
 from __future__ import annotations
@@ -41,7 +46,7 @@ _COMPARISONS = {"=": Eq, "<>": Neq, "<": Lt, "<=": Le, ">": Gt, ">=": Ge}
 
 
 def compile_sql(query: ast.SqlQuery | str, schema: DatabaseSchema) -> ra.Query:
-    """Compile a subquery-free SQL query into a relational algebra tree."""
+    """Compile an SQL query (uncorrelated subqueries allowed) to algebra."""
     if isinstance(query, str):
         query = parse(query)
     return _compile_query(query, schema)
@@ -84,14 +89,23 @@ def _compile_select(query: ast.SelectQuery, schema: DatabaseSchema) -> ra.Query:
         # One selection per top-level conjunct rather than one big ∧: the
         # split shape is what the plan optimizer's pushdown rules start
         # from, and even unoptimized evaluation filters earlier this way.
-        condition = _compile_condition(query.where, column_map)
+        # [NOT] IN/[NOT] EXISTS conjuncts become semijoins/antijoins and
+        # are applied after the plain selections, so the (anti)semijoin
+        # probes the already-filtered rows.
+        plain, subqueries = _split_where(query.where)
         from ..algebra.optimize import split_conjuncts
 
-        for conjunct in reversed(split_conjuncts(condition)):
-            plan = ra.Selection(plan, conjunct)
+        for part in plain:
+            condition = _compile_condition(part, column_map)
+            for conjunct in reversed(split_conjuncts(condition)):
+                plan = ra.Selection(plan, conjunct)
+        for node, negated in subqueries:
+            plan = _apply_subquery(plan, node, negated, column_map, schema)
 
     if query.select_star:
-        output_columns = [column for (_alias, _attr), column in sorted(column_map.items()) if _alias]
+        output_columns = sorted(
+            column for (_alias, _attr), column in column_map.items() if _alias
+        )
         output_names = output_columns
     else:
         output_columns = []
@@ -107,11 +121,90 @@ def _compile_select(query: ast.SelectQuery, schema: DatabaseSchema) -> ra.Query:
     return plan
 
 
+def _split_where(
+    condition: ast.SqlCondition,
+) -> tuple[list[ast.SqlCondition], list[tuple[ast.SqlCondition, bool]]]:
+    """Split a WHERE clause into plain conjuncts and subquery conjuncts.
+
+    Only top-level AND structure is split; each subquery conjunct is
+    returned with its effective negation parity (its own ``negated``
+    flag XOR any stack of enclosing ``NOT`` wrappers).
+    """
+    plain: list[ast.SqlCondition] = []
+    subqueries: list[tuple[ast.SqlCondition, bool]] = []
+
+    def visit(cond: ast.SqlCondition) -> None:
+        if isinstance(cond, ast.BoolOp) and cond.op == "AND":
+            visit(cond.left)
+            visit(cond.right)
+            return
+        core, negated = cond, False
+        while isinstance(core, ast.NotOp):
+            negated = not negated
+            core = core.operand
+        if isinstance(core, (ast.InSubquery, ast.ExistsSubquery)):
+            subqueries.append((core, negated != core.negated))
+        else:
+            plain.append(cond)
+
+    visit(condition)
+    return plain, subqueries
+
+
+def _apply_subquery(
+    plan: ra.Query,
+    node: ast.SqlCondition,
+    negated: bool,
+    column_map,
+    schema: DatabaseSchema,
+) -> ra.Query:
+    """Apply an uncorrelated ``[NOT] IN``/``[NOT] EXISTS`` conjunct.
+
+    The subquery is compiled *standalone* against the database schema:
+    membership becomes a semijoin on the (renamed) subquery column,
+    ``EXISTS`` becomes a semijoin against the subquery's nullary
+    projection (zero shared attributes: the probe only asks "is it
+    non-empty?"), and the negated forms use the antijoin.  The semijoin
+    keeps the outer rows' multiplicities, matching SQL.
+    """
+    try:
+        sub = _compile_query(node.subquery, schema)
+    except SqlCompilationError as exc:
+        raise SqlCompilationError(
+            f"cannot compile the subquery of {node}: {exc}.  Correlated "
+            "subqueries — ones referencing the outer query's columns — "
+            "are outside the compilable fragment; use the SQL-semantics "
+            "evaluator or the algebra builder instead"
+        ) from exc
+    operator = ra.AntiSemiJoin if negated else ra.SemiJoin
+    if isinstance(node, ast.ExistsSubquery):
+        return operator(plan, ra.Projection(sub, ()))
+    if not isinstance(node.operand, ast.ColumnRef):
+        raise SqlCompilationError(
+            "the left side of [NOT] IN must be a column reference"
+        )
+    column = _resolve_column(node.operand, column_map)
+    sub_attrs = sub.output_attributes(schema)
+    if len(sub_attrs) != 1:
+        raise SqlCompilationError(
+            f"the subquery of {node} must return exactly one column, "
+            f"got {len(sub_attrs)}"
+        )
+    if sub_attrs[0] != column:
+        sub = ra.Rename(sub, {sub_attrs[0]: column})
+    return operator(plan, sub)
+
+
 def _resolve_column(ref: ast.ColumnRef, column_map) -> str:
     key = (ref.table, ref.column)
     if key in column_map:
         return column_map[key]
-    if (None, ref.column) in column_map:
+    # Only an *unqualified* reference may fall back to any-table lookup;
+    # a qualified one with an unknown alias must error (inside a
+    # subquery it is how a correlated outer reference is detected —
+    # silently resolving it against a same-named local column would
+    # compile the wrong query).
+    if ref.table is None and (None, ref.column) in column_map:
         return column_map[(None, ref.column)]
     raise SqlCompilationError(f"unknown column {ref}")
 
@@ -144,6 +237,12 @@ def _compile_condition(condition: ast.SqlCondition, column_map) -> Condition:
     if isinstance(condition, ast.IsNull):
         term = _compile_expr(condition.operand, column_map)
         return IsConst(term) if condition.negated else IsNull(term)
+    if isinstance(condition, (ast.InSubquery, ast.ExistsSubquery)):
+        raise SqlCompilationError(
+            f"{condition} is only compilable as a top-level WHERE "
+            "conjunct (optionally negated); nested under OR it has no "
+            "semijoin reading — use the SQL-semantics evaluator instead"
+        )
     raise SqlCompilationError(
         f"{type(condition).__name__} is outside the compilable fragment "
         "(use the SQL evaluator or the algebra builder instead)"

@@ -146,9 +146,24 @@ class TestNormalization:
         assert normalized.algebra is not None
         assert normalized.forms() == ("sql", "algebra")
 
-    def test_sql_with_subquery_has_no_algebra_but_records_why(self, figure1_null):
+    def test_sql_with_uncorrelated_subquery_compiles_to_antijoin(self, figure1_null):
+        # Uncorrelated [NOT] IN compiles to a semijoin/antijoin plan now;
+        # only *correlated* subqueries stay outside the fragment.
         case = figure1_cases()[0]
         normalized = normalize_query(case.sql, figure1_null.schema())
+        assert normalized.algebra is not None
+        from repro.algebra.ast import AntiSemiJoin, walk
+
+        assert any(isinstance(node, AntiSemiJoin) for node in walk(normalized.algebra))
+
+    def test_sql_with_correlated_subquery_has_no_algebra_but_records_why(
+        self, figure1_null
+    ):
+        correlated = (
+            "SELECT oid FROM Orders WHERE oid IN "
+            "(SELECT oid FROM Payments WHERE Payments.amount = Orders.price)"
+        )
+        normalized = normalize_query(correlated, figure1_null.schema())
         assert normalized.algebra is None
         assert any("not compiled" in note for note in normalized.notes)
 
@@ -372,8 +387,10 @@ class TestStrategyCorrectness:
         assert {t.multiplicity for t in result.tuples} == {1, 2}
 
     def test_strategies_requiring_algebra_explain_themselves(self, figure1_session):
+        # The NOT IN case compiles to an antijoin plan, which the Figure 2
+        # translations are not defined on; the refusal names the operator.
         sql_with_subquery = figure1_cases()[0].sql
-        with pytest.raises(StrategyNotApplicableError, match="algebra"):
+        with pytest.raises(StrategyNotApplicableError, match="AntiSemiJoin"):
             figure1_session.evaluate(sql_with_subquery, strategy="approx-guagliardo16")
 
     def test_exact_certain_with_possible_annotations(self, rs_session):

@@ -362,7 +362,7 @@ def test_physical_rules_are_mode_gated_through_the_table(db, monkeypatch):
         for r in optmod.OPTIMIZER_RULES
     )
     monkeypatch.setattr(optmod, "OPTIMIZER_RULES", gated)
-    optmod._optimize_cached.cache_clear()
+    optmod.clear_optimize_memo()
     query = rb.select(
         rb.product(rb.relation("R"), rb.relation("S")), Eq(Attr("a"), Attr("c"))
     )
@@ -370,7 +370,7 @@ def test_physical_rules_are_mode_gated_through_the_table(db, monkeypatch):
     assert not any(isinstance(node, EquiJoin) for node in walk(naive_plan))
     tvl_plan = optimize_plan(query, db.schema(), condition_mode="3vl")
     assert any(isinstance(node, EquiJoin) for node in walk(tvl_plan))
-    optmod._optimize_cached.cache_clear()
+    optmod.clear_optimize_memo()
 
 
 def test_unsupporting_strategies_do_not_receive_the_option(db):

@@ -178,9 +178,20 @@ class TestSqlCompiler:
         compiled = compile_sql(text, figure1.schema())
         assert evaluate(compiled, figure1).rows_set() == {("c1",), ("c2",)}
 
-    def test_subqueries_not_compilable(self, figure1):
-        with pytest.raises(SqlCompilationError):
-            compile_sql(UNPAID_ORDERS_SQL, figure1.schema())
+    def test_uncorrelated_not_in_compiles_to_antijoin(self, figure1):
+        # The parser always accepted this; now the compiler does too.
+        plan = compile_sql(UNPAID_ORDERS_SQL, figure1.schema())
+        from repro.algebra.ast import AntiSemiJoin, walk
+        from repro.algebra.evaluator import Evaluator
+
+        assert any(isinstance(node, AntiSemiJoin) for node in walk(plan))
+        assert Evaluator().evaluate(plan, figure1).rows_set() == {("o3",)}
+
+    def test_correlated_subqueries_not_compilable(self, figure1):
+        from repro.workloads.figure1 import CUSTOMERS_WITHOUT_PAID_ORDER_SQL
+
+        with pytest.raises(SqlCompilationError, match="[Cc]orrelated"):
+            compile_sql(CUSTOMERS_WITHOUT_PAID_ORDER_SQL, figure1.schema())
 
     def test_unknown_table_rejected(self, figure1):
         with pytest.raises(SqlCompilationError):

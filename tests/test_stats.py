@@ -1,0 +1,301 @@
+"""Tests for repro.algebra.stats and the consumers it steers.
+
+Covers the statistics layer itself (one-pass counts, content-addressed
+caching, provider keys), the System-R-style estimator formulas, and the
+three regressions this PR fixes:
+
+* the optimizer memo key folds ``Stats.key()`` in, so mutating a
+  database replans instead of serving a stale plan (the build side
+  visibly flips without any cache clearing);
+* the hash-join build side is pinned from estimates when statistics are
+  available and falls back to actual sizes only when they are not;
+* sharded fragments plan from their *own* statistics — the pinned build
+  side proves the choice was made without coalescing the fragments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Engine, Null, Relation
+from repro.algebra import ast as ra
+from repro.algebra import builder as rb, walk
+from repro.algebra.conditions import Attr, Eq, IsNull, Literal
+from repro.algebra.evaluator import Evaluator
+from repro.algebra.optimize import clear_optimize_memo, optimize_plan
+from repro.algebra.stats import (
+    DEFAULT_ROWS,
+    PlanEstimator,
+    Stats,
+    estimate_cost,
+    relation_stats,
+)
+from repro.sharding import HashPartitioner, ShardedDatabase
+
+
+def _rs_database(r_rows: int, s_rows: int) -> Database:
+    """R(a, b) with ``r_rows`` rows and S(c, d) with ``s_rows`` rows.
+
+    Join values overlap so σ(R × S) with ``a = c`` is non-trivial.
+    """
+    return Database.from_dict(
+        {
+            "R": (("a", "b"), [(i % 4, f"r{i}") for i in range(r_rows)]),
+            "S": (("c", "d"), [(i % 4, f"s{i}") for i in range(s_rows)]),
+        }
+    )
+
+
+_JOIN_QUERY = rb.select(
+    rb.product(rb.relation("R"), rb.relation("S")), Eq(Attr("a"), Attr("c"))
+)
+
+
+def _the_equijoin(plan: ra.Query) -> ra.EquiJoin:
+    joins = [node for node in walk(plan) if isinstance(node, ra.EquiJoin)]
+    assert len(joins) == 1, plan
+    return joins[0]
+
+
+# ----------------------------------------------------------------------
+# RelationStats: the one-pass counts and their cache
+# ----------------------------------------------------------------------
+class TestRelationStats:
+    def test_counts(self, null_x):
+        relation = Relation(
+            ("a", "b"),
+            [(1, "x"), (1, "y"), (1, "x"), (null_x, "z")],
+        )
+        stats = relation_stats(relation)
+        assert stats.attributes == ("a", "b")
+        assert stats.rows == 3  # distinct rows
+        assert stats.total == 4  # with multiplicities
+        assert stats.distinct == (2, 3)  # {1, ⊥} × {x, y, z}
+        assert stats.nulls == (1, 0)
+
+    def test_cache_is_content_addressed(self):
+        first = Relation(("a",), [(1,), (2,)])
+        second = Relation(("a",), [(2,), (1,)])  # same content, new object
+        assert relation_stats(first) is relation_stats(second)
+
+    def test_key_is_hashable_and_stable(self, null_x):
+        relation = Relation(("a",), [(null_x,), (1,)])
+        assert hash(relation_stats(relation).key()) == hash(
+            relation_stats(relation).key()
+        )
+
+
+class TestStatsProvider:
+    def test_absent_relation_is_none(self):
+        stats = Stats(_rs_database(2, 2))
+        assert stats.relation("Nope") is None
+        assert stats.relation("R") is not None
+
+    def test_key_distinguishes_mutated_databases(self):
+        assert Stats(_rs_database(4, 2)).key() != Stats(_rs_database(2, 4)).key()
+        assert Stats(_rs_database(3, 3)).key() == Stats(_rs_database(3, 3)).key()
+
+
+# ----------------------------------------------------------------------
+# Estimation formulas
+# ----------------------------------------------------------------------
+class TestEstimator:
+    def test_equality_selectivity_is_one_over_distinct(self):
+        db = _rs_database(8, 2)  # R.a has 4 distinct values over 8 rows
+        estimator = PlanEstimator(db.schema(), Stats(db))
+        base = estimator.estimate(rb.relation("R"))
+        assert base.rows == 8.0
+        selected = estimator.estimate(
+            rb.select(rb.relation("R"), Eq(Attr("a"), Literal(1)))
+        )
+        assert selected.rows == pytest.approx(8.0 / 4.0)
+
+    def test_join_size_divides_by_max_distinct(self):
+        db = _rs_database(8, 4)  # both join columns have 4 distinct values
+        estimator = PlanEstimator(db.schema(), Stats(db))
+        join = ra.EquiJoin(rb.relation("R"), rb.relation("S"), (("a", "c"),))
+        assert estimator.estimate(join).rows == pytest.approx(8.0 * 4.0 / 4.0)
+
+    def test_null_selectivity_from_null_counts(self, null_x):
+        db = Database.from_dict(
+            {"R": (("a",), [(null_x,), (1,), (2,), (3,)])}
+        )
+        estimator = PlanEstimator(db.schema(), Stats(db))
+        selected = estimator.estimate(
+            rb.select(rb.relation("R"), IsNull(Attr("a")))
+        )
+        assert selected.rows == pytest.approx(4.0 * (1.0 / 4.0))
+
+    def test_domain_relation_is_adom_to_the_k(self):
+        db = _rs_database(4, 4)
+        adom = len(db.active_domain())
+        estimator = PlanEstimator(db.schema(), Stats(db))
+        dom2 = estimator.estimate(ra.DomainRelation(("u", "v")))
+        assert dom2.rows == pytest.approx(float(adom) ** 2)
+
+    def test_unknown_relation_uses_default_rows(self):
+        db = _rs_database(2, 2)
+        estimator = PlanEstimator(db.schema(), Stats(Database({})))
+        assert estimator.estimate(rb.relation("R")).rows == DEFAULT_ROWS
+
+    def test_cost_sums_intermediate_cardinalities(self):
+        db = _rs_database(4, 4)
+        plan = rb.select(rb.relation("R"), Eq(Attr("a"), Literal(1)))
+        estimator = PlanEstimator(db.schema(), Stats(db))
+        expected = estimator.estimate(plan).rows + estimator.estimate(
+            rb.relation("R")
+        ).rows
+        assert estimate_cost(plan, db.schema(), Stats(db)) == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# The memo-key regression: mutate, then replan (no cache clearing!)
+# ----------------------------------------------------------------------
+class TestOptimizeMemoKey:
+    def test_mutation_then_replan_flips_the_build_side(self):
+        clear_optimize_memo()
+        before = _rs_database(6, 2)
+        after = _rs_database(2, 6)  # "the same database, mutated"
+        plan_before = optimize_plan(
+            _JOIN_QUERY, before.schema(), stats=Stats(before)
+        )
+        # Deliberately NO clear_optimize_memo() here: with statistics
+        # folded into the memo key the second call misses on its own.
+        plan_after = optimize_plan(_JOIN_QUERY, after.schema(), stats=Stats(after))
+        assert _the_equijoin(plan_before).build == "right"  # S was smaller
+        assert _the_equijoin(plan_after).build == "left"  # now R is
+
+    def test_statistically_identical_databases_share_the_plan(self):
+        clear_optimize_memo()
+        first = optimize_plan(
+            _JOIN_QUERY, _rs_database(4, 2).schema(), stats=Stats(_rs_database(4, 2))
+        )
+        second = optimize_plan(
+            _JOIN_QUERY, _rs_database(4, 2).schema(), stats=Stats(_rs_database(4, 2))
+        )
+        assert first is second  # memo hit, not just equality
+
+    def test_stats_free_entries_never_alias_stats_entries(self):
+        clear_optimize_memo()
+        db = _rs_database(6, 2)
+        blind = optimize_plan(_JOIN_QUERY, db.schema())
+        informed = optimize_plan(_JOIN_QUERY, db.schema(), stats=Stats(db))
+        blind_again = optimize_plan(_JOIN_QUERY, db.schema())
+        assert _the_equijoin(blind).build is None
+        assert _the_equijoin(informed).build == "right"
+        assert _the_equijoin(blind_again).build is None
+
+
+# ----------------------------------------------------------------------
+# The build-side regression: estimates pin it, actuals are the fallback
+# ----------------------------------------------------------------------
+class TestBuildSide:
+    def test_pinned_build_sides_are_result_identical(self):
+        db = _rs_database(5, 3)
+        pairs = (("a", "c"),)
+        reference = None
+        for build in (None, "left", "right"):
+            join = ra.EquiJoin(rb.relation("R"), rb.relation("S"), pairs, build=build)
+            result = Evaluator().evaluate(join, db)
+            if reference is None:
+                reference = result
+            assert result == reference, f"build={build!r}"
+
+    def test_invalid_build_side_rejected(self):
+        with pytest.raises(ValueError, match="build"):
+            ra.EquiJoin(
+                rb.relation("R"), rb.relation("S"), (("a", "c"),), build="middle"
+            )
+
+    def test_estimates_pin_the_smaller_side(self):
+        db = _rs_database(6, 2)
+        plan = optimize_plan(_JOIN_QUERY, db.schema(), stats=Stats(db))
+        assert _the_equijoin(plan).build == "right"
+        assert Evaluator().evaluate(plan, db) == Evaluator().evaluate(
+            _JOIN_QUERY, db
+        )
+
+    def test_without_stats_the_build_side_stays_open(self):
+        db = _rs_database(6, 2)
+        plan = optimize_plan(_JOIN_QUERY, db.schema())
+        assert _the_equijoin(plan).build is None  # evaluator uses actual sizes
+
+    def test_sharded_fragments_plan_from_their_own_statistics(self):
+        db = _rs_database(6, 2)
+        sharded = ShardedDatabase.from_database(db, 2, HashPartitioner())
+        clear_optimize_memo()
+        for shard in range(sharded.shard_count):
+            fragment_db = sharded.shard_database(shard)
+            plan = optimize_plan(
+                _JOIN_QUERY, fragment_db.schema(), stats=Stats(fragment_db)
+            )
+            # The build side is pinned before any evaluation touches the
+            # fragment — planning needed no coalesced database.
+            assert _the_equijoin(plan).build is not None, f"shard {shard}"
+        engine = Engine()
+        fast = engine.evaluate(
+            _JOIN_QUERY, sharded, strategy="naive", stats=True, use_cache=False
+        )
+        plain = engine.evaluate(
+            _JOIN_QUERY, sharded, strategy="naive", stats=False, use_cache=False
+        )
+        assert fast.relation == plain.relation
+
+
+# ----------------------------------------------------------------------
+# Selection pushdown into the unification anti-semijoin's Dom side
+# ----------------------------------------------------------------------
+class TestUnifAntiSemiJoinPushdown:
+    def test_selection_on_left_attributes_is_pushed_down(self):
+        db = _rs_database(3, 3)
+        plan = ra.Selection(
+            ra.UnifAntiSemiJoin(rb.relation("R"), rb.relation("S")),
+            Eq(Attr("a"), Literal(1)),
+        )
+        optimized = optimize_plan(plan, db.schema())
+        unif = [
+            node for node in walk(optimized)
+            if isinstance(node, ra.UnifAntiSemiJoin)
+        ]
+        assert len(unif) == 1
+        assert any(
+            isinstance(node, ra.Selection) for node in walk(unif[0].left)
+        ), optimized
+        # ...and no selection is left sitting above the anti-semijoin.
+        assert not any(
+            isinstance(node, ra.Selection)
+            and any(n is unif[0] for n in walk(node.child))
+            for node in walk(optimized)
+        ), optimized
+        assert Evaluator().evaluate(optimized, db) == Evaluator().evaluate(plan, db)
+
+
+# ----------------------------------------------------------------------
+# The planner records the numbers it decided on
+# ----------------------------------------------------------------------
+class TestPlannerEstimates:
+    def test_auto_tie_break_records_numeric_costs(self, null_x):
+        db = Database.from_dict(
+            {
+                "R": (("a",), [(1,), (2,), (null_x,)]),
+                "S": (("a",), [(2,), (3,)]),
+            }
+        )
+        query = rb.difference(rb.relation("R"), rb.relation("S"))
+        result = Engine().evaluate(query, db, strategy="auto", use_cache=False)
+        plan = result.metadata["plan"]
+        estimates = plan["estimates"]
+        assert set(estimates) >= {"approx-guagliardo16", "approx-libkin16"}
+        assert all(
+            isinstance(value, float) and value > 0 for value in estimates.values()
+        )
+        assert "estimated cost" in plan["reason"]
+        assert plan["strategy"] in ("approx-guagliardo16", "approx-libkin16")
+
+    def test_exact_fragment_needs_no_numbers(self):
+        db = _rs_database(2, 2)
+        query = rb.select(rb.relation("R"), Eq(Attr("a"), Literal(1)))
+        result = Engine().evaluate(query, db, strategy="auto", use_cache=False)
+        plan = result.metadata["plan"]
+        assert plan["strategy"] == "naive"
+        assert plan["estimates"] == {}
