@@ -25,7 +25,11 @@ CONFIG = TpchLiteConfig(
 
 def test_facade_dispatch_overhead(benchmark):
     db = generate_tpch_lite(CONFIG)
-    session = Session(db)
+    # The baseline is a direct interpreter call, so the façade side must
+    # run the interpreter too: under backend="auto" these small queries
+    # push into SQLite and the encode/decode cost would masquerade as
+    # dispatch overhead.  E19 (bench_backend.py) measures the backends.
+    session = Session(db, backend="interpreter")
     queries = sorted(tpch_lite_queries().items())
 
     def run_through_engine():

@@ -95,7 +95,13 @@ def run_join_speedup(rows: int, *, smoke: bool) -> None:
         ["strategy", "unoptimized (ms)", "optimized (ms)", "speedup"],
     )
     speedups: dict[str, float] = {}
-    with Engine() as engine:
+    # This experiment measures the *plan optimizer*, so both sides run
+    # on the interpreter: under the default backend="auto" the SQLite
+    # pushdown executes even the unoptimized σ(×) as a hash join (its
+    # own planner rewrites the WHERE comma join) and flattens the very
+    # difference being measured.  E19 (bench_backend.py) owns the
+    # backend comparison.
+    with Engine(backend="interpreter") as engine:
         for strategy in ("naive", "approx-guagliardo16"):
             plain_seconds, plain = time_call(
                 lambda s=strategy: engine.evaluate(

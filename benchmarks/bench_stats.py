@@ -133,7 +133,11 @@ def run_join_reordering(config: TpchLiteConfig, *, smoke: bool) -> None:
         ["strategy", "stats off (ms)", "stats on (ms)", "speedup"],
     )
     speedups: dict[str, float] = {}
-    with Engine() as engine:
+    # Stats steer the *interpreter's* join order; SQLite reorders joins
+    # with its own planner, so under backend="auto" both sides would run
+    # the same physical join and the measured difference would vanish.
+    # E19 (bench_backend.py) owns the backend comparison.
+    with Engine(backend="interpreter") as engine:
         for strategy in ("naive", "approx-guagliardo16"):
             plain_seconds, plain = time_call(
                 lambda s=strategy: engine.evaluate(

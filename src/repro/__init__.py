@@ -83,10 +83,11 @@ from .algebra import (
     to_text as algebra_to_text,
 )
 from .calculus import FoQuery
+from .exec import ExecutionBackend, InterpreterBackend, SQLiteBackend
 from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     # Data model
@@ -122,6 +123,10 @@ __all__ = [
     "EngineError",
     "UnknownStrategyError",
     "StrategyNotApplicableError",
+    # Execution backends
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "SQLiteBackend",
     # Sharding
     "ShardedDatabase",
     "HashPartitioner",

@@ -71,7 +71,12 @@ from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..datamodel.database import Database
 from .cache import CacheStats, database_fingerprint, evaluation_cache_key
-from .core import Engine, _presharded_database, _with_plan_metadata
+from .core import (
+    Engine,
+    _presharded_database,
+    _with_backend_note,
+    _with_plan_metadata,
+)
 from .errors import EngineError, StrategyNotApplicableError
 from .registry import StrategyOutcome, get_strategy
 from .result import QueryResult
@@ -168,6 +173,7 @@ class AsyncEngine:
         partitioner: Any = None,
         optimize: bool = True,
         stats: bool = True,
+        backend: str = "auto",
         auto_exact_budget: int | None = None,
     ):
         self._owns_engine = engine is None
@@ -180,6 +186,7 @@ class AsyncEngine:
             partitioner=partitioner,
             optimize=optimize,
             stats=stats,
+            backend=backend,
             auto_exact_budget=auto_exact_budget,
         )
         if isinstance(pool, concurrent.futures.Executor):
@@ -322,6 +329,7 @@ class AsyncEngine:
         partitioner: Any = None,
         optimize: bool | None = None,
         stats: bool | None = None,
+        backend: str | None = None,
         **options: Any,
     ) -> QueryResult:
         """Awaitable :meth:`repro.engine.Engine.evaluate`, same contract.
@@ -335,7 +343,7 @@ class AsyncEngine:
         strat, semantics, normalized, decision = engine._prepare_call(
             query, database, strategy, semantics
         )
-        options = engine._resolve_options(strat, optimize, stats, options)
+        options = engine._resolve_options(strat, optimize, stats, backend, options)
         sharded = engine._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded_async
@@ -377,7 +385,8 @@ class AsyncEngine:
                 database_fp=database_fp,
                 options=options,
             )
-        return _with_plan_metadata(result, decision)
+        result = _with_plan_metadata(result, decision)
+        return _with_backend_note(result, strat, backend)
 
     async def _evaluate_monolithic(
         self,
@@ -543,6 +552,7 @@ class AsyncEngine:
         partitioner: Any = None,
         optimize: bool | None = None,
         stats: bool | None = None,
+        backend: str | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run every applicable strategy concurrently on one query.
@@ -565,10 +575,12 @@ class AsyncEngine:
 
         async def run_one(name: str) -> tuple[str, QueryResult | None]:
             extra = dict(per_strategy.get(name, {}))
-            # A per-strategy {'optimize': ...} / {'stats': ...} overrides
-            # the call-level argument instead of colliding with it.
+            # A per-strategy {'optimize': ...} / {'stats': ...} /
+            # {'backend': ...} overrides the call-level argument instead
+            # of colliding with it.
             resolved_optimize = extra.pop("optimize", optimize)
             resolved_stats = extra.pop("stats", stats)
+            resolved_backend = extra.pop("backend", backend)
             try:
                 result = await self.evaluate(
                     query,
@@ -582,6 +594,7 @@ class AsyncEngine:
                     partitioner=partitioner,
                     optimize=resolved_optimize,
                     stats=resolved_stats,
+                    backend=resolved_backend,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -602,8 +615,8 @@ class AsyncSession:
     as an *async* context manager — closes the engine it created (a
     shared engine survives session exit; as with the sync session, a
     shared engine also keeps its own ``cache_size``/``default_semantics``/
-    ``optimize``/``stats`` configuration — use the per-call
-    ``optimize=``/``stats=`` to override)::
+    ``optimize``/``stats``/``backend`` configuration — use the per-call
+    ``optimize=``/``stats=``/``backend=`` to override)::
 
         async with AsyncSession(database) as session:
             results = await session.compare(query)
@@ -625,6 +638,7 @@ class AsyncSession:
         max_concurrency: int | None = None,
         optimize: bool = True,
         stats: bool = True,
+        backend: str = "auto",
         auto_exact_budget: int | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
@@ -639,6 +653,7 @@ class AsyncSession:
             max_concurrency=max_concurrency,
             optimize=optimize,
             stats=stats,
+            backend=backend,
             auto_exact_budget=auto_exact_budget,
         )
         self._executor = executor

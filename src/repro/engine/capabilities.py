@@ -24,14 +24,12 @@ capability record printable, picklable, and comparable in tests.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, fields
 from typing import Any
 
 __all__ = [
     "StrategyCapabilities",
     "EXACT_FRAGMENTS_CWA",
-    "synthesize_capabilities",
 ]
 
 #: The fragments of Theorem 4.4 on which naïve evaluation computes the
@@ -81,6 +79,12 @@ class StrategyCapabilities:
       exact-certain expansion) deliberately do *not* declare it: each
       world carries different statistics, so per-world stats would
       defeat the one-plan-many-worlds memoisation.
+    * ``backends`` — the execution backends the strategy can run its
+      plans on (:data:`repro.exec.BACKEND_NAMES` minus ``"auto"``).
+      Every strategy runs on ``"interpreter"``; strategies that hand
+      whole algebra plans to :func:`repro.exec.execute_plans` also
+      declare ``"sqlite"``, and only for those does the engine forward
+      (and cache-key) the ``backend=`` option.
     * ``shardable_ops`` / ``shardable_bag_ops`` — operator class names
       allowed on the partitioned lineage of a shard plan
       (:func:`repro.sharding.planner.shard_plan`); empty means the
@@ -101,6 +105,7 @@ class StrategyCapabilities:
     plan_ops: frozenset[str] | None = None
     optimize: bool = False
     stats: bool = False
+    backends: tuple[str, ...] = ("interpreter",)
     shardable_ops: frozenset[str] = frozenset()
     shardable_bag_ops: frozenset[str] | None = None
     shard_merge: str | None = None
@@ -113,6 +118,7 @@ class StrategyCapabilities:
         if self.bag_requires is not None:
             object.__setattr__(self, "bag_requires", tuple(self.bag_requires))
         object.__setattr__(self, "exact_on", frozenset(self.exact_on))
+        object.__setattr__(self, "backends", tuple(self.backends))
         if self.plan_ops is not None:
             object.__setattr__(self, "plan_ops", _op_names(self.plan_ops))
         object.__setattr__(self, "shardable_ops", _op_names(self.shardable_ops))
@@ -138,9 +144,9 @@ class StrategyCapabilities:
     def applicable(self, forms: tuple[str, ...], semantics: str) -> bool:
         """Can the strategy consume a query offering ``forms``?
 
-        Conservative: an empty ``requires`` declaration (a synthesized
-        legacy record) answers False — the planner never auto-selects a
-        strategy whose input contract it does not know.
+        Conservative: an empty ``requires`` declaration answers False —
+        the planner never auto-selects a strategy whose input contract
+        it does not know.
         """
         if semantics not in self.semantics:
             return False
@@ -173,6 +179,7 @@ class StrategyCapabilities:
             "plan_ops": None if self.plan_ops is None else sorted(self.plan_ops),
             "optimize": self.optimize,
             "stats": self.stats,
+            "backends": list(self.backends),
             "shardable_ops": sorted(self.shardable_ops),
             "shardable_bag_ops": (
                 None
@@ -187,50 +194,6 @@ class StrategyCapabilities:
 def _op_names(ops) -> frozenset[str]:
     """Normalise operator classes or names to a frozenset of names."""
     return frozenset(op if isinstance(op, str) else op.__name__ for op in ops)
-
-
-#: Capability fields a legacy strategy class may still declare as plain
-#: class attributes; found ones are folded into the synthesized record.
-_LEGACY_ATTRS = ("supported_semantics", "supports_optimize")
-
-
-def synthesize_capabilities(cls: type) -> StrategyCapabilities:
-    """Build a capability record for a strategy without one.
-
-    Third-party strategies written against the pre-capability contract
-    declare ``supported_semantics`` / ``supports_optimize`` as class
-    attributes.  Registration keeps accepting them: the legacy attributes
-    are folded into a synthesized :class:`StrategyCapabilities` (with a
-    :class:`DeprecationWarning` pointing at the new contract).  The
-    synthesized record is deliberately minimal — no ``requires``
-    declaration, no exactness, no shardability — so the ``auto`` planner
-    never guesses on behalf of a strategy that has not described itself.
-    """
-    values = {}
-    for attr in _LEGACY_ATTRS:
-        for ancestor in cls.__mro__:
-            # The base class carries properties of these names (reading
-            # from ``capabilities``); only plain attributes declared by
-            # subclasses count as legacy declarations.
-            if ancestor.__name__ == "EvaluationStrategy" or ancestor is object:
-                continue
-            if attr in ancestor.__dict__:
-                values[attr] = ancestor.__dict__[attr]
-                break
-    declared = sorted(values)
-    if declared:
-        warnings.warn(
-            f"strategy class {cls.__name__} declares legacy "
-            f"{'/'.join(declared)} attributes; declare a "
-            "StrategyCapabilities record via the 'capabilities' class "
-            "attribute instead (the legacy attributes keep working but "
-            "will be removed)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-    semantics = tuple(values.get("supported_semantics", ("set",)))
-    optimize = bool(values.get("supports_optimize", False))
-    return StrategyCapabilities(semantics=semantics, optimize=optimize)
 
 
 def capability_fields() -> tuple[str, ...]:

@@ -32,6 +32,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from dataclasses import replace
 
 from ..datamodel.database import Database
+from ..exec import interpreter_note, validate_backend
 from .cache import (
     CacheBackend,
     CacheStats,
@@ -64,12 +65,14 @@ class Engine:
         partitioner: Any = None,
         optimize: bool = True,
         stats: bool = True,
+        backend: str = "auto",
         auto_exact_budget: int | None = None,
     ):
         if default_semantics not in _SEMANTICS:
             raise EngineError(
                 f"unknown semantics {default_semantics!r}; expected 'set' or 'bag'"
             )
+        validate_backend(backend)
         if shards is not None and shards < 0:
             raise EngineError("shards must be a non-negative integer or None")
         self.default_semantics = default_semantics
@@ -89,6 +92,15 @@ class Engine:
         #: stats=False)`` is the escape hatch back to heuristic-only
         #: planning; stats never change answers, only costs.
         self.default_stats = bool(stats)
+        #: Default for the per-call ``backend=`` option: which execution
+        #: backend (:mod:`repro.exec`) runs the algebra plans of
+        #: strategies that declare more than the interpreter.  ``"auto"``
+        #: pushes expressible plans into SQLite and falls back to the
+        #: interpreter otherwise (the decision lands in
+        #: ``result.metadata["backend"]``); ``Engine(backend=
+        #: "interpreter")`` or ``evaluate(..., backend="interpreter")``
+        #: is the escape hatch back to the tree-walking evaluator.
+        self.default_backend = backend
         #: Valuation-space budget under which ``strategy="auto"`` may
         #: pick ``exact-certain``; ``None`` uses the planner default
         #: (:data:`repro.engine.planner.DEFAULT_EXACT_BUDGET`).
@@ -135,6 +147,7 @@ class Engine:
                 "semantics": self.default_semantics,
                 "optimize": self.default_optimize,
                 "stats": self.default_stats,
+                "backend": self.default_backend,
                 "shards": self.default_shards,
                 "executor": self.default_executor,
                 "auto_exact_budget": (
@@ -195,6 +208,7 @@ class Engine:
         partitioner: Any = None,
         optimize: bool | None = None,
         stats: bool | None = None,
+        backend: str | None = None,
         **options: Any,
     ) -> QueryResult:
         """Evaluate ``query`` on ``database`` with the named strategy.
@@ -220,6 +234,16 @@ class Engine:
         that declare the capability — estimates pick join orders and
         hash build sides but can never change answers.
 
+        ``backend`` picks the execution backend (:mod:`repro.exec`) for
+        strategies that run whole algebra plans: ``"auto"`` (the engine
+        default) compiles expressible plans to a single SQLite statement
+        and falls back to the interpreter otherwise, ``"interpreter"``
+        forces the tree-walking evaluator, and ``"sqlite"`` demands
+        pushdown (raising when the plan cannot be compiled).  The
+        requested and resolved backends land in
+        ``result.metadata["backend"]``; the resolved request is part of
+        the cache key for strategies that honour it.
+
         ``strategy="auto"`` lets the engine pick: naïve where Theorem
         4.4 makes it exact, the sound Figure 2b approximation otherwise,
         exact certain answers under a size budget — see
@@ -230,7 +254,7 @@ class Engine:
         strat, semantics, normalized, decision = self._prepare_call(
             query, database, strategy, semantics
         )
-        options = self._resolve_options(strat, optimize, stats, options)
+        options = self._resolve_options(strat, optimize, stats, backend, options)
         sharded = self._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded
@@ -264,7 +288,8 @@ class Engine:
                 database_fp=database_fp,
                 options=options,
             )
-        return _with_plan_metadata(result, decision)
+        result = _with_plan_metadata(result, decision)
+        return _with_backend_note(result, strat, backend)
 
     def _prepare_call(
         self,
@@ -309,17 +334,19 @@ class Engine:
         strat: Any,
         optimize: bool | None,
         stats: bool | None,
+        backend: str | None,
         options: Mapping[str, Any],
     ) -> dict[str, Any]:
-        """Fold the resolved ``optimize``/``stats`` settings into the options.
+        """Fold the resolved ``optimize``/``stats``/``backend`` settings
+        into the options.
 
         Only strategies declaring ``supports_optimize`` (respectively
-        ``supports_stats``) receive the option (and hence carry it in
-        their cache keys); for the others the result cannot depend on
-        it, so leaving it out keeps their keys stable and their option
-        validation strict.  Shared with
-        :class:`~repro.engine.aio.AsyncEngine` so the twins agree on
-        keys and worker-task options.
+        ``supports_stats``, a multi-entry ``backends`` record) receive
+        the option (and hence carry it in their cache keys); for the
+        others the result cannot depend on it, so leaving it out keeps
+        their keys stable and their option validation strict.  Shared
+        with :class:`~repro.engine.aio.AsyncEngine` so the twins agree
+        on keys and worker-task options.
         """
         options = dict(options)
         if getattr(strat, "supports_optimize", False):
@@ -328,6 +355,19 @@ class Engine:
         if getattr(strat, "supports_stats", False):
             resolved = self.default_stats if stats is None else bool(stats)
             options.setdefault("stats", resolved)
+        resolved_backend = self.default_backend if backend is None else backend
+        validate_backend(resolved_backend)
+        supported = getattr(strat, "supported_backends", ("interpreter",))
+        if len(supported) > 1:
+            options.setdefault("backend", resolved_backend)
+        elif resolved_backend == "sqlite":
+            # An explicit pushdown demand on an interpreter-only strategy
+            # cannot be honoured; raise the skippable error so compare()
+            # omits the strategy instead of silently running elsewhere.
+            raise StrategyNotApplicableError(
+                f"strategy {strat.name!r} supports backends {supported}, "
+                "not 'sqlite'; use backend='auto' or backend='interpreter'"
+            )
         return options
 
     def _sharded_database(
@@ -476,6 +516,7 @@ class Engine:
         partitioner: Any = None,
         optimize: bool | None = None,
         stats: bool | None = None,
+        backend: str | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run several strategies on the same query, keyed by strategy name.
@@ -496,10 +537,12 @@ class Engine:
         results: dict[str, QueryResult] = {}
         for name in names:
             extra = dict(per_strategy.get(name, {}))
-            # A per-strategy {'optimize': ...} / {'stats': ...} overrides
-            # the call-level argument instead of colliding with it.
+            # A per-strategy {'optimize': ...} / {'stats': ...} /
+            # {'backend': ...} overrides the call-level argument instead
+            # of colliding with it.
             resolved_optimize = extra.pop("optimize", optimize)
             resolved_stats = extra.pop("stats", stats)
+            resolved_backend = extra.pop("backend", backend)
             try:
                 results[name] = self.evaluate(
                     query,
@@ -513,6 +556,7 @@ class Engine:
                     partitioner=partitioner,
                     optimize=resolved_optimize,
                     stats=resolved_stats,
+                    backend=resolved_backend,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -533,6 +577,25 @@ def _with_plan_metadata(
     if decision is None:
         return result
     return replace(result, metadata={**result.metadata, "plan": decision.as_metadata()})
+
+
+def _with_backend_note(
+    result: QueryResult, strat: Any, requested: str | None
+) -> QueryResult:
+    """Answer an explicit ``backend=`` request on interpreter-only paths.
+
+    Strategies that route plans through :func:`repro.exec.execute_plans`
+    record the requested/resolved pair themselves; for the rest, an
+    explicitly requested backend still deserves an answer, so the note is
+    attached post-hoc (after any cache hit — stored results carry no
+    note, the returned copy does, mirroring ``_with_plan_metadata``).
+    """
+    if requested is None or "backend" in result.metadata:
+        return result
+    note = interpreter_note(
+        requested, f"strategy {strat.name!r} executes on the interpreter only"
+    )
+    return replace(result, metadata={**result.metadata, "backend": note})
 
 
 def _presharded_database(
@@ -568,9 +631,10 @@ class Session:
     on exit.  An engine passed in explicitly is *shared* — the session
     never closes it, and the engine-level constructor arguments
     (``cache_size``, ``cache``, ``default_semantics``, ``optimize``,
-    ``stats``, ``auto_exact_budget``) are ignored in favour of the
-    shared engine's own configuration; pass ``optimize=``/``stats=``
-    per ``evaluate``/``compare`` call to override it on a shared engine.
+    ``stats``, ``backend``, ``auto_exact_budget``) are ignored in favour
+    of the shared engine's own configuration; pass
+    ``optimize=``/``stats=``/``backend=`` per ``evaluate``/``compare``
+    call to override it on a shared engine.
 
     ``cache="disk:/path"`` (or a
     :class:`~repro.engine.cache.CacheBackend` instance) makes results
@@ -592,6 +656,7 @@ class Session:
         partitioner: Any = None,
         optimize: bool = True,
         stats: bool = True,
+        backend: str = "auto",
         auto_exact_budget: int | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
@@ -603,6 +668,7 @@ class Session:
             executor=executor or "serial",
             optimize=optimize,
             stats=stats,
+            backend=backend,
             auto_exact_budget=auto_exact_budget,
         )
         # Per-session sharding config, honoured even on a shared engine

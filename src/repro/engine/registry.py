@@ -22,11 +22,10 @@ record::
 
 Third-party backends (sharded, cached, async — see ROADMAP) register the
 same way; nothing in the engine core knows the built-in strategy names.
-Classes written against the pre-capability contract (plain
-``supported_semantics`` / ``supports_optimize`` class attributes) still
-register: a capability record is synthesized for them, with a
-:class:`DeprecationWarning` (see
-:func:`~repro.engine.capabilities.synthesize_capabilities`).
+A strategy class *must* declare a capability record: registration
+rejects classes without one (the legacy shim that synthesized records
+from plain ``supported_semantics`` / ``supports_optimize`` class
+attributes has been removed).
 """
 
 from __future__ import annotations
@@ -36,7 +35,7 @@ from typing import Any, Iterable, Mapping
 
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
-from .capabilities import StrategyCapabilities, synthesize_capabilities
+from .capabilities import StrategyCapabilities
 from .errors import EngineError, StrategyNotApplicableError, UnknownStrategyError
 from .frontend import NormalizedQuery
 from .result import AnnotatedTuple, Certainty
@@ -84,17 +83,15 @@ class EvaluationStrategy:
     #: Alternative lookup names.
     aliases: tuple[str, ...] = ()
     #: The strategy's declarative self-description — semantics, consumed
-    #: query forms, exactness/soundness bounds, optimizer support, shard
-    #: lineage operators, cost hint.  Subclasses declare one; classes
-    #: that do not get a record synthesized from their legacy attributes
-    #: at registration time.
+    #: query forms, exactness/soundness bounds, optimizer support,
+    #: execution backends, shard lineage operators, cost hint.
+    #: Subclasses must declare one; registration rejects classes
+    #: without a record.
     capabilities: StrategyCapabilities | None = None
     #: One line for ``Engine.strategies()`` listings and docs.
     description: str = ""
 
-    # Legacy views of the capability record.  Subclasses written against
-    # the pre-capability contract shadow these with plain class
-    # attributes, which registration folds back into ``capabilities``.
+    # Convenience views of the capability record.
     @property
     def supported_semantics(self) -> tuple[str, ...]:
         """Which of ``"set"`` / ``"bag"`` the strategy can honour."""
@@ -118,6 +115,18 @@ class EvaluationStrategy:
         declaration, like ``optimize``."""
         caps = self.capabilities
         return bool(caps is not None and caps.stats)
+
+    @property
+    def supported_backends(self) -> tuple[str, ...]:
+        """The execution backends the strategy can run plans on.
+
+        Every strategy runs on the interpreter; strategies that route
+        algebra plans through :func:`repro.exec.execute_plans` also
+        declare ``"sqlite"``.  The engine forwards the ``backend=``
+        option — and folds it into cache keys — only for strategies
+        declaring more than the interpreter."""
+        caps = self.capabilities
+        return caps.backends if caps is not None else ("interpreter",)
 
     def run(
         self,
@@ -198,10 +207,12 @@ def register_strategy(name: str, *, aliases: Iterable[str] = ()):
         instance.name = name
         instance.aliases = aliases
         if instance.capabilities is None:
-            # Back-compat shim: synthesize a record from the legacy
-            # supported_semantics/supports_optimize attributes (with a
-            # DeprecationWarning when any are declared).
-            instance.capabilities = synthesize_capabilities(cls)
+            raise EngineError(
+                f"strategy class {cls.__name__} declares no "
+                "StrategyCapabilities record; set the 'capabilities' "
+                "class attribute (the legacy supported_semantics/"
+                "supports_optimize shim has been removed)"
+            )
         unregister_strategy(name)
         _REGISTRY[name] = instance
         for alias in aliases:

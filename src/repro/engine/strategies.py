@@ -25,7 +25,6 @@ from __future__ import annotations
 
 from typing import Any
 
-from ..algebra.evaluator import Evaluator
 from ..ctables.strategies import STRATEGIES as CTABLE_VARIANTS
 from ..ctables.strategies import run_strategy as run_ctable_strategy
 from ..datamodel.database import Database
@@ -34,6 +33,7 @@ from ..incomplete.certain import (
     certain_answers_with_nulls,
     possible_answers,
 )
+from ..exec import InterpreterBackend, execute_plans, interpreter_note
 from ..incomplete.naive import naive_evaluate, naive_evaluate_direct
 from ..approx.guagliardo16 import translate_guagliardo16
 from ..approx.libkin16 import translate_libkin16
@@ -159,7 +159,7 @@ class SqlThreeValuedStrategy(EvaluationStrategy):
         self.reject_unknown_options(options)
         if query.sql_ast is not None:
             relation = SqlEvaluator(database).run(query.sql_ast)
-            backend = "sql-evaluator"
+            evaluator = "sql-evaluator"
             if semantics == "set":
                 relation = relation.distinct()
         elif query.fo is not None:
@@ -168,7 +168,7 @@ class SqlThreeValuedStrategy(EvaluationStrategy):
                     "sql-3vl over a calculus query supports set semantics only"
                 )
             relation = fo_sql().answers(query.fo.formula, database, query.fo.free)
-            backend = "fo-sql"
+            evaluator = "fo-sql"
         else:
             raise StrategyNotApplicableError(
                 "strategy 'sql-3vl' needs an SQL query or an FO formula; a bare "
@@ -181,7 +181,7 @@ class SqlThreeValuedStrategy(EvaluationStrategy):
         return StrategyOutcome(
             answer=relation,
             annotated=annotate(relation, status, bag=semantics == "bag"),
-            metadata={"backend": backend},
+            metadata={"evaluator": evaluator},
         )
 
 
@@ -196,6 +196,7 @@ class NaiveStrategy(EvaluationStrategy):
         exact_on=EXACT_FRAGMENTS_CWA,
         optimize=True,
         stats=True,
+        backends=("interpreter", "sqlite"),
         shardable_ops=_NAIVE_SHARD_OPS,
         shardable_bag_ops=_NAIVE_BAG_SHARD_OPS,
         shard_merge="naive-union",
@@ -207,6 +208,7 @@ class NaiveStrategy(EvaluationStrategy):
         textbook = bool(options.pop("textbook", False))
         optimize = bool(options.pop("optimize", False))
         stats = bool(options.pop("stats", False))
+        backend = str(options.pop("backend", "interpreter"))
         self.reject_unknown_options(options)
         target = self.require_executable(query)
         bag = semantics == "bag"
@@ -215,8 +217,32 @@ class NaiveStrategy(EvaluationStrategy):
                 "naïve bag semantics needs a relational algebra plan; the FO "
                 "evaluator is set-based"
             )
-        runner = naive_evaluate if textbook else naive_evaluate_direct
-        relation = runner(target, database, bag=bag, optimize=optimize, stats=stats)
+        if textbook:
+            backend_meta = interpreter_note(
+                backend, "textbook valuation evaluation is interpreter-only"
+            )
+            relation = naive_evaluate(
+                target, database, bag=bag, optimize=optimize, stats=stats
+            )
+        elif query.algebra is None:
+            backend_meta = interpreter_note(
+                backend, "no algebra plan (direct FO evaluation)"
+            )
+            relation = naive_evaluate_direct(
+                target, database, bag=bag, optimize=optimize, stats=stats
+            )
+        else:
+            execution = execute_plans(
+                [target],
+                database,
+                backend=backend,
+                bag=bag,
+                condition_mode="naive",
+                optimize=optimize,
+                stats=stats,
+            )
+            relation = execution.relations[0]
+            backend_meta = execution.as_metadata()
         # Theorem 4.4 (CWA): on the declared fragments — classified for
         # calculus and algebra/SQL frontends alike by normalize_query —
         # the naïve answer is exactly the set of certain answers.
@@ -228,7 +254,11 @@ class NaiveStrategy(EvaluationStrategy):
             answer=relation,
             annotated=annotate(relation, status, bag=bag),
             certain=relation if exact else None,
-            metadata={"fragment": query.fragment, "exact": exact},
+            metadata={
+                "fragment": query.fragment,
+                "exact": exact,
+                "backend": backend_meta,
+            },
         )
 
 
@@ -314,16 +344,22 @@ class Libkin16Strategy(EvaluationStrategy):
             "translates core-operator plans only (σ, π, ρ, ×, ∪, −, ∩)",
         )
         pair = translate_libkin16(algebra, database.schema())
-        # One evaluator for all three plans: Qt, Qf (and the naïve check)
-        # share large subtrees almost verbatim, so the per-database
-        # sub-plan memo pays off across the pair.
-        evaluator = Evaluator(optimize=optimize, stats=stats)
-        certainly_true = evaluator.evaluate(pair.certainly_true, database)
-        certainly_false = evaluator.evaluate(pair.certainly_false, database)
+        # One interpreter batch for all three plans: Qt, Qf (and the naïve
+        # check) share large subtrees almost verbatim, so the per-database
+        # sub-plan memo pays off across the pair.  The Qf side materialises
+        # Dom^k complements, which no SQL compilation expresses, so this
+        # strategy stays interpreter-only.
+        plans = [pair.certainly_true, pair.certainly_false]
+        if annotate_false_positives:
+            plans.append(algebra)
+        relations = InterpreterBackend().run(
+            plans, database, optimize=optimize, stats=stats
+        )
+        certainly_true, certainly_false = relations[0], relations[1]
         annotated = annotate(certainly_true, Certainty.CERTAIN)
         false_positive_count = 0
         if annotate_false_positives:
-            naive = evaluator.evaluate(algebra, database)
+            naive = relations[2]
             false_rows = naive.rows_set() & certainly_false.rows_set()
             false_positive_count = len(false_rows)
             annotated += tuple(
@@ -355,6 +391,7 @@ class Guagliardo16Strategy(EvaluationStrategy):
         plan_ops=_TRANSLATION_PLAN_OPS,
         optimize=True,
         stats=True,
+        backends=("interpreter", "sqlite"),
         shardable_ops=_TRANSLATION_SHARD_OPS,
         shard_merge="certain-possible-union",
         cost="polynomial",
@@ -364,6 +401,7 @@ class Guagliardo16Strategy(EvaluationStrategy):
     def run(self, query: NormalizedQuery, database: Database, *, semantics: str, **options):
         optimize = bool(options.pop("optimize", False))
         stats = bool(options.pop("stats", False))
+        backend = str(options.pop("backend", "interpreter"))
         self.reject_unknown_options(options)
         algebra = self.require_algebra(query)
         _require_plan_ops(
@@ -373,9 +411,14 @@ class Guagliardo16Strategy(EvaluationStrategy):
             "translates core-operator plans only (σ, π, ρ, ×, ∪, −, ∩)",
         )
         pair = translate_guagliardo16(algebra, database.schema())
-        evaluator = Evaluator(optimize=optimize, stats=stats)
-        certain = evaluator.evaluate(pair.certain, database)
-        possible = evaluator.evaluate(pair.possible, database)
+        execution = execute_plans(
+            [pair.certain, pair.possible],
+            database,
+            backend=backend,
+            optimize=optimize,
+            stats=stats,
+        )
+        certain, possible = execution.relations
         annotated = annotate(certain, Certainty.CERTAIN) + tuple(
             AnnotatedTuple(row, Certainty.POSSIBLE)
             for row in possible.sorted_rows()
@@ -386,7 +429,7 @@ class Guagliardo16Strategy(EvaluationStrategy):
             annotated=annotated,
             certain=certain,
             possible=possible,
-            metadata={"scheme": "figure-2b"},
+            metadata={"scheme": "figure-2b", "backend": execution.as_metadata()},
         )
 
 

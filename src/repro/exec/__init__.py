@@ -1,0 +1,38 @@
+"""Pluggable execution backends (``repro.exec``).
+
+Strategies hand optimized algebra plans to an
+:class:`~repro.exec.backends.ExecutionBackend` instead of walking them
+tuple-at-a-time themselves.  See :mod:`repro.exec.backends` for the
+protocol and the ``backend="auto"`` resolution rules, and
+:mod:`repro.exec.sqlite_backend` for the marker-column SQL compilation.
+"""
+
+from .backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InterpreterBackend,
+    PlanExecution,
+    execute_plans,
+    interpreter_note,
+    validate_backend,
+)
+from .sqlite_backend import (
+    SQLITE_PLAN_OPS,
+    SQLiteBackend,
+    SQLiteUnsupportedError,
+    sqlite_uncompilable_reason,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "PlanExecution",
+    "SQLITE_PLAN_OPS",
+    "SQLiteBackend",
+    "SQLiteUnsupportedError",
+    "execute_plans",
+    "interpreter_note",
+    "sqlite_uncompilable_reason",
+    "validate_backend",
+]

@@ -1,0 +1,186 @@
+"""Pluggable execution backends for optimized algebra plans.
+
+The engine's strategies describe *what* to evaluate (a plan tree, a
+condition mode, set or bag semantics); an :class:`ExecutionBackend`
+decides *how*.  Two implementations ship:
+
+* :class:`InterpreterBackend` — the tuple-at-a-time tree-walking
+  evaluator from :mod:`repro.algebra.evaluator`, wrapped behind the
+  protocol so strategies no longer import it directly.  One evaluator
+  instance is shared across a batch of plans, preserving the sub-plan
+  memoisation that the Figure 2 translation pairs rely on.
+* :class:`~repro.exec.sqlite_backend.SQLiteBackend` — compiles plans to
+  a single SQL statement over in-memory SQLite (marked null → ``NULL``
+  plus a marker column) and decodes the rows back with markers intact.
+
+:func:`execute_plans` is the strategy-facing entry point: it resolves
+``backend="auto"`` (SQLite when every plan is expressible, interpreter
+otherwise), enforces an explicit ``backend="sqlite"`` request with a
+clear error when the plan cannot be pushed down, and reports the
+requested/resolved pair so strategies can surface the decision in
+``result.metadata["backend"]``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..algebra import ast
+from ..algebra.evaluator import Evaluator
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..engine.errors import EngineError
+from .sqlite_backend import (
+    SQLiteBackend,
+    SQLiteUnsupportedError,
+    sqlite_uncompilable_reason,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InterpreterBackend",
+    "PlanExecution",
+    "execute_plans",
+    "interpreter_note",
+    "validate_backend",
+]
+
+#: The accepted values of every ``backend=`` parameter.
+BACKEND_NAMES = ("auto", "interpreter", "sqlite")
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """How a batch of algebra plans gets executed against a database."""
+
+    name: str
+
+    def run(
+        self,
+        plans: Sequence[ast.Query],
+        database: Database,
+        *,
+        bag: bool = False,
+        condition_mode: str = "naive",
+        optimize: bool = False,
+        stats: bool = False,
+    ) -> list[Relation]:
+        """Evaluate every plan on ``database``, in order."""
+        ...
+
+
+class InterpreterBackend:
+    """The tree-walking evaluator behind the backend protocol."""
+
+    name = "interpreter"
+
+    def run(
+        self,
+        plans: Sequence[ast.Query],
+        database: Database,
+        *,
+        bag: bool = False,
+        condition_mode: str = "naive",
+        optimize: bool = False,
+        stats: bool = False,
+    ) -> list[Relation]:
+        evaluator = Evaluator(
+            bag=bag, condition_mode=condition_mode, optimize=optimize, stats=stats
+        )
+        return [evaluator.evaluate(plan, database) for plan in plans]
+
+
+def validate_backend(backend: str) -> None:
+    if backend not in BACKEND_NAMES:
+        raise EngineError(
+            f"unknown backend {backend!r}; expected one of {BACKEND_NAMES}"
+        )
+
+
+@dataclass(frozen=True)
+class PlanExecution:
+    """The relations a backend produced, plus the resolution decision."""
+
+    relations: tuple[Relation, ...]
+    requested: str
+    resolved: str
+    reason: str
+
+    def as_metadata(self) -> dict[str, str]:
+        return {
+            "requested": self.requested,
+            "resolved": self.resolved,
+            "reason": self.reason,
+        }
+
+
+def interpreter_note(requested: str, reason: str) -> dict[str, str]:
+    """Backend metadata for a path that can only run on the interpreter.
+
+    Raises when the caller explicitly demanded SQLite — silently running
+    something else would make ``backend="sqlite"`` meaningless.
+    """
+    validate_backend(requested)
+    if requested == "sqlite":
+        raise EngineError(
+            f"backend='sqlite' is not available here: {reason}; "
+            "use backend='auto' or backend='interpreter'"
+        )
+    return {"requested": requested, "resolved": "interpreter", "reason": reason}
+
+
+def execute_plans(
+    plans: Sequence[ast.Query],
+    database: Database,
+    *,
+    backend: str = "auto",
+    bag: bool = False,
+    condition_mode: str = "naive",
+    optimize: bool = False,
+    stats: bool = False,
+) -> PlanExecution:
+    """Execute ``plans`` on the requested backend, resolving ``"auto"``.
+
+    ``"auto"`` pushes into SQLite when every plan is statically
+    expressible and the data encodes, falling back to the interpreter
+    (with the reason recorded) otherwise; an explicit ``"sqlite"`` that
+    cannot be honoured raises :class:`~repro.engine.errors.EngineError`.
+    """
+    validate_backend(backend)
+    plans = list(plans)
+    options = dict(bag=bag, condition_mode=condition_mode, optimize=optimize, stats=stats)
+
+    def on_interpreter(reason: str) -> PlanExecution:
+        relations = InterpreterBackend().run(plans, database, **options)
+        return PlanExecution(tuple(relations), backend, "interpreter", reason)
+
+    if backend == "interpreter":
+        return on_interpreter("interpreter requested")
+    static_reason = next(
+        (r for r in (sqlite_uncompilable_reason(p) for p in plans) if r is not None),
+        None,
+    )
+    if static_reason is not None:
+        if backend == "sqlite":
+            raise EngineError(
+                f"backend='sqlite' cannot execute this plan: {static_reason}; "
+                "use backend='auto' or backend='interpreter'"
+            )
+        return on_interpreter(static_reason)
+    try:
+        relations = SQLiteBackend().run(plans, database, **options)
+    except SQLiteUnsupportedError as exc:
+        if backend == "sqlite":
+            raise EngineError(
+                f"backend='sqlite' cannot execute this plan: {exc}; "
+                "use backend='auto' or backend='interpreter'"
+            ) from exc
+        return on_interpreter(str(exc))
+    return PlanExecution(
+        tuple(relations),
+        backend,
+        "sqlite",
+        "plan compiled to a single SQLite statement",
+    )

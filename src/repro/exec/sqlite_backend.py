@@ -1,0 +1,692 @@
+"""SQLite pushdown backend: compile algebra plans to a single SQL statement.
+
+Marked nulls have a faithful relational encoding: every attribute becomes
+a *pair* of SQLite columns ``(c{i}v, c{i}n)`` — the value column holds the
+constant (SQL ``NULL`` when the cell is a marked null) and the marker
+column holds a type-tagged rendering of the null's label (SQL ``NULL``
+when the cell is a constant).  Under this encoding
+
+* raw tuple identity (what semijoins, natural-join buckets and the
+  compound set operators use) is exactly SQLite's null-safe ``IS`` /
+  compound-``SELECT`` equality over the column pairs;
+* naive-mode condition evaluation (a null is a value, equal only to
+  itself; order comparisons involving a null are false; Python
+  ``TypeError`` → false) compiles to two-valued expressions that never
+  yield SQL ``NULL``;
+* 3VL-mode condition evaluation (any comparison touching a null is
+  *unknown*) compiles to expressions whose SQL ``NULL`` *is* Kleene
+  unknown, so ``NOT``/``AND``/``OR`` compose by SQLite's own
+  three-valued logic and ``WHERE`` keeps exactly the Kleene-true rows.
+
+Bag semantics adds one multiplicity column ``m`` and replaces the
+compound set operators with multiplicity arithmetic (union sums via
+``UNION ALL``, difference subtracts down to zero via ``GROUP BY …
+HAVING``, intersection takes the pairwise minimum of grouped counts).
+Set semantics keeps every emitted subquery duplicate-free — base tables
+store one row per distinct tuple, projection adds ``DISTINCT``, and
+``UNION``/``EXCEPT``/``INTERSECT`` are the native compounds — which
+matches the interpreter's collapse-after-every-operator contract.
+
+Anything the compiler cannot express faithfully — ``Dom^k`` enumeration,
+division, unification anti-semijoins, nullary (Boolean) subplans, values
+with no SQLite encoding — raises :class:`SQLiteUnsupportedError`, the
+signal :func:`repro.exec.execute_plans` uses to fall back to the
+interpreter under ``backend="auto"``.
+"""
+
+from __future__ import annotations
+
+import math
+import sqlite3
+from collections import Counter
+from typing import Any, Sequence
+
+from ..algebra import ast
+from ..algebra import conditions as cond
+from ..datamodel.database import Database
+from ..datamodel.relation import Relation
+from ..datamodel.values import Null, is_null
+
+__all__ = [
+    "SQLiteBackend",
+    "SQLiteUnsupportedError",
+    "sqlite_uncompilable_reason",
+    "SQLITE_PLAN_OPS",
+]
+
+
+class SQLiteUnsupportedError(Exception):
+    """The plan (or its data) has no faithful SQLite compilation."""
+
+
+#: Plan operators the compiler can express.  Everything else —
+#: ``DomainRelation`` (active-domain powers), ``Division``,
+#: ``UnifAntiSemiJoin`` (unification is not a per-column predicate),
+#: ``ConstrainedDomainRelation`` — falls back to the interpreter.
+SQLITE_PLAN_OPS = frozenset(
+    {
+        ast.RelationRef,
+        ast.ConstantRelation,
+        ast.Selection,
+        ast.Projection,
+        ast.Rename,
+        ast.Product,
+        ast.Union,
+        ast.Difference,
+        ast.Intersection,
+        ast.NaturalJoin,
+        ast.SemiJoin,
+        ast.AntiSemiJoin,
+        ast.EquiJoin,
+    }
+)
+
+
+def sqlite_uncompilable_reason(plan: ast.Query) -> str | None:
+    """Why ``plan`` cannot be compiled to SQL, or ``None`` if it can.
+
+    This is the *static* check (plan shape only); data-dependent
+    obstacles — values with no SQLite encoding — surface later as
+    :class:`SQLiteUnsupportedError` during encoding.
+    """
+    for node in ast.walk(plan):
+        if type(node) not in SQLITE_PLAN_OPS:
+            return (
+                f"plan contains {type(node).__name__}, which the SQL "
+                "compiler cannot express"
+            )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+
+def _encode_marker(label: Any) -> str:
+    """Type-tagged text for a null's label, injective up to label equality.
+
+    ``Null`` equality is label equality under Python ``==``, so labels
+    that compare equal across numeric types (``1``, ``1.0``, ``True``)
+    must encode identically — they all canonicalise to ``"n:1"``.
+    """
+    if isinstance(label, bool):
+        label = int(label)
+    if isinstance(label, float) and not math.isnan(label) and label.is_integer():
+        label = int(label)
+    if isinstance(label, int):
+        return f"n:{label}"
+    if isinstance(label, float):
+        if math.isnan(label):
+            raise SQLiteUnsupportedError("null marker label NaN has no SQLite encoding")
+        return f"n:{label!r}"
+    if isinstance(label, str):
+        return f"s:{label}"
+    raise SQLiteUnsupportedError(
+        f"null marker label of type {type(label).__name__} has no SQLite encoding"
+    )
+
+
+def _decode_marker(text: str) -> Any:
+    if text.startswith("n:"):
+        body = text[2:]
+        try:
+            return int(body)
+        except ValueError:
+            return float(body)
+    return text[2:]
+
+
+def _encode_value(value: Any) -> tuple[Any, str | None]:
+    """Encode one cell as a ``(value_column, marker_column)`` pair."""
+    if is_null(value):
+        return None, _encode_marker(value.label)
+    if isinstance(value, bool):
+        # SQLite stores booleans as integers; Python agrees that
+        # True == 1, so join keys and Counter identity are preserved.
+        return int(value), None
+    if isinstance(value, int):
+        if -(2**63) <= value < 2**63:
+            return value, None
+        raise SQLiteUnsupportedError(
+            "integer constant outside SQLite's 64-bit range"
+        )
+    if isinstance(value, float):
+        if math.isnan(value):
+            raise SQLiteUnsupportedError(
+                "NaN constant has no SQLite encoding (SQLite stores NaN as NULL)"
+            )
+        return value, None
+    if isinstance(value, (str, bytes)):
+        return value, None
+    raise SQLiteUnsupportedError(
+        f"constant of type {type(value).__name__} has no SQLite encoding"
+    )
+
+
+def _decode_row(fetched: Sequence[Any], arity: int) -> tuple:
+    values = []
+    for i in range(arity):
+        marker = fetched[2 * i + 1]
+        values.append(
+            Null(_decode_marker(marker)) if marker is not None else fetched[2 * i]
+        )
+    return tuple(values)
+
+
+# ----------------------------------------------------------------------
+# Plan compiler
+# ----------------------------------------------------------------------
+
+def _collist(arity: int, alias: str | None = None) -> str:
+    prefix = f"{alias}." if alias else ""
+    return ", ".join(f"{prefix}c{i}v, {prefix}c{i}n" for i in range(arity))
+
+
+#: ``typeof()`` guard mirroring Python's comparability classes: numbers
+#: order against numbers (bool is int), text against text, blobs against
+#: blobs; every cross-class order comparison is a Python ``TypeError``,
+#: which the interpreter maps to false.
+def _order_guard(av: str, bv: str) -> str:
+    return (
+        f"((typeof({av}) IN ('integer', 'real') AND typeof({bv}) IN ('integer', 'real'))"
+        f" OR (typeof({av}) = 'text' AND typeof({bv}) = 'text')"
+        f" OR (typeof({av}) = 'blob' AND typeof({bv}) = 'blob'))"
+    )
+
+
+_ORDER_OPS: dict[type, str] = {cond.Lt: "<", cond.Le: "<=", cond.Gt: ">", cond.Ge: ">="}
+
+
+class _PlanCompiler:
+    """Compiles plan trees to SELECT statements over one connection.
+
+    Base relations and constant relations are materialised as tables on
+    first use (constants are keyed structurally, so the shared subtrees
+    of a translated (Q+, Q?) pair encode once); each :meth:`compile`
+    call produces one self-contained statement with its own named
+    parameters.
+    """
+
+    def __init__(self, connection: sqlite3.Connection, database: Database, *, bag: bool, condition_mode: str):
+        self._con = connection
+        self._database = database
+        self._bag = bag
+        self._mode = condition_mode
+        self._tables: dict[Any, tuple[str, int]] = {}
+        self._aliases = 0
+        self._params: dict[str, Any] = {}
+
+    # -- plumbing ------------------------------------------------------
+    def _alias(self) -> str:
+        self._aliases += 1
+        return f"a{self._aliases}"
+
+    def _param(self, value: Any) -> str:
+        key = f"p{len(self._params)}"
+        self._params[key] = value
+        return f":{key}"
+
+    def _table_for(self, key: Any, relation: Relation) -> str:
+        cached = self._tables.get(key)
+        if cached is not None:
+            return cached[0]
+        arity = relation.arity
+        if arity == 0:
+            raise SQLiteUnsupportedError(
+                "nullary (zero-column) relations have no SQLite encoding"
+            )
+        name = f"t{len(self._tables)}"
+        self._con.execute(f"CREATE TABLE {name} ({_collist(arity)}, m)")
+        rows = []
+        for row, count in relation.iter_rows(with_multiplicity=True):
+            encoded: list[Any] = []
+            for value in row:
+                value_col, marker_col = _encode_value(value)
+                encoded.append(value_col)
+                encoded.append(marker_col)
+            encoded.append(count)
+            rows.append(encoded)
+        placeholders = ", ".join("?" for _ in range(2 * arity + 1))
+        try:
+            self._con.executemany(f"INSERT INTO {name} VALUES ({placeholders})", rows)
+        except (OverflowError, UnicodeError, sqlite3.Error) as exc:
+            raise SQLiteUnsupportedError(f"value not storable in SQLite: {exc}") from exc
+        self._tables[key] = (name, arity)
+        return name
+
+    # -- entry point ---------------------------------------------------
+    def compile(self, plan: ast.Query) -> tuple[str, dict[str, Any], list[str]]:
+        """Compile ``plan``; returns ``(sql, params, attributes)``."""
+        self._params = {}
+        sql, attrs = self._compile(plan)
+        return sql, dict(self._params), attrs
+
+    def _compile(self, node: ast.Query) -> tuple[str, list[str]]:
+        method = getattr(self, f"_compile_{type(node).__name__}", None)
+        if method is None:
+            raise SQLiteUnsupportedError(
+                f"plan contains {type(node).__name__}, which the SQL "
+                "compiler cannot express"
+            )
+        sql, attrs = method(node)
+        if not attrs:
+            raise SQLiteUnsupportedError(
+                "nullary (Boolean) subplans have no SQLite encoding"
+            )
+        return sql, attrs
+
+    # -- leaves --------------------------------------------------------
+    def _base_select(self, table: str, arity: int) -> str:
+        if self._bag:
+            return f"SELECT {_collist(arity)}, m FROM {table}"
+        # Tables hold one physical row per distinct tuple, so dropping
+        # the multiplicity column *is* the set-semantics view.
+        return f"SELECT {_collist(arity)} FROM {table}"
+
+    def _compile_RelationRef(self, node: ast.RelationRef) -> tuple[str, list[str]]:
+        relation = self._database.get(node.name)
+        if relation is None:
+            raise KeyError(f"relation {node.name!r} not present in the database")
+        table = self._table_for(("rel", node.name), relation)
+        return self._base_select(table, relation.arity), list(relation.attributes)
+
+    def _compile_ConstantRelation(self, node: ast.ConstantRelation) -> tuple[str, list[str]]:
+        # Building the Relation applies exactly the interpreter's arity
+        # and duplicate-attribute validation before anything is encoded.
+        relation = Relation(node.attributes, node.rows)
+        table = self._table_for(("const", node), relation)
+        return self._base_select(table, relation.arity), list(relation.attributes)
+
+    # -- unary operators -----------------------------------------------
+    def _compile_Selection(self, node: ast.Selection) -> tuple[str, list[str]]:
+        child_sql, attrs = self._compile(node.child)
+        alias = self._alias()
+        expr = self._condition(node.condition, attrs, alias)
+        sql = f"SELECT {alias}.* FROM ({child_sql}) AS {alias} WHERE {expr}"
+        return sql, attrs
+
+    def _compile_Projection(self, node: ast.Projection) -> tuple[str, list[str]]:
+        child_sql, attrs = self._compile(node.child)
+        Relation.empty(node.attributes)  # same duplicate-name validation as the interpreter
+        index = {a: i for i, a in enumerate(attrs)}
+        positions = []
+        for attribute in node.attributes:
+            if attribute not in index:
+                raise KeyError(f"attribute {attribute!r} not in {tuple(attrs)}")
+            positions.append(index[attribute])
+        alias = self._alias()
+        select = ", ".join(
+            f"{alias}.c{p}v AS c{j}v, {alias}.c{p}n AS c{j}n"
+            for j, p in enumerate(positions)
+        )
+        if self._bag:
+            sql = f"SELECT {select}, {alias}.m AS m FROM ({child_sql}) AS {alias}"
+        else:
+            sql = f"SELECT DISTINCT {select} FROM ({child_sql}) AS {alias}"
+        return sql, list(node.attributes)
+
+    def _compile_Rename(self, node: ast.Rename) -> tuple[str, list[str]]:
+        child_sql, attrs = self._compile(node.child)
+        mapping = node.mapping_dict()
+        renamed = [mapping.get(a, a) for a in attrs]
+        Relation.empty(renamed)  # same duplicate-name validation as the interpreter
+        return child_sql, renamed
+
+    # -- products and joins --------------------------------------------
+    def _join_select(
+        self, left_alias: str, left_arity: int, right_alias: str, right_positions: Sequence[int]
+    ) -> str:
+        parts = [_collist(left_arity, left_alias)]
+        for j, p in enumerate(right_positions):
+            out = left_arity + j
+            parts.append(
+                f"{right_alias}.c{p}v AS c{out}v, {right_alias}.c{p}n AS c{out}n"
+            )
+        return ", ".join(parts)
+
+    def _compile_Product(self, node: ast.Product) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        overlap = set(left_attrs) & set(right_attrs)
+        if overlap:
+            raise ValueError(
+                f"product with overlapping attributes {sorted(overlap)}; rename first"
+            )
+        la, rb = self._alias(), self._alias()
+        select = self._join_select(la, len(left_attrs), rb, range(len(right_attrs)))
+        if self._bag:
+            select += f", {la}.m * {rb}.m AS m"
+        # A comma join (not CROSS JOIN, which pins SQLite's join order).
+        sql = f"SELECT {select} FROM ({left_sql}) AS {la}, ({right_sql}) AS {rb}"
+        return sql, left_attrs + right_attrs
+
+    def _compile_EquiJoin(self, node: ast.EquiJoin) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        overlap = set(left_attrs) & set(right_attrs)
+        if overlap:
+            raise ValueError(
+                f"equi-join with overlapping attributes {sorted(overlap)}; rename first"
+            )
+        left_index = {a: i for i, a in enumerate(left_attrs)}
+        right_index = {a: i for i, a in enumerate(right_attrs)}
+        la, rb = self._alias(), self._alias()
+        clauses = []
+        for left_attr, right_attr in node.pairs:
+            if left_attr not in left_index:
+                raise KeyError(f"attribute {left_attr!r} not in {tuple(left_attrs)}")
+            if right_attr not in right_index:
+                raise KeyError(f"attribute {right_attr!r} not in {tuple(right_attrs)}")
+            li, ri = left_index[left_attr], right_index[right_attr]
+            if self._mode == "3vl":
+                # Any null key makes the comparison unknown, so the row
+                # drops — plain SQL equality on the value columns does
+                # exactly that (a null cell's value column is NULL).
+                clauses.append(f"{la}.c{li}v = {rb}.c{ri}v")
+            else:
+                # Naive mode: a null is a value, equal only to itself —
+                # constants match by value, nulls by marker.  Null-safe IS
+                # over the (value, marker) pair says exactly that (a null
+                # cell stores NULL in the value column and vice versa), and
+                # unlike the equivalent OR-of-conjunctions it is a form the
+                # query planner can satisfy with an automatic index instead
+                # of a nested-loop scan.
+                clauses.append(
+                    f"{la}.c{li}v IS {rb}.c{ri}v AND {la}.c{li}n IS {rb}.c{ri}n"
+                )
+        on = " AND ".join(clauses) if clauses else "1"
+        select = self._join_select(la, len(left_attrs), rb, range(len(right_attrs)))
+        if self._bag:
+            select += f", {la}.m * {rb}.m AS m"
+        sql = f"SELECT {select} FROM ({left_sql}) AS {la} JOIN ({right_sql}) AS {rb} ON {on}"
+        return sql, left_attrs + right_attrs
+
+    def _compile_NaturalJoin(self, node: ast.NaturalJoin) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        right_index = {a: i for i, a in enumerate(right_attrs)}
+        shared = [a for a in left_attrs if a in right_index]
+        extra_positions = [i for i, a in enumerate(right_attrs) if a not in set(left_attrs)]
+        la, rb = self._alias(), self._alias()
+        # Bucket matching in the interpreter is raw tuple identity on the
+        # shared columns — null-safe IS over the (value, marker) pairs.
+        clauses = [
+            f"{la}.c{left_attrs.index(a)}v IS {rb}.c{right_index[a]}v"
+            f" AND {la}.c{left_attrs.index(a)}n IS {rb}.c{right_index[a]}n"
+            for a in shared
+        ]
+        on = " AND ".join(clauses) if clauses else "1"
+        select = self._join_select(la, len(left_attrs), rb, extra_positions)
+        if self._bag:
+            select += f", {la}.m * {rb}.m AS m"
+        sql = f"SELECT {select} FROM ({left_sql}) AS {la} JOIN ({right_sql}) AS {rb} ON {on}"
+        return sql, left_attrs + [right_attrs[p] for p in extra_positions]
+
+    def _compile_semijoin(self, node, *, anti: bool) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        right_index = {a: i for i, a in enumerate(right_attrs)}
+        la, rb = self._alias(), self._alias()
+        clauses = [
+            f"{la}.c{i}v IS {rb}.c{right_index[a]}v"
+            f" AND {la}.c{i}n IS {rb}.c{right_index[a]}n"
+            for i, a in enumerate(left_attrs)
+            if a in right_index
+        ]
+        probe = f"SELECT 1 FROM ({right_sql}) AS {rb}"
+        if clauses:
+            probe += " WHERE " + " AND ".join(clauses)
+        keyword = "NOT EXISTS" if anti else "EXISTS"
+        sql = f"SELECT {la}.* FROM ({left_sql}) AS {la} WHERE {keyword} ({probe})"
+        return sql, left_attrs
+
+    def _compile_SemiJoin(self, node: ast.SemiJoin) -> tuple[str, list[str]]:
+        return self._compile_semijoin(node, anti=False)
+
+    def _compile_AntiSemiJoin(self, node: ast.AntiSemiJoin) -> tuple[str, list[str]]:
+        return self._compile_semijoin(node, anti=True)
+
+    # -- set operators --------------------------------------------------
+    def _check_arity(self, left_attrs, right_attrs, operator: str) -> None:
+        if len(left_attrs) != len(right_attrs):
+            raise ValueError(
+                f"{operator} requires equal arities, "
+                f"got {len(left_attrs)} and {len(right_attrs)}"
+            )
+
+    def _operand(self, sql: str, arity: int, *, multiplier: str = "") -> str:
+        alias = self._alias()
+        select = _collist(arity, alias)
+        if self._bag:
+            select += f", {multiplier}{alias}.m AS m"
+        return f"SELECT {select} FROM ({sql}) AS {alias}"
+
+    def _compile_Union(self, node: ast.Union) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        self._check_arity(left_attrs, right_attrs, "union")
+        arity = len(left_attrs)
+        compound = "UNION ALL" if self._bag else "UNION"
+        sql = (
+            f"{self._operand(left_sql, arity)} {compound} "
+            f"{self._operand(right_sql, arity)}"
+        )
+        return sql, left_attrs
+
+    def _compile_Difference(self, node: ast.Difference) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        self._check_arity(left_attrs, right_attrs, "difference")
+        arity = len(left_attrs)
+        if not self._bag:
+            sql = (
+                f"{self._operand(left_sql, arity)} EXCEPT "
+                f"{self._operand(right_sql, arity)}"
+            )
+            return sql, left_attrs
+        # Bag difference subtracts multiplicities down to zero: sum the
+        # left counts positively and the right counts negatively, keep
+        # the rows whose balance stays positive.
+        signed = (
+            f"{self._operand(left_sql, arity)} UNION ALL "
+            f"{self._operand(right_sql, arity, multiplier='-')}"
+        )
+        alias = self._alias()
+        group = _collist(arity, alias)
+        sql = (
+            f"SELECT {group}, SUM({alias}.m) AS m FROM ({signed}) AS {alias} "
+            f"GROUP BY {group} HAVING SUM({alias}.m) > 0"
+        )
+        return sql, left_attrs
+
+    def _compile_Intersection(self, node: ast.Intersection) -> tuple[str, list[str]]:
+        left_sql, left_attrs = self._compile(node.left)
+        right_sql, right_attrs = self._compile(node.right)
+        self._check_arity(left_attrs, right_attrs, "intersection")
+        arity = len(left_attrs)
+        if not self._bag:
+            sql = (
+                f"{self._operand(left_sql, arity)} INTERSECT "
+                f"{self._operand(right_sql, arity)}"
+            )
+            return sql, left_attrs
+        # Bag intersection is the pairwise minimum of the two grouped
+        # multiplicities, joined on raw tuple identity.
+
+        def grouped(sql_: str) -> str:
+            alias = self._alias()
+            group = _collist(arity, alias)
+            return (
+                f"SELECT {group}, SUM({alias}.m) AS m "
+                f"FROM ({sql_}) AS {alias} GROUP BY {group}"
+            )
+
+        la, rb = self._alias(), self._alias()
+        on = " AND ".join(
+            f"{la}.c{i}v IS {rb}.c{i}v AND {la}.c{i}n IS {rb}.c{i}n"
+            for i in range(arity)
+        )
+        sql = (
+            f"SELECT {_collist(arity, la)}, MIN({la}.m, {rb}.m) AS m "
+            f"FROM ({grouped(left_sql)}) AS {la} "
+            f"JOIN ({grouped(right_sql)}) AS {rb} ON {on}"
+        )
+        return sql, left_attrs
+
+    # -- conditions ------------------------------------------------------
+    def _term(self, term: cond.Term, attrs: Sequence[str], alias: str) -> tuple[str, str]:
+        """Compile a term to its ``(value_expr, marker_expr)`` pair."""
+        if isinstance(term, cond.Attr):
+            index = {a: i for i, a in enumerate(attrs)}
+            if term.name not in index:
+                raise KeyError(
+                    f"attribute {term.name!r} not available in {list(attrs)}"
+                )
+            i = index[term.name]
+            return f"{alias}.c{i}v", f"{alias}.c{i}n"
+        if isinstance(term, cond.Literal):
+            value_col, marker_col = _encode_value(term.value)
+            return self._param(value_col), self._param(marker_col)
+        raise SQLiteUnsupportedError(
+            f"condition term {type(term).__name__} has no SQL compilation"
+        )
+
+    def _condition(self, condition: cond.Condition, attrs: Sequence[str], alias: str) -> str:
+        naive = self._mode != "3vl"
+        if isinstance(condition, cond.TrueCondition):
+            return "1"
+        if isinstance(condition, cond.FalseCondition):
+            return "0"
+        if isinstance(condition, cond.And):
+            left = self._condition(condition.left, attrs, alias)
+            right = self._condition(condition.right, attrs, alias)
+            return f"({left} AND {right})"
+        if isinstance(condition, cond.Or):
+            left = self._condition(condition.left, attrs, alias)
+            right = self._condition(condition.right, attrs, alias)
+            return f"({left} OR {right})"
+        if isinstance(condition, cond.Not):
+            return f"(NOT {self._condition(condition.operand, attrs, alias)})"
+        if isinstance(condition, cond.IsConst):
+            _, marker = self._term(condition.term, attrs, alias)
+            return f"({marker} IS NULL)"
+        if isinstance(condition, cond.IsNull):
+            _, marker = self._term(condition.term, attrs, alias)
+            return f"({marker} IS NOT NULL)"
+        if isinstance(condition, cond.Comparison):
+            return self._comparison(condition, attrs, alias)
+        raise SQLiteUnsupportedError(
+            f"condition {type(condition).__name__} has no SQL compilation"
+        )
+
+    def _comparison(self, condition: cond.Comparison, attrs: Sequence[str], alias: str) -> str:
+        av, an = self._term(condition.left, attrs, alias)
+        bv, bn = self._term(condition.right, attrs, alias)
+        naive = self._mode != "3vl"
+        if isinstance(condition, (cond.Eq, cond.Neq)):
+            if naive:
+                # Constants compare by value (storage classes already
+                # mirror Python's cross-type rules), nulls by marker; a
+                # null never equals a constant.  Exactly one of the value
+                # and marker columns is non-NULL, so the null-safe IS pair
+                # covers all three cases, stays two-valued, and — unlike an
+                # OR-of-guarded-conjunctions — is a form the query planner
+                # can drive with an automatic index when this lands in the
+                # WHERE clause of a comma join.
+                eq = f"({av} IS {bv} AND {an} IS {bn})"
+            else:
+                # 3VL: a null cell's value column is NULL, so SQL's own
+                # three-valued =/<> is exactly Kleene unknown.
+                eq = f"({av} = {bv})"
+            if isinstance(condition, cond.Eq):
+                return eq
+            if naive:
+                return f"(NOT {eq})"
+            return f"({av} <> {bv})"
+        op = _ORDER_OPS.get(type(condition))
+        if op is None:
+            raise SQLiteUnsupportedError(
+                f"comparison {type(condition).__name__} has no SQL compilation"
+            )
+        guard = _order_guard(av, bv)
+        if naive:
+            # Order comparisons with a null, and Python TypeErrors from
+            # cross-class comparisons, are simply false.
+            return (
+                f"({an} IS NULL AND {bn} IS NULL AND {guard} AND {av} {op} {bv})"
+            )
+        return (
+            f"(CASE WHEN {an} IS NOT NULL OR {bn} IS NOT NULL THEN NULL"
+            f" WHEN {guard} THEN {av} {op} {bv} ELSE 0 END)"
+        )
+
+
+# ----------------------------------------------------------------------
+# Backend
+# ----------------------------------------------------------------------
+
+class SQLiteBackend:
+    """Execute algebra plans by pushing them into in-memory SQLite.
+
+    Each :meth:`run` call encodes the database once into a fresh
+    in-memory connection (so the backend is trivially thread- and
+    process-safe) and compiles every plan to a single SELECT statement.
+    Plans are optimized with the same :func:`optimize_plan` invocation
+    the interpreter uses, so both backends execute the *same* plan tree.
+    """
+
+    name = "sqlite"
+
+    def run(
+        self,
+        plans: Sequence[ast.Query],
+        database: Database,
+        *,
+        bag: bool = False,
+        condition_mode: str = "naive",
+        optimize: bool = False,
+        stats: bool = False,
+    ) -> list[Relation]:
+        prepared = []
+        schema = database.schema()
+        for plan in plans:
+            if optimize:
+                from ..algebra.optimize import optimize_plan
+
+                stats_provider = None
+                if stats:
+                    from ..algebra.stats import Stats
+
+                    stats_provider = Stats(database)
+                plan = optimize_plan(
+                    plan,
+                    schema,
+                    condition_mode=condition_mode,
+                    bag=bag,
+                    stats=stats_provider,
+                )
+            reason = sqlite_uncompilable_reason(plan)
+            if reason is not None:
+                raise SQLiteUnsupportedError(reason)
+            prepared.append(plan)
+        connection = sqlite3.connect(":memory:")
+        try:
+            compiler = _PlanCompiler(
+                connection, database, bag=bag, condition_mode=condition_mode
+            )
+            results = []
+            for plan in prepared:
+                sql, params, attrs = compiler.compile(plan)
+                fetched = connection.execute(sql, params).fetchall()
+                results.append(self._decode(attrs, fetched, bag))
+            return results
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(attrs: Sequence[str], fetched: Sequence[Sequence[Any]], bag: bool) -> Relation:
+        arity = len(attrs)
+        counter: Counter = Counter()
+        for row in fetched:
+            counter[_decode_row(row, arity)] += row[-1] if bag else 1
+        return Relation.from_counter(attrs, counter)

@@ -109,6 +109,11 @@ class ServerConfig:
     cache_size: int = 1024
     default_strategy: str = "auto"
     default_semantics: str = "set"
+    #: Default execution backend for tenant engines
+    #: (:data:`repro.exec.BACKEND_NAMES`): ``"auto"`` pushes expressible
+    #: algebra plans into SQLite, ``"interpreter"`` forces the
+    #: tree-walking evaluator; per-request ``"backend"`` overrides it.
+    backend: str = "auto"
     #: Server-wide datasets, visible to every tenant (cache still
     #: namespaced per tenant).
     datasets: Mapping[str, Database] = field(default_factory=dict)
@@ -127,7 +132,11 @@ class _Tenant:
     def __init__(self, name: str, server: "EvalServer"):
         self.name = name
         self.cache = NamespacedCacheBackend(server._backend, name)
-        self.engine = Engine(cache=self.cache, default_semantics=server.config.default_semantics)
+        self.engine = Engine(
+            cache=self.cache,
+            default_semantics=server.config.default_semantics,
+            backend=server.config.backend,
+        )
         self.aengine = AsyncEngine(engine=self.engine, pool=server._engine_pool())
 
 
@@ -362,6 +371,8 @@ class EvalServer:
         options: dict[str, Any] = dict(payload.get("options") or {})
         if payload.get("optimize") is not None:
             options["optimize"] = bool(payload["optimize"])
+        if payload.get("backend") is not None:
+            options["backend"] = str(payload["backend"])
         outcome = "error"
         record = None
         try:
@@ -416,7 +427,7 @@ class EvalServer:
             raise ValueError("batch request needs a non-empty 'queries' list")
         shared = {
             key: payload[key]
-            for key in ("db", "strategy", "semantics", "use_cache", "optimize")
+            for key in ("db", "strategy", "semantics", "use_cache", "optimize", "backend")
             if key in payload
         }
         completed = errors = 0
@@ -612,11 +623,18 @@ class _Handler(BaseHTTPRequestHandler):
             elif self.path == "/stats":
                 self._send_json(200, self.eval_server.stats())
             elif self.path == "/strategies":
+                from ..engine.registry import get_strategy
+
                 self._send_json(
                     200,
                     {
                         "strategies": list(Engine.strategies()),
                         "default": self.eval_server.config.default_strategy,
+                        "backends": {
+                            name: list(get_strategy(name).supported_backends)
+                            for name in Engine.strategies()
+                        },
+                        "default_backend": self.eval_server.config.backend,
                     },
                 )
             elif self.path == "/datasets":

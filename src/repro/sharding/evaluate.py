@@ -406,6 +406,35 @@ def _absorb_partials(
             cache.put(task.cache_key, partial)
 
 
+def _merged_backend_metadata(partials: Sequence[ShardPartial]) -> dict[str, Any]:
+    """Aggregate the per-shard backend decisions into one metadata note.
+
+    Merge functions rebuild outcome metadata from scratch, so the
+    execution-backend decision each shard's strategy call recorded
+    (``metadata["backend"]`` — see :mod:`repro.exec`) would be lost.
+    When every shard resolved to the same backend the shared note is
+    reused; shards that diverged (e.g. one fragment held a value the SQL
+    compiler cannot encode) are reported as ``resolved: "mixed"``.
+    """
+    notes = [
+        partial.metadata.get("backend")
+        for partial in partials
+        if partial is not None and partial.metadata
+    ]
+    notes = [note for note in notes if note]
+    if not notes:
+        return {}
+    if len({note.get("resolved") for note in notes}) == 1:
+        return {"backend": dict(notes[0])}
+    return {
+        "backend": {
+            "requested": notes[0].get("requested"),
+            "resolved": "mixed",
+            "reason": "shards resolved different backends",
+        }
+    }
+
+
 def _finish_sharded(
     planned: _PlannedShardedCall,
     normalized: NormalizedQuery,
@@ -443,7 +472,11 @@ def _finish_sharded(
         elapsed=elapsed,
         from_cache=not planned.tasks and count > 0,
         fingerprint=normalized.fingerprint,
-        metadata={**outcome.metadata, "sharding": sharding_meta},
+        metadata={
+            **outcome.metadata,
+            **_merged_backend_metadata(planned.partials),
+            "sharding": sharding_meta,
+        },
     )
 
 

@@ -33,6 +33,7 @@ from repro.engine import (
     EngineError,
     EvaluationStrategy,
     NormalizationError,
+    StrategyCapabilities,
     StrategyOutcome,
     annotate,
     database_fingerprint,
@@ -86,6 +87,10 @@ class TestRegistry:
     def test_custom_strategy_registration_and_removal(self, rs_database):
         @register_strategy("everything-empty", aliases=("nothing",))
         class EmptyStrategy(EvaluationStrategy):
+            capabilities = StrategyCapabilities(
+                semantics=("set",), requires=("algebra", "calculus")
+            )
+
             def run(self, query, database, *, semantics, **options):
                 relation = naive_evaluate_direct(self.require_executable(query), database)
                 empty = type(relation)(relation.attributes)

@@ -437,8 +437,12 @@ def test_auto_shares_cache_entries_with_explicit_calls(db):
 # Contract: shim, introspection, errors
 # ----------------------------------------------------------------------
 class TestCapabilityContract:
-    def test_legacy_attributes_synthesize_capabilities_with_warning(self, db):
-        with pytest.warns(DeprecationWarning, match="legacy"):
+    def test_capability_less_class_is_rejected_at_registration(self):
+        # The PR 5 shim that synthesized a record from plain
+        # supported_semantics/supports_optimize attributes is gone:
+        # registration without a StrategyCapabilities record is an error,
+        # and the class never lands in the registry.
+        with pytest.raises(EngineError, match="declares no"):
 
             @register_strategy("test-legacy")
             class _Legacy(EvaluationStrategy):
@@ -449,20 +453,34 @@ class TestCapabilityContract:
                     options.pop("optimize", None)
                     return StrategyOutcome(answer=Relation(("a",), [(1,)]))
 
+        assert "test-legacy" not in available_strategies()
+
+    def test_capability_record_drives_property_views(self, db):
+        @register_strategy("test-views")
+        class _Views(EvaluationStrategy):
+            capabilities = StrategyCapabilities(
+                semantics=("set", "bag"), requires=("algebra",), optimize=True
+            )
+
+            def run(self, query, database, *, semantics, **options):
+                options.pop("optimize", None)
+                return StrategyOutcome(answer=Relation(("a",), [(1,)]))
+
         try:
-            caps = strategy_capabilities("test-legacy")
+            caps = strategy_capabilities("test-views")
             assert caps.semantics == ("set", "bag")
             assert caps.optimize is True
-            assert caps.requires == ()  # unknown: never auto-selected
-            strat = get_strategy("test-legacy")
+            assert caps.backends == ("interpreter",)
+            strat = get_strategy("test-views")
             assert strat.supported_semantics == ("set", "bag")
             assert strat.supports_optimize is True
+            assert strat.supported_backends == ("interpreter",)
             result = Engine().evaluate(
-                rb.relation("R"), db, strategy="test-legacy", use_cache=False
+                rb.relation("R"), db, strategy="test-views", use_cache=False
             )
             assert result.sorted_rows() == [(1,)]
         finally:
-            unregister_strategy("test-legacy")
+            unregister_strategy("test-views")
 
     def test_capability_declaring_class_registers_without_warning(self):
         with warnings.catch_warnings():
@@ -494,7 +512,10 @@ class TestCapabilityContract:
         naive = description["strategies"]["naive"]
         assert naive["exact_on"] == sorted(EXACT_FRAGMENTS_CWA)
         assert naive["cost"] == "polynomial"
+        assert naive["backends"] == ["interpreter", "sqlite"]
+        assert description["strategies"]["exact-certain"]["backends"] == ["interpreter"]
         assert description["cache"]["backend"] == "MemoryCacheBackend"
+        assert description["defaults"]["backend"] == "auto"
         assert description["defaults"]["auto_exact_budget"] > 0
 
     def test_legacy_supported_semantics_still_gates_evaluation(self, db):

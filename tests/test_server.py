@@ -78,9 +78,27 @@ def sleep_strategy():
 def test_health_strategies_and_unknown_path(client):
     assert client.healthz() == {"status": "ok"}
     assert "naive" in client.strategies()
+    listing = client._request("GET", "/strategies")
+    assert listing["default_backend"] == "auto"
+    assert listing["backends"]["naive"] == ["interpreter", "sqlite"]
+    assert listing["backends"]["approx-libkin16"] == ["interpreter"]
     with pytest.raises(ServerRequestError) as excinfo:
         client._request("GET", "/nope")
     assert excinfo.value.status == 404
+
+
+def test_per_request_backend_override(client):
+    for backend in ("sqlite", "interpreter"):
+        answer = client.query(
+            "SELECT a FROM R",
+            db="toy",
+            strategy="naive",
+            use_cache=False,
+            backend=backend,
+        )
+        assert answer["result"]["rows"] == [[1], [2], [3]]
+        note = answer["result"]["metadata"]["backend"]
+        assert note["requested"] == backend and note["resolved"] == backend
 
 
 def test_query_roundtrip_and_cache_hit(client):
