@@ -1,0 +1,226 @@
+"""E20 — Resilience under injected faults: degradation, breakers, overhead.
+
+Three questions about the resilience layer (`repro.resilience`):
+
+1. **Graceful degradation** — with a 10% per-shard failure rate and
+   ``on_shard_error="degrade"``, what fraction of requests degrade, and
+   is every degraded answer a sound subset of the fault-free certain
+   answer?  Zero requests may outlive their deadline ("no hung
+   requests").
+2. **Circuit breaker** — with SQLite failing hard, how quickly does
+   ``backend="auto"`` trip to the interpreter, and does the breaker
+   recover through its half-open probe once the backend heals?
+3. **Overhead** — what do an armed (never-firing) fault plan, a
+   deadline, and a retry policy cost on the fault-free fast path?
+
+Run under pytest (``python -m pytest benchmarks/bench_resilience.py``)
+or directly as a script::
+
+    python benchmarks/bench_resilience.py            # full sweep
+    python benchmarks/bench_resilience.py --smoke    # tiny config for CI
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import time
+
+# Script mode (`python benchmarks/bench_resilience.py --smoke`) runs
+# without the conftest path hook; mirror it so `import repro` works.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import ResultTable, time_call
+from repro.engine import Engine
+from repro.resilience import (
+    FaultPlan,
+    FaultRule,
+    RetryPolicy,
+    breaker_for,
+    faults_armed,
+    reset_breakers,
+)
+from repro.sharding import ShardedDatabase
+from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
+
+#: Full-size config (a few hundred ms per evaluation) and the CI smoke
+#: config (seed defaults, wiring checks only).
+CONFIG = TpchLiteConfig(customers=20, orders=40, lineitems=60, suppliers=8)
+SMOKE_CONFIG = TpchLiteConfig()
+
+SHARDS = 4
+TIMEOUT = 30.0
+SLACK = 10.0
+
+
+def run_degradation(config: TpchLiteConfig, *, smoke: bool) -> None:
+    database = generate_tpch_lite(config)
+    # q_localsupp is the only CQ in the workload — degradation is
+    # capability-gated to monotone fragments, so it is the one whose
+    # failed shards may be dropped.
+    query = tpch_lite_queries()["q_localsupp"]
+    requests = 10 if smoke else 40
+    with Engine() as engine:
+        sharded = ShardedDatabase.from_database(database, SHARDS)
+        reference = engine.evaluate(query, sharded, strategy="naive", use_cache=False)
+        plan = FaultPlan(
+            [FaultRule(point="shard.task", probability=0.10, error="fatal")],
+            seed=20260808,
+        )
+        ok = degraded = 0
+        max_wall = 0.0
+        with faults_armed(plan):
+            for _ in range(requests):
+                start = time.monotonic()
+                result = engine.evaluate(
+                    query,
+                    sharded,
+                    strategy="naive",
+                    use_cache=False,
+                    timeout=TIMEOUT,
+                    on_shard_error="degrade",
+                    retry=False,
+                )
+                wall = time.monotonic() - start
+                max_wall = max(max_wall, wall)
+                assert wall <= TIMEOUT + SLACK, f"request hung for {wall:.1f}s"
+                note = result.metadata.get("degraded")
+                if note is None:
+                    ok += 1
+                    assert (
+                        result.relation.rows_bag() == reference.relation.rows_bag()
+                    ), "fault-free request differs from reference"
+                else:
+                    degraded += 1
+                    assert note["guarantee"] == "sound-subset"
+                    assert result.relation.rows_set() <= reference.relation.rows_set(), (
+                        "degraded answer is not a subset of the fault-free answer"
+                    )
+        table = ResultTable(
+            "E20: graceful degradation at 10% shard failure rate "
+            f"({SHARDS} shards, naïve strategy)",
+            ["requests", "clean", "degraded", "hung", "max wall (ms)"],
+        )
+        table.add_row(requests, ok, degraded, 0, max_wall * 1e3)
+        table.print()
+        assert ok + degraded == requests
+        if not smoke:
+            # At p=0.10 per shard task the degraded share must be visible
+            # but the service must stay predominantly healthy.
+            assert degraded >= 1, "fault schedule never bit"
+            assert ok >= requests // 2, (ok, degraded)
+
+
+def run_breaker(config: TpchLiteConfig, *, smoke: bool) -> None:
+    database = generate_tpch_lite(config)
+    query = tpch_lite_queries()["q_select"]
+    reset_breakers()
+    try:
+        breaker = breaker_for(
+            "naive", "sqlite", failure_threshold=3, cooldown=0.2
+        )
+        plan = FaultPlan(
+            [FaultRule(point="sqlite.run", probability=1.0, error="operational")],
+            seed=1,
+        )
+        table = ResultTable(
+            "E20: circuit breaker — SQLite outage, trip, half-open recovery",
+            ["request", "backend resolved", "breaker state"],
+        )
+        with Engine() as engine:
+            with faults_armed(plan):
+                for index in range(4):
+                    result = engine.evaluate(
+                        query,
+                        database,
+                        strategy="naive",
+                        backend="auto",
+                        use_cache=False,
+                    )
+                    resolved = result.metadata["backend"]["resolved"]
+                    table.add_row(f"outage #{index + 1}", resolved, breaker.state)
+                    assert resolved == "interpreter"
+            assert breaker.state == "open", breaker.snapshot()
+            time.sleep(0.25)  # cool-down elapses; next request is the probe
+            result = engine.evaluate(
+                query, database, strategy="naive", backend="auto", use_cache=False
+            )
+            table.add_row("post-heal", result.metadata["backend"]["resolved"], breaker.state)
+            table.print()
+            assert result.metadata["backend"]["resolved"] == "sqlite"
+            assert breaker.state == "closed", breaker.snapshot()
+            assert breaker.snapshot()["trips"] >= 1
+    finally:
+        reset_breakers()
+
+
+def run_overhead(config: TpchLiteConfig, *, smoke: bool) -> None:
+    database = generate_tpch_lite(config)
+    query = tpch_lite_queries()["q_join"]
+    repeat = 3 if smoke else 10
+    idle_plan = FaultPlan(
+        [FaultRule(point="never.fires", probability=1.0)], seed=0
+    )
+    with Engine() as engine:
+        def baseline():
+            return engine.evaluate(query, database, strategy="naive", use_cache=False)
+
+        def with_deadline():
+            return engine.evaluate(
+                query, database, strategy="naive", use_cache=False, timeout=TIMEOUT
+            )
+
+        def with_retry():
+            return engine.evaluate(
+                query, database, strategy="naive", use_cache=False,
+                retry=RetryPolicy(max_attempts=3),
+            )
+
+        base_seconds, _ = time_call(baseline, repeat=repeat)
+        deadline_seconds, _ = time_call(with_deadline, repeat=repeat)
+        retry_seconds, _ = time_call(with_retry, repeat=repeat)
+        with faults_armed(idle_plan):
+            armed_seconds, _ = time_call(baseline, repeat=repeat)
+
+        table = ResultTable(
+            "E20: fault-free fast-path overhead (naïve strategy)",
+            ["configuration", "wall (ms)", "vs baseline"],
+        )
+        for name, seconds in (
+            ("baseline", base_seconds),
+            ("deadline armed", deadline_seconds),
+            ("retry policy armed", retry_seconds),
+            ("fault plan armed (never fires)", armed_seconds),
+        ):
+            table.add_row(name, seconds * 1e3, f"{seconds / base_seconds:.2f}x")
+        table.print()
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_degradation_is_sound_and_bounded():
+    run_degradation(SMOKE_CONFIG, smoke=True)
+
+
+def test_breaker_trips_and_recovers():
+    run_breaker(SMOKE_CONFIG, smoke=True)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E20 resilience benchmark")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload, correctness checks only (CI wiring)",
+    )
+    args = parser.parse_args()
+    config = SMOKE_CONFIG if args.smoke else CONFIG
+    run_degradation(config, smoke=args.smoke)
+    run_breaker(config, smoke=args.smoke)
+    run_overhead(config, smoke=args.smoke)
+    print("\nE20 ok" + (" (smoke)" if args.smoke else ""))

@@ -4,11 +4,62 @@ The project is normally installed with ``pip install -e .``; in fully
 offline environments (no ``wheel`` available for PEP 660 editable
 installs) this conftest keeps ``import repro`` working for the test and
 benchmark suites by putting ``src/`` on ``sys.path``.
+
+It also provides a minimal stand-in for ``pytest-timeout``: the
+resilience tests mark themselves ``@pytest.mark.timeout(...)`` so a hung
+request fails fast instead of wedging the suite.  CI installs the real
+plugin; offline environments fall back to a SIGALRM-based hook (main
+thread only — ample for the way the marker is used here).
 """
 
+import signal
 import sys
 from pathlib import Path
+
+import pytest
 
 SRC = Path(__file__).resolve().parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+try:
+    import pytest_timeout  # noqa: F401 - the real plugin takes over
+
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the budget",
+    )
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        seconds = None
+        if marker is not None:
+            seconds = float(
+                marker.kwargs.get("timeout", marker.args[0] if marker.args else 0)
+            )
+        if not seconds or seconds <= 0:
+            yield
+            return
+
+        def _expired(signum, frame):
+            raise TimeoutError(
+                f"test exceeded its {seconds:g}s timeout (SIGALRM fallback)"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _expired)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)

@@ -37,6 +37,7 @@ from ..datamodel.schema import DatabaseSchema
 from ..datamodel.unification import unifiable
 from ..datamodel.values import is_const, is_null, value_sort_key
 from ..mvl.truthvalues import TRUE
+from ..resilience import active_deadline
 from . import ast
 from .conditions import Condition
 
@@ -130,12 +131,16 @@ class Evaluator:
         self.stats = stats
         self._memo: dict[ast.Query, Relation] = {}
         self._memo_database: Database | None = None
+        # The ambient wall-clock budget (see repro.resilience), refreshed
+        # per evaluate() call; None when the caller set no deadline.
+        self._deadline = None
 
     # ------------------------------------------------------------------
     # Entry points
     # ------------------------------------------------------------------
     def evaluate(self, query: ast.Query, database: Database) -> Relation:
         """Evaluate ``query`` on ``database`` and return the result relation."""
+        self._deadline = active_deadline()
         schema = database.schema()
         if self.optimize:
             from .optimize import optimize_plan
@@ -169,6 +174,11 @@ class Evaluator:
         cached = self._memo.get(query)
         if cached is not None:
             return cached
+        if self._deadline is not None:
+            # One clock read per plan node: cheap against any operator's
+            # work, and it bounds every recursion (including the Figure 2
+            # rewritings' deep towers) without instrumenting each rule.
+            self._deadline.check(type(query).__name__)
         method = getattr(self, f"_eval_{type(query).__name__}", None)
         if method is None:
             raise TypeError(f"no evaluation rule for {type(query).__name__}")
@@ -196,9 +206,10 @@ class Evaluator:
         if arity == 0:
             return Relation((), [()])
         _check_enumeration_size(len(domain) ** arity, f"Dom^{arity}")
-        counter = Counter(
-            {row: 1 for row in itertools.product(domain, repeat=arity)}
-        )
+        rows = itertools.product(domain, repeat=arity)
+        if self._deadline is not None:
+            rows = self._deadline.ticked(rows, where=f"Dom^{arity}")
+        counter = Counter({row: 1 for row in rows})
         return Relation.from_counter(query.attributes, counter)
 
     def _eval_ConstrainedDomainRelation(
@@ -252,7 +263,12 @@ class Evaluator:
         positions = [class_of[a] for a in attrs]
         condition = query.condition
         counter: Counter = Counter()
-        for combo in itertools.product(*candidates):
+        combos = itertools.product(*candidates)
+        if self._deadline is not None:
+            combos = self._deadline.ticked(
+                combos, where=f"constrained Dom^{len(attrs)}"
+            )
+        for combo in combos:
             row = tuple(combo[p] for p in positions)
             if self._condition_holds(condition, row, index):
                 counter[row] = 1

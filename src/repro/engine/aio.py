@@ -66,12 +66,21 @@ import concurrent.futures
 import contextlib
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..datamodel.database import Database
+from ..resilience import (
+    Deadline,
+    DeadlineExceeded,
+    RetryPolicy,
+    deadline_scope,
+    resolve_deadline,
+    resolve_retry,
+)
 from .cache import CacheStats, database_fingerprint, evaluation_cache_key
 from .core import (
+    _ON_SHARD_ERROR,
     Engine,
     _presharded_database,
     _with_backend_note,
@@ -120,6 +129,10 @@ class EngineTask:
     strategy: str
     semantics: str
     options: tuple[tuple[str, Any], ...] = ()
+    #: Wall-clock budget carried to the worker (compare=False like
+    #: :class:`~repro.sharding.executor.ShardTask`: a deadline changes
+    #: whether a task finishes, never what it computes).
+    deadline: Deadline | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -140,12 +153,13 @@ def run_engine_task(task: EngineTask) -> EngineTaskResult:
     """
     strategy = get_strategy(task.strategy)
     start = time.perf_counter()
-    outcome = strategy.run(
-        task.normalized,
-        task.database,
-        semantics=task.semantics,
-        **dict(task.options),
-    )
+    with deadline_scope(task.deadline):
+        outcome = strategy.run(
+            task.normalized,
+            task.database,
+            semantics=task.semantics,
+            **dict(task.options),
+        )
     return EngineTaskResult(outcome=outcome, elapsed=time.perf_counter() - start)
 
 
@@ -175,6 +189,9 @@ class AsyncEngine:
         stats: bool = True,
         backend: str = "auto",
         auto_exact_budget: int | None = None,
+        timeout: float | Deadline | None = None,
+        on_shard_error: str = "raise",
+        retry: RetryPolicy | bool | None = None,
     ):
         self._owns_engine = engine is None
         self._engine = engine or Engine(
@@ -188,6 +205,9 @@ class AsyncEngine:
             stats=stats,
             backend=backend,
             auto_exact_budget=auto_exact_budget,
+            timeout=timeout,
+            on_shard_error=on_shard_error,
+            retry=retry,
         )
         if isinstance(pool, concurrent.futures.Executor):
             self._pool: concurrent.futures.Executor | None = pool
@@ -312,6 +332,68 @@ class AsyncEngine:
                 self._pool_executor(), run_engine_task, task
             )
 
+    def _reset_pool(self) -> None:
+        """Discard a broken owned pool so the next dispatch respawns it."""
+        if self._owns_pool and self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    async def _dispatch_resilient(
+        self,
+        task: EngineTask,
+        *,
+        deadline: Deadline | None,
+        retry: RetryPolicy | None,
+    ) -> tuple[EngineTaskResult, int]:
+        """Dispatch with a deadline-bounded wait and transient retries.
+
+        The worker honours ``task.deadline`` itself (via the evaluator's
+        loop checks), but a worker stuck in native code — or a pool whose
+        process died mid-task — would never come back; ``asyncio.wait_for``
+        caps the wait from the caller's side.  Transient dispatch
+        failures (a killed pool worker raises ``BrokenProcessPool``) are
+        retried under ``retry``, respawning an owned pool first.
+        """
+        attempts = 0
+        while True:
+            try:
+                if deadline is None:
+                    return await self._dispatch(task), attempts
+                try:
+                    return (
+                        await asyncio.wait_for(
+                            self._dispatch(task), timeout=deadline.remaining()
+                        ),
+                        attempts,
+                    )
+                except DeadlineExceeded:
+                    raise
+                except TimeoutError:
+                    raise DeadlineExceeded(
+                        f"evaluation exceeded its {deadline.budget:.3f}s "
+                        "deadline (async dispatch)"
+                    ) from None
+            except DeadlineExceeded:
+                raise
+            except Exception as exc:
+                attempts += 1
+                if (
+                    retry is None
+                    or attempts >= retry.max_attempts
+                    or not retry.is_retryable(exc)
+                    or (deadline is not None and deadline.expired)
+                ):
+                    raise
+                if any(
+                    klass.__name__ in ("BrokenProcessPool", "BrokenExecutor")
+                    for klass in type(exc).__mro__
+                ):
+                    self._reset_pool()
+                pause = retry.delay(attempts)
+                if deadline is not None:
+                    pause = min(pause, max(0.0, deadline.remaining()))
+                await asyncio.sleep(pause)
+
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
@@ -330,16 +412,33 @@ class AsyncEngine:
         optimize: bool | None = None,
         stats: bool | None = None,
         backend: str | None = None,
+        timeout: float | Deadline | None = None,
+        on_shard_error: str | None = None,
+        retry: RetryPolicy | bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Awaitable :meth:`repro.engine.Engine.evaluate`, same contract.
 
         The result is identical to the sync engine's (worker-measured
         ``elapsed`` aside); concurrent calls overlap up to
-        ``max_concurrency`` and the pool's worker count.
+        ``max_concurrency`` and the pool's worker count.  ``timeout``,
+        ``on_shard_error`` and ``retry`` behave exactly as on the sync
+        engine; the deadline additionally bounds the wait on the worker
+        pool, so a wedged worker cannot hold the caller past its budget.
         """
         self._bind_loop()
         engine = self._engine
+        deadline = resolve_deadline(timeout, engine.default_timeout)
+        if on_shard_error is None:
+            on_shard_error = engine.default_on_shard_error
+        elif on_shard_error not in _ON_SHARD_ERROR:
+            raise EngineError(
+                f"unknown on_shard_error {on_shard_error!r}; "
+                f"expected one of {_ON_SHARD_ERROR}"
+            )
+        retry_policy = (
+            engine.default_retry if retry is None else resolve_retry(retry)
+        )
         strat, semantics, normalized, decision = engine._prepare_call(
             query, database, strategy, semantics
         )
@@ -361,6 +460,8 @@ class AsyncEngine:
                     use_cache=use_cache,
                     database_fp=database_fp,
                     options=options,
+                    deadline=deadline,
+                    retry=retry_policy,
                 )
 
             result = await evaluate_sharded_async(
@@ -374,6 +475,9 @@ class AsyncEngine:
                 database_fp=database_fp,
                 evaluate_coalesced=coalesced,
                 limiter=self._limit(),
+                deadline=deadline,
+                on_shard_error=on_shard_error,
+                retry=retry_policy,
             )
         else:
             result = await self._evaluate_monolithic(
@@ -384,6 +488,8 @@ class AsyncEngine:
                 use_cache=use_cache,
                 database_fp=database_fp,
                 options=options,
+                deadline=deadline,
+                retry=retry_policy,
             )
         result = _with_plan_metadata(result, decision)
         return _with_backend_note(result, strat, backend)
@@ -398,11 +504,16 @@ class AsyncEngine:
         use_cache: bool,
         database_fp: str | None,
         options: Mapping[str, Any],
+        deadline: Deadline | None = None,
+        retry: RetryPolicy | None = None,
     ) -> QueryResult:
         key = None
         if use_cache and self._engine._cache.enabled:
             if database_fp is None:
                 database_fp = database_fingerprint(database)
+            # The deadline and retry policy are deliberately not part of
+            # the cache (or coalescing) key: they change whether a
+            # computation finishes, never what it computes.
             key = evaluation_cache_key(
                 normalized.fingerprint, database_fp, strat.name, semantics, options
             )
@@ -411,7 +522,10 @@ class AsyncEngine:
                 return cached.as_cached()
 
         if key is None:
-            return await self._compute(normalized, database, strat, semantics, options, None)
+            return await self._compute(
+                normalized, database, strat, semantics, options, None,
+                deadline=deadline, retry=retry,
+            )
 
         # Single-flight: concurrent evaluations of one key share one
         # computation.  The shared computation runs in its own task
@@ -425,7 +539,10 @@ class AsyncEngine:
             created = True
             flight = _InFlight(
                 asyncio.get_running_loop().create_task(
-                    self._compute(normalized, database, strat, semantics, options, key)
+                    self._compute(
+                        normalized, database, strat, semantics, options, key,
+                        deadline=deadline, retry=retry,
+                    )
                 )
             )
             self._pending[key] = flight
@@ -461,6 +578,9 @@ class AsyncEngine:
         semantics: str,
         options: Mapping[str, Any],
         key: Hashable,
+        *,
+        deadline: Deadline | None = None,
+        retry: RetryPolicy | None = None,
     ) -> QueryResult:
         task = EngineTask(
             normalized=normalized,
@@ -468,9 +588,17 @@ class AsyncEngine:
             strategy=strat.name,
             semantics=semantics,
             options=tuple(options.items()),
+            deadline=deadline,
         )
-        computed = await self._dispatch(task)
+        computed, retries = await self._dispatch_resilient(
+            task, deadline=deadline, retry=retry
+        )
         outcome = computed.outcome
+        metadata = dict(outcome.metadata)
+        if retries:
+            resilience = dict(metadata.get("resilience") or {})
+            resilience["dispatch_retries"] = retries
+            metadata["resilience"] = resilience
         result = QueryResult(
             strategy=strat.name,
             semantics=semantics,
@@ -482,7 +610,7 @@ class AsyncEngine:
             elapsed=computed.elapsed,
             from_cache=False,
             fingerprint=normalized.fingerprint,
-            metadata=dict(outcome.metadata),
+            metadata=metadata,
         )
         if key is not None:
             self._engine._cache.put(key, result)
@@ -553,6 +681,9 @@ class AsyncEngine:
         optimize: bool | None = None,
         stats: bool | None = None,
         backend: str | None = None,
+        timeout: float | Deadline | None = None,
+        on_shard_error: str | None = None,
+        retry: RetryPolicy | bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run every applicable strategy concurrently on one query.
@@ -561,9 +692,14 @@ class AsyncEngine:
         strategy runs fan out together instead of one after another.
         Inapplicable strategies (raised either before dispatch or inside
         a worker) are silently omitted under ``skip_inapplicable``.
+        ``timeout`` is one shared wall-clock budget: every strategy runs
+        under the same deadline, as in the sync ``compare``.
         """
         self._bind_loop()
         engine = self._engine
+        # One deadline for the whole comparison, resolved up front so
+        # strategies racing concurrently still share a single budget.
+        deadline = resolve_deadline(timeout, engine.default_timeout)
         names = tuple(strategies) if strategies is not None else self.strategies()
         per_strategy = options or {}
         sharded = engine._sharded_database(database, shards, partitioner)
@@ -595,6 +731,9 @@ class AsyncEngine:
                     optimize=resolved_optimize,
                     stats=resolved_stats,
                     backend=resolved_backend,
+                    timeout=deadline,
+                    on_shard_error=on_shard_error,
+                    retry=retry,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -640,6 +779,9 @@ class AsyncSession:
         stats: bool = True,
         backend: str = "auto",
         auto_exact_budget: int | None = None,
+        timeout: float | Deadline | None = None,
+        on_shard_error: str = "raise",
+        retry: RetryPolicy | bool | None = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
@@ -655,6 +797,9 @@ class AsyncSession:
             stats=stats,
             backend=backend,
             auto_exact_budget=auto_exact_budget,
+            timeout=timeout,
+            on_shard_error=on_shard_error,
+            retry=retry,
         )
         self._executor = executor
         self._shards = shards

@@ -48,6 +48,7 @@ from typing import Any, Hashable
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..datamodel.values import Null
+from ..resilience import InjectedFault, fault_point
 from .errors import EngineError
 
 __all__ = [
@@ -155,6 +156,14 @@ class MemoryCacheBackend(CacheBackend):
         return self.max_size > 0
 
     def get(self, key: Hashable) -> Any | None:
+        try:
+            fault_point("cache.get", backend="memory")
+        except InjectedFault:
+            # The cache contract is best-effort: a failing backend is a
+            # miss, never an error — the evaluation recomputes.
+            with self._lock:
+                self._misses += 1
+            return None
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -167,6 +176,10 @@ class MemoryCacheBackend(CacheBackend):
     def put(self, key: Hashable, value: Any) -> None:
         if not self.enabled:
             return
+        try:
+            fault_point("cache.put", backend="memory")
+        except InjectedFault:
+            return  # best-effort store: a failing backend drops the entry
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -283,8 +296,13 @@ class DiskCacheBackend(CacheBackend):
     def get(self, key: Hashable) -> Any | None:
         entry = self._entry_path(key)
         try:
+            fault_point("cache.get", backend="disk")
             payload = entry.read_bytes()
             value = pickle.loads(payload)
+        except InjectedFault:
+            with self._lock:
+                self._misses += 1
+            return None
         except (OSError, pickle.PickleError, EOFError, AttributeError, ImportError):
             # Missing, torn, or written by an incompatible version
             # (including classes whose module has moved or vanished):
@@ -310,13 +328,14 @@ class DiskCacheBackend(CacheBackend):
             return  # unpicklable results simply stay uncached
         tmp_name = None
         try:
+            fault_point("cache.put", backend="disk")
             fd, tmp_name = tempfile.mkstemp(dir=self.path, suffix=".tmp")
             with os.fdopen(fd, "wb") as tmp:
                 tmp.write(payload)
             fresh = not entry.exists()
             os.replace(tmp_name, entry)
             tmp_name = None
-        except OSError:
+        except (OSError, InjectedFault):
             return
         finally:
             if tmp_name is not None:  # replace failed: don't leak the temp

@@ -33,6 +33,13 @@ from dataclasses import replace
 
 from ..datamodel.database import Database
 from ..exec import interpreter_note, validate_backend
+from ..resilience import (
+    Deadline,
+    RetryPolicy,
+    deadline_scope,
+    resolve_deadline,
+    resolve_retry,
+)
 from .cache import (
     CacheBackend,
     CacheStats,
@@ -49,6 +56,7 @@ from .result import QueryResult
 __all__ = ["Engine", "Session", "default_engine", "evaluate"]
 
 _SEMANTICS = ("set", "bag")
+_ON_SHARD_ERROR = ("raise", "retry", "degrade")
 
 
 class Engine:
@@ -67,6 +75,9 @@ class Engine:
         stats: bool = True,
         backend: str = "auto",
         auto_exact_budget: int | None = None,
+        timeout: float | None = None,
+        on_shard_error: str = "raise",
+        retry: Any = None,
     ):
         if default_semantics not in _SEMANTICS:
             raise EngineError(
@@ -75,6 +86,11 @@ class Engine:
         validate_backend(backend)
         if shards is not None and shards < 0:
             raise EngineError("shards must be a non-negative integer or None")
+        if on_shard_error not in _ON_SHARD_ERROR:
+            raise EngineError(
+                f"unknown on_shard_error {on_shard_error!r}; "
+                f"expected one of {_ON_SHARD_ERROR}"
+            )
         self.default_semantics = default_semantics
         self.default_shards = shards
         self.default_executor = executor
@@ -105,6 +121,21 @@ class Engine:
         #: pick ``exact-certain``; ``None`` uses the planner default
         #: (:data:`repro.engine.planner.DEFAULT_EXACT_BUDGET`).
         self.auto_exact_budget = auto_exact_budget
+        #: Default wall-clock budget in seconds for every ``evaluate``
+        #: call (``None`` = unbounded); per-call ``timeout=`` overrides.
+        #: See :mod:`repro.resilience` — evaluations that blow the
+        #: budget raise :class:`~repro.resilience.DeadlineExceeded`.
+        self.default_timeout = timeout
+        #: What a failed shard does to a sharded evaluation: ``"raise"``
+        #: fails the request, ``"retry"`` retries transient failures
+        #: before failing, ``"degrade"`` additionally drops failed
+        #: shards and returns the surviving merge when the query's
+        #: fragment makes that a sound under-approximation.
+        self.default_on_shard_error = on_shard_error
+        #: The engine's :class:`~repro.resilience.RetryPolicy` for
+        #: transient failures (``None``/``True`` = the package default,
+        #: ``False`` = no retries).
+        self.default_retry = resolve_retry(retry)
         #: The result-cache backend: the in-memory LRU by default, a
         #: persistent one with ``cache="disk:/path"`` or a
         #: :class:`~repro.engine.cache.CacheBackend` instance.
@@ -154,6 +185,17 @@ class Engine:
                     default_exact_budget()
                     if self.auto_exact_budget is None
                     else self.auto_exact_budget
+                ),
+                "timeout": self.default_timeout,
+                "on_shard_error": self.default_on_shard_error,
+                "retry": (
+                    None
+                    if self.default_retry is None
+                    else {
+                        "max_attempts": self.default_retry.max_attempts,
+                        "base_delay": self.default_retry.base_delay,
+                        "max_delay": self.default_retry.max_delay,
+                    }
                 ),
             },
         }
@@ -209,6 +251,9 @@ class Engine:
         optimize: bool | None = None,
         stats: bool | None = None,
         backend: str | None = None,
+        timeout: float | Deadline | None = None,
+        on_shard_error: str | None = None,
+        retry: RetryPolicy | bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Evaluate ``query`` on ``database`` with the named strategy.
@@ -250,11 +295,44 @@ class Engine:
         :mod:`repro.engine.planner`.  The chosen strategy evaluates
         through the ordinary path (cache keys included), and the
         decision is recorded under ``result.metadata["plan"]``.
+
+        ``timeout`` is a wall-clock budget in seconds (or an existing
+        :class:`~repro.resilience.Deadline`, so one deadline can bound a
+        whole batch); when it runs out the evaluation aborts with
+        :class:`~repro.resilience.DeadlineExceeded` — at evaluator plan
+        nodes, inside ``Dom^k`` enumerations, in the SQLite backend's
+        progress handler, and at shard fan-out boundaries.  Deadlines
+        never enter cache keys: a result computed under a deadline is
+        the same result.
+
+        ``on_shard_error`` governs sharded evaluation when a shard
+        fails: ``"raise"`` (default) propagates the failure,
+        ``"retry"`` retries transient failures per the ``retry`` policy
+        first, ``"degrade"`` additionally drops shards that still fail
+        and merges the survivors — allowed only where the query's
+        fragment (CQ/UCQ, monotone) makes the subset merge a sound
+        under-approximation, recorded in
+        ``result.metadata["degraded"]`` with guarantee
+        ``"sound-subset"``.
         """
         strat, semantics, normalized, decision = self._prepare_call(
             query, database, strategy, semantics
         )
         options = self._resolve_options(strat, optimize, stats, backend, options)
+        deadline = resolve_deadline(timeout, self.default_timeout)
+        if on_shard_error is None:
+            on_shard_error = self.default_on_shard_error
+        elif on_shard_error not in _ON_SHARD_ERROR:
+            raise EngineError(
+                f"unknown on_shard_error {on_shard_error!r}; "
+                f"expected one of {_ON_SHARD_ERROR}"
+            )
+        retry_policy = self.default_retry if retry is None else resolve_retry(retry)
+        if deadline is not None:
+            # Admission check: a request whose budget is already gone must
+            # fail here, not race the backend (a tiny SQLite statement can
+            # finish before the progress handler ever fires).
+            deadline.check("evaluation admission")
         sharded = self._sharded_database(database, shards, partitioner)
         if sharded is not None:
             from ..sharding.evaluate import evaluate_sharded
@@ -268,6 +346,9 @@ class Engine:
                 executor=self._shard_executor(executor),
                 cache=self._cache if use_cache and self._cache.enabled else None,
                 database_fp=database_fp,
+                deadline=deadline,
+                on_shard_error=on_shard_error,
+                retry=retry_policy,
                 evaluate_coalesced=lambda: self._evaluate_monolithic(
                     normalized,
                     sharded,
@@ -276,6 +357,7 @@ class Engine:
                     use_cache=use_cache,
                     database_fp=database_fp,
                     options=options,
+                    deadline=deadline,
                 ),
             )
         else:
@@ -287,6 +369,7 @@ class Engine:
                 use_cache=use_cache,
                 database_fp=database_fp,
                 options=options,
+                deadline=deadline,
             )
         result = _with_plan_metadata(result, decision)
         return _with_backend_note(result, strat, backend)
@@ -426,6 +509,7 @@ class Engine:
         use_cache: bool,
         database_fp: str | None,
         options: Mapping[str, Any],
+        deadline: Deadline | None = None,
     ) -> QueryResult:
         key = None
         if use_cache and self._cache.enabled:
@@ -439,7 +523,12 @@ class Engine:
                 return cached.as_cached()
 
         start = time.perf_counter()
-        outcome = strat.run(normalized, database, semantics=semantics, **options)
+        # The deadline travels implicitly (context variable), never in
+        # ``options``: it must not reach strategy option validation or
+        # the cache key above.  A DeadlineExceeded propagates before the
+        # cache put below, so partial work never poisons the cache.
+        with deadline_scope(deadline):
+            outcome = strat.run(normalized, database, semantics=semantics, **options)
         elapsed = time.perf_counter() - start
         result = QueryResult(
             strategy=strat.name,
@@ -517,6 +606,9 @@ class Engine:
         optimize: bool | None = None,
         stats: bool | None = None,
         backend: str | None = None,
+        timeout: float | Deadline | None = None,
+        on_shard_error: str | None = None,
+        retry: RetryPolicy | bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run several strategies on the same query, keyed by strategy name.
@@ -525,9 +617,18 @@ class Engine:
         With ``skip_inapplicable`` (the default), strategies that cannot
         consume the query's frontend are silently omitted — handy when
         comparing an SQL query that only some strategies can lower.
+
+        ``timeout`` bounds the *whole* comparison: the budget is
+        resolved to one deadline up front and shared by every strategy,
+        so a slow strategy cannot starve the rest of the wall clock it
+        was promised.  A blown deadline raises
+        :class:`~repro.resilience.DeadlineExceeded` — it is an
+        operational failure, never skipped like an inapplicable
+        strategy.
         """
         names = tuple(strategies) if strategies is not None else self.strategies()
         per_strategy = options or {}
+        deadline = resolve_deadline(timeout, self.default_timeout)
         sharded = self._sharded_database(database, shards, partitioner)
         if sharded is not None:
             database = sharded
@@ -557,6 +658,9 @@ class Engine:
                     optimize=resolved_optimize,
                     stats=resolved_stats,
                     backend=resolved_backend,
+                    timeout=deadline,
+                    on_shard_error=on_shard_error,
+                    retry=retry,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -658,6 +762,9 @@ class Session:
         stats: bool = True,
         backend: str = "auto",
         auto_exact_budget: int | None = None,
+        timeout: float | None = None,
+        on_shard_error: str = "raise",
+        retry: Any = None,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
@@ -670,6 +777,9 @@ class Session:
             stats=stats,
             backend=backend,
             auto_exact_budget=auto_exact_budget,
+            timeout=timeout,
+            on_shard_error=on_shard_error,
+            retry=retry,
         )
         # Per-session sharding config, honoured even on a shared engine
         # and carried across with_database().

@@ -39,6 +39,7 @@ from typing import Any, Hashable
 
 from multiprocessing import shared_memory
 
+from ..resilience import InjectedFault, fault_point
 from .cache import CacheBackend, CacheStats
 
 __all__ = ["SharedMemoryCacheBackend"]
@@ -102,12 +103,18 @@ class SharedMemoryCacheBackend(CacheBackend):
 
     @staticmethod
     def _read(segment: shared_memory.SharedMemory) -> Any | None:
-        (length,) = _LEN.unpack_from(segment.buf, 0)
-        if length == 0 or length + _LEN.size > segment.size:
-            return None  # mid-write or corrupt: a miss, never an error
         try:
-            return pickle.loads(bytes(segment.buf[_LEN.size:_LEN.size + length]))
-        except (pickle.PickleError, EOFError, AttributeError, ImportError):
+            (length,) = _LEN.unpack_from(segment.buf, 0)
+            if length == 0 or length + _LEN.size > segment.size:
+                return None  # mid-write or corrupt: a miss, never an error
+            payload = bytes(segment.buf[_LEN.size:_LEN.size + length])
+        except (struct.error, ValueError, IndexError, OSError):
+            # Racing the owner: a segment unlinked (or still zero-sized)
+            # between attach and read leaves a dead or undersized buffer.
+            return None
+        try:
+            return pickle.loads(payload)
+        except Exception:  # noqa: BLE001 - torn payloads raise anything
             return None
 
     # ------------------------------------------------------------------
@@ -120,6 +127,12 @@ class SharedMemoryCacheBackend(CacheBackend):
     def get(self, key: Hashable) -> Any | None:
         name = self._segment_name(key)
         value = None
+        try:
+            fault_point("cache.get", backend="shm")
+        except InjectedFault:
+            with self._lock:
+                self._misses += 1
+            return None
         with self._lock:
             segment = self._owned.get(name)
             if segment is not None:
@@ -128,10 +141,13 @@ class SharedMemoryCacheBackend(CacheBackend):
                     self._owned.move_to_end(name)
         if value is None and not self._closed:
             # Not ours (or torn): attach by name — another process with
-            # the same prefix may have written it.
+            # the same prefix may have written it.  The attach itself can
+            # race the owner's unlink (FileNotFoundError) or catch a
+            # zero-sized segment mid-create (ValueError from mmap); both
+            # are misses, never errors.
             try:
                 segment = shared_memory.SharedMemory(name=name)
-            except (FileNotFoundError, OSError):
+            except (FileNotFoundError, OSError, ValueError):
                 segment = None
             if segment is not None:
                 with _PROCESS_OWNED_LOCK:
@@ -141,7 +157,10 @@ class SharedMemoryCacheBackend(CacheBackend):
                 try:
                     value = self._read(segment)
                 finally:
-                    segment.close()
+                    try:
+                        segment.close()
+                    except (OSError, BufferError):
+                        pass
         with self._lock:
             if value is None:
                 self._misses += 1
@@ -152,6 +171,10 @@ class SharedMemoryCacheBackend(CacheBackend):
     def put(self, key: Hashable, value: Any) -> None:
         if not self.enabled:
             return
+        try:
+            fault_point("cache.put", backend="shm")
+        except InjectedFault:
+            return  # best-effort store: an injected fault drops the entry
         name = self._segment_name(key)
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)

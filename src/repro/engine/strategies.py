@@ -240,6 +240,7 @@ class NaiveStrategy(EvaluationStrategy):
                 condition_mode="naive",
                 optimize=optimize,
                 stats=stats,
+                strategy=self.name,
             )
             relation = execution.relations[0]
             backend_meta = execution.as_metadata()
@@ -417,6 +418,7 @@ class Guagliardo16Strategy(EvaluationStrategy):
             backend=backend,
             optimize=optimize,
             stats=stats,
+            strategy=self.name,
         )
         certain, possible = execution.relations
         annotated = annotate(certain, Certainty.CERTAIN) + tuple(

@@ -31,6 +31,12 @@ from ..algebra.evaluator import Evaluator
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..engine.errors import EngineError
+from ..resilience import (
+    DeadlineExceeded,
+    RetryPolicy,
+    active_deadline,
+    breaker_for,
+)
 from .sqlite_backend import (
     SQLiteBackend,
     SQLiteUnsupportedError,
@@ -107,13 +113,20 @@ class PlanExecution:
     requested: str
     resolved: str
     reason: str
+    #: Transient-failure retries spent producing the relations (0 on the
+    #: happy path; surfaced in metadata only when non-zero so existing
+    #: metadata comparisons stay stable).
+    retries: int = 0
 
-    def as_metadata(self) -> dict[str, str]:
-        return {
+    def as_metadata(self) -> dict[str, object]:
+        metadata: dict[str, object] = {
             "requested": self.requested,
             "resolved": self.resolved,
             "reason": self.reason,
         }
+        if self.retries:
+            metadata["retries"] = self.retries
+        return metadata
 
 
 def interpreter_note(requested: str, reason: str) -> dict[str, str]:
@@ -131,6 +144,14 @@ def interpreter_note(requested: str, reason: str) -> dict[str, str]:
     return {"requested": requested, "resolved": "interpreter", "reason": reason}
 
 
+#: Backoff for transient SQLite failures (``OperationalError``: a locked
+#: or interrupted connection, an injected fault).  Deliberately tiny —
+#: one quick second chance before the circuit breaker hears about it.
+_SQLITE_RETRY = RetryPolicy(
+    max_attempts=2, base_delay=0.01, max_delay=0.1, retryable_names=("OperationalError",)
+)
+
+
 def execute_plans(
     plans: Sequence[ast.Query],
     database: Database,
@@ -140,6 +161,7 @@ def execute_plans(
     condition_mode: str = "naive",
     optimize: bool = False,
     stats: bool = False,
+    strategy: str | None = None,
 ) -> PlanExecution:
     """Execute ``plans`` on the requested backend, resolving ``"auto"``.
 
@@ -147,14 +169,24 @@ def execute_plans(
     expressible and the data encodes, falling back to the interpreter
     (with the reason recorded) otherwise; an explicit ``"sqlite"`` that
     cannot be honoured raises :class:`~repro.engine.errors.EngineError`.
+
+    Health is tracked per ``(strategy, "sqlite")`` through a
+    :class:`~repro.resilience.CircuitBreaker`: transient SQLite failures
+    get one quick retry, repeated failures trip the breaker and
+    ``"auto"`` resolves straight to the interpreter until the cool-down
+    (plus a successful half-open probe) closes it again.  An explicit
+    ``backend="sqlite"`` bypasses the breaker's gate — a demand is a
+    demand — but still records its outcome.  Capability misses
+    (:class:`SQLiteUnsupportedError`) and blown deadlines say nothing
+    about backend health and are never recorded as failures.
     """
     validate_backend(backend)
     plans = list(plans)
     options = dict(bag=bag, condition_mode=condition_mode, optimize=optimize, stats=stats)
 
-    def on_interpreter(reason: str) -> PlanExecution:
+    def on_interpreter(reason: str, retries: int = 0) -> PlanExecution:
         relations = InterpreterBackend().run(plans, database, **options)
-        return PlanExecution(tuple(relations), backend, "interpreter", reason)
+        return PlanExecution(tuple(relations), backend, "interpreter", reason, retries)
 
     if backend == "interpreter":
         return on_interpreter("interpreter requested")
@@ -169,18 +201,46 @@ def execute_plans(
                 "use backend='auto' or backend='interpreter'"
             )
         return on_interpreter(static_reason)
+    breaker = breaker_for(strategy or "*", "sqlite")
+    if backend == "auto" and not breaker.allow():
+        return on_interpreter(
+            "sqlite circuit breaker is open (cooling down after repeated failures)"
+        )
+    retries = 0
+
+    def count_retry(attempt: int, exc: BaseException) -> None:
+        nonlocal retries
+        retries = attempt
+
     try:
-        relations = SQLiteBackend().run(plans, database, **options)
+        relations, _ = _SQLITE_RETRY.call(
+            lambda: SQLiteBackend().run(plans, database, **options),
+            deadline=active_deadline(),
+            on_retry=count_retry,
+        )
     except SQLiteUnsupportedError as exc:
+        breaker.release_probe()
         if backend == "sqlite":
             raise EngineError(
                 f"backend='sqlite' cannot execute this plan: {exc}; "
                 "use backend='auto' or backend='interpreter'"
             ) from exc
-        return on_interpreter(str(exc))
+        return on_interpreter(str(exc), retries)
+    except DeadlineExceeded:
+        breaker.release_probe()
+        raise
+    except Exception as exc:
+        breaker.record_failure()
+        if backend == "sqlite":
+            raise
+        return on_interpreter(
+            f"sqlite execution failed ({type(exc).__name__}: {exc})", retries
+        )
+    breaker.record_success()
     return PlanExecution(
         tuple(relations),
         backend,
         "sqlite",
         "plan compiled to a single SQLite statement",
+        retries,
     )

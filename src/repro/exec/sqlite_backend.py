@@ -46,6 +46,7 @@ from ..algebra import conditions as cond
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..datamodel.values import Null, is_null
+from ..resilience import active_deadline, fault_point
 
 __all__ = [
     "SQLiteBackend",
@@ -669,7 +670,17 @@ class SQLiteBackend:
             if reason is not None:
                 raise SQLiteUnsupportedError(reason)
             prepared.append(plan)
+        fault_point("sqlite.run", plans=len(prepared))
         connection = sqlite3.connect(":memory:")
+        deadline = active_deadline()
+        if deadline is not None:
+            # Abort long-running statements from inside SQLite: the
+            # progress handler fires every N virtual-machine ops and a
+            # non-zero return interrupts the statement (surfacing as an
+            # OperationalError, translated below).
+            connection.set_progress_handler(
+                lambda: 1 if deadline.expired else 0, 4096
+            )
         try:
             compiler = _PlanCompiler(
                 connection, database, bag=bag, condition_mode=condition_mode
@@ -677,7 +688,12 @@ class SQLiteBackend:
             results = []
             for plan in prepared:
                 sql, params, attrs = compiler.compile(plan)
-                fetched = connection.execute(sql, params).fetchall()
+                try:
+                    fetched = connection.execute(sql, params).fetchall()
+                except sqlite3.OperationalError:
+                    if deadline is not None and deadline.expired:
+                        deadline.check("sqlite statement")  # raises DeadlineExceeded
+                    raise
                 results.append(self._decode(attrs, fetched, bag))
             return results
         finally:

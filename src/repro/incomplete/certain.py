@@ -43,6 +43,7 @@ from ..calculus.fragments import is_ucq
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..datamodel.values import Value, is_const
+from ..resilience import active_deadline
 from .naive import _query_constants, _run, naive_evaluate_direct
 from .worlds import constant_pool, count_valuations, iterate_worlds
 
@@ -72,6 +73,20 @@ def _checked_pool(query, database: Database, extra_fresh: int | None) -> list[Va
     return pool
 
 
+def _worlds(database: Database, pool: Sequence[Value]):
+    """``iterate_worlds`` honouring any ambient evaluation deadline.
+
+    Each world costs a full query evaluation, so the check runs every
+    iteration — these loops are where a blown wall-clock budget would
+    otherwise grind on for ``|pool| ** |Null(D)|`` worlds.
+    """
+    worlds = iterate_worlds(database, pool)
+    deadline = active_deadline()
+    if deadline is None:
+        return worlds
+    return deadline.ticked(worlds, every=1, where="valuation enumeration")
+
+
 def certain_answers_with_nulls(
     query,
     database: Database,
@@ -92,7 +107,7 @@ def certain_answers_with_nulls(
     candidates = naive_evaluate_direct(query, database, optimize=optimize)
     pool = _checked_pool(query, database, extra_fresh)
     surviving = set(candidates.rows_set())
-    for valuation, world in iterate_worlds(database, pool):
+    for valuation, world in _worlds(database, pool):
         if not surviving:
             break
         answer = _run(query, world, optimize=optimize).rows_set()
@@ -121,7 +136,7 @@ def certain_answers_intersection(
 def certain_boolean(query, database: Database, *, extra_fresh: int | None = None) -> bool:
     """Certainty of a Boolean query: true in every possible world (CWA)."""
     pool = _checked_pool(query, database, extra_fresh)
-    for _, world in iterate_worlds(database, pool):
+    for _, world in _worlds(database, pool):
         if not _run(query, world):
             return False
     return True
@@ -144,7 +159,7 @@ def possible_answers(
     candidates = _candidate_tuples(query, database)
     pool = _checked_pool(query, database, extra_fresh)
     possible: set = set()
-    for valuation, world in iterate_worlds(database, pool):
+    for valuation, world in _worlds(database, pool):
         answer = _run(query, world, optimize=optimize).rows_set()
         for row in candidates:
             if row not in possible and valuation.apply_tuple(row) in answer:

@@ -19,12 +19,19 @@ from __future__ import annotations
 import http.client
 import json
 import threading
+import time
 from typing import Any, Iterator, Mapping
 
 from ..datamodel.database import Database
+from ..resilience import RetryPolicy, resolve_retry
 from .wire import encode_database
 
-__all__ = ["ServerClient", "ServerRequestError", "ServerBusyError"]
+__all__ = [
+    "ServerClient",
+    "ServerRequestError",
+    "ServerBusyError",
+    "ServerTimeoutError",
+]
 
 
 class ServerRequestError(RuntimeError):
@@ -40,6 +47,10 @@ class ServerBusyError(ServerRequestError):
     """Admission control rejected the request (HTTP 429)."""
 
 
+class ServerTimeoutError(ServerRequestError):
+    """The request blew its ``timeout_ms`` budget (HTTP 504)."""
+
+
 class ServerClient:
     """One tenant's connection to an :class:`~repro.server.EvalServer`."""
 
@@ -50,11 +61,18 @@ class ServerClient:
         *,
         tenant: str | None = None,
         timeout: float = 60.0,
+        retry: RetryPolicy | bool | None = None,
     ):
         self.host = host
         self.port = port
         self.tenant = tenant
         self.timeout = timeout
+        #: Applied to *idempotent* requests (GETs, ``/query``,
+        #: ``/datasets``) whose connection died before a response came
+        #: back — evaluation is read-only and dataset registration is
+        #: content-keyed, so replaying them is safe.  ``retry=False``
+        #: disables; the default is a small capped-backoff policy.
+        self.retry = resolve_retry(retry)
         self._conn: http.client.HTTPConnection | None = None
         self._lock = threading.Lock()
 
@@ -79,9 +97,39 @@ class ServerClient:
         message = str(payload.get("error", payload))
         if status == 429:
             raise ServerBusyError(status, message)
+        if status == 504:
+            raise ServerTimeoutError(status, message)
         raise ServerRequestError(status, message)
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: Mapping[str, Any] | None = None,
+        *,
+        idempotent: bool | None = None,
+    ) -> dict[str, Any]:
+        if idempotent is None:
+            idempotent = method == "GET"
+        policy = self.retry if idempotent else None
+        attempts = 0
+        while True:
+            try:
+                return self._request_once(method, path, body)
+            except ServerRequestError:
+                raise  # the server answered; nothing transient about that
+            except (http.client.HTTPException, OSError) as exc:
+                attempts += 1
+                if (
+                    policy is None
+                    or attempts >= policy.max_attempts
+                    or not policy.is_retryable(exc)
+                ):
+                    raise
+                self.close()
+                time.sleep(policy.delay(attempts))
+
+    def _request_once(
         self, method: str, path: str, body: Mapping[str, Any] | None = None
     ) -> dict[str, Any]:
         with self._lock:
@@ -92,7 +140,9 @@ class ServerClient:
                 response = conn.getresponse()
                 raw = response.read()
             except (http.client.HTTPException, OSError):
-                # Stale keep-alive connection: reconnect once.
+                # Stale keep-alive connection: reconnect once.  (The
+                # request never reached the server on a dead keep-alive,
+                # so this is safe even for non-idempotent POSTs.)
                 self.close()
                 conn = self._connection()
                 conn.request(method, path, body=data, headers=self._headers())
@@ -132,7 +182,11 @@ class ServerClient:
     def register_dataset(self, name: str, database: Database) -> str:
         """Upload a tenant-private dataset; returns its fingerprint."""
         payload = {"name": name, **encode_database(database)}
-        return str(self._request("POST", "/datasets", payload)["fingerprint"])
+        return str(
+            self._request("POST", "/datasets", payload, idempotent=True)[
+                "fingerprint"
+            ]
+        )
 
     def query(
         self,
@@ -144,9 +198,17 @@ class ServerClient:
         semantics: str | None = None,
         use_cache: bool = True,
         request_id: str | None = None,
+        timeout_ms: float | None = None,
+        on_shard_error: str | None = None,
         **options: Any,
     ) -> dict[str, Any]:
-        """Evaluate one query; returns the decoded response object."""
+        """Evaluate one query; returns the decoded response object.
+
+        ``timeout_ms`` caps the server-side evaluation wall clock (the
+        server answers 504, raised here as :class:`ServerTimeoutError`);
+        ``on_shard_error`` selects the sharded failure policy
+        (``"raise"``/``"retry"``/``"degrade"``).
+        """
         payload: dict[str, Any] = {"db": db, "use_cache": use_cache}
         if query is not None:
             payload["query"] = query
@@ -158,9 +220,15 @@ class ServerClient:
             payload["semantics"] = semantics
         if request_id is not None:
             payload["id"] = request_id
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if on_shard_error is not None:
+            payload["on_shard_error"] = on_shard_error
         if options:
             payload["options"] = options
-        return self._request("POST", "/query", payload)
+        # Evaluation is read-only, so a replay after a dead connection
+        # is safe.
+        return self._request("POST", "/query", payload, idempotent=True)
 
     def batch(
         self,
@@ -171,6 +239,8 @@ class ServerClient:
         semantics: str | None = None,
         use_cache: bool = True,
         request_id: str | None = None,
+        timeout_ms: float | None = None,
+        on_shard_error: str | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Stream batch results as the server finishes them.
 
@@ -190,6 +260,10 @@ class ServerClient:
             payload["semantics"] = semantics
         if request_id is not None:
             payload["id"] = request_id
+        if timeout_ms is not None:
+            payload["timeout_ms"] = timeout_ms
+        if on_shard_error is not None:
+            payload["on_shard_error"] = on_shard_error
         with self._lock:
             conn = self._connection()
             conn.request(

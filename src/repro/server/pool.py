@@ -38,6 +38,8 @@ import os
 import threading
 from typing import Any, Callable
 
+from ..resilience import fault_point
+
 __all__ = ["BrokenWorkerError", "CancellableFuture", "CancellableProcessExecutor"]
 
 
@@ -56,6 +58,7 @@ def _worker_main(conn) -> None:
             return
         fn, args, kwargs = item
         try:
+            fault_point("pool.worker", fn=getattr(fn, "__name__", str(fn)))
             reply = (True, fn(*args, **kwargs))
         except BaseException as exc:  # noqa: BLE001 - shipped to the parent
             reply = (False, exc)
@@ -163,12 +166,37 @@ class _Dispatcher:
                 job = executor._next_job(self)
                 if job is None:
                     return
-                self._execute(job)
+                try:
+                    self._execute(job)
+                except BaseException as exc:  # noqa: BLE001 - keep dispatching
+                    # A dispatcher must never die holding a job: an
+                    # unexpected raise (a pipe gone weird, an injected
+                    # fault) used to kill this thread silently, leaving
+                    # the job's future — and every job queued behind it —
+                    # pending forever.  Fail the future, drop the worker,
+                    # and keep serving the queue with a fresh one.
+                    self._fail_job(job, exc)
         finally:
             self._retire()
 
+    def _fail_job(self, job: _Job, exc: BaseException) -> None:
+        self._retire()
+        with self.executor._lock:
+            job.dispatcher = None
+        if not job.future.done():
+            try:
+                job.future.set_exception(
+                    BrokenWorkerError(
+                        f"dispatcher crashed while running {job.fn!r} "
+                        f"({type(exc).__name__}: {exc})"
+                    )
+                )
+            except concurrent.futures.InvalidStateError:
+                pass  # cancelled in the race window
+
     def _execute(self, job: _Job) -> None:
         executor = self.executor
+        fault_point("pool.dispatch", worker=self.index)
         if self.process is None or not self.process.is_alive():
             self._retire()
             self._spawn()

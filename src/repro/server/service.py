@@ -65,6 +65,7 @@ from ..engine import (
     resolve_cache_backend,
 )
 from ..engine.cache import CacheBackend, NamespacedCacheBackend
+from ..resilience import DeadlineExceeded, breaker_snapshots
 from .metrics import RequestRecord, ServerMetrics
 from .pool import CancellableProcessExecutor
 from .wire import decode_database, encode_result, json_safe
@@ -373,6 +374,13 @@ class EvalServer:
             options["optimize"] = bool(payload["optimize"])
         if payload.get("backend") is not None:
             options["backend"] = str(payload["backend"])
+        if payload.get("timeout_ms") is not None:
+            timeout_ms = float(payload["timeout_ms"])
+            if timeout_ms <= 0:
+                raise ValueError("timeout_ms must be a positive number")
+            options["timeout"] = timeout_ms / 1000.0
+        if payload.get("on_shard_error") is not None:
+            options["on_shard_error"] = str(payload["on_shard_error"])
         outcome = "error"
         record = None
         try:
@@ -406,6 +414,9 @@ class EvalServer:
                 "queue_wait": queue_wait,
                 "execution": execution,
             }
+        except DeadlineExceeded:
+            outcome = "deadline"
+            raise
         except asyncio.CancelledError:
             outcome = "cancelled"
             raise
@@ -427,7 +438,16 @@ class EvalServer:
             raise ValueError("batch request needs a non-empty 'queries' list")
         shared = {
             key: payload[key]
-            for key in ("db", "strategy", "semantics", "use_cache", "optimize", "backend")
+            for key in (
+                "db",
+                "strategy",
+                "semantics",
+                "use_cache",
+                "optimize",
+                "backend",
+                "timeout_ms",
+                "on_shard_error",
+            )
             if key in payload
         }
         completed = errors = 0
@@ -443,6 +463,9 @@ class EvalServer:
                 answer = await self._evaluate_one(tenant, spec, admitted_at)
             except asyncio.CancelledError:
                 raise
+            except DeadlineExceeded as exc:
+                errors += 1
+                out.put({"index": index, "error": _message(exc), "deadline": True})
             except _ENGINE_ERRORS as exc:
                 errors += 1
                 out.put({"index": index, "error": _message(exc)})
@@ -606,6 +629,13 @@ class _Handler(BaseHTTPRequestHandler):
             try:
                 return "ok", future.result(timeout=poll)
             except concurrent.futures.TimeoutError:
+                # concurrent.futures.TimeoutError IS builtin TimeoutError
+                # (3.8+), so a DeadlineExceeded raised *by the coroutine*
+                # lands here too — distinguishable because the future is
+                # done.  Re-raise it for the 504 mapping; only a pending
+                # future means the poll itself timed out.
+                if future.done():
+                    raise
                 if self._client_gone():
                     future.cancel()
                     return "gone", None
@@ -619,7 +649,9 @@ class _Handler(BaseHTTPRequestHandler):
         self.eval_server.begin_request()
         try:
             if self.path == "/healthz":
-                self._send_json(200, {"status": "ok"})
+                self._send_json(
+                    200, {"status": "ok", "breakers": breaker_snapshots()}
+                )
             elif self.path == "/stats":
                 self._send_json(200, self.eval_server.stats())
             elif self.path == "/strategies":
@@ -708,6 +740,10 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(409, {"error": "cancelled", "id": request_id})
                 return
             self._send_json(200, {"id": request_id, **value})
+        except DeadlineExceeded as exc:
+            # Never folded into the 400s: a blown budget is a gateway
+            # timeout, and the caller may well succeed with a bigger one.
+            self._send_json(504, {"error": _message(exc), "id": request_id})
         except _ENGINE_ERRORS as exc:
             self._send_json(400, {"error": _message(exc)})
         except Exception as exc:  # noqa: BLE001 - last-resort 500

@@ -49,6 +49,8 @@ entry.
 
 from __future__ import annotations
 
+import asyncio
+import concurrent.futures
 import hashlib
 import inspect
 import time
@@ -59,9 +61,11 @@ from typing import Any, Callable, Mapping, Sequence
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..engine.cache import ResultCache, canonical_options, database_fingerprint
+from ..engine.errors import EngineError
 from ..engine.frontend import NormalizedQuery, query_fingerprint
 from ..engine.registry import EvaluationStrategy, StrategyOutcome, annotate
 from ..engine.result import AnnotatedTuple, Certainty, QueryResult
+from ..resilience import Deadline, DeadlineExceeded, RetryPolicy
 from .database import ShardedDatabase, shard_relation_name
 from .executor import ShardExecutor, ShardPartial, ShardTask
 from .planner import (
@@ -92,6 +96,13 @@ class ShardableSpec:
     lineage_ops: frozenset
     merge: MergeFn
     bag_lineage_ops: frozenset | None = None
+    #: May ``on_shard_error="degrade"`` drop failed shards and merge the
+    #: survivors?  Only meaningful for *union-style* merges, where the
+    #: merge of a subset of partials is a subset of the full merge; the
+    #: orchestrator additionally requires a monotone query fragment
+    #: (CQ/UCQ), so the subset answer is a sound under-approximation of
+    #: the fault-free certain answer (``"sound-subset"``).
+    degradable: bool = False
 
     def ops_for(self, semantics: str) -> frozenset:
         if semantics == "bag" and self.bag_lineage_ops is not None:
@@ -212,6 +223,17 @@ def register_shard_merge(name: str, merge: MergeFn) -> None:
 SHARDABLE_STRATEGIES: dict[str, ShardableSpec] = {}
 
 
+#: Merge names whose output over a *subset* of partials is a subset of
+#: the full merge — the structural half of the ``"degrade"`` gate (both
+#: built-in merges are plain unions, hence monotone in their inputs).
+_DEGRADABLE_MERGES = frozenset({"naive-union", "certain-possible-union"})
+
+#: Query fragments preserved under sub-databases: for monotone queries
+#: ``Q(D') ⊆ Q(D)`` whenever ``D' ⊆ D``, so answers over the surviving
+#: shards alone are a sound subset of the fault-free answer.
+_MONOTONE_FRAGMENTS = frozenset({"CQ", "UCQ"})
+
+
 def _shardable_spec(strategy: EvaluationStrategy) -> ShardableSpec | None:
     """Resolve how a strategy distributes: override table, then capabilities."""
     spec = SHARDABLE_STRATEGIES.get(strategy.name)
@@ -227,7 +249,29 @@ def _shardable_spec(strategy: EvaluationStrategy) -> ShardableSpec | None:
         lineage_ops=caps.shardable_ops,
         bag_lineage_ops=caps.shardable_bag_ops,
         merge=merge,
+        degradable=caps.shard_merge in _DEGRADABLE_MERGES,
     )
+
+
+def _degrade_blocker(spec: ShardableSpec, normalized: NormalizedQuery) -> str | None:
+    """Why ``on_shard_error="degrade"`` is not sound here (None = it is).
+
+    Both halves of the gate must hold: the merge must be union-style
+    (subset of partials ⇒ subset of the merge) *and* the query fragment
+    must be monotone (subset of the data ⇒ subset of the answer).
+    Non-monotone plans (difference, division) can return *wrong* rows —
+    not merely fewer — when a shard's data goes missing, so they are
+    never degraded.
+    """
+    if not spec.degradable:
+        return "the strategy's shard merge does not tolerate missing shards"
+    fragment = normalized.fragment
+    if fragment not in _MONOTONE_FRAGMENTS:
+        return (
+            f"query fragment {fragment!r} is not monotone "
+            "(degradation is sound only for CQ/UCQ)"
+        )
+    return None
 
 
 # ----------------------------------------------------------------------
@@ -302,6 +346,7 @@ def _plan_sharded_call(
     options: Mapping[str, Any],
     cache: ResultCache | None,
     database_fp: str | None,
+    deadline: Deadline | None = None,
 ) -> "tuple[str, None] | tuple[None, _PlannedShardedCall]":
     """Plan one sharded call: ``(reason, None)`` means coalesced fallback."""
     spec = _shardable_spec(strategy)
@@ -358,6 +403,7 @@ def _plan_sharded_call(
                 semantics=semantics,
                 options=tuple(options.items()),
                 cache_key=key,
+                deadline=deadline,
             )
         )
     return None, _PlannedShardedCall(
@@ -397,13 +443,187 @@ def _coalesced_result(
 
 def _absorb_partials(
     planned: _PlannedShardedCall,
-    computed: Sequence[ShardPartial],
+    computed: Sequence[ShardPartial | None],
     cache: ResultCache | None,
 ) -> None:
+    # A ``None`` hole is a shard that failed under
+    # ``on_shard_error="degrade"``: it contributes nothing to the merge
+    # and — crucially — is never cached, so a fault can only *miss* the
+    # partial cache, never poison it.
     for task, partial in zip(planned.tasks, computed):
+        if partial is None:
+            continue
         planned.partials[task.shard] = partial
         if cache is not None and task.cache_key is not None:
             cache.put(task.cache_key, partial)
+
+
+_BROKEN_POOL_NAMES = frozenset(
+    {"BrokenProcessPool", "BrokenThreadPool", "BrokenExecutor", "BrokenWorkerError"}
+)
+
+
+def _describe_failure(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _is_broken_pool(exc: BaseException) -> bool:
+    return any(cls.__name__ in _BROKEN_POOL_NAMES for cls in type(exc).__mro__)
+
+
+def _retry_admissible(
+    exc: BaseException,
+    attempts: int,
+    retry: RetryPolicy | None,
+    deadline: Deadline | None,
+    on_shard_error: str,
+) -> bool:
+    """May this shard failure be retried (rather than raised/degraded)?"""
+    if on_shard_error == "raise" or retry is None:
+        return False
+    if isinstance(exc, DeadlineExceeded):
+        return False
+    if deadline is not None and deadline.expired:
+        return False
+    return attempts < retry.max_attempts and retry.is_retryable(exc)
+
+
+def _resubmit(executor: ShardExecutor, task: ShardTask, exc: BaseException):
+    """Resubmit after a transient failure, reviving a broken pool first."""
+    if _is_broken_pool(exc):
+        reset = getattr(executor, "reset", None)
+        if reset is not None:
+            reset()
+    return executor.submit(task)
+
+
+def _run_tasks_resilient(
+    executor: ShardExecutor,
+    tasks: Sequence[ShardTask],
+    *,
+    deadline: Deadline | None = None,
+    retry: RetryPolicy | None = None,
+    on_shard_error: str = "raise",
+) -> tuple[list[ShardPartial | None], dict[int, str], int]:
+    """Run shard tasks under the resilience contract.
+
+    Returns ``(partials, failures, retries)``: ``partials`` aligned with
+    ``tasks`` (``None`` per shard dropped by ``"degrade"``),
+    ``failures`` mapping the dropped shard index to its final error, and
+    the total number of retries performed.  ``"raise"`` propagates the
+    first failure; ``"retry"`` retries transient failures per the
+    policy, then propagates; ``"degrade"`` retries, then records the
+    shard as failed and carries on.  A ``deadline`` bounds the whole
+    fan-out — expiry raises :class:`DeadlineExceeded` even while shards
+    are still running.
+    """
+    if on_shard_error == "raise" and retry is None and deadline is None:
+        # The fast path: identical to the pre-resilience behaviour.
+        return list(executor.run(tasks)), {}, 0
+    partials: list[ShardPartial | None] = [None] * len(tasks)
+    failures: dict[int, str] = {}
+    retries = 0
+    attempts = [0] * len(tasks)
+    pending = {executor.submit(task): i for i, task in enumerate(tasks)}
+    while pending:
+        timeout = deadline.remaining() if deadline is not None else None
+        done, not_done = concurrent.futures.wait(
+            pending, timeout=timeout,
+            return_when=concurrent.futures.FIRST_COMPLETED,
+        )
+        if not done:
+            for future in not_done:
+                future.cancel()
+            raise DeadlineExceeded(
+                f"sharded evaluation exceeded its deadline with "
+                f"{len(not_done)} shard task(s) still running"
+            )
+        for future in done:
+            index = pending.pop(future)
+            try:
+                partials[index] = future.result()
+            except Exception as exc:
+                if isinstance(exc, DeadlineExceeded):
+                    raise
+                attempts[index] += 1
+                if _retry_admissible(
+                    exc, attempts[index], retry, deadline, on_shard_error
+                ):
+                    retries += 1
+                    pause = retry.delay(attempts[index])
+                    if deadline is not None:
+                        pause = min(pause, deadline.remaining())
+                    if pause > 0:
+                        time.sleep(pause)
+                    pending[_resubmit(executor, tasks[index], exc)] = index
+                    continue
+                if on_shard_error == "degrade":
+                    failures[tasks[index].shard] = _describe_failure(exc)
+                    continue
+                raise
+    return partials, failures, retries
+
+
+async def _run_tasks_resilient_async(
+    executor: ShardExecutor,
+    tasks: Sequence[ShardTask],
+    *,
+    deadline: Deadline | None = None,
+    retry: RetryPolicy | None = None,
+    on_shard_error: str = "raise",
+) -> tuple[list[ShardPartial | None], dict[int, str], int]:
+    """Awaitable twin of :func:`_run_tasks_resilient` (same contract)."""
+    if on_shard_error == "raise" and retry is None and deadline is None:
+        return list(await executor.run_async(tasks)), {}, 0
+    partials: list[ShardPartial | None] = [None] * len(tasks)
+    failures: dict[int, str] = {}
+    retries = 0
+    attempts = [0] * len(tasks)
+    pending = {
+        asyncio.ensure_future(asyncio.wrap_future(executor.submit(task))): i
+        for i, task in enumerate(tasks)
+    }
+    try:
+        while pending:
+            timeout = deadline.remaining() if deadline is not None else None
+            done, not_done = await asyncio.wait(
+                pending, timeout=timeout, return_when=asyncio.FIRST_COMPLETED
+            )
+            if not done:
+                raise DeadlineExceeded(
+                    f"sharded evaluation exceeded its deadline with "
+                    f"{len(not_done)} shard task(s) still running"
+                )
+            for future in done:
+                index = pending.pop(future)
+                try:
+                    partials[index] = future.result()
+                except Exception as exc:
+                    if isinstance(exc, DeadlineExceeded):
+                        raise
+                    attempts[index] += 1
+                    if _retry_admissible(
+                        exc, attempts[index], retry, deadline, on_shard_error
+                    ):
+                        retries += 1
+                        pause = retry.delay(attempts[index])
+                        if deadline is not None:
+                            pause = min(pause, deadline.remaining())
+                        if pause > 0:
+                            await asyncio.sleep(pause)
+                        resubmitted = _resubmit(executor, tasks[index], exc)
+                        pending[
+                            asyncio.ensure_future(asyncio.wrap_future(resubmitted))
+                        ] = index
+                        continue
+                    if on_shard_error == "degrade":
+                        failures[tasks[index].shard] = _describe_failure(exc)
+                        continue
+                    raise
+    finally:
+        for future in pending:
+            future.cancel()
+    return partials, failures, retries
 
 
 def _merged_backend_metadata(partials: Sequence[ShardPartial]) -> dict[str, Any]:
@@ -442,11 +662,21 @@ def _finish_sharded(
     strategy: EvaluationStrategy,
     semantics: str,
     executor_kind: str,
+    *,
+    failures: Mapping[int, str] | None = None,
+    retries: int = 0,
 ) -> QueryResult:
     count = database.shard_count
+    failures = failures or {}
+    surviving = [p for p in planned.partials if p is not None]
+    if not surviving:
+        raise EngineError(
+            "every shard failed; nothing to degrade to "
+            f"(failures: {dict(failures)})"
+        )
     outcome = _call_merge(
         planned.spec.merge,
-        planned.partials,
+        surviving,
         semantics=semantics,
         database=database,
         normalized=normalized,
@@ -461,6 +691,25 @@ def _finish_sharded(
         "sharded_relations": list(planned.plan.sharded_relations),
         "broadcast_relations": list(planned.plan.broadcast_relations),
     }
+    metadata = {
+        **outcome.metadata,
+        **_merged_backend_metadata(surviving),
+        "sharding": sharding_meta,
+    }
+    if retries:
+        metadata["resilience"] = {"retries": retries}
+    if failures:
+        # A degraded merge is an under-approximation, never an exact
+        # answer — and with the naïve merge the "exact" claim (Theorem
+        # 4.4) only covers the full database, so it is withdrawn here.
+        metadata["degraded"] = {
+            "failed_shards": sorted(failures),
+            "errors": {shard: failures[shard] for shard in sorted(failures)},
+            "surviving_shards": count - len(failures),
+            "guarantee": "sound-subset",
+        }
+        if metadata.get("exact"):
+            metadata["exact"] = False
     return QueryResult(
         strategy=strategy.name,
         semantics=semantics,
@@ -472,11 +721,7 @@ def _finish_sharded(
         elapsed=elapsed,
         from_cache=not planned.tasks and count > 0,
         fingerprint=normalized.fingerprint,
-        metadata={
-            **outcome.metadata,
-            **_merged_backend_metadata(planned.partials),
-            "sharding": sharding_meta,
-        },
+        metadata=metadata,
     )
 
 
@@ -490,6 +735,9 @@ def evaluate_sharded(
     executor: ShardExecutor,
     cache: ResultCache | None,
     database_fp: str | None = None,
+    deadline: Deadline | None = None,
+    on_shard_error: str = "raise",
+    retry: RetryPolicy | None = None,
     evaluate_coalesced: Callable[[], QueryResult],
 ) -> QueryResult:
     """Evaluate on a sharded database, falling back to coalesced evaluation.
@@ -498,6 +746,15 @@ def evaluate_sharded(
     closed over the query, database and caching arguments); it is used
     whenever the (strategy, plan, semantics) combination does not
     distribute.
+
+    ``deadline``/``on_shard_error``/``retry`` implement the resilience
+    contract (see :mod:`repro.resilience` and
+    :func:`_run_tasks_resilient`).  ``"degrade"`` is capability-gated:
+    when the merge or the query's fragment cannot guarantee a sound
+    subset (:func:`_degrade_blocker`), shard failures are retried but a
+    persistent failure raises — wrapped in an
+    :class:`~repro.engine.errors.EngineError` naming the blocker, so the
+    caller learns *why* degradation was unavailable.
     """
     reason, planned = _plan_sharded_call(
         normalized,
@@ -507,13 +764,46 @@ def evaluate_sharded(
         options=options,
         cache=cache,
         database_fp=database_fp,
+        deadline=deadline,
     )
     if planned is None:
         return _coalesced_result(evaluate_coalesced(), database, reason)
+    failures: dict[int, str] = {}
+    retries = 0
     if planned.tasks:
-        _absorb_partials(planned, executor.run(planned.tasks), cache)
+        blocker = (
+            _degrade_blocker(planned.spec, normalized)
+            if on_shard_error == "degrade"
+            else None
+        )
+        effective = "retry" if blocker is not None else on_shard_error
+        try:
+            computed, failures, retries = _run_tasks_resilient(
+                executor,
+                planned.tasks,
+                deadline=deadline,
+                retry=retry,
+                on_shard_error=effective,
+            )
+        except DeadlineExceeded:
+            raise
+        except Exception as exc:
+            if blocker is None:
+                raise
+            raise EngineError(
+                f"shard failed and on_shard_error='degrade' is unavailable: "
+                f"{blocker}"
+            ) from exc
+        _absorb_partials(planned, computed, cache)
     return _finish_sharded(
-        planned, normalized, database, strategy, semantics, executor.kind
+        planned,
+        normalized,
+        database,
+        strategy,
+        semantics,
+        executor.kind,
+        failures=failures,
+        retries=retries,
     )
 
 
@@ -527,6 +817,9 @@ async def evaluate_sharded_async(
     executor: ShardExecutor,
     cache: ResultCache | None,
     database_fp: str | None = None,
+    deadline: Deadline | None = None,
+    on_shard_error: str = "raise",
+    retry: RetryPolicy | None = None,
     evaluate_coalesced: Callable[[], Any],
     limiter: Any = None,
 ) -> QueryResult:
@@ -549,16 +842,54 @@ async def evaluate_sharded_async(
         options=options,
         cache=cache,
         database_fp=database_fp,
+        deadline=deadline,
     )
     if planned is None:
         return _coalesced_result(await evaluate_coalesced(), database, reason)
+    failures: dict[int, str] = {}
+    retries = 0
     if planned.tasks:
-        if limiter is not None:
-            async with limiter:
-                computed = await executor.run_async(planned.tasks)
-        else:
-            computed = await executor.run_async(planned.tasks)
+        blocker = (
+            _degrade_blocker(planned.spec, normalized)
+            if on_shard_error == "degrade"
+            else None
+        )
+        effective = "retry" if blocker is not None else on_shard_error
+        try:
+            if limiter is not None:
+                async with limiter:
+                    computed, failures, retries = await _run_tasks_resilient_async(
+                        executor,
+                        planned.tasks,
+                        deadline=deadline,
+                        retry=retry,
+                        on_shard_error=effective,
+                    )
+            else:
+                computed, failures, retries = await _run_tasks_resilient_async(
+                    executor,
+                    planned.tasks,
+                    deadline=deadline,
+                    retry=retry,
+                    on_shard_error=effective,
+                )
+        except DeadlineExceeded:
+            raise
+        except Exception as exc:
+            if blocker is None:
+                raise
+            raise EngineError(
+                f"shard failed and on_shard_error='degrade' is unavailable: "
+                f"{blocker}"
+            ) from exc
         _absorb_partials(planned, computed, cache)
     return _finish_sharded(
-        planned, normalized, database, strategy, semantics, executor.kind
+        planned,
+        normalized,
+        database,
+        strategy,
+        semantics,
+        executor.kind,
+        failures=failures,
+        retries=retries,
     )

@@ -30,6 +30,7 @@ from typing import Any, Hashable, Mapping, Sequence
 from ..algebra import ast as ra
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
+from ..resilience import Deadline, deadline_scope, fault_point
 
 __all__ = [
     "ShardTask",
@@ -55,6 +56,11 @@ class ShardTask:
     options: tuple[tuple[str, Any], ...] = ()
     #: Cache key the orchestrator stores the partial under (opaque here).
     cache_key: Hashable = field(default=None, compare=False)
+    #: Wall-clock budget carried across the process boundary (the
+    #: absolute monotonic point is system-wide on Linux).  Excluded from
+    #: equality like the cache key: a deadline never changes what a task
+    #: computes, only whether it finishes.
+    deadline: Deadline | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -75,14 +81,16 @@ def run_shard_task(task: ShardTask) -> ShardPartial:
     from ..engine.frontend import normalize_query
     from ..engine.registry import get_strategy
 
+    fault_point("shard.task", shard=task.shard, strategy=task.strategy)
     strategy = get_strategy(task.strategy)
     normalized = normalize_query(task.plan, task.database.schema())
-    outcome = strategy.run(
-        normalized,
-        task.database,
-        semantics=task.semantics,
-        **dict(task.options),
-    )
+    with deadline_scope(task.deadline):
+        outcome = strategy.run(
+            normalized,
+            task.database,
+            semantics=task.semantics,
+            **dict(task.options),
+        )
     return ShardPartial(
         shard=task.shard,
         answer=outcome.answer,
@@ -129,6 +137,13 @@ class ShardExecutor:
 
     def close(self) -> None:
         """Release any worker pool (no-op for in-process executors)."""
+
+    def reset(self) -> None:
+        """Drop a (possibly broken) worker pool so the next submit gets a
+        fresh one.  The retry path calls this after ``BrokenProcessPool``
+        and friends — a crashed worker breaks the whole pool, so reviving
+        it is a prerequisite for resubmitting the task."""
+        self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

@@ -76,7 +76,9 @@ def sleep_strategy():
 # Basic round trips
 # ----------------------------------------------------------------------
 def test_health_strategies_and_unknown_path(client):
-    assert client.healthz() == {"status": "ok"}
+    health = client.healthz()
+    assert health["status"] == "ok"
+    assert isinstance(health["breakers"], dict)
     assert "naive" in client.strategies()
     listing = client._request("GET", "/strategies")
     assert listing["default_backend"] == "auto"
