@@ -48,7 +48,7 @@ from repro import Database, Engine, Null, Relation
 from repro.algebra import builder as rb
 from repro.algebra.conditions import And, Attr, Eq
 
-from repro.bench import ResultTable, time_call
+from repro.bench import BenchReport, ResultTable, time_call
 
 #: Full-size config: 10x the E15 full workload (300×300).  The two
 #: hash joins stream ~400k intermediate tuples through the
@@ -125,7 +125,13 @@ def _assert_resolved(result, expected: str, label: str) -> None:
     )
 
 
-def run_backend_speedup(rows: int, translated_rows: int, *, smoke: bool) -> None:
+def run_backend_speedup(
+    rows: int,
+    translated_rows: int,
+    *,
+    smoke: bool,
+    report: BenchReport | None = None,
+) -> None:
     query = _chain_join_query()
     table = ResultTable(
         f"E19: backend on π(σ(R × S × T)), |R| = |S| = |T| = {rows}",
@@ -152,6 +158,14 @@ def run_backend_speedup(rows: int, translated_rows: int, *, smoke: bool) -> None
             _assert_resolved(slow, "interpreter", strategy)
             _assert_resolved(fast, "sqlite", strategy)
             speedups[strategy] = slow_seconds / fast_seconds
+            if report is not None:
+                report.record(
+                    strategy,
+                    rows=case_rows,
+                    interpreter_ms=slow_seconds * 1e3,
+                    sqlite_ms=fast_seconds * 1e3,
+                    speedup=speedups[strategy],
+                )
             table.add_row(
                 strategy,
                 case_rows,
@@ -161,6 +175,10 @@ def run_backend_speedup(rows: int, translated_rows: int, *, smoke: bool) -> None
             )
     table.print()
     floor = SMOKE_SPEEDUP_FLOOR if smoke else SPEEDUP_FLOOR
+    if report is not None:
+        report.summarize(
+            speedup_floor=floor, min_speedup=min(speedups.values())
+        )
     for strategy, _ in cases:
         assert speedups[strategy] >= floor, (
             f"{strategy} sqlite speedup {speedups[strategy]:.1f}x below the "
@@ -196,7 +214,9 @@ def run_auto_fallback(*, smoke: bool) -> None:
 # pytest entry points
 # ----------------------------------------------------------------------
 def test_backend_speedup():
-    run_backend_speedup(FULL_ROWS, TRANSLATED_ROWS, smoke=False)
+    report = BenchReport("backend")
+    run_backend_speedup(FULL_ROWS, TRANSLATED_ROWS, smoke=False, report=report)
+    print(f"wrote {report.write()}")
 
 
 def test_auto_fallback():
@@ -213,9 +233,11 @@ if __name__ == "__main__":
         help="CI-sized workload; asserts the relaxed 5x floor",
     )
     args = parser.parse_args()
+    report = BenchReport("backend", smoke=args.smoke)
     if args.smoke:
-        run_backend_speedup(SMOKE_ROWS, TRANSLATED_SMOKE_ROWS, smoke=True)
+        run_backend_speedup(SMOKE_ROWS, TRANSLATED_SMOKE_ROWS, smoke=True, report=report)
     else:
-        run_backend_speedup(FULL_ROWS, TRANSLATED_ROWS, smoke=False)
+        run_backend_speedup(FULL_ROWS, TRANSLATED_ROWS, smoke=False, report=report)
     run_auto_fallback(smoke=args.smoke)
-    print("\nE19 ok" + (" (smoke)" if args.smoke else ""))
+    print(f"\nwrote {report.write()}")
+    print("E19 ok" + (" (smoke)" if args.smoke else ""))

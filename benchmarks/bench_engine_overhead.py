@@ -23,7 +23,7 @@ CONFIG = TpchLiteConfig(
 )
 
 
-def test_facade_dispatch_overhead(benchmark):
+def test_facade_dispatch_overhead(benchmark, bench_report):
     db = generate_tpch_lite(CONFIG)
     # The baseline is a direct interpreter call, so the façade side must
     # run the interpreter too: under backend="auto" these small queries
@@ -65,9 +65,18 @@ def test_facade_dispatch_overhead(benchmark):
         table.add_row(
             name, direct_seconds * 1e3, engine_seconds * 1e3, f"{overhead:+.1f}"
         )
+        bench_report.record(
+            name,
+            direct_ms=direct_seconds * 1e3,
+            engine_ms=engine_seconds * 1e3,
+            overhead_pct=overhead,
+        )
         assert engine_result.relation.same_rows_as(direct_answer)
     table.add_row("median", "", "", f"{sorted(overheads)[len(overheads) // 2]:+.1f}")
     table.print()
+    bench_report.summarize(
+        median_overhead_pct=sorted(overheads)[len(overheads) // 2]
+    )
 
     # The façade must stay cheap relative to evaluation.  The target is
     # < 5% on non-trivial queries; the assertion bounds the *median*
@@ -84,7 +93,7 @@ def test_facade_dispatch_overhead(benchmark):
     assert all(r.strategy == "naive" for r in results)
 
 
-def test_cache_speedup(benchmark):
+def test_cache_speedup(benchmark, bench_report):
     db = generate_tpch_lite(CONFIG)
     session = Session(db)
     queries = sorted(tpch_lite_queries().items())
@@ -114,8 +123,15 @@ def test_cache_speedup(benchmark):
         assert cached_result.from_cache
         speedup = cold_seconds / cached_seconds if cached_seconds > 0 else float("inf")
         table.add_row(name, cold_seconds * 1e3, cached_seconds * 1e3, f"{speedup:.1f}")
+        bench_report.record(
+            name,
+            cold_ms=cold_seconds * 1e3,
+            cached_ms=cached_seconds * 1e3,
+            speedup=speedup,
+        )
     table.print()
 
     stats = session.cache_stats
     print(f"\ncache stats: {stats} (hit rate {stats.hit_rate:.0%})")
+    bench_report.summarize(cache_hit_rate=stats.hit_rate)
     assert stats.hits > stats.misses

@@ -1,0 +1,167 @@
+"""E21 — Observability overhead and the EXPLAIN profile.
+
+The observability layer (`repro.obs`) promises to be free when nobody
+is looking: with ``trace=False`` (the default) no span objects are
+allocated, and the metrics hooks are one counter bump per query phase.
+Two questions:
+
+1. **Disabled overhead** — on E19's chain-join workload, how much does
+   an evaluation with observability in its default state (tracing off,
+   metrics on) cost over a build with metrics gated off too?  Target:
+   within 5% — indistinguishable from timer jitter on this workload.
+   The traced cost is also reported (spans are per-phase, not per-row,
+   so it stays small, but it is *allowed* to cost something).
+2. **EXPLAIN profile** — ``session.explain()`` on a sharded
+   ``strategy="auto"`` query must render the plan decision, the backend
+   resolution and the span tree (fan-out with per-shard children) in
+   one report.
+
+Run under pytest (``python -m pytest benchmarks/bench_obs.py``) or
+directly as a script::
+
+    python benchmarks/bench_obs.py            # full workload
+    python benchmarks/bench_obs.py --smoke    # tiny config for CI
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import sys
+import time
+
+# Script mode (`python benchmarks/bench_obs.py --smoke`) runs without
+# the conftest path hook; mirror it so `import repro` works.
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+# E21 reuses E19's workload so "overhead on the backend benchmark's
+# query" means exactly that (both pytest and script mode put
+# ``benchmarks/`` on sys.path, so the sibling module imports cleanly).
+from bench_backend import _chain_database, _chain_join_query
+
+from repro.bench import BenchReport, ResultTable, median
+from repro.engine import Engine, Session
+from repro.obs import metrics_enabled, set_metrics_enabled
+
+FULL_ROWS = 1_200
+SMOKE_ROWS = 300
+
+#: Like E12's guard, the assertion bounds a *regression* (observability
+#: cost becoming comparable to evaluation), not timer jitter on a busy
+#: CI runner; the 5% target is what the table shows on an unloaded
+#: machine.  Tighten locally via REPRO_E21_MAX_OVERHEAD.
+MAX_DISABLED_OVERHEAD = float(os.environ.get("REPRO_E21_MAX_OVERHEAD", "25.0"))
+
+
+def _sample_ms(func, trials: int) -> float:
+    times = []
+    for _ in range(trials):
+        start = time.perf_counter()
+        func()
+        times.append(time.perf_counter() - start)
+    return median(times) * 1e3
+
+
+def run_overhead(rows: int, *, smoke: bool, report: BenchReport | None = None) -> None:
+    database = _chain_database(rows)
+    query = _chain_join_query()
+    trials = 5 if smoke else 9
+    # The interpreter keeps the measured region purely in-process Python
+    # — SQLite encode/decode would drown the few microseconds at stake.
+    with Engine(backend="interpreter") as engine:
+        def run(**kwargs):
+            return engine.evaluate(
+                query, database, strategy="naive", use_cache=False, **kwargs
+            )
+
+        untraced = run()
+        traced_result = run(trace=True)
+        assert traced_result.relation.rows_bag() == untraced.relation.rows_bag(), (
+            "tracing changed the answer"
+        )
+        assert "trace" in traced_result.metadata and "trace" not in untraced.metadata
+
+        assert metrics_enabled()
+        set_metrics_enabled(False)
+        try:
+            base_ms = _sample_ms(run, trials)
+        finally:
+            set_metrics_enabled(True)
+        disabled_ms = _sample_ms(run, trials)
+        traced_ms = _sample_ms(lambda: run(trace=True), trials)
+
+    overhead_pct = (disabled_ms - base_ms) / base_ms * 100.0
+    traced_pct = (traced_ms - base_ms) / base_ms * 100.0
+    table = ResultTable(
+        f"E21: observability overhead on the E19 chain join (|R| = {rows})",
+        ["configuration", "median (ms)", "vs no-obs baseline"],
+    )
+    table.add_row("metrics off, trace off", base_ms, "baseline")
+    table.add_row("default (metrics on, trace off)", disabled_ms, f"{overhead_pct:+.1f}%")
+    table.add_row("trace=True", traced_ms, f"{traced_pct:+.1f}%")
+    table.print()
+    if report is not None:
+        report.record("no-obs baseline", median_ms=base_ms)
+        report.record("default", median_ms=disabled_ms, overhead_pct=overhead_pct)
+        report.record("traced", median_ms=traced_ms, overhead_pct=traced_pct)
+        report.summarize(
+            disabled_overhead_pct=overhead_pct,
+            traced_overhead_pct=traced_pct,
+            overhead_ceiling_pct=MAX_DISABLED_OVERHEAD,
+        )
+    assert overhead_pct < MAX_DISABLED_OVERHEAD, (
+        f"disabled observability costs {overhead_pct:+.1f}% over the no-obs "
+        f"baseline, above the {MAX_DISABLED_OVERHEAD:.0f}% ceiling "
+        "(REPRO_E21_MAX_OVERHEAD)"
+    )
+
+
+def run_explain_profile(*, smoke: bool, report: BenchReport | None = None) -> None:
+    """One ``session.explain()`` profile of a sharded auto-planned query."""
+    database = _chain_database(SMOKE_ROWS if smoke else 600)
+    query = _chain_join_query()
+    with Session(database, shards=2) as session:
+        start = time.perf_counter()
+        text = session.explain(query, strategy="auto", use_cache=False)
+        elapsed_ms = (time.perf_counter() - start) * 1e3
+    print()
+    print(text)
+    for needle in ("EXPLAIN", "plan:", "shard.fanout", "shard[0]", "shard[1]", "shard.merge"):
+        assert needle in text, f"explain output is missing {needle!r}:\n{text}"
+    if report is not None:
+        report.record(
+            "explain", elapsed_ms=elapsed_ms, lines=text.count("\n") + 1
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest entry points
+# ----------------------------------------------------------------------
+def test_observability_overhead(bench_report):
+    bench_report.smoke = True
+    run_overhead(SMOKE_ROWS, smoke=True, report=bench_report)
+
+
+def test_explain_profile(bench_report):
+    bench_report.smoke = True
+    run_explain_profile(smoke=True, report=bench_report)
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description="E21 observability benchmark")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized workload (wiring and ceiling checks only)",
+    )
+    args = parser.parse_args()
+    rows = SMOKE_ROWS if args.smoke else FULL_ROWS
+    report = BenchReport("obs", smoke=args.smoke)
+    run_overhead(rows, smoke=args.smoke, report=report)
+    run_explain_profile(smoke=args.smoke, report=report)
+    print(f"\nwrote {report.write()}")
+    print("E21 ok" + (" (smoke)" if args.smoke else ""))

@@ -32,7 +32,7 @@ _SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.bench import ResultTable, time_call
+from repro.bench import BenchReport, ResultTable, time_call
 from repro.engine import Engine
 from repro.resilience import (
     FaultPlan,
@@ -55,7 +55,9 @@ TIMEOUT = 30.0
 SLACK = 10.0
 
 
-def run_degradation(config: TpchLiteConfig, *, smoke: bool) -> None:
+def run_degradation(
+    config: TpchLiteConfig, *, smoke: bool, report: BenchReport | None = None
+) -> None:
     database = generate_tpch_lite(config)
     # q_localsupp is the only CQ in the workload — degradation is
     # capability-gated to monotone fragments, so it is the one whose
@@ -105,6 +107,15 @@ def run_degradation(config: TpchLiteConfig, *, smoke: bool) -> None:
         )
         table.add_row(requests, ok, degraded, 0, max_wall * 1e3)
         table.print()
+        if report is not None:
+            report.record(
+                "degradation",
+                requests=requests,
+                clean=ok,
+                degraded=degraded,
+                hung=0,
+                max_wall_ms=max_wall * 1e3,
+            )
         assert ok + degraded == requests
         if not smoke:
             # At p=0.10 per shard task the degraded share must be visible
@@ -113,7 +124,9 @@ def run_degradation(config: TpchLiteConfig, *, smoke: bool) -> None:
             assert ok >= requests // 2, (ok, degraded)
 
 
-def run_breaker(config: TpchLiteConfig, *, smoke: bool) -> None:
+def run_breaker(
+    config: TpchLiteConfig, *, smoke: bool, report: BenchReport | None = None
+) -> None:
     database = generate_tpch_lite(config)
     query = tpch_lite_queries()["q_select"]
     reset_breakers()
@@ -152,11 +165,19 @@ def run_breaker(config: TpchLiteConfig, *, smoke: bool) -> None:
             assert result.metadata["backend"]["resolved"] == "sqlite"
             assert breaker.state == "closed", breaker.snapshot()
             assert breaker.snapshot()["trips"] >= 1
+            if report is not None:
+                report.record(
+                    "breaker",
+                    trips=breaker.snapshot()["trips"],
+                    recovered=True,
+                )
     finally:
         reset_breakers()
 
 
-def run_overhead(config: TpchLiteConfig, *, smoke: bool) -> None:
+def run_overhead(
+    config: TpchLiteConfig, *, smoke: bool, report: BenchReport | None = None
+) -> None:
     database = generate_tpch_lite(config)
     query = tpch_lite_queries()["q_join"]
     repeat = 3 if smoke else 10
@@ -195,18 +216,24 @@ def run_overhead(config: TpchLiteConfig, *, smoke: bool) -> None:
             ("fault plan armed (never fires)", armed_seconds),
         ):
             table.add_row(name, seconds * 1e3, f"{seconds / base_seconds:.2f}x")
+            if report is not None:
+                report.record(
+                    name, wall_ms=seconds * 1e3, vs_baseline=seconds / base_seconds
+                )
         table.print()
 
 
 # ----------------------------------------------------------------------
 # pytest entry points
 # ----------------------------------------------------------------------
-def test_degradation_is_sound_and_bounded():
-    run_degradation(SMOKE_CONFIG, smoke=True)
+def test_degradation_is_sound_and_bounded(bench_report):
+    bench_report.smoke = True
+    run_degradation(SMOKE_CONFIG, smoke=True, report=bench_report)
 
 
-def test_breaker_trips_and_recovers():
-    run_breaker(SMOKE_CONFIG, smoke=True)
+def test_breaker_trips_and_recovers(bench_report):
+    bench_report.smoke = True
+    run_breaker(SMOKE_CONFIG, smoke=True, report=bench_report)
 
 
 if __name__ == "__main__":
@@ -220,7 +247,9 @@ if __name__ == "__main__":
     )
     args = parser.parse_args()
     config = SMOKE_CONFIG if args.smoke else CONFIG
-    run_degradation(config, smoke=args.smoke)
-    run_breaker(config, smoke=args.smoke)
-    run_overhead(config, smoke=args.smoke)
-    print("\nE20 ok" + (" (smoke)" if args.smoke else ""))
+    report = BenchReport("resilience", smoke=args.smoke)
+    run_degradation(config, smoke=args.smoke, report=report)
+    run_breaker(config, smoke=args.smoke, report=report)
+    run_overhead(config, smoke=args.smoke, report=report)
+    print(f"\nwrote {report.write()}")
+    print("E20 ok" + (" (smoke)" if args.smoke else ""))

@@ -37,7 +37,7 @@ if str(_SRC) not in sys.path:
 
 from repro.bench import ResultTable
 from repro.server import EvalServer, ServerBusyError, ServerClient, ServerConfig
-from repro.server.metrics import percentile
+from repro.obs.metrics import percentile
 from repro.workloads import TpchLiteConfig, generate_tpch_lite, tpch_lite_queries
 
 #: Full-size run: a non-trivial database and enough requests per client

@@ -1,4 +1,11 @@
-"""Benchmark suite configuration: make ``src/`` importable without installation."""
+"""Benchmark suite configuration.
+
+Two jobs: make ``src/`` importable without installation, and provide
+the shared ``bench_report`` fixture through which pytest-run benchmarks
+emit their ``BENCH_<name>.json`` artifact (script-mode entry points
+build :class:`repro.bench.BenchReport` directly — see
+:mod:`repro.bench.results` for the schema).
+"""
 
 import sys
 from pathlib import Path
@@ -6,3 +13,26 @@ from pathlib import Path
 SRC = Path(__file__).resolve().parent.parent / "src"
 if str(SRC) not in sys.path:
     sys.path.insert(0, str(SRC))
+
+import pytest
+
+from repro.bench import BenchReport
+
+
+@pytest.fixture
+def bench_report(request):
+    """A :class:`BenchReport` named after the test, written at teardown.
+
+    ``test_facade_dispatch_overhead`` emits
+    ``BENCH_facade_dispatch_overhead.json``; the file is only written
+    when the test recorded at least one row, so a test that fails
+    before measuring leaves no half-truthful artifact behind.
+    """
+    name = request.node.name
+    if name.startswith("test_"):
+        name = name[len("test_"):]
+    report = BenchReport(name)
+    yield report
+    if report.rows or report.summary:
+        path = report.write()
+        print(f"\nwrote {path}")

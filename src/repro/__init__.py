@@ -87,7 +87,7 @@ from .exec import ExecutionBackend, InterpreterBackend, SQLiteBackend
 from .sharding import HashPartitioner, RoundRobinPartitioner, ShardedDatabase
 from .sql import compile_sql, parse as parse_sql, run_sql
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     # Data model

@@ -1,5 +1,14 @@
 """Benchmark harness helpers."""
 
 from .harness import ResultTable, relative_overhead, strategy_table, time_call
+from .results import BenchReport, bench_env, median
 
-__all__ = ["ResultTable", "time_call", "relative_overhead", "strategy_table"]
+__all__ = [
+    "BenchReport",
+    "ResultTable",
+    "bench_env",
+    "median",
+    "relative_overhead",
+    "strategy_table",
+    "time_call",
+]

@@ -1,0 +1,118 @@
+"""Machine-readable benchmark results: ``BENCH_<name>.json`` emission.
+
+The benchmark scripts print :class:`~repro.bench.harness.ResultTable`
+text for humans; this module captures the same numbers for machines.
+Each experiment builds one :class:`BenchReport`, records measurement
+rows (label + numeric fields such as median milliseconds or a speedup
+factor) and derived summary values, then :meth:`BenchReport.write`\\ s a
+``BENCH_<name>.json`` file next to the run.  CI uploads the files as an
+artifact so regressions are diffable across runs, not just eyeballable
+in the log.
+
+The schema is deliberately flat and stable::
+
+    {
+      "name": "backend",
+      "smoke": false,
+      "env": {"python": "3.12.3", "platform": "...", "cpus": 8,
+              "timestamp": "2026-08-08T12:00:00+00:00"},
+      "rows": [{"label": "naive", "interpreter_ms": 812.1, ...}, ...],
+      "summary": {"speedup_naive": 12.3, ...}
+    }
+
+Everything here is stdlib-only, like the rest of the harness.  The
+pytest side of the suite reaches this through the ``bench_report``
+fixture in ``benchmarks/conftest.py``; script-mode entry points build a
+:class:`BenchReport` directly.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from typing import Any, Sequence
+
+__all__ = ["BenchReport", "bench_env", "median"]
+
+#: Environment variable naming the directory ``BENCH_<name>.json`` files
+#: are written to; defaults to the current working directory (CI runs
+#: from the repo root and uploads ``BENCH_*.json`` from there).
+OUTPUT_DIR_ENV = "REPRO_BENCH_DIR"
+
+
+def median(values: Sequence[float]) -> float:
+    """The median of ``values`` (mean-of-middle-two on even lengths)."""
+    if not values:
+        raise ValueError("median of an empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def bench_env() -> dict[str, Any]:
+    """The environment block stamped into every report."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "timestamp": _dt.datetime.now(_dt.timezone.utc).isoformat(timespec="seconds"),
+        "argv": list(sys.argv),
+    }
+
+
+class BenchReport:
+    """One experiment's machine-readable results.
+
+    ``name`` becomes the file name (``BENCH_<name>.json``); ``smoke``
+    records whether the CI-sized workload ran, so a smoke artifact is
+    never mistaken for a full measurement.
+    """
+
+    def __init__(self, name: str, *, smoke: bool = False) -> None:
+        if not name or any(c in name for c in "/\\"):
+            raise ValueError(f"invalid benchmark name {name!r}")
+        self.name = name
+        self.smoke = smoke
+        self.rows: list[dict[str, Any]] = []
+        self.summary: dict[str, Any] = {}
+
+    def record(self, label: str, **fields: Any) -> None:
+        """Append one measurement row (e.g. per query or per strategy)."""
+        self.rows.append({"label": label, **fields})
+
+    def summarize(self, **fields: Any) -> None:
+        """Merge derived values (medians, speedups) into the summary."""
+        self.summary.update(fields)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "smoke": self.smoke,
+            "env": bench_env(),
+            "rows": list(self.rows),
+            "summary": dict(self.summary),
+        }
+
+    def write(self, directory: str | os.PathLike[str] | None = None) -> Path:
+        """Write ``BENCH_<name>.json`` and return its path.
+
+        ``directory`` defaults to ``$REPRO_BENCH_DIR`` or the current
+        working directory.  Non-JSON-native values are stringified
+        rather than rejected — a report must never fail the benchmark
+        that produced it.
+        """
+        target = Path(directory or os.environ.get(OUTPUT_DIR_ENV) or ".")
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / f"BENCH_{self.name}.json"
+        path.write_text(
+            json.dumps(self.as_dict(), indent=2, sort_keys=False, default=str) + "\n",
+            encoding="utf-8",
+        )
+        return path

@@ -66,10 +66,13 @@ import concurrent.futures
 import contextlib
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Hashable, Iterable, Mapping, Sequence
 
 from ..datamodel.database import Database
+from ..obs import metrics as obs_metrics
+from ..obs.explain import render_explain
+from ..obs.trace import SpanContext, current_span, span, start_trace
 from ..resilience import (
     Deadline,
     DeadlineExceeded,
@@ -133,6 +136,12 @@ class EngineTask:
     #: :class:`~repro.sharding.executor.ShardTask`: a deadline changes
     #: whether a task finishes, never what it computes).
     deadline: Deadline | None = field(default=None, compare=False)
+    #: Trace linkage (:class:`repro.obs.SpanContext`) when the caller
+    #: evaluates with ``trace=True``: the worker records its own span
+    #: tree and ships the export back on the task result, where the
+    #: caller grafts it into the live trace.  Excluded from equality
+    #: like the deadline — tracing observes, never steers.
+    trace: SpanContext | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -141,6 +150,8 @@ class EngineTaskResult:
 
     outcome: StrategyOutcome
     elapsed: float
+    #: The worker's exported span tree (None when the task was untraced).
+    trace: Any = None
 
 
 def run_engine_task(task: EngineTask) -> EngineTaskResult:
@@ -152,15 +163,27 @@ def run_engine_task(task: EngineTask) -> EngineTaskResult:
     pattern).
     """
     strategy = get_strategy(task.strategy)
-    start = time.perf_counter()
-    with deadline_scope(task.deadline):
-        outcome = strategy.run(
-            task.normalized,
-            task.database,
-            semantics=task.semantics,
-            **dict(task.options),
-        )
-    return EngineTaskResult(outcome=outcome, elapsed=time.perf_counter() - start)
+    with (
+        contextlib.nullcontext(None)
+        if task.trace is None
+        else task.trace.activate("worker", strategy=task.strategy)
+    ) as root:
+        start = time.perf_counter()
+        with deadline_scope(task.deadline):
+            outcome = strategy.run(
+                task.normalized,
+                task.database,
+                semantics=task.semantics,
+                **dict(task.options),
+            )
+        elapsed = time.perf_counter() - start
+        if root is not None:
+            root.incr("rows_out", len(outcome.answer))
+    return EngineTaskResult(
+        outcome=outcome,
+        elapsed=elapsed,
+        trace=None if root is None else root.export(),
+    )
 
 
 class AsyncEngine:
@@ -192,6 +215,7 @@ class AsyncEngine:
         timeout: float | Deadline | None = None,
         on_shard_error: str = "raise",
         retry: RetryPolicy | bool | None = None,
+        trace: bool = False,
     ):
         self._owns_engine = engine is None
         self._engine = engine or Engine(
@@ -208,6 +232,7 @@ class AsyncEngine:
             timeout=timeout,
             on_shard_error=on_shard_error,
             retry=retry,
+            trace=trace,
         )
         if isinstance(pool, concurrent.futures.Executor):
             self._pool: concurrent.futures.Executor | None = pool
@@ -415,6 +440,7 @@ class AsyncEngine:
         timeout: float | Deadline | None = None,
         on_shard_error: str | None = None,
         retry: RetryPolicy | bool | None = None,
+        trace: bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Awaitable :meth:`repro.engine.Engine.evaluate`, same contract.
@@ -422,39 +448,78 @@ class AsyncEngine:
         The result is identical to the sync engine's (worker-measured
         ``elapsed`` aside); concurrent calls overlap up to
         ``max_concurrency`` and the pool's worker count.  ``timeout``,
-        ``on_shard_error`` and ``retry`` behave exactly as on the sync
-        engine; the deadline additionally bounds the wait on the worker
-        pool, so a wedged worker cannot hold the caller past its budget.
+        ``on_shard_error``, ``retry`` and ``trace`` behave exactly as on
+        the sync engine; the deadline additionally bounds the wait on
+        the worker pool, so a wedged worker cannot hold the caller past
+        its budget.  With ``trace=True``, worker-side spans (the
+        strategy run happens in the pool) are stitched back under this
+        call's root span via the task's
+        :class:`~repro.obs.SpanContext`.
         """
         self._bind_loop()
         engine = self._engine
-        deadline = resolve_deadline(timeout, engine.default_timeout)
-        if on_shard_error is None:
-            on_shard_error = engine.default_on_shard_error
-        elif on_shard_error not in _ON_SHARD_ERROR:
-            raise EngineError(
-                f"unknown on_shard_error {on_shard_error!r}; "
-                f"expected one of {_ON_SHARD_ERROR}"
+        do_trace = engine.default_trace if trace is None else bool(trace)
+        with (
+            start_trace("evaluate") if do_trace else contextlib.nullcontext()
+        ) as root:
+            deadline = resolve_deadline(timeout, engine.default_timeout)
+            if on_shard_error is None:
+                on_shard_error = engine.default_on_shard_error
+            elif on_shard_error not in _ON_SHARD_ERROR:
+                raise EngineError(
+                    f"unknown on_shard_error {on_shard_error!r}; "
+                    f"expected one of {_ON_SHARD_ERROR}"
+                )
+            retry_policy = (
+                engine.default_retry if retry is None else resolve_retry(retry)
             )
-        retry_policy = (
-            engine.default_retry if retry is None else resolve_retry(retry)
-        )
-        strat, semantics, normalized, decision = engine._prepare_call(
-            query, database, strategy, semantics
-        )
-        options = engine._resolve_options(strat, optimize, stats, backend, options)
-        sharded = engine._sharded_database(database, shards, partitioner)
-        if sharded is not None:
-            from ..sharding.evaluate import evaluate_sharded_async
-
-            cache = (
-                engine._cache if use_cache and engine._cache.enabled else None
+            strat, semantics, normalized, decision = engine._prepare_call(
+                query, database, strategy, semantics
             )
+            options = engine._resolve_options(strat, optimize, stats, backend, options)
+            sharded = engine._sharded_database(database, shards, partitioner)
+            if root is not None:
+                root.set_attr("strategy", strat.name)
+                root.set_attr("semantics", semantics)
+            if sharded is not None:
+                from ..sharding.evaluate import evaluate_sharded_async
 
-            async def coalesced() -> QueryResult:
-                return await self._evaluate_monolithic(
+                cache = (
+                    engine._cache if use_cache and engine._cache.enabled else None
+                )
+
+                async def coalesced() -> QueryResult:
+                    return await self._evaluate_monolithic(
+                        normalized,
+                        sharded,
+                        strat,
+                        semantics,
+                        use_cache=use_cache,
+                        database_fp=database_fp,
+                        options=options,
+                        deadline=deadline,
+                        retry=retry_policy,
+                    )
+
+                result = await evaluate_sharded_async(
                     normalized,
                     sharded,
+                    strat,
+                    semantics=semantics,
+                    options=options,
+                    executor=engine._shard_executor(executor),
+                    cache=cache,
+                    database_fp=database_fp,
+                    evaluate_coalesced=coalesced,
+                    limiter=self._limit(),
+                    deadline=deadline,
+                    on_shard_error=on_shard_error,
+                    retry=retry_policy,
+                )
+            else:
+                result = await self._evaluate_monolithic(
+                    normalized,
+                    database,
                     strat,
                     semantics,
                     use_cache=use_cache,
@@ -463,36 +528,19 @@ class AsyncEngine:
                     deadline=deadline,
                     retry=retry_policy,
                 )
-
-            result = await evaluate_sharded_async(
-                normalized,
-                sharded,
-                strat,
-                semantics=semantics,
-                options=options,
-                executor=engine._shard_executor(executor),
-                cache=cache,
-                database_fp=database_fp,
-                evaluate_coalesced=coalesced,
-                limiter=self._limit(),
-                deadline=deadline,
-                on_shard_error=on_shard_error,
-                retry=retry_policy,
-            )
-        else:
-            result = await self._evaluate_monolithic(
-                normalized,
-                database,
-                strat,
-                semantics,
-                use_cache=use_cache,
-                database_fp=database_fp,
-                options=options,
-                deadline=deadline,
-                retry=retry_policy,
-            )
+        obs_metrics.incr("engine.evaluations", strategy=strat.name)
+        obs_metrics.observe(
+            "engine.elapsed_ms", result.elapsed * 1000.0, strategy=strat.name
+        )
         result = _with_plan_metadata(result, decision)
-        return _with_backend_note(result, strat, backend)
+        result = _with_backend_note(result, strat, backend)
+        if root is not None:
+            # Attached post-hoc like the plan/backend notes: the cached
+            # entry carries no trace, the returned copy does.
+            result = replace(
+                result, metadata={**result.metadata, "trace": root.export()}
+            )
+        return result
 
     async def _evaluate_monolithic(
         self,
@@ -509,15 +557,17 @@ class AsyncEngine:
     ) -> QueryResult:
         key = None
         if use_cache and self._engine._cache.enabled:
-            if database_fp is None:
-                database_fp = database_fingerprint(database)
-            # The deadline and retry policy are deliberately not part of
-            # the cache (or coalescing) key: they change whether a
-            # computation finishes, never what it computes.
-            key = evaluation_cache_key(
-                normalized.fingerprint, database_fp, strat.name, semantics, options
-            )
-            cached = self._engine._cache.get(key)
+            with span("cache.lookup") as lookup:
+                if database_fp is None:
+                    database_fp = database_fingerprint(database)
+                # The deadline and retry policy are deliberately not part of
+                # the cache (or coalescing) key: they change whether a
+                # computation finishes, never what it computes.
+                key = evaluation_cache_key(
+                    normalized.fingerprint, database_fp, strat.name, semantics, options
+                )
+                cached = self._engine._cache.get(key)
+                lookup.set_attr("outcome", "hit" if cached is not None else "miss")
             if cached is not None:
                 return cached.as_cached()
 
@@ -589,10 +639,18 @@ class AsyncEngine:
             semantics=semantics,
             options=tuple(options.items()),
             deadline=deadline,
+            # None when the caller is untraced.  The computation task's
+            # context was copied from the (leader) caller, so the graft
+            # below lands under that caller's live span.
+            trace=SpanContext.capture(),
         )
         computed, retries = await self._dispatch_resilient(
             task, deadline=deadline, retry=retry
         )
+        if computed.trace is not None:
+            # Into the live trace only — never into the metadata below,
+            # which may be inserted into the shared result cache.
+            current_span().graft(computed.trace)
         outcome = computed.outcome
         metadata = dict(outcome.metadata)
         if retries:
@@ -684,6 +742,7 @@ class AsyncEngine:
         timeout: float | Deadline | None = None,
         on_shard_error: str | None = None,
         retry: RetryPolicy | bool | None = None,
+        trace: bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run every applicable strategy concurrently on one query.
@@ -734,6 +793,7 @@ class AsyncEngine:
                     timeout=deadline,
                     on_shard_error=on_shard_error,
                     retry=retry,
+                    trace=trace,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -782,6 +842,7 @@ class AsyncSession:
         timeout: float | Deadline | None = None,
         on_shard_error: str = "raise",
         retry: RetryPolicy | bool | None = None,
+        trace: bool = False,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
@@ -800,6 +861,7 @@ class AsyncSession:
             timeout=timeout,
             on_shard_error=on_shard_error,
             retry=retry,
+            trace=trace,
         )
         self._executor = executor
         self._shards = shards
@@ -887,6 +949,17 @@ class AsyncSession:
     async def auto(self, query: Any, **kwargs: Any) -> QueryResult:
         """Planner-chosen evaluation (``strategy="auto"``)."""
         return await self.evaluate(query, strategy="auto", **kwargs)
+
+    async def explain(self, query: Any, **kwargs: Any) -> str:
+        """Evaluate with ``trace=True`` and render the EXPLAIN report.
+
+        The async mirror of :meth:`repro.engine.Session.explain`:
+        accepts every ``evaluate`` keyword and returns one report
+        combining plan/backend/sharding/resilience notes with the span
+        tree (worker spans included).
+        """
+        kwargs["trace"] = True
+        return render_explain(await self.evaluate(query, **kwargs))
 
     def strategies(self) -> tuple[str, ...]:
         return self.engine.strategies()

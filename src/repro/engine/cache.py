@@ -48,6 +48,7 @@ from typing import Any, Hashable
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..datamodel.values import Null
+from ..obs import metrics as obs_metrics
 from ..resilience import InjectedFault, fault_point
 from .errors import EngineError
 
@@ -168,9 +169,11 @@ class MemoryCacheBackend(CacheBackend):
             entry = self._entries.get(key)
             if entry is None:
                 self._misses += 1
+                obs_metrics.incr("cache.misses", backend="memory")
                 return None
             self._entries.move_to_end(key)
             self._hits += 1
+            obs_metrics.incr("cache.hits", backend="memory")
             return entry
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -180,11 +183,15 @@ class MemoryCacheBackend(CacheBackend):
             fault_point("cache.put", backend="memory")
         except InjectedFault:
             return  # best-effort store: a failing backend drops the entry
+        evicted = 0
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
+                evicted += 1
+        if evicted:
+            obs_metrics.incr("cache.evictions", evicted, backend="memory")
 
     def clear(self) -> None:
         """Drop every entry and reset the current-epoch counters.
@@ -309,6 +316,7 @@ class DiskCacheBackend(CacheBackend):
             # every one of these is a miss, never an error.
             with self._lock:
                 self._misses += 1
+            obs_metrics.incr("cache.misses", backend="disk")
             return None
         try:
             os.utime(entry)  # LRU touch; best-effort
@@ -316,6 +324,7 @@ class DiskCacheBackend(CacheBackend):
             pass
         with self._lock:
             self._hits += 1
+        obs_metrics.incr("cache.hits", backend="disk")
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
@@ -362,11 +371,15 @@ class DiskCacheBackend(CacheBackend):
                 except OSError:
                     return 0.0
 
+            evicted = 0
             for stale in sorted(files, key=mtime)[:excess]:
                 try:
                     stale.unlink()
+                    evicted += 1
                 except OSError:
                     pass
+            if evicted:
+                obs_metrics.incr("cache.evictions", evicted, backend="disk")
         with self._lock:
             self._approx_count = min(len(files), self.max_entries)
 

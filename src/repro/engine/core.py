@@ -27,15 +27,20 @@ automatically; ``shards=0`` forces monolithic evaluation.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from typing import Any, Iterable, Mapping, Sequence
 
 from dataclasses import replace
 
 from ..datamodel.database import Database
 from ..exec import interpreter_note, validate_backend
+from ..obs import metrics as obs_metrics
+from ..obs.explain import render_explain
+from ..obs.trace import span, start_trace
 from ..resilience import (
     Deadline,
     RetryPolicy,
+    breaker_snapshots,
     deadline_scope,
     resolve_deadline,
     resolve_retry,
@@ -78,6 +83,7 @@ class Engine:
         timeout: float | None = None,
         on_shard_error: str = "raise",
         retry: Any = None,
+        trace: bool = False,
     ):
         if default_semantics not in _SEMANTICS:
             raise EngineError(
@@ -136,6 +142,12 @@ class Engine:
         #: transient failures (``None``/``True`` = the package default,
         #: ``False`` = no retries).
         self.default_retry = resolve_retry(retry)
+        #: Default for the per-call ``trace=`` option: collect a span
+        #: tree (:mod:`repro.obs`) for every evaluation and attach it as
+        #: ``result.metadata["trace"]``.  Tracing observes and never
+        #: steers — the flag enters neither strategy options nor cache
+        #: keys, so traced and untraced calls share cache entries.
+        self.default_trace = bool(trace)
         #: The result-cache backend: the in-memory LRU by default, a
         #: persistent one with ``cache="disk:/path"`` or a
         #: :class:`~repro.engine.cache.CacheBackend` instance.
@@ -197,6 +209,13 @@ class Engine:
                         "max_delay": self.default_retry.max_delay,
                     }
                 ),
+                "trace": self.default_trace,
+            },
+            "observability": {
+                "trace_default": self.default_trace,
+                "metrics_enabled": obs_metrics.metrics_enabled(),
+                "metrics": obs_metrics.snapshot(),
+                "breakers": breaker_snapshots(),
             },
         }
 
@@ -254,6 +273,7 @@ class Engine:
         timeout: float | Deadline | None = None,
         on_shard_error: str | None = None,
         retry: RetryPolicy | bool | None = None,
+        trace: bool | None = None,
         **options: Any,
     ) -> QueryResult:
         """Evaluate ``query`` on ``database`` with the named strategy.
@@ -314,65 +334,89 @@ class Engine:
         under-approximation, recorded in
         ``result.metadata["degraded"]`` with guarantee
         ``"sound-subset"``.
-        """
-        strat, semantics, normalized, decision = self._prepare_call(
-            query, database, strategy, semantics
-        )
-        options = self._resolve_options(strat, optimize, stats, backend, options)
-        deadline = resolve_deadline(timeout, self.default_timeout)
-        if on_shard_error is None:
-            on_shard_error = self.default_on_shard_error
-        elif on_shard_error not in _ON_SHARD_ERROR:
-            raise EngineError(
-                f"unknown on_shard_error {on_shard_error!r}; "
-                f"expected one of {_ON_SHARD_ERROR}"
-            )
-        retry_policy = self.default_retry if retry is None else resolve_retry(retry)
-        if deadline is not None:
-            # Admission check: a request whose budget is already gone must
-            # fail here, not race the backend (a tiny SQLite statement can
-            # finish before the progress handler ever fires).
-            deadline.check("evaluation admission")
-        sharded = self._sharded_database(database, shards, partitioner)
-        if sharded is not None:
-            from ..sharding.evaluate import evaluate_sharded
 
-            result = evaluate_sharded(
-                normalized,
-                sharded,
-                strat,
-                semantics=semantics,
-                options=options,
-                executor=self._shard_executor(executor),
-                cache=self._cache if use_cache and self._cache.enabled else None,
-                database_fp=database_fp,
-                deadline=deadline,
-                on_shard_error=on_shard_error,
-                retry=retry_policy,
-                evaluate_coalesced=lambda: self._evaluate_monolithic(
+        ``trace`` collects a span tree (:mod:`repro.obs`) covering the
+        whole call — normalization, planning, cache probes, per-shard
+        execution — and attaches its export as
+        ``result.metadata["trace"]`` (rendered by ``result.explain()``).
+        Like deadlines, the flag never enters strategy options or cache
+        keys: tracing can describe an answer but never change it.
+        Stored cache entries carry no trace; the returned copy does.
+        """
+        do_trace = self.default_trace if trace is None else bool(trace)
+        with (start_trace("evaluate") if do_trace else nullcontext()) as root:
+            strat, semantics, normalized, decision = self._prepare_call(
+                query, database, strategy, semantics
+            )
+            options = self._resolve_options(strat, optimize, stats, backend, options)
+            deadline = resolve_deadline(timeout, self.default_timeout)
+            if on_shard_error is None:
+                on_shard_error = self.default_on_shard_error
+            elif on_shard_error not in _ON_SHARD_ERROR:
+                raise EngineError(
+                    f"unknown on_shard_error {on_shard_error!r}; "
+                    f"expected one of {_ON_SHARD_ERROR}"
+                )
+            retry_policy = self.default_retry if retry is None else resolve_retry(retry)
+            if deadline is not None:
+                # Admission check: a request whose budget is already gone must
+                # fail here, not race the backend (a tiny SQLite statement can
+                # finish before the progress handler ever fires).
+                deadline.check("evaluation admission")
+            sharded = self._sharded_database(database, shards, partitioner)
+            if root is not None:
+                root.set_attr("strategy", strat.name)
+                root.set_attr("semantics", semantics)
+            if sharded is not None:
+                from ..sharding.evaluate import evaluate_sharded
+
+                result = evaluate_sharded(
                     normalized,
                     sharded,
+                    strat,
+                    semantics=semantics,
+                    options=options,
+                    executor=self._shard_executor(executor),
+                    cache=self._cache if use_cache and self._cache.enabled else None,
+                    database_fp=database_fp,
+                    deadline=deadline,
+                    on_shard_error=on_shard_error,
+                    retry=retry_policy,
+                    evaluate_coalesced=lambda: self._evaluate_monolithic(
+                        normalized,
+                        sharded,
+                        strat,
+                        semantics,
+                        use_cache=use_cache,
+                        database_fp=database_fp,
+                        options=options,
+                        deadline=deadline,
+                    ),
+                )
+            else:
+                result = self._evaluate_monolithic(
+                    normalized,
+                    database,
                     strat,
                     semantics,
                     use_cache=use_cache,
                     database_fp=database_fp,
                     options=options,
                     deadline=deadline,
-                ),
-            )
-        else:
-            result = self._evaluate_monolithic(
-                normalized,
-                database,
-                strat,
-                semantics,
-                use_cache=use_cache,
-                database_fp=database_fp,
-                options=options,
-                deadline=deadline,
-            )
+                )
+        obs_metrics.incr("engine.evaluations", strategy=strat.name)
+        obs_metrics.observe(
+            "engine.elapsed_ms", result.elapsed * 1000.0, strategy=strat.name
+        )
         result = _with_plan_metadata(result, decision)
-        return _with_backend_note(result, strat, backend)
+        result = _with_backend_note(result, strat, backend)
+        if root is not None:
+            # Attached post-hoc like the plan/backend notes: the cached
+            # entry carries no trace, the returned copy does.
+            result = replace(
+                result, metadata={**result.metadata, "trace": root.export()}
+            )
+        return result
 
     def _prepare_call(
         self,
@@ -394,15 +438,19 @@ class Engine:
             raise EngineError(
                 f"unknown semantics {semantics!r}; expected 'set' or 'bag'"
             )
-        normalized = normalize_query(query, database.schema())
+        with span("normalize"):
+            normalized = normalize_query(query, database.schema())
         decision: PlanDecision | None = None
         if strategy == AUTO:
-            decision = choose_strategy(
-                normalized,
-                database,
-                semantics=semantics,
-                exact_budget=self.auto_exact_budget,
-            )
+            with span("plan") as planning:
+                decision = choose_strategy(
+                    normalized,
+                    database,
+                    semantics=semantics,
+                    exact_budget=self.auto_exact_budget,
+                )
+                planning.set_attr("chosen", decision.strategy)
+                planning.set_attr("reason", decision.reason)
             strategy = decision.strategy
         strat = get_strategy(strategy)
         if semantics not in strat.supported_semantics:
@@ -513,12 +561,14 @@ class Engine:
     ) -> QueryResult:
         key = None
         if use_cache and self._cache.enabled:
-            if database_fp is None:
-                database_fp = database_fingerprint(database)
-            key = evaluation_cache_key(
-                normalized.fingerprint, database_fp, strat.name, semantics, options
-            )
-            cached = self._cache.get(key)
+            with span("cache.lookup") as lookup:
+                if database_fp is None:
+                    database_fp = database_fingerprint(database)
+                key = evaluation_cache_key(
+                    normalized.fingerprint, database_fp, strat.name, semantics, options
+                )
+                cached = self._cache.get(key)
+                lookup.set_attr("outcome", "hit" if cached is not None else "miss")
             if cached is not None:
                 return cached.as_cached()
 
@@ -527,8 +577,12 @@ class Engine:
         # ``options``: it must not reach strategy option validation or
         # the cache key above.  A DeadlineExceeded propagates before the
         # cache put below, so partial work never poisons the cache.
-        with deadline_scope(deadline):
-            outcome = strat.run(normalized, database, semantics=semantics, **options)
+        with span("execute", strategy=strat.name) as execute:
+            with deadline_scope(deadline):
+                outcome = strat.run(
+                    normalized, database, semantics=semantics, **options
+                )
+            execute.incr("rows_out", len(outcome.answer))
         elapsed = time.perf_counter() - start
         result = QueryResult(
             strategy=strat.name,
@@ -609,6 +663,7 @@ class Engine:
         timeout: float | Deadline | None = None,
         on_shard_error: str | None = None,
         retry: RetryPolicy | bool | None = None,
+        trace: bool | None = None,
         options: Mapping[str, Mapping[str, Any]] | None = None,
     ) -> dict[str, QueryResult]:
         """Run several strategies on the same query, keyed by strategy name.
@@ -661,6 +716,7 @@ class Engine:
                     timeout=deadline,
                     on_shard_error=on_shard_error,
                     retry=retry,
+                    trace=trace,
                     **extra,
                 )
             except StrategyNotApplicableError:
@@ -765,6 +821,7 @@ class Session:
         timeout: float | None = None,
         on_shard_error: str = "raise",
         retry: Any = None,
+        trace: bool = False,
     ):
         self.database = _presharded_database(database, shards, partitioner)
         self._owns_engine = engine is None
@@ -780,6 +837,7 @@ class Session:
             timeout=timeout,
             on_shard_error=on_shard_error,
             retry=retry,
+            trace=trace,
         )
         # Per-session sharding config, honoured even on a shared engine
         # and carried across with_database().
@@ -871,6 +929,20 @@ class Session:
         """Planner-chosen evaluation (``strategy="auto"``);
         ``result.metadata["plan"]`` says what was picked and why."""
         return self.evaluate(query, strategy="auto", **kwargs)
+
+    def explain(self, query: Any, **kwargs: Any) -> str:
+        """Evaluate with ``trace=True`` and render the EXPLAIN report.
+
+        Accepts every ``evaluate`` keyword (``strategy="auto"``,
+        ``shards=...``, ``backend=...``, ...) and returns one report
+        combining the plan decision, backend resolution, sharding and
+        resilience notes with the span tree — see
+        :mod:`repro.obs.explain`.  Tracing never changes the answer (or
+        the cache keys), so explaining a query is exactly as safe as
+        evaluating it.
+        """
+        kwargs["trace"] = True
+        return render_explain(self.evaluate(query, **kwargs))
 
     def strategies(self) -> tuple[str, ...]:
         return self.engine.strategies()

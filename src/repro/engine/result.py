@@ -143,6 +143,17 @@ class QueryResult:
         """A copy of this result marked as served from the cache."""
         return replace(self, from_cache=True)
 
+    def explain(self) -> str:
+        """The EXPLAIN report for this result (:mod:`repro.obs.explain`).
+
+        Includes the span tree when the evaluation ran with
+        ``trace=True`` (or via ``session.explain()``); without one, the
+        report still shows the plan/backend/sharding/resilience notes.
+        """
+        from ..obs.explain import render_explain
+
+        return render_explain(self)
+
     def summary(self) -> str:
         """A one-line description used by the benchmark tables."""
         parts = [

@@ -31,6 +31,8 @@ from ..algebra.evaluator import Evaluator
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
 from ..engine.errors import EngineError
+from ..obs import metrics as obs_metrics
+from ..obs.trace import span
 from ..resilience import (
     DeadlineExceeded,
     RetryPolicy,
@@ -184,8 +186,19 @@ def execute_plans(
     plans = list(plans)
     options = dict(bag=bag, condition_mode=condition_mode, optimize=optimize, stats=stats)
 
-    def on_interpreter(reason: str, retries: int = 0) -> PlanExecution:
-        relations = InterpreterBackend().run(plans, database, **options)
+    def on_interpreter(
+        reason: str, retries: int = 0, *, kind: str = "requested"
+    ) -> PlanExecution:
+        # ``kind`` is the low-cardinality category of ``reason`` (which
+        # can embed plan details), so the metrics keys stay bounded.
+        obs_metrics.incr(
+            "exec.resolutions",
+            requested=backend,
+            resolved="interpreter",
+            reason=kind,
+        )
+        with span("execute.interpreter", plans=len(plans)):
+            relations = InterpreterBackend().run(plans, database, **options)
         return PlanExecution(tuple(relations), backend, "interpreter", reason, retries)
 
     if backend == "interpreter":
@@ -200,11 +213,12 @@ def execute_plans(
                 f"backend='sqlite' cannot execute this plan: {static_reason}; "
                 "use backend='auto' or backend='interpreter'"
             )
-        return on_interpreter(static_reason)
+        return on_interpreter(static_reason, kind="not-expressible")
     breaker = breaker_for(strategy or "*", "sqlite")
     if backend == "auto" and not breaker.allow():
         return on_interpreter(
-            "sqlite circuit breaker is open (cooling down after repeated failures)"
+            "sqlite circuit breaker is open (cooling down after repeated failures)",
+            kind="breaker-open",
         )
     retries = 0
 
@@ -213,11 +227,13 @@ def execute_plans(
         retries = attempt
 
     try:
-        relations, _ = _SQLITE_RETRY.call(
-            lambda: SQLiteBackend().run(plans, database, **options),
-            deadline=active_deadline(),
-            on_retry=count_retry,
-        )
+        with span("execute.sqlite", plans=len(plans)) as pushdown:
+            relations, _ = _SQLITE_RETRY.call(
+                lambda: SQLiteBackend().run(plans, database, **options),
+                deadline=active_deadline(),
+                on_retry=count_retry,
+            )
+            pushdown.incr("sql_statements", len(plans))
     except SQLiteUnsupportedError as exc:
         breaker.release_probe()
         if backend == "sqlite":
@@ -225,7 +241,7 @@ def execute_plans(
                 f"backend='sqlite' cannot execute this plan: {exc}; "
                 "use backend='auto' or backend='interpreter'"
             ) from exc
-        return on_interpreter(str(exc), retries)
+        return on_interpreter(str(exc), retries, kind="capability-miss")
     except DeadlineExceeded:
         breaker.release_probe()
         raise
@@ -234,9 +250,14 @@ def execute_plans(
         if backend == "sqlite":
             raise
         return on_interpreter(
-            f"sqlite execution failed ({type(exc).__name__}: {exc})", retries
+            f"sqlite execution failed ({type(exc).__name__}: {exc})",
+            retries,
+            kind="execution-failed",
         )
     breaker.record_success()
+    if retries:
+        obs_metrics.incr("exec.sqlite_retries", retries)
+    obs_metrics.incr("exec.resolutions", requested=backend, resolved="sqlite")
     return PlanExecution(
         tuple(relations),
         backend,

@@ -31,14 +31,36 @@ from typing import Callable
 
 __all__ = [
     "CircuitBreaker",
+    "add_transition_listener",
     "breaker_for",
     "breaker_snapshots",
+    "remove_transition_listener",
     "reset_breakers",
 ]
 
 CLOSED = "closed"
 OPEN = "open"
 HALF_OPEN = "half-open"
+
+# State-transition listeners: called as ``listener(name, old, new)``
+# whenever any breaker changes state.  Resilience imports nothing from
+# the rest of the package, so observability subscribes from the outside
+# (``repro.obs.metrics`` counts transitions per breaker).  Listeners run
+# under the breaker's lock and must be fast and never call back into
+# the breaker.
+_TRANSITION_LISTENERS: list[Callable[[str, str, str], None]] = []
+
+
+def add_transition_listener(listener: Callable[[str, str, str], None]) -> None:
+    if listener not in _TRANSITION_LISTENERS:
+        _TRANSITION_LISTENERS.append(listener)
+
+
+def remove_transition_listener(listener: Callable[[str, str, str], None]) -> None:
+    try:
+        _TRANSITION_LISTENERS.remove(listener)
+    except ValueError:
+        pass
 
 
 def _env_float(name: str, default: float) -> float:
@@ -83,6 +105,7 @@ class CircuitBreaker:
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
         self.half_open_probes = half_open_probes
+        self.name = "breaker"  # overwritten by breaker_for with "strategy/backend"
         self._clock = clock
         self._lock = threading.Lock()
         self._state = CLOSED
@@ -96,6 +119,18 @@ class CircuitBreaker:
     # ------------------------------------------------------------------
     # State machine
     # ------------------------------------------------------------------
+    def _transition(self, new_state: str) -> None:
+        # Caller holds the lock.
+        old_state = self._state
+        if old_state == new_state:
+            return
+        self._state = new_state
+        for listener in list(_TRANSITION_LISTENERS):
+            try:
+                listener(self.name, old_state, new_state)
+            except Exception:  # a broken listener must not break the breaker
+                pass
+
     def _maybe_half_open(self) -> None:
         # Caller holds the lock.
         if (
@@ -103,7 +138,7 @@ class CircuitBreaker:
             and self._opened_at is not None
             and self._clock() - self._opened_at >= self.cooldown
         ):
-            self._state = HALF_OPEN
+            self._transition(HALF_OPEN)
             self._probes_in_flight = 0
 
     def allow(self) -> bool:
@@ -130,7 +165,7 @@ class CircuitBreaker:
             self._consecutive_failures = 0
             if self._state == HALF_OPEN:
                 self._probes_in_flight = max(0, self._probes_in_flight - 1)
-            self._state = CLOSED
+            self._transition(CLOSED)
             self._opened_at = None
 
     def release_probe(self) -> None:
@@ -151,14 +186,14 @@ class CircuitBreaker:
             if self._state == HALF_OPEN:
                 # The probe failed: straight back to open, fresh cooldown.
                 self._probes_in_flight = max(0, self._probes_in_flight - 1)
-                self._state = OPEN
+                self._transition(OPEN)
                 self._opened_at = self._clock()
                 self._trips += 1
             elif (
                 self._state == CLOSED
                 and self._consecutive_failures >= self.failure_threshold
             ):
-                self._state = OPEN
+                self._transition(OPEN)
                 self._opened_at = self._clock()
                 self._trips += 1
 
@@ -193,7 +228,7 @@ class CircuitBreaker:
 
     def reset(self) -> None:
         with self._lock:
-            self._state = CLOSED
+            self._transition(CLOSED)
             self._consecutive_failures = 0
             self._opened_at = None
             self._probes_in_flight = 0
@@ -218,6 +253,7 @@ def breaker_for(strategy: str, backend: str, **kwargs) -> CircuitBreaker:
         breaker = _REGISTRY.get(key)
         if breaker is None:
             breaker = _REGISTRY[key] = CircuitBreaker(**kwargs)
+            breaker.name = f"{key[0]}/{key[1]}"
         return breaker
 
 

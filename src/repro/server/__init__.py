@@ -10,7 +10,7 @@ architecture, :mod:`repro.server.client` for the matching client, and
 """
 
 from .client import ServerBusyError, ServerClient, ServerRequestError
-from .metrics import RequestRecord, ServerMetrics, percentile
+from ..obs.metrics import RequestRecord, ServerMetrics, percentile
 from .pool import BrokenWorkerError, CancellableFuture, CancellableProcessExecutor
 from .service import DEFAULT_TENANT, EvalServer, ServerConfig, serve
 

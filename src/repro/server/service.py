@@ -32,12 +32,19 @@ one asyncio event loop hosting per-tenant
 * **Metrics.**  ``GET /stats`` aggregates per-request queue wait,
   execution time, cache hit rate and the strategy that ran (the
   planner's choice for ``strategy="auto"``), plus admission and cache
-  backend counters.
+  backend counters (:class:`repro.obs.ServerMetrics`).  ``GET
+  /metrics`` exposes the process-wide engine metrics registry
+  (:mod:`repro.obs.metrics`): cache hits per backend, backend
+  resolutions, shard retries, breaker transitions.
+* **Tracing.**  A ``"trace": true`` flag on ``/query`` or ``/batch``
+  evaluates with the engine's span tracing on; the exported span tree
+  comes back under ``result.metadata.trace`` in the response.
 
-Endpoints: ``GET /healthz``, ``GET /stats``, ``GET /strategies``,
-``GET /datasets``, ``POST /datasets``, ``POST /query``, ``POST /batch``,
-``POST /cancel``.  See :mod:`repro.server.client` for the matching
-client and :mod:`repro.server.__main__` for the CLI entry point.
+Endpoints: ``GET /healthz``, ``GET /stats``, ``GET /metrics``,
+``GET /strategies``, ``GET /datasets``, ``POST /datasets``,
+``POST /query``, ``POST /batch``, ``POST /cancel``.  See
+:mod:`repro.server.client` for the matching client and
+:mod:`repro.server.__main__` for the CLI entry point.
 """
 
 from __future__ import annotations
@@ -66,7 +73,8 @@ from ..engine import (
 )
 from ..engine.cache import CacheBackend, NamespacedCacheBackend
 from ..resilience import DeadlineExceeded, breaker_snapshots
-from .metrics import RequestRecord, ServerMetrics
+from ..obs.metrics import RequestRecord, ServerMetrics
+from ..obs.metrics import snapshot as obs_snapshot
 from .pool import CancellableProcessExecutor
 from .wire import decode_database, encode_result, json_safe
 
@@ -381,6 +389,10 @@ class EvalServer:
             options["timeout"] = timeout_ms / 1000.0
         if payload.get("on_shard_error") is not None:
             options["on_shard_error"] = str(payload["on_shard_error"])
+        if payload.get("trace") is not None:
+            # The span tree rides back in result.metadata["trace"]
+            # (encode_result serialises metadata as-is).
+            options["trace"] = bool(payload["trace"])
         outcome = "error"
         record = None
         try:
@@ -447,6 +459,7 @@ class EvalServer:
                 "backend",
                 "timeout_ms",
                 "on_shard_error",
+                "trace",
             )
             if key in payload
         }
@@ -654,6 +667,10 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             elif self.path == "/stats":
                 self._send_json(200, self.eval_server.stats())
+            elif self.path == "/metrics":
+                # The process-wide engine metrics (repro.obs), distinct
+                # from the per-request aggregation under /stats.
+                self._send_json(200, obs_snapshot())
             elif self.path == "/strategies":
                 from ..engine.registry import get_strategy
 

@@ -65,6 +65,8 @@ from ..engine.errors import EngineError
 from ..engine.frontend import NormalizedQuery, query_fingerprint
 from ..engine.registry import EvaluationStrategy, StrategyOutcome, annotate
 from ..engine.result import AnnotatedTuple, Certainty, QueryResult
+from ..obs import metrics as obs_metrics
+from ..obs.trace import SpanContext, span
 from ..resilience import Deadline, DeadlineExceeded, RetryPolicy
 from .database import ShardedDatabase, shard_relation_name
 from .executor import ShardExecutor, ShardPartial, ShardTask
@@ -378,34 +380,43 @@ def _plan_sharded_call(
     partials: list[ShardPartial | None] = [None] * count
     tasks: list[ShardTask] = []
     hits = 0
-    for shard in range(count):
-        key = None
-        if cache is not None:
-            key = (
-                "shard-partial",
-                rewritten_fp,
-                strategy.name,
-                semantics,
-                options_key,
-                _shard_data_fingerprint(database, shard, plan, full_fp),
+    # Captured once for the whole fan-out: every shard task links back
+    # to the same ambient span (None when the call is untraced).
+    trace_ctx = SpanContext.capture()
+    with span("shard.plan", shards=count) as planning:
+        for shard in range(count):
+            key = None
+            if cache is not None:
+                key = (
+                    "shard-partial",
+                    rewritten_fp,
+                    strategy.name,
+                    semantics,
+                    options_key,
+                    _shard_data_fingerprint(database, shard, plan, full_fp),
+                )
+                cached = cache.get(key)
+                if cached is not None:
+                    partials[shard] = cached
+                    hits += 1
+                    continue
+            tasks.append(
+                ShardTask(
+                    shard=shard,
+                    plan=plan.plan,
+                    database=_task_database(database, shard, plan),
+                    strategy=strategy.name,
+                    semantics=semantics,
+                    options=tuple(options.items()),
+                    cache_key=key,
+                    deadline=deadline,
+                    trace=trace_ctx,
+                )
             )
-            cached = cache.get(key)
-            if cached is not None:
-                partials[shard] = cached
-                hits += 1
-                continue
-        tasks.append(
-            ShardTask(
-                shard=shard,
-                plan=plan.plan,
-                database=_task_database(database, shard, plan),
-                strategy=strategy.name,
-                semantics=semantics,
-                options=tuple(options.items()),
-                cache_key=key,
-                deadline=deadline,
-            )
-        )
+        if hits:
+            planning.incr("partial_cache_hits", hits)
+        if tasks:
+            planning.incr("partial_cache_misses", len(tasks))
     return None, _PlannedShardedCall(
         spec=spec, plan=plan, partials=partials, tasks=tasks, hits=hits, start=start
     )
@@ -453,6 +464,16 @@ def _absorb_partials(
     for task, partial in zip(planned.tasks, computed):
         if partial is None:
             continue
+        if partial.metadata and "trace" in partial.metadata:
+            # The worker's span export is grafted into the live trace by
+            # the caller; the stored partial must not carry it (cached
+            # partials are shared by traced and untraced calls).
+            partial = replace(
+                partial,
+                metadata={
+                    k: v for k, v in partial.metadata.items() if k != "trace"
+                },
+            )
         planned.partials[task.shard] = partial
         if cache is not None and task.cache_key is not None:
             cache.put(task.cache_key, partial)
@@ -674,15 +695,30 @@ def _finish_sharded(
             "every shard failed; nothing to degrade to "
             f"(failures: {dict(failures)})"
         )
-    outcome = _call_merge(
-        planned.spec.merge,
-        surviving,
-        semantics=semantics,
-        database=database,
-        normalized=normalized,
-        strategy=strategy,
-    )
+    with span(
+        "shard.merge", merge=getattr(planned.spec.merge, "__name__", "merge")
+    ) as merging:
+        outcome = _call_merge(
+            planned.spec.merge,
+            surviving,
+            semantics=semantics,
+            database=database,
+            normalized=normalized,
+            strategy=strategy,
+        )
+        merging.incr("rows_out", len(outcome.answer))
     elapsed = time.perf_counter() - planned.start
+    obs_metrics.incr(
+        "sharding.evaluations", strategy=strategy.name, executor=executor_kind
+    )
+    if planned.hits:
+        obs_metrics.incr("sharding.partial_cache_hits", planned.hits)
+    if planned.tasks:
+        obs_metrics.incr("sharding.partial_cache_misses", len(planned.tasks))
+    if retries:
+        obs_metrics.incr("sharding.retries", retries)
+    if failures:
+        obs_metrics.incr("sharding.degraded_shards", len(failures))
     sharding_meta = {
         "mode": "distributed",
         "shards": count,
@@ -777,23 +813,33 @@ def evaluate_sharded(
             else None
         )
         effective = "retry" if blocker is not None else on_shard_error
-        try:
-            computed, failures, retries = _run_tasks_resilient(
-                executor,
-                planned.tasks,
-                deadline=deadline,
-                retry=retry,
-                on_shard_error=effective,
-            )
-        except DeadlineExceeded:
-            raise
-        except Exception as exc:
-            if blocker is None:
+        with span(
+            "shard.fanout", executor=executor.kind, tasks=len(planned.tasks)
+        ) as fanout:
+            try:
+                computed, failures, retries = _run_tasks_resilient(
+                    executor,
+                    planned.tasks,
+                    deadline=deadline,
+                    retry=retry,
+                    on_shard_error=effective,
+                )
+            except DeadlineExceeded:
                 raise
-            raise EngineError(
-                f"shard failed and on_shard_error='degrade' is unavailable: "
-                f"{blocker}"
-            ) from exc
+            except Exception as exc:
+                if blocker is None:
+                    raise
+                raise EngineError(
+                    f"shard failed and on_shard_error='degrade' is unavailable: "
+                    f"{blocker}"
+                ) from exc
+            if retries:
+                fanout.incr("retries", retries)
+            for partial in computed:
+                if partial is not None and partial.metadata:
+                    exported = partial.metadata.get("trace")
+                    if exported:
+                        fanout.graft(exported)
         _absorb_partials(planned, computed, cache)
     return _finish_sharded(
         planned,
@@ -855,9 +901,20 @@ async def evaluate_sharded_async(
             else None
         )
         effective = "retry" if blocker is not None else on_shard_error
-        try:
-            if limiter is not None:
-                async with limiter:
+        with span(
+            "shard.fanout", executor=executor.kind, tasks=len(planned.tasks)
+        ) as fanout:
+            try:
+                if limiter is not None:
+                    async with limiter:
+                        computed, failures, retries = await _run_tasks_resilient_async(
+                            executor,
+                            planned.tasks,
+                            deadline=deadline,
+                            retry=retry,
+                            on_shard_error=effective,
+                        )
+                else:
                     computed, failures, retries = await _run_tasks_resilient_async(
                         executor,
                         planned.tasks,
@@ -865,23 +922,22 @@ async def evaluate_sharded_async(
                         retry=retry,
                         on_shard_error=effective,
                     )
-            else:
-                computed, failures, retries = await _run_tasks_resilient_async(
-                    executor,
-                    planned.tasks,
-                    deadline=deadline,
-                    retry=retry,
-                    on_shard_error=effective,
-                )
-        except DeadlineExceeded:
-            raise
-        except Exception as exc:
-            if blocker is None:
+            except DeadlineExceeded:
                 raise
-            raise EngineError(
-                f"shard failed and on_shard_error='degrade' is unavailable: "
-                f"{blocker}"
-            ) from exc
+            except Exception as exc:
+                if blocker is None:
+                    raise
+                raise EngineError(
+                    f"shard failed and on_shard_error='degrade' is unavailable: "
+                    f"{blocker}"
+                ) from exc
+            if retries:
+                fanout.incr("retries", retries)
+            for partial in computed:
+                if partial is not None and partial.metadata:
+                    exported = partial.metadata.get("trace")
+                    if exported:
+                        fanout.graft(exported)
         _absorb_partials(planned, computed, cache)
     return _finish_sharded(
         planned,

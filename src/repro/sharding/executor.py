@@ -24,12 +24,14 @@ from __future__ import annotations
 import asyncio
 import concurrent.futures
 import os
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Mapping, Sequence
 
 from ..algebra import ast as ra
 from ..datamodel.database import Database
 from ..datamodel.relation import Relation
+from ..obs.trace import SpanContext
 from ..resilience import Deadline, deadline_scope, fault_point
 
 __all__ = [
@@ -61,6 +63,13 @@ class ShardTask:
     #: equality like the cache key: a deadline never changes what a task
     #: computes, only whether it finishes.
     deadline: Deadline | None = field(default=None, compare=False)
+    #: Trace linkage (:class:`repro.obs.SpanContext`) when the
+    #: orchestrating evaluation runs with ``trace=True``: the worker
+    #: records its own span tree and ships the export back in the
+    #: partial's metadata, where the orchestrator grafts it under the
+    #: fan-out span.  Excluded from equality like the deadline — tracing
+    #: observes, never steers.
+    trace: SpanContext | None = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -83,20 +92,35 @@ def run_shard_task(task: ShardTask) -> ShardPartial:
 
     fault_point("shard.task", shard=task.shard, strategy=task.strategy)
     strategy = get_strategy(task.strategy)
-    normalized = normalize_query(task.plan, task.database.schema())
-    with deadline_scope(task.deadline):
-        outcome = strategy.run(
-            normalized,
-            task.database,
-            semantics=task.semantics,
-            **dict(task.options),
+    trace_export = None
+    with (
+        nullcontext(None)
+        if task.trace is None
+        else task.trace.activate(
+            f"shard[{task.shard}]", shard=task.shard, strategy=task.strategy
         )
+    ) as root:
+        normalized = normalize_query(task.plan, task.database.schema())
+        with deadline_scope(task.deadline):
+            outcome = strategy.run(
+                normalized,
+                task.database,
+                semantics=task.semantics,
+                **dict(task.options),
+            )
+        if root is not None:
+            root.incr("rows_out", len(outcome.answer))
+    if root is not None:
+        trace_export = root.export()
+    metadata = dict(outcome.metadata)
+    if trace_export is not None:
+        metadata["trace"] = trace_export
     return ShardPartial(
         shard=task.shard,
         answer=outcome.answer,
         certain=outcome.certain,
         possible=outcome.possible,
-        metadata=dict(outcome.metadata),
+        metadata=metadata,
     )
 
 

@@ -274,6 +274,31 @@ def _run_case(engine: Engine, rng: random.Random, case: int) -> Counter:
         )
         if pair is not None:
             resolved[("sharded", _resolved_backend(pair[1]))] += 1
+
+    # Tracing observes, never steers (repro.obs): a traced evaluation
+    # must be result-identical to the untraced one — same tuples, same
+    # annotations, same metadata — except for the exported span tree
+    # riding result.metadata["trace"].  Half the cases run the check on
+    # the sharded database so SpanContext propagation into shard tasks
+    # is inside the randomized loop, not just in a dedicated test.
+    target = sharded if rng.random() < 0.5 else db
+    strategy = rng.choice(("naive", "approx-guagliardo16"))
+    try:
+        untraced = engine.evaluate(query, target, strategy=strategy, use_cache=False)
+    except (StrategyNotApplicableError, EngineError, ValueError, TypeError):
+        untraced = None
+    if untraced is not None:
+        traced = engine.evaluate(
+            query, target, strategy=strategy, use_cache=False, trace=True
+        )
+        label = f"{label_base}, traced {strategy}"
+        _assert_identical(untraced, traced, label)
+        assert "trace" not in untraced.metadata, label
+        assert traced.metadata.get("trace"), label
+        stripped = {k: v for k, v in traced.metadata.items() if k != "trace"}
+        assert stripped == untraced.metadata, (
+            f"{label}: tracing changed the metadata"
+        )
     return resolved
 
 
